@@ -1,0 +1,68 @@
+"""A-gran ablation: communication granularity for pipelined pairs
+(Section 4.1).
+
+Sweeps the batch size for a pipelined producer/consumer pair and checks
+that the model's chosen granularity sits at (or near) the measured
+minimum — per-item messages pay too much latency, whole-array batches
+destroy overlap.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.runtime import GranularityModel, MachineConfig, choose_granularity
+
+N = 4096
+
+
+def _model(latency=8.0):
+    return GranularityModel(
+        items=N,
+        bytes_per_item=64.0,
+        consumer_cost_per_item=0.8,
+        producer_cost_per_item=1.0,
+        config=MachineConfig(message_latency=latency),
+    )
+
+
+def test_granularity_curve():
+    model = _model()
+    best = model.best()
+    candidates = [1, 4, 16, 64, 256, 1024, N, best]
+    rows = [
+        [g, f"{model.time(g):.0f}", "<- chosen" if g == best else ""]
+        for g in sorted(set(candidates))
+    ]
+    print_table(
+        f"Pipelined pair, {N} items — predicted time vs batch size",
+        ["batch", "time", ""],
+        rows,
+    )
+    # The chosen batch beats both extremes by a clear margin.
+    assert model.time(best) < 0.9 * model.time(1)
+    assert model.time(best) < model.time(N)
+    # And it is the scanned minimum among the candidates.
+    assert model.time(best) == min(model.time(g) for g in sorted(set(candidates)))
+
+
+def test_granularity_tracks_latency():
+    rows = []
+    previous = 0
+    for latency in (0.5, 4.0, 32.0, 256.0):
+        g = choose_granularity(
+            N, 64.0, 0.8, 1.0, MachineConfig(message_latency=latency)
+        )
+        rows.append([latency, g])
+        assert g >= previous
+        previous = g
+    print_table(
+        "Chosen granularity vs message latency",
+        ["latency", "batch size"],
+        rows,
+    )
+
+
+def test_benchmark_granularity_choice(benchmark):
+    model = _model()
+    best = benchmark(model.best)
+    assert 1 <= best <= N

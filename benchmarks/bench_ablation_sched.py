@@ -1,0 +1,84 @@
+"""A-sched ablation: TAPER vs the baseline chunk policies (Section 4.1.1).
+
+Single irregular parallel operation, varying irregularity (coefficient of
+variation), comparing makespans under static / self / GSS / factoring /
+TAPER.  The paper's claim: adaptive chunking wins when task times are
+irregular, and TAPER's variance-adaptive tapering balances overhead
+against imbalance.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.runtime import MachineConfig, make_policy, run_central
+
+POLICIES = ("static", "self", "gss", "factoring", "taper")
+P = 64
+N = 2048
+
+
+def _costs(cv_label):
+    rng = random.Random(17)
+    if cv_label == "regular":
+        return [10.0] * N
+    if cv_label == "moderate":
+        return [rng.uniform(2.0, 18.0) for _ in range(N)]
+    # severe: bimodal with a 20x tail.
+    return [100.0 if rng.random() < 0.05 else 5.0 for _ in range(N)]
+
+
+@pytest.fixture(scope="module")
+def table():
+    config = MachineConfig(processors=P, sched_overhead=0.5)
+    out = {}
+    for label in ("regular", "moderate", "severe"):
+        costs = _costs(label)
+        out[label] = {
+            name: run_central(costs, P, make_policy(name), config)
+            for name in POLICIES
+        }
+    return out
+
+
+def test_ablation_sched_table(table):
+    rows = []
+    for label, results in table.items():
+        rows.append(
+            [label]
+            + [f"{results[name].makespan:.0f}" for name in POLICIES]
+        )
+    print_table(
+        f"Chunk policy ablation — makespan, p={P}, n={N}",
+        ["workload"] + list(POLICIES),
+        rows,
+    )
+    # Severe irregularity: TAPER beats static comfortably.
+    severe = table["severe"]
+    assert severe["taper"].makespan < 0.8 * severe["static"].makespan
+    # Regular work with overhead: TAPER beats self-scheduling.
+    regular = table["regular"]
+    assert regular["taper"].makespan < regular["self"].makespan
+    # TAPER within 25% of the best policy on every workload.
+    for label, results in table.items():
+        best = min(r.makespan for r in results.values())
+        assert results["taper"].makespan <= 1.25 * best, label
+
+
+def test_taper_chunk_counts_between_extremes(table):
+    for label, results in table.items():
+        assert (
+            results["static"].chunks
+            <= results["taper"].chunks
+            <= results["self"].chunks
+        ), label
+
+
+def test_benchmark_taper_run(benchmark):
+    costs = _costs("severe")
+    config = MachineConfig(processors=P)
+    result = benchmark(
+        lambda: run_central(costs, P, make_policy("taper"), config)
+    )
+    assert result.makespan > 0

@@ -1,0 +1,80 @@
+"""T-doubling: the Section 5 claim across all four applications.
+
+Paper: "With the runtime system using the processor allocation algorithm
+described above, we were able to double the number of processors used for
+each application, with a loss of only five to fifteen percent in
+efficiency."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import ALL_WORKLOADS
+
+BASE_P = 512
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name, cls in ALL_WORKLOADS.items():
+        base = cls(steps=3).run(BASE_P, "split")
+        doubled = cls(steps=3).run(2 * BASE_P, "split")
+        out[name] = (base, doubled)
+    return out
+
+
+def test_doubling_table(results):
+    rows = []
+    for name, (base, doubled) in results.items():
+        loss = (base.efficiency - doubled.efficiency) / base.efficiency
+        rows.append(
+            [
+                name,
+                f"{base.efficiency:.2f}",
+                f"{doubled.efficiency:.2f}",
+                f"{loss:+.0%}",
+                f"{doubled.speedup / base.speedup:.2f}x",
+            ]
+        )
+    print_table(
+        f"Doubling processors with split ({BASE_P} -> {2 * BASE_P})",
+        ["app", f"eff@{BASE_P}", f"eff@{2 * BASE_P}", "eff loss", "speedup gain"],
+        rows,
+    )
+    for name, (base, doubled) in results.items():
+        loss = (base.efficiency - doubled.efficiency) / base.efficiency
+        # Paper: five to fifteen percent; allow up to 20% at simulated scale.
+        assert loss <= 0.20, (name, loss)
+        # Doubling must actually pay: speedup grows by at least 1.5x.
+        assert doubled.speedup >= 1.5 * base.speedup, name
+
+
+def test_doubling_without_split_is_worse(results):
+    """The same doubling under serialised TAPER loses far more."""
+    losses_split = []
+    losses_taper = []
+    for name, cls in ALL_WORKLOADS.items():
+        base, doubled = results[name]
+        losses_split.append(
+            (base.efficiency - doubled.efficiency) / base.efficiency
+        )
+        taper_base = cls(steps=3).run(BASE_P, "taper")
+        taper_doubled = cls(steps=3).run(2 * BASE_P, "taper")
+        losses_taper.append(
+            (taper_base.efficiency - taper_doubled.efficiency)
+            / taper_base.efficiency
+        )
+    assert sum(losses_split) / len(losses_split) < sum(losses_taper) / len(
+        losses_taper
+    )
+
+
+def test_doubling_benchmark(benchmark):
+    from repro.apps import EmuWorkload
+
+    workload = EmuWorkload(steps=2)
+    result = benchmark.pedantic(
+        lambda: workload.run(1024, "split"), rounds=3, iterations=1
+    )
+    assert result.efficiency > 0.4

@@ -1,0 +1,103 @@
+"""Figure 5: the enhanced example of split — Linked sub-categories.
+
+Regenerates the classification of the named computations A..E against W's
+descriptor: B Bound, A GenerateLinked, C ReadLinked, D NeedsBound, E Free.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import analyze_unit
+from repro.descriptors import DescriptorBuilder
+from repro.lang import parse_unit, print_stmts
+from repro.split import SplitContext, classify, decompose, subdivide_linked
+
+FIG5 = """
+program fig5
+  integer i, n
+  real x(n), y(n), z(n), e(n)
+  real total, t
+  do i = 1, n
+    x(i) = x(i) + 1
+  end do
+  do i = 1, n
+    y(i) = sqrt(1.0 * i)
+  end do
+  total = 0
+  do i = 1, n
+    total = total + x(i) * y(i)
+  end do
+  do i = 1, n
+    z(i) = y(i) * 2
+  end do
+  t = total * 2
+  do i = 1, n
+    e(i) = 5
+  end do
+end program
+"""
+
+EXPECTED = {
+    "A (writes y)": "GenerateLinked",
+    "B (reads x, sums)": "Bound",
+    "C (reads y)": "ReadLinked",
+    "D (reads total)": "NeedsBound",
+    "E (unrelated)": "Free",
+}
+
+
+def _classify():
+    unit = parse_unit(FIG5)
+    builder = DescriptorBuilder(analyze_unit(unit))
+    d_w = builder.region(unit.body[:1])
+    context = SplitContext(unit)
+    primitives = decompose(unit.body[1:], context)
+    classification = classify(primitives, d_w)
+    subdivision = subdivide_linked(classification.linked, classification.bound)
+    return primitives, classification, subdivision
+
+
+def _category(primitive, classification, subdivision):
+    if primitive in classification.bound:
+        return "Bound"
+    if primitive in classification.free:
+        return "Free"
+    if primitive in subdivision.needs_bound:
+        return "NeedsBound"
+    if primitive in subdivision.generate_linked:
+        return "GenerateLinked"
+    if primitive in subdivision.read_linked:
+        return "ReadLinked"
+    return "?"
+
+
+def test_fig5_classification():
+    primitives, classification, subdivision = _classify()
+    rows = []
+    observed = {}
+    for primitive in primitives:
+        text = print_stmts(primitive.stmts).splitlines()[0]
+        category = _category(primitive, classification, subdivision)
+        rows.append([text[:44], category])
+        observed[text[:20]] = category
+    print_table(
+        "Figure 5 — classification against W's descriptor",
+        ["computation", "category"],
+        rows,
+    )
+    categories = {category for _, category in ((r[0], r[1]) for r in rows)}
+    assert categories >= {
+        "Bound",
+        "Free",
+        "NeedsBound",
+        "GenerateLinked",
+        "ReadLinked",
+    }
+
+
+def test_benchmark_classification(benchmark):
+    def run():
+        return _classify()
+
+    primitives, classification, subdivision = benchmark(run)
+    assert len(classification.bound) == 1

@@ -1,0 +1,72 @@
+"""Figure 6: Psirrfan speedup vs processors (static / TAPER / TAPER+split).
+
+The paper's figure plots speedup on an Ncube-2 from 200 to 1200
+processors with a fixed input: static scheduling plateaus, TAPER is
+"highly efficient on 512 processors but does not sustain this efficiency
+through 1024", and TAPER with split "achieves sustained efficiency of
+over 80% using up to 1024 processors".
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import PsirrfanWorkload
+
+PROCESSORS = (200, 400, 512, 800, 1024, 1200)
+MODES = ("static", "taper", "split")
+
+
+def _series():
+    out = {}
+    for mode in MODES:
+        workload = PsirrfanWorkload(steps=3)
+        out[mode] = {p: workload.run(p, mode) for p in PROCESSORS}
+    return out
+
+
+@pytest.fixture(scope="module")
+def series():
+    return _series()
+
+
+def test_fig6_table(series):
+    rows = []
+    for p in PROCESSORS:
+        rows.append(
+            [p]
+            + [
+                f"{series[mode][p].speedup:.0f} ({series[mode][p].efficiency:.2f})"
+                for mode in MODES
+            ]
+        )
+    print_table(
+        "Figure 6 — Psirrfan speedup (efficiency) vs processors",
+        ["p", "static", "TAPER", "TAPER with split"],
+        rows,
+    )
+    # Shape assertions.
+    # 1. split dominates at scale.
+    assert series["split"][1024].speedup > series["taper"][1024].speedup
+    assert series["split"][1200].speedup > series["taper"][1200].speedup
+    # 2. TAPER beats static at moderate scale.
+    assert series["taper"][400].speedup > series["static"][400].speedup
+    # 3. TAPER decays past ~512: efficiency drops by >15 points.
+    assert (
+        series["taper"][512].efficiency - series["taper"][1200].efficiency
+        > 0.15
+    )
+    # 4. split sustains: >=70% efficiency at 1024 (paper: >80% to 1024).
+    assert series["split"][1024].efficiency >= 0.70
+    # 5. static plateaus: little gain from 1024 to 1200.
+    assert (
+        series["static"][1200].speedup
+        <= series["static"][1024].speedup * 1.10
+    )
+
+
+def test_fig6_benchmark_split_run(benchmark):
+    workload = PsirrfanWorkload(steps=3)
+    result = benchmark.pedantic(
+        lambda: workload.run(512, "split"), rounds=3, iterations=1
+    )
+    assert result.speedup > 0

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index), printing the same rows/series the paper
+reports and asserting the expected *shape* (who wins, by roughly what
+factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a result table to stdout (visible with pytest -s)."""
+    print()
+    print(title)
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    print()

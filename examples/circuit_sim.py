@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""EMU circuit simulation: event-driven sparsity and the split win.
+
+EMU (Ackland, Lucco, London & DeBenedictis) re-evaluates only the devices
+whose inputs changed each timestep — a sparse, oscillating active set with
+bimodal costs (simple gates vs analogue blocks).  The split transformation
+exposes that updating circuit nodes *untouched* by active devices is
+independent of device evaluation (the Figure 2 pattern), so the regular
+update runs beside the irregular evaluation.
+
+Run:  python examples/circuit_sim.py
+"""
+
+from repro.apps import EmuWorkload
+
+PROCESSORS = (128, 256, 512, 1024)
+
+
+def main() -> None:
+    print("EMU circuit simulator — efficiency vs processors")
+    print(f"{'p':>6} | {'static':>8} | {'TAPER':>8} | {'split':>8}")
+    print("-" * 42)
+    for p in PROCESSORS:
+        cells = []
+        for mode in ("static", "taper", "split"):
+            workload = EmuWorkload(steps=4)
+            result = workload.run(p, mode)
+            cells.append(f"{result.efficiency:8.2f}")
+        print(f"{p:>6} | " + " | ".join(cells))
+    print()
+
+    workload = EmuWorkload(steps=4)
+    base = workload.run(512, "split")
+    doubled = EmuWorkload(steps=4).run(1024, "split")
+    loss = (base.efficiency - doubled.efficiency) / base.efficiency
+    print(
+        f"Doubling 512 -> 1024 processors with split: efficiency "
+        f"{base.efficiency:.2f} -> {doubled.efficiency:.2f} "
+        f"({loss:.0%} loss; the paper reports 5-15% across its applications)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""UCLA climate model: reproduce the paper's Section 5 prose numbers.
+
+The paper reports, for the ~3200-grid-cell input:
+
+* TAPER alone, 512 processors:   87% efficiency (speedup 445)
+* TAPER alone, 1024 processors:  57% efficiency (speedup 581)
+* TAPER + split, 1024 processors: 83% efficiency (speedup 850)
+
+The simulated reproduction is expected to match the *shape* — split
+roughly doubles the usable machine at a few points of efficiency cost —
+not the absolute constants (see DESIGN.md).
+
+Run:  python examples/climate_model.py
+"""
+
+from repro.apps import ClimateWorkload
+
+
+def main() -> None:
+    rows = [
+        ("taper", 512, "TAPER, 512p", "87% / 445"),
+        ("taper", 1024, "TAPER, 1024p", "57% / 581"),
+        ("split", 1024, "TAPER+split, 1024p", "83% / 850"),
+    ]
+    print("UCLA GCM (~3200 grid cells): paper vs simulated reproduction")
+    print(f"{'configuration':<22} {'paper eff/speedup':>18} {'ours':>16}")
+    print("-" * 60)
+    results = {}
+    for mode, p, label, paper in rows:
+        result = ClimateWorkload(steps=3).run(p, mode)
+        results[(mode, p)] = result
+        ours = f"{result.efficiency:.0%} / {result.speedup:.0f}"
+        print(f"{label:<22} {paper:>18} {ours:>16}")
+    print()
+    base = results[("taper", 512)]
+    doubled = results[("split", 1024)]
+    print(
+        "Doubling the machine with split: speedup "
+        f"{base.speedup:.0f} -> {doubled.speedup:.0f} "
+        f"({doubled.speedup / base.speedup:.2f}x; paper: 445 -> 850 = 1.91x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

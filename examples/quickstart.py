@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the paper's Figure 1 program end to end.
+
+Walks the full toolchain on the running example from Graham, Lucco &
+Sharp (PLDI '93):
+
+1. parse the FORTRAN-flavoured source,
+2. build symbolic data descriptors for the two interacting computations,
+3. apply the split transformation (Figure 2) and pipelining (Figure 3),
+4. emit the Delirium coordination graph,
+5. execute the graph on the simulated distributed-memory machine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import analyze_unit
+from repro.compiler import compile_unit
+from repro.descriptors import DescriptorBuilder, interfere
+from repro.lang import parse_unit, print_stmts
+from repro.runtime import GraphExecutor, MachineConfig, ParallelOp
+
+FIG1_SOURCE = """
+program fig1
+  integer mask(n), col, i, j, k, n
+  real result(n), q(n, n), output(n, n)
+  do col = 1, n where (mask(col) <> 0)
+    do i = 1, n
+      result(i) = 0
+      do k = 1, n
+        result(i) = result(i) + q(k, i)
+      end do
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = f(q(j, i))
+    end do
+  end do
+end program
+"""
+
+
+def main() -> None:
+    unit = parse_unit(FIG1_SOURCE)
+
+    print("=" * 70)
+    print("1. Symbolic data descriptors (Section 3.2)")
+    print("=" * 70)
+    analysis = analyze_unit(unit)
+    builder = DescriptorBuilder(analysis)
+    d_a = builder.region(unit.body[:1])
+    d_b = builder.region(unit.body[1:])
+    print("descriptor of A (the masked column loop):")
+    print(d_a)
+    print("\ndescriptor of B (the post-processing loop):")
+    print(d_b)
+    print(f"\nA and B interfere: {interfere(d_a, d_b)}")
+
+    print()
+    print("=" * 70)
+    print("2. Compilation: split + pipeline + Delirium graph")
+    print("=" * 70)
+    program = compile_unit(unit)
+    print(program.report())
+
+    applied = program.splits[0].result
+    print("\nB_I (independent — runs concurrently with A):")
+    print(print_stmts(applied.independent, indent=1))
+    print("\nB_D (dependent — runs after A):")
+    print(print_stmts(applied.dependent, indent=1))
+    print("\nB_M (the merge):")
+    print(print_stmts(applied.merge, indent=1))
+
+    print("\nDelirium coordination graph:")
+    print(program.delirium_text)
+
+    print("=" * 70)
+    print("3. Executing the graph on the simulated machine (Section 4)")
+    print("=" * 70)
+    # Attach synthetic task costs to the parallel operators: A is the
+    # irregular reconstruction, everything else is regular.
+    import random
+
+    rng = random.Random(0)
+    op_tasks = {}
+    for node in program.graph.nodes:
+        if node.pipeline_role is not None:
+            continue  # the pipelined stages mirror ops already present
+        n_tasks = 256 if node.is_parallel else 8
+        if "0" in node.name and node.where is not None:
+            costs = [rng.uniform(10.0, 50.0) for _ in range(n_tasks)]
+        else:
+            costs = [10.0] * n_tasks
+        op_tasks[node.id] = ParallelOp(name=node.name, costs=costs)
+
+    for p in (32, 128, 512):
+        executor = GraphExecutor(
+            program.graph, op_tasks, p=p, config=MachineConfig(processors=p)
+        )
+        result = executor.run()
+        print(
+            f"  p={p:4d}  makespan={result.makespan:9.1f}  "
+            f"efficiency={result.efficiency:5.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

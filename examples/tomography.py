@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Psirrfan: reproduce the shape of the paper's Figure 6.
+
+Runs the x-ray tomography workload under the three scheduling regimes the
+figure compares — static block scheduling, adaptive TAPER, and TAPER with
+the split transformation — across 200..1200 simulated processors, and
+prints the speedup series.
+
+Expected shape (the paper's result): static plateaus early; TAPER is
+efficient through ~512 processors but cannot sustain it; TAPER with split
+keeps >70% efficiency through 1200 processors.
+
+Run:  python examples/tomography.py
+"""
+
+from repro.apps import PsirrfanWorkload
+
+PROCESSORS = (200, 400, 512, 800, 1024, 1200)
+MODES = (("static", "static"), ("taper", "TAPER"), ("split", "TAPER with split"))
+
+
+def main() -> None:
+    print("Psirrfan (x-ray tomography) — speedup vs processors")
+    print(f"{'p':>6} | " + " | ".join(f"{label:>18}" for _, label in MODES))
+    print("-" * 72)
+    series = {}
+    for mode, _ in MODES:
+        workload = PsirrfanWorkload(steps=3)
+        series[mode] = {
+            p: workload.run(p, mode) for p in PROCESSORS
+        }
+    for p in PROCESSORS:
+        row = [
+            f"{series[mode][p].speedup:8.0f} ({series[mode][p].efficiency:4.2f})"
+            for mode, _ in MODES
+        ]
+        print(f"{p:>6} | " + " | ".join(f"{cell:>18}" for cell in row))
+    print()
+    split_1200 = series["split"][1200]
+    taper_1200 = series["taper"][1200]
+    print(
+        f"At 1200 processors split sustains {split_1200.efficiency:.0%} "
+        f"efficiency vs {taper_1200.efficiency:.0%} for TAPER alone "
+        f"({split_1200.speedup / taper_1200.speedup:.2f}x speedup)."
+    )
+
+
+if __name__ == "__main__":
+    main()

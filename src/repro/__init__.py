@@ -1,0 +1,19 @@
+"""repro — reproduction of Graham, Lucco & Sharp,
+"Orchestrating Interactions Among Parallel Computations" (PLDI 1993).
+
+The package is organised exactly as the paper is:
+
+* :mod:`repro.lang` — the FORTRAN-flavoured input language (MiniF),
+* :mod:`repro.analysis` — the symbolic analysis pipeline of Section 3.1,
+* :mod:`repro.descriptors` — symbolic data descriptors of Section 3.2,
+* :mod:`repro.split` — the split transformation and pipelining, Section 3.3,
+* :mod:`repro.delirium` — the coarse-grained dataflow intermediate form,
+  Section 3.4,
+* :mod:`repro.runtime` — the adaptive runtime (TAPER, distributed TAPER,
+  processor allocation, granularity selection) of Section 4, on a simulated
+  distributed-memory machine,
+* :mod:`repro.apps` — synthetic versions of the paper's applications,
+* :mod:`repro.compiler` — the end-to-end driver.
+"""
+
+__version__ = "1.0.0"

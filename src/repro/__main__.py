@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``      — run the full compiler on a MiniF source file and
+  print the transformation report, the Delirium coordination graph, or
+  the transformed FORTRAN sections;
+* ``descriptors FILE``  — print the symbolic data descriptor of every
+  top-level primitive computation;
+* ``simulate APP``      — run one of the paper's applications on the
+  simulated machine and report speedup/efficiency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import compile_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    programs = compile_source(
+        source,
+        apply_splits=not args.no_split,
+        apply_pipelining=not args.no_pipeline,
+    )
+    for program in programs:
+        if args.emit == "report":
+            print(program.report())
+        elif args.emit == "delirium":
+            print(program.delirium_text, end="")
+        elif args.emit == "sections":
+            for name, text in program.transformed_sections().items():
+                print(f"! section {name}")
+                print(text)
+                print()
+    return 0
+
+
+def _cmd_descriptors(args: argparse.Namespace) -> int:
+    from .analysis import analyze_unit
+    from .descriptors import DescriptorBuilder
+    from .lang import parse, print_stmts
+    from .split import SplitContext, decompose
+
+    with open(args.file) as handle:
+        source = handle.read()
+    for unit in parse(source).units:
+        print(f"! unit {unit.name}")
+        context = SplitContext(unit)
+        for primitive in decompose(unit.body, context):
+            first_line = print_stmts(primitive.stmts).splitlines()[0]
+            print(f"primitive {primitive.index} ({primitive.kind}): {first_line}")
+            for line in str(primitive.descriptor).splitlines():
+                print(f"  {line}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .apps import ALL_WORKLOADS
+
+    workload_class = ALL_WORKLOADS.get(args.app)
+    if workload_class is None:
+        print(
+            f"unknown application {args.app!r}; pick from "
+            f"{', '.join(sorted(ALL_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    header_printed = False
+    for mode in args.modes:
+        workload = workload_class(steps=args.steps)
+        for p in args.processors:
+            result = workload.run(p, mode)
+            if not header_printed:
+                print(f"{'app':>10} {'mode':>8} {'p':>6} {'speedup':>9} {'eff':>6}")
+                header_printed = True
+            print(
+                f"{args.app:>10} {mode:>8} {p:>6} "
+                f"{result.speedup:>9.0f} {result.efficiency:>6.2f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Orchestrating Interactions Among Parallel "
+            "Computations' (PLDI 1993)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile a MiniF source file"
+    )
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("--no-split", action="store_true")
+    compile_parser.add_argument("--no-pipeline", action="store_true")
+    compile_parser.add_argument(
+        "--emit",
+        choices=("report", "delirium", "sections"),
+        default="report",
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    descriptor_parser = commands.add_parser(
+        "descriptors", help="print symbolic data descriptors"
+    )
+    descriptor_parser.add_argument("file")
+    descriptor_parser.set_defaults(func=_cmd_descriptors)
+
+    simulate_parser = commands.add_parser(
+        "simulate", help="run an application workload on the simulated machine"
+    )
+    simulate_parser.add_argument("app")
+    simulate_parser.add_argument(
+        "--modes",
+        nargs="+",
+        default=["taper", "split"],
+        choices=("static", "taper", "split"),
+    )
+    simulate_parser.add_argument(
+        "--processors", "-p", nargs="+", type=int, default=[512]
+    )
+    simulate_parser.add_argument("--steps", type=int, default=3)
+    simulate_parser.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Symbolic analysis pipeline (Section 3.1 of the paper).
+
+:func:`analyze_unit` runs the full per-unit pipeline in the paper's order —
+memory usage analysis, SSA conversion, aggregate propagation, alias
+elimination, value/assertion propagation — and returns an
+:class:`AnalysisResult` bundling all side tables.  Call-site analysis
+(:func:`analyse_call_sites`) runs per source file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from .alias import AliasInfo, alias_pattern, eliminate_aliases, has_aliased_arrays
+from .assertions import (
+    Assertion,
+    Conjunction,
+    Predicate,
+    assertion_from_ast,
+    predicate_implies,
+    predicates_contradict,
+)
+from .callsites import CallSiteAnalysis, analyse_call_sites
+from .cfg import BLOCK, BRANCH, CFG, ENTRY, EXIT, LOOP_HEADER, CFGNode, build_cfg
+from .dominance import DominatorInfo, compute_dominators
+from .memory import READ, WRITE, AggregateAccess, MemoryInfo, NodeUsage, analyse_memory
+from .ssa import Phi, SSAInfo, SSAName, build_ssa
+from .symbolic import (
+    SymExpr,
+    SymRange,
+    compare,
+    definitely_disjoint_ranges,
+    expr_from_ast,
+    range_from_do,
+)
+from .value_prop import ValueInfo, propagate_values
+
+
+@dataclass(eq=False)
+class AnalysisResult:
+    """All per-unit analysis products, in pipeline order."""
+
+    unit: ast.Unit
+    cfg: CFG
+    dom: DominatorInfo
+    memory: MemoryInfo
+    ssa: SSAInfo
+    alias: AliasInfo
+    values: ValueInfo
+
+
+def analyze_unit(unit: ast.Unit) -> AnalysisResult:
+    """Run the Section 3.1 pipeline over one program unit."""
+    cfg = build_cfg(unit)
+    dom = compute_dominators(cfg)
+    memory = analyse_memory(cfg)
+    ssa = build_ssa(cfg, dom)
+    alias = eliminate_aliases(cfg, memory, ssa)
+    values = propagate_values(cfg, dom, ssa)
+    return AnalysisResult(
+        unit=unit,
+        cfg=cfg,
+        dom=dom,
+        memory=memory,
+        ssa=ssa,
+        alias=alias,
+        values=values,
+    )
+
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_unit",
+    "analyse_call_sites",
+    "CallSiteAnalysis",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "ENTRY",
+    "EXIT",
+    "BLOCK",
+    "BRANCH",
+    "LOOP_HEADER",
+    "DominatorInfo",
+    "compute_dominators",
+    "MemoryInfo",
+    "NodeUsage",
+    "AggregateAccess",
+    "analyse_memory",
+    "READ",
+    "WRITE",
+    "SSAInfo",
+    "SSAName",
+    "Phi",
+    "build_ssa",
+    "AliasInfo",
+    "eliminate_aliases",
+    "alias_pattern",
+    "has_aliased_arrays",
+    "ValueInfo",
+    "propagate_values",
+    "SymExpr",
+    "SymRange",
+    "expr_from_ast",
+    "range_from_do",
+    "compare",
+    "definitely_disjoint_ranges",
+    "Assertion",
+    "Conjunction",
+    "Predicate",
+    "assertion_from_ast",
+    "predicate_implies",
+    "predicates_contradict",
+]

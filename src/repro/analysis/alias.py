@@ -1,0 +1,100 @@
+"""Alias detection and elimination (Section 3.1, step 5).
+
+MiniF has no pointers; aliases arise only through argument passing — two
+formal array parameters bound to the same actual array at a call site, or a
+scalar passed by reference to a routine that may write it.  This pass
+
+* computes the *alias pattern* of every call site (the partition of array
+  argument positions by actual array), which feeds the call-site grouping
+  of :mod:`repro.analysis.callsites`, and
+* marks invalid any propagated aggregate forwardings whose array may be
+  written through an alias (a top-down CFG traversal driven by the memory
+  behaviour of each node, as the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..lang import ast
+from ..lang.builtins import lookup as lookup_intrinsic
+from .cfg import CFG
+from .memory import WRITE, MemoryInfo
+from .ssa import SSAInfo
+
+
+#: An alias pattern: positions of array arguments grouped by actual array,
+#: e.g. ((0, 2), (1,)) when args 0 and 2 pass the same array.
+AliasPattern = Tuple[Tuple[int, ...], ...]
+
+
+def alias_pattern(args: List[ast.Expr], array_names: Set[str]) -> AliasPattern:
+    """The partition of array-argument positions by actual array name."""
+    groups: Dict[str, List[int]] = {}
+    for index, arg in enumerate(args):
+        if isinstance(arg, ast.Var) and arg.name in array_names:
+            groups.setdefault(arg.name, []).append(index)
+    return tuple(
+        tuple(positions) for _, positions in sorted(groups.items())
+    )
+
+
+def has_aliased_arrays(pattern: AliasPattern) -> bool:
+    """True when some array is passed in two or more positions."""
+    return any(len(group) > 1 for group in pattern)
+
+
+@dataclass
+class AliasInfo:
+    """Results of the alias-elimination pass for one unit."""
+
+    #: Alias pattern of every call site (Call or CallStmt node).
+    call_patterns: Dict[ast.Node, AliasPattern] = field(default_factory=dict)
+    #: Aggregate-forwarding read sites invalidated because a write through
+    #: a potential alias may intervene.
+    invalidated_reads: Set[ast.ArrayRef] = field(default_factory=set)
+    #: Arrays that may be written through an alias anywhere in the unit.
+    arrays_aliased: Set[str] = field(default_factory=set)
+
+
+def eliminate_aliases(cfg: CFG, memory: MemoryInfo, ssa: SSAInfo) -> AliasInfo:
+    """Run alias detection over ``cfg`` and prune unsafe forwardings."""
+    info = AliasInfo()
+    array_names = memory.array_names
+
+    for node in cfg.unit.walk():
+        if isinstance(node, ast.CallStmt):
+            pattern = alias_pattern(node.args, array_names)
+            info.call_patterns[node] = pattern
+            _record_aliasing(node.name, node.args, pattern, array_names, info)
+        elif isinstance(node, ast.Call):
+            pattern = alias_pattern(node.args, array_names)
+            info.call_patterns[node] = pattern
+            _record_aliasing(node.name, node.args, pattern, array_names, info)
+
+    # Invalidate aggregate forwardings for arrays that may be aliased: a
+    # write through one name could change the element another name reads.
+    if info.arrays_aliased:
+        for ref in list(ssa.aggregate_value):
+            if ref.name in info.arrays_aliased:
+                info.invalidated_reads.add(ref)
+                del ssa.aggregate_value[ref]
+    return info
+
+
+def _record_aliasing(
+    name: str,
+    args: List[ast.Expr],
+    pattern: AliasPattern,
+    array_names: Set[str],
+    info: AliasInfo,
+) -> None:
+    intrinsic = lookup_intrinsic(name)
+    reads_only = intrinsic is not None and intrinsic.reads_arrays_only
+    if reads_only:
+        return  # a read-only callee cannot write through an alias
+    if has_aliased_arrays(pattern):
+        for arg in args:
+            if isinstance(arg, ast.Var) and arg.name in array_names:
+                info.arrays_aliased.add(arg.name)

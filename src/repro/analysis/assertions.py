@@ -1,0 +1,262 @@
+"""Assertions: disjunctions of conjunctions of inequalities (Section 3.1).
+
+The paper: "An assertion is a disjunction of conjunctions of inequalities.
+...  Inequalities express the relationship of an SSA name to an arithmetic
+symbolic expression."  We normalise every inequality to the form
+``expr OP 0`` where ``expr`` is an affine :class:`~repro.analysis.symbolic.SymExpr`
+and ``OP`` is one of ``==``, ``<>``, ``<``, ``<=``.
+
+Conditions that fall outside the affine fragment (array reads such as
+``mask(col) <> 0``, calls) become *opaque* predicates identified by their
+canonical source text.  Opaque predicates still participate in implication
+and contradiction checks by textual identity, which is what the split
+transformation needs to reason about complementary guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+from ..lang import ast
+from ..lang.printer import print_expr
+from .symbolic import SymExpr, expr_from_ast
+
+#: Affine predicate operators after normalisation.
+_AFFINE_OPS = ("==", "<>", "<", "<=")
+#: Negation table for affine ops (applied to the same ``expr``).
+_NEGATED = {"==": "<>", "<>": "==", "<": ">=", "<=": ">"}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic predicate.
+
+    Affine form: ``expr OP 0`` (``opaque`` is ``None``).
+    Opaque form: the source-text predicate ``opaque`` is asserted true
+    (``op == "true"``) or false (``op == "false"``); ``expr`` is ``None``.
+    """
+
+    op: str
+    expr: Optional[SymExpr] = None
+    opaque: Optional[str] = None
+
+    def __post_init__(self):
+        if self.opaque is None:
+            assert self.op in _AFFINE_OPS, f"bad affine op {self.op!r}"
+            assert self.expr is not None
+        else:
+            assert self.op in ("true", "false"), f"bad opaque op {self.op!r}"
+
+    @property
+    def is_opaque(self) -> bool:
+        return self.opaque is not None
+
+    def negate(self) -> "Predicate":
+        if self.is_opaque:
+            flipped = "false" if self.op == "true" else "true"
+            return Predicate(op=flipped, opaque=self.opaque)
+        if self.op == "==":
+            return Predicate(op="<>", expr=self.expr)
+        if self.op == "<>":
+            return Predicate(op="==", expr=self.expr)
+        if self.op == "<":
+            # not(e < 0)  ==  -e <= 0
+            return Predicate(op="<=", expr=-self.expr)
+        # not(e <= 0)  ==  -e < 0
+        return Predicate(op="<", expr=-self.expr)
+
+    def __str__(self) -> str:
+        if self.is_opaque:
+            sign = "" if self.op == "true" else "not "
+            return f"{sign}[{self.opaque}]"
+        return f"{self.expr} {self.op} 0"
+
+
+def _affine(expr: SymExpr, op: str) -> Predicate:
+    """Normalise ``expr op 0`` with op possibly ``>``/``>=``."""
+    if op == ">":
+        return Predicate(op="<", expr=-expr)
+    if op == ">=":
+        return Predicate(op="<=", expr=-expr)
+    return Predicate(op=op, expr=expr)
+
+
+def predicate_implies(p: Predicate, q: Predicate) -> bool:
+    """True when ``p`` logically implies ``q`` (conservative)."""
+    if p == q:
+        return True
+    if p.is_opaque or q.is_opaque:
+        return False
+    diff = (p.expr - q.expr).constant_value()
+    if diff is None:
+        # Also try the mirrored orientation for (in)equalities, which are
+        # symmetric in their expression sign: e == 0  <=>  -e == 0.
+        if p.op in ("==", "<>") and q.op == p.op:
+            mirrored = (p.expr + q.expr).constant_value()
+            if mirrored == 0:
+                return True
+        return False
+    # p: e_p OP_p 0, q: (e_p - c) OP_q 0 where c = diff.
+    c = diff
+    if p.op == "==":
+        # e_p = 0, so q tests -c OP_q 0.
+        if q.op == "==":
+            return c == 0
+        if q.op == "<>":
+            return c != 0
+        if q.op == "<":
+            return -c < 0
+        return -c <= 0
+    if p.op == "<":
+        if q.op == "<":
+            return c >= 0
+        if q.op == "<=":
+            return c >= 0
+        if q.op == "<>":
+            return c >= 0
+        return False
+    if p.op == "<=":
+        if q.op == "<":
+            return c > 0
+        if q.op == "<=":
+            return c >= 0
+        if q.op == "<>":
+            return c > 0
+        return False
+    # p.op == "<>"
+    if q.op == "<>":
+        return c == 0
+    return False
+
+
+def predicates_contradict(p: Predicate, q: Predicate) -> bool:
+    """True when ``p`` and ``q`` cannot both hold (conservative)."""
+    return predicate_implies(p, q.negate())
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of predicates.  Empty conjunction is True."""
+
+    predicates: FrozenSet[Predicate] = frozenset()
+
+    def implies(self, q: Predicate) -> bool:
+        return any(predicate_implies(p, q) for p in self.predicates)
+
+    def is_contradictory(self) -> bool:
+        preds = tuple(self.predicates)
+        for i, p in enumerate(preds):
+            for q in preds[i + 1 :]:
+                if predicates_contradict(p, q):
+                    return True
+        return False
+
+    def conjoin(self, other: "Conjunction") -> "Conjunction":
+        return Conjunction(self.predicates | other.predicates)
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return "true"
+        return " and ".join(sorted(str(p) for p in self.predicates))
+
+
+TRUE_CONJ = Conjunction()
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A disjunction of conjunctions (DNF).
+
+    An empty disjunct tuple is *False*; the assertion containing one empty
+    conjunction is *True*.
+    """
+
+    disjuncts: Tuple[Conjunction, ...] = (TRUE_CONJ,)
+
+    @staticmethod
+    def true() -> "Assertion":
+        return Assertion((TRUE_CONJ,))
+
+    @staticmethod
+    def false() -> "Assertion":
+        return Assertion(())
+
+    @staticmethod
+    def of(predicate: Predicate) -> "Assertion":
+        return Assertion((Conjunction(frozenset({predicate})),))
+
+    @property
+    def is_true(self) -> bool:
+        return any(not c.predicates for c in self.disjuncts)
+
+    @property
+    def is_false(self) -> bool:
+        return not self.disjuncts
+
+    def implies(self, q: Predicate) -> bool:
+        """True when every disjunct implies ``q`` (so the assertion does)."""
+        if self.is_false:
+            return True
+        return all(c.implies(q) for c in self.disjuncts)
+
+    def conjoin(self, other: "Assertion") -> "Assertion":
+        disjuncts = []
+        for a in self.disjuncts:
+            for b in other.disjuncts:
+                merged = a.conjoin(b)
+                if not merged.is_contradictory():
+                    disjuncts.append(merged)
+        return Assertion(tuple(disjuncts))
+
+    def disjoin(self, other: "Assertion") -> "Assertion":
+        return Assertion(self.disjuncts + other.disjuncts)
+
+    def __str__(self) -> str:
+        if self.is_false:
+            return "false"
+        return " or ".join(f"({c})" for c in self.disjuncts)
+
+
+def canonical_predicate_text(expr: ast.Expr) -> str:
+    """Canonical text for an opaque predicate (used for identity tests)."""
+    return print_expr(expr)
+
+
+def assertion_from_ast(
+    cond: ast.Expr,
+    env: Optional[Mapping[str, SymExpr]] = None,
+    negated: bool = False,
+) -> Assertion:
+    """Convert a branch condition to an assertion (Section 3.1, step 6).
+
+    ``negated=True`` produces the assertion that holds on the false edge.
+    Conditions outside the affine fragment become opaque predicates; purely
+    unanalysable sub-conditions degrade to *True* (no information), keeping
+    the result conservative for implication queries.
+    """
+    env = env or {}
+    if isinstance(cond, ast.UnOp) and cond.op == "not":
+        return assertion_from_ast(cond.operand, env, not negated)
+    if isinstance(cond, ast.BinOp) and cond.op in ("and", "or"):
+        left = assertion_from_ast(cond.left, env, negated)
+        right = assertion_from_ast(cond.right, env, negated)
+        # De Morgan: negation swaps the connective.
+        combine_with_and = (cond.op == "and") != negated
+        if combine_with_and:
+            return left.conjoin(right)
+        return left.disjoin(right)
+    if isinstance(cond, ast.BinOp) and cond.op in ast.COMPARISON_OPS:
+        op = ast.NEGATED_COMPARISON[cond.op] if negated else cond.op
+        left = expr_from_ast(cond.left, env)
+        right = expr_from_ast(cond.right, env)
+        if left is not None and right is not None:
+            return Assertion.of(_affine(left - right, op))
+        # Opaque comparison: canonicalise the *positive* source text so a
+        # test and its negation share one atom.
+        text = f"{canonical_predicate_text(cond.left)} {cond.op} " f"{canonical_predicate_text(cond.right)}"
+        pred = Predicate(op="false" if negated else "true", opaque=text)
+        return Assertion.of(pred)
+    # Bare truthiness of something we cannot analyse.
+    text = canonical_predicate_text(cond)
+    return Assertion.of(Predicate(op="false" if negated else "true", opaque=text))

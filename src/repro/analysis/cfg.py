@@ -1,0 +1,193 @@
+"""Control-flow graph construction (Section 3.1, step 2).
+
+The CFG is built per program unit.  Structured statements map to small
+sub-graphs:
+
+* ``if`` — a branch node holding the condition, with true/false successors
+  and a join block;
+* ``do`` — a loop-header node holding the :class:`~repro.lang.ast.DoLoop`
+  (ranges and ``where`` guard), a body sub-graph with a back edge, and an
+  exit edge.
+
+Each node is annotated later (by :mod:`repro.analysis.memory`) with the
+scalars it reads/writes and a descriptor of its aggregate usage, exactly as
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..lang import ast
+
+#: Node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+BLOCK = "block"
+BRANCH = "branch"
+LOOP_HEADER = "loop_header"
+
+
+@dataclass(eq=False)
+class CFGNode:
+    """One CFG node.
+
+    ``stmts`` is non-empty only for ``BLOCK`` nodes.  ``branch_cond`` is set
+    for ``BRANCH`` nodes; ``loop`` for ``LOOP_HEADER`` nodes.  Successor
+    order is significant: for branches ``succs[0]`` is the true edge and
+    ``succs[1]`` the false edge; for loop headers ``succs[0]`` enters the
+    body and ``succs[1]`` exits the loop.
+    """
+
+    id: int
+    kind: str
+    stmts: List[ast.Stmt] = field(default_factory=list)
+    branch_cond: Optional[ast.Expr] = None
+    loop: Optional[ast.DoLoop] = None
+    succs: List["CFGNode"] = field(default_factory=list)
+    preds: List["CFGNode"] = field(default_factory=list)
+
+    def add_succ(self, other: "CFGNode") -> None:
+        self.succs.append(other)
+        other.preds.append(self)
+
+    def __repr__(self) -> str:
+        return f"<CFGNode {self.id} {self.kind}>"
+
+
+class CFG:
+    """A control-flow graph for one program unit."""
+
+    def __init__(self, unit: ast.Unit):
+        self.unit = unit
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+        #: Maps each statement to the node that contains/represents it.
+        self.node_of_stmt: Dict[ast.Stmt, CFGNode] = {}
+        #: For each loop header node, the node control reaches after exit.
+        tail = self._build_seq(unit.body, self.entry)
+        tail.add_succ(self.exit)
+
+    # -- construction --------------------------------------------------------
+
+    def _new(self, kind: str, **kwargs) -> CFGNode:
+        node = CFGNode(id=len(self.nodes), kind=kind, **kwargs)
+        self.nodes.append(node)
+        return node
+
+    def _current_block(self, pred: CFGNode) -> CFGNode:
+        """Reuse ``pred`` if it is an open block, else start a new one."""
+        if pred.kind is BLOCK and not pred.succs:
+            return pred
+        block = self._new(BLOCK)
+        pred.add_succ(block)
+        return block
+
+    def _build_seq(self, stmts: List[ast.Stmt], pred: CFGNode) -> CFGNode:
+        """Build CFG for a statement list; return the last open node."""
+        current = pred
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Assign, ast.CallStmt)):
+                current = self._current_block(current)
+                current.stmts.append(stmt)
+                self.node_of_stmt[stmt] = current
+            elif isinstance(stmt, ast.Return):
+                current = self._current_block(current)
+                current.stmts.append(stmt)
+                self.node_of_stmt[stmt] = current
+                current.add_succ(self.exit)
+                # Anything after a return is unreachable; park it in a
+                # fresh block with no predecessors.
+                current = self._new(BLOCK)
+            elif isinstance(stmt, ast.If):
+                branch = self._new(BRANCH, branch_cond=stmt.cond)
+                self.node_of_stmt[stmt] = branch
+                current.add_succ(branch)
+                then_tail = self._build_seq(stmt.then_body, self._edge_block(branch))
+                else_entry = self._edge_block(branch)
+                else_tail = self._build_seq(stmt.else_body, else_entry)
+                join = self._new(BLOCK)
+                then_tail.add_succ(join)
+                else_tail.add_succ(join)
+                current = join
+            elif isinstance(stmt, ast.DoLoop):
+                header = self._new(LOOP_HEADER, loop=stmt)
+                self.node_of_stmt[stmt] = header
+                current.add_succ(header)
+                body_entry = self._edge_block(header)
+                body_tail = self._build_seq(stmt.body, body_entry)
+                body_tail.add_succ(header)  # back edge
+                after = self._new(BLOCK)
+                header.add_succ(after)  # exit edge (succs[1])
+                current = after
+            else:  # pragma: no cover - parser produces no other stmts
+                raise TypeError(f"unexpected statement {type(stmt).__name__}")
+        return current
+
+    def _edge_block(self, pred: CFGNode) -> CFGNode:
+        """A fresh block hanging off ``pred`` (true/false or body edge)."""
+        block = self._new(BLOCK)
+        pred.add_succ(block)
+        return block
+
+    # -- traversal --------------------------------------------------------------
+
+    def reverse_postorder(self) -> List[CFGNode]:
+        """Nodes reachable from entry, in reverse postorder."""
+        seen = set()
+        order: List[CFGNode] = []
+
+        def visit(node: CFGNode) -> None:
+            seen.add(node)
+            for succ in node.succs:
+                if succ not in seen:
+                    visit(succ)
+            order.append(node)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def reachable(self) -> List[CFGNode]:
+        return self.reverse_postorder()
+
+    def loops(self) -> Iterator[CFGNode]:
+        """All loop-header nodes, in id order."""
+        for node in self.nodes:
+            if node.kind is LOOP_HEADER:
+                yield node
+
+    def blocks_in_loop(self, header: CFGNode) -> List[CFGNode]:
+        """Nodes belonging to the natural loop of ``header``.
+
+        Computed from the back edges: all nodes that can reach the header
+        without passing through it, starting from back-edge sources.
+        """
+        assert header.kind is LOOP_HEADER
+        body = {header}
+        stack = [p for p in header.preds if _reaches_without(p, header)]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(node.preds)
+        return sorted(body, key=lambda n: n.id)
+
+
+def _reaches_without(node: CFGNode, header: CFGNode) -> bool:
+    """True if ``node`` is inside the loop (header dominates it via body).
+
+    We exploit the structured construction: the back-edge source is always
+    the body tail, and only body nodes precede the header other than the
+    loop's entry predecessors.  A node is a back-edge source iff it was
+    created after the header.
+    """
+    return node.id > header.id
+
+
+def build_cfg(unit: ast.Unit) -> CFG:
+    """Construct the CFG for ``unit``."""
+    return CFG(unit)

@@ -1,0 +1,114 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" iterative algorithm for
+immediate dominators and the standard dominance-frontier computation, as
+needed for SSA construction (the paper cites Cytron et al. [6]; the CHK
+algorithm computes the same tree with simpler machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import CFG, CFGNode
+
+
+class DominatorInfo:
+    """Immediate dominators, dominator tree children, and frontiers."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.rpo = cfg.reverse_postorder()
+        self._rpo_index = {node: i for i, node in enumerate(self.rpo)}
+        self.idom: Dict[CFGNode, Optional[CFGNode]] = {}
+        self._compute_idoms()
+        self.children: Dict[CFGNode, List[CFGNode]] = {n: [] for n in self.rpo}
+        for node in self.rpo:
+            parent = self.idom.get(node)
+            if parent is not None and parent is not node:
+                self.children[parent].append(node)
+        self.frontier: Dict[CFGNode, Set[CFGNode]] = self._compute_frontiers()
+
+    # -- immediate dominators ------------------------------------------------
+
+    def _compute_idoms(self) -> None:
+        entry = self.cfg.entry
+        self.idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node is entry:
+                    continue
+                processed = [
+                    p for p in node.preds if p in self.idom and p in self._rpo_index
+                ]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom.get(node) is not new_idom:
+                    self.idom[node] = new_idom
+                    changed = True
+
+    def _intersect(self, a: CFGNode, b: CFGNode) -> CFGNode:
+        index = self._rpo_index
+        while a is not b:
+            while index[a] > index[b]:
+                a = self.idom[a]
+            while index[b] > index[a]:
+                b = self.idom[b]
+        return a
+
+    # -- queries ------------------------------------------------------------------
+
+    def dominates(self, a: CFGNode, b: CFGNode) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[CFGNode] = b
+        while node is not None:
+            if node is a:
+                return True
+            parent = self.idom.get(node)
+            if parent is node:
+                return False
+            node = parent
+        return False
+
+    def strictly_dominates(self, a: CFGNode, b: CFGNode) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    # -- dominance frontiers ---------------------------------------------------------
+
+    def _compute_frontiers(self) -> Dict[CFGNode, Set[CFGNode]]:
+        frontier: Dict[CFGNode, Set[CFGNode]] = {n: set() for n in self.rpo}
+        for node in self.rpo:
+            if len(node.preds) < 2:
+                continue
+            for pred in node.preds:
+                if pred not in self.idom:
+                    continue  # unreachable predecessor
+                runner = pred
+                while runner is not self.idom[node]:
+                    frontier[runner].add(node)
+                    runner = self.idom[runner]
+                    if runner is None:  # pragma: no cover - defensive
+                        break
+        return frontier
+
+    def dom_tree_preorder(self) -> List[CFGNode]:
+        """Dominator-tree preorder starting at entry."""
+        order: List[CFGNode] = []
+        stack = [self.cfg.entry]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            # Push children in reverse id order for stable traversal.
+            for child in sorted(self.children[node], key=lambda n: -n.id):
+                stack.append(child)
+        return order
+
+
+def compute_dominators(cfg: CFG) -> DominatorInfo:
+    """Compute dominator information for ``cfg``."""
+    return DominatorInfo(cfg)

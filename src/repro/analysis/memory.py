@@ -1,0 +1,171 @@
+"""Memory usage analysis (Section 3.1, step 2).
+
+Annotates every CFG node with the scalars it reads and writes and a list of
+aggregate (array) accesses.  Calls are conservative: an array argument to an
+unknown routine counts as both read and written; known pure intrinsics
+(:mod:`repro.lang.builtins`) only read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..lang.builtins import lookup as lookup_intrinsic
+from .cfg import BRANCH, CFG, CFGNode, LOOP_HEADER
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class AggregateAccess:
+    """One array access: a specific element reference or a whole-array
+    touch (``ref is None``) caused by passing the array to a call."""
+
+    array: str
+    mode: str  # READ or WRITE
+    ref: Optional[ast.ArrayRef]
+    stmt: Optional[ast.Stmt] = None
+
+    @property
+    def whole_array(self) -> bool:
+        return self.ref is None
+
+
+@dataclass
+class NodeUsage:
+    """Memory behaviour of one CFG node."""
+
+    scalar_reads: Set[str] = field(default_factory=set)
+    scalar_writes: Set[str] = field(default_factory=set)
+    aggregates: List[AggregateAccess] = field(default_factory=list)
+    has_unknown_call: bool = False
+
+    def arrays_read(self) -> Set[str]:
+        return {a.array for a in self.aggregates if a.mode == READ}
+
+    def arrays_written(self) -> Set[str]:
+        return {a.array for a in self.aggregates if a.mode == WRITE}
+
+
+class MemoryInfo:
+    """Per-node memory usage for one unit's CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.array_names = {d.name for d in cfg.unit.decls if d.is_array}
+        self.usage: Dict[CFGNode, NodeUsage] = {}
+        for node in cfg.nodes:
+            self.usage[node] = self._analyse_node(node)
+
+    # -- per-node -----------------------------------------------------------
+
+    def _analyse_node(self, node: CFGNode) -> NodeUsage:
+        usage = NodeUsage()
+        if node.kind is BRANCH:
+            self._expr(node.branch_cond, usage, None)
+        elif node.kind is LOOP_HEADER:
+            loop = node.loop
+            for rng in loop.ranges:
+                self._expr(rng.lo, usage, None)
+                self._expr(rng.hi, usage, None)
+                if rng.step is not None:
+                    self._expr(rng.step, usage, None)
+            if loop.where is not None:
+                self._expr(loop.where, usage, None)
+            usage.scalar_writes.add(loop.var)
+        else:
+            for stmt in node.stmts:
+                self._stmt(stmt, usage)
+        return usage
+
+    def _stmt(self, stmt: ast.Stmt, usage: NodeUsage) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, usage, stmt)
+            target = stmt.target
+            if isinstance(target, ast.Var):
+                usage.scalar_writes.add(target.name)
+            else:
+                for index in target.indices:
+                    self._expr(index, usage, stmt)
+                usage.aggregates.append(
+                    AggregateAccess(target.name, WRITE, target, stmt)
+                )
+        elif isinstance(stmt, ast.CallStmt):
+            self._call(stmt.name, stmt.args, usage, stmt, is_stmt=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, usage, stmt)
+
+    def _expr(
+        self, expr: ast.Expr, usage: NodeUsage, stmt: Optional[ast.Stmt]
+    ) -> None:
+        if isinstance(expr, ast.Var):
+            if expr.name in self.array_names:
+                # Bare array name in expression context: whole-array read.
+                usage.aggregates.append(
+                    AggregateAccess(expr.name, READ, None, stmt)
+                )
+            else:
+                usage.scalar_reads.add(expr.name)
+            return
+        if isinstance(expr, ast.ArrayRef):
+            for index in expr.indices:
+                self._expr(index, usage, stmt)
+            usage.aggregates.append(
+                AggregateAccess(expr.name, READ, expr, stmt)
+            )
+            return
+        if isinstance(expr, ast.Call):
+            self._call(expr.name, expr.args, usage, stmt, is_stmt=False)
+            return
+        for child in expr.children():
+            self._expr(child, usage, stmt)
+
+    def _call(
+        self,
+        name: str,
+        args: List[ast.Expr],
+        usage: NodeUsage,
+        stmt: Optional[ast.Stmt],
+        is_stmt: bool,
+    ) -> None:
+        info = lookup_intrinsic(name)
+        pure = info is not None and info.pure
+        reads_only = info is not None and info.reads_arrays_only
+        if info is None:
+            usage.has_unknown_call = True
+        for arg in args:
+            if isinstance(arg, ast.Var) and arg.name in self.array_names:
+                usage.aggregates.append(
+                    AggregateAccess(arg.name, READ, None, stmt)
+                )
+                if not reads_only or (is_stmt and not pure):
+                    usage.aggregates.append(
+                        AggregateAccess(arg.name, WRITE, None, stmt)
+                    )
+            else:
+                self._expr(arg, usage, stmt)
+                if is_stmt and isinstance(arg, ast.Var) and not pure:
+                    # Scalars pass by reference: unknown callees may write.
+                    usage.scalar_writes.add(arg.name)
+
+    # -- region summaries ----------------------------------------------------------
+
+    def usage_of_nodes(self, nodes: List[CFGNode]) -> NodeUsage:
+        """Union of usage over a node set (e.g. a natural loop)."""
+        total = NodeUsage()
+        for node in nodes:
+            part = self.usage[node]
+            total.scalar_reads |= part.scalar_reads
+            total.scalar_writes |= part.scalar_writes
+            total.aggregates.extend(part.aggregates)
+            total.has_unknown_call |= part.has_unknown_call
+        return total
+
+
+def analyse_memory(cfg: CFG) -> MemoryInfo:
+    """Compute per-node memory usage for ``cfg``."""
+    return MemoryInfo(cfg)

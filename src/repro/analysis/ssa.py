@@ -1,0 +1,253 @@
+"""SSA construction (Section 3.1, steps 3–4).
+
+Scalars are renamed into SSA form using phi insertion at iterated dominance
+frontiers (Cytron et al.) followed by a dominator-tree renaming walk.  The
+AST is *not* mutated: the result is a set of side tables mapping use and
+definition sites (AST node identities) to :class:`SSAName` values, which is
+what the later symbolic passes consume.
+
+Aggregate propagation (the paper's step 4) is implemented as a per-block
+forwarding pass: when a value ``V`` is assigned through ``A(i)`` and ``A(i)``
+is subsequently read with syntactically identical indices — with no
+intervening write to ``A`` and no call — the read site is mapped to the SSA
+temporary created for ``V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..lang.printer import print_expr
+from .cfg import BLOCK, BRANCH, CFG, CFGNode, LOOP_HEADER
+from .dominance import DominatorInfo, compute_dominators
+
+
+@dataclass(frozen=True)
+class SSAName:
+    """A versioned scalar name; rendered ``base#version``."""
+
+    base: str
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.base}#{self.version}"
+
+
+@dataclass(eq=False)
+class Phi:
+    """A phi node merging ``var`` at a join/loop-header block."""
+
+    var: str
+    result: SSAName
+    args: Dict[CFGNode, SSAName] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        args = ", ".join(str(n) for n in self.args.values())
+        return f"{self.result} = phi({args})"
+
+
+class SSAInfo:
+    """The SSA side tables for one unit."""
+
+    def __init__(self, cfg: CFG, dom: DominatorInfo):
+        self.cfg = cfg
+        self.dom = dom
+        unit = cfg.unit
+        #: Names that denote arrays (never SSA-renamed as scalars).
+        self.array_names: Set[str] = {d.name for d in unit.decls if d.is_array}
+        #: phi nodes at each CFG node.
+        self.phis: Dict[CFGNode, List[Phi]] = {}
+        #: SSA name for each scalar *use* site (ast.Var node identity).
+        self.use_name: Dict[ast.Var, SSAName] = {}
+        #: SSA name for each *definition* site.  Keys are the target
+        #: ast.Var node (assignments), the ast.DoLoop node (induction
+        #: variable), or ``(call_stmt, arg_index)`` (by-reference defs).
+        self.def_name: Dict[object, SSAName] = {}
+        #: Aggregate forwarding: array-read site -> SSA name of the value
+        #: most recently stored there (paper step 4).
+        self.aggregate_value: Dict[ast.ArrayRef, SSAName] = {}
+        #: SSA temporaries created for values stored through aggregates,
+        #: keyed by the Assign statement that stored them.
+        self.aggregate_temp: Dict[ast.Assign, SSAName] = {}
+
+        self._counters: Dict[str, int] = {}
+        self._stacks: Dict[str, List[SSAName]] = {}
+        self._scalars = self._collect_scalars()
+        self._insert_phis()
+        self._rename()
+        self._forward_aggregates()
+
+    # -- setup ----------------------------------------------------------------
+
+    def _collect_scalars(self) -> Set[str]:
+        unit = self.cfg.unit
+        scalars = {d.name for d in unit.decls if not d.is_array}
+        scalars.update(p for p in unit.params if p not in self.array_names)
+        for node in unit.walk():
+            if isinstance(node, ast.Var) and node.name not in self.array_names:
+                scalars.add(node.name)
+            if isinstance(node, ast.DoLoop):
+                scalars.add(node.var)
+        return scalars
+
+    def _fresh(self, var: str) -> SSAName:
+        version = self._counters.get(var, 0)
+        self._counters[var] = version + 1
+        return SSAName(var, version)
+
+    # -- definition sites ----------------------------------------------------------
+
+    def _defs_in_node(self, node: CFGNode) -> Set[str]:
+        """Scalar variables defined by ``node`` (ignoring phis)."""
+        defs: Set[str] = set()
+        if node.kind is LOOP_HEADER:
+            defs.add(node.loop.var)
+        for stmt in node.stmts:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
+                defs.add(stmt.target.name)
+            elif isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    if isinstance(arg, ast.Var) and arg.name in self._scalars:
+                        defs.add(arg.name)
+        return defs
+
+    def _insert_phis(self) -> None:
+        reachable = self.dom.rpo
+        self.phis = {node: [] for node in reachable}
+        def_sites: Dict[str, Set[CFGNode]] = {v: set() for v in self._scalars}
+        for node in reachable:
+            for var in self._defs_in_node(node):
+                def_sites[var].add(node)
+        # Every scalar gets an implicit definition at entry (parameters,
+        # uninitialised reads), so phi placement sees a complete lattice.
+        for var in self._scalars:
+            def_sites[var].add(self.cfg.entry)
+        for var, sites in def_sites.items():
+            placed: Set[CFGNode] = set()
+            work = list(sites)
+            while work:
+                site = work.pop()
+                for front in self.dom.frontier.get(site, ()):
+                    if front in placed:
+                        continue
+                    placed.add(front)
+                    self.phis[front].append(Phi(var=var, result=SSAName(var, -1)))
+                    if front not in sites:
+                        work.append(front)
+
+    # -- renaming walk ------------------------------------------------------------
+
+    def _rename(self) -> None:
+        for var in self._scalars:
+            name = self._fresh(var)  # version 0: the entry definition
+            self._stacks[var] = [name]
+        self._rename_node(self.cfg.entry)
+
+    def _top(self, var: str) -> SSAName:
+        return self._stacks[var][-1]
+
+    def _push(self, var: str) -> SSAName:
+        name = self._fresh(var)
+        self._stacks[var].append(name)
+        return name
+
+    def _bind_uses(self, expr: ast.Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, ast.Var) and node.name in self._scalars:
+                self.use_name[node] = self._top(node.name)
+
+    def _rename_node(self, node: CFGNode) -> None:
+        pushed: List[str] = []
+
+        for phi in self.phis.get(node, ()):
+            name = self._push(phi.var)
+            phi.result = name
+            pushed.append(phi.var)
+
+        if node.kind is LOOP_HEADER:
+            loop = node.loop
+            for rng in loop.ranges:
+                self._bind_uses(rng.lo)
+                self._bind_uses(rng.hi)
+                if rng.step is not None:
+                    self._bind_uses(rng.step)
+            self.def_name[loop] = self._push(loop.var)
+            pushed.append(loop.var)
+            if loop.where is not None:
+                self._bind_uses(loop.where)
+        elif node.kind is BRANCH:
+            self._bind_uses(node.branch_cond)
+        else:
+            for stmt in node.stmts:
+                if isinstance(stmt, ast.Assign):
+                    self._bind_uses(stmt.value)
+                    if isinstance(stmt.target, ast.ArrayRef):
+                        for index in stmt.target.indices:
+                            self._bind_uses(index)
+                    else:
+                        name = self._push(stmt.target.name)
+                        self.def_name[stmt.target] = name
+                        pushed.append(stmt.target.name)
+                elif isinstance(stmt, ast.CallStmt):
+                    for arg in stmt.args:
+                        self._bind_uses(arg)
+                    for index, arg in enumerate(stmt.args):
+                        if isinstance(arg, ast.Var) and arg.name in self._scalars:
+                            name = self._push(arg.name)
+                            self.def_name[(stmt, index)] = name
+                            pushed.append(arg.name)
+                elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                    self._bind_uses(stmt.value)
+
+        for succ in node.succs:
+            for phi in self.phis.get(succ, ()):
+                phi.args[node] = self._top(phi.var)
+
+        for child in self.dom.children.get(node, ()):
+            self._rename_node(child)
+
+        for var in reversed(pushed):
+            self._stacks[var].pop()
+
+    # -- aggregate propagation (step 4) ----------------------------------------------
+
+    def _forward_aggregates(self) -> None:
+        for node in self.dom.rpo:
+            if node.kind is not BLOCK:
+                continue
+            # (array, canonical-index-text) -> SSA temp holding the value.
+            available: Dict[Tuple[str, str], SSAName] = {}
+            for stmt in node.stmts:
+                if isinstance(stmt, ast.CallStmt):
+                    available.clear()  # calls may write any aggregate
+                    continue
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if isinstance(stmt.target, ast.ArrayRef):
+                    key = _aggregate_key(stmt.target)
+                    # A write to the array invalidates other forwards from
+                    # the same array (indices might alias).
+                    for other in [k for k in available if k[0] == key[0]]:
+                        del available[other]
+                    temp = self._fresh(f"@{stmt.target.name}")
+                    self.aggregate_temp[stmt] = temp
+                    available[key] = temp
+                else:
+                    for ref in ast.array_refs(stmt.value):
+                        key = _aggregate_key(ref)
+                        if key in available:
+                            self.aggregate_value[ref] = available[key]
+
+
+def _aggregate_key(ref: ast.ArrayRef) -> Tuple[str, str]:
+    indices = ", ".join(print_expr(i) for i in ref.indices)
+    return (ref.name, indices)
+
+
+def build_ssa(cfg: CFG, dom: Optional[DominatorInfo] = None) -> SSAInfo:
+    """Run SSA construction over ``cfg``."""
+    if dom is None:
+        dom = compute_dominators(cfg)
+    return SSAInfo(cfg, dom)

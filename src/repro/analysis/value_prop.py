@@ -1,0 +1,217 @@
+"""Value and assertion propagation (Section 3.1, step 6).
+
+Two products:
+
+* ``value_of`` — for every SSA name defined by an assignment whose right
+  hand side stays in the affine fragment, its symbolic value (a
+  :class:`~repro.analysis.symbolic.SymExpr`), fully substituted so it is
+  expressed over *free* names (entry versions of program symbols and loop
+  induction variables);
+* ``assertion_at`` — for every CFG node, the assertion known to hold on
+  entry to it: branch conditions flow down their true/false edges, loop
+  ``where`` guards and induction-variable bounds flow into loop bodies.
+
+Free names are rendered in "pretty" form — a name whose SSA version is the
+entry version (0) prints as its base name, and so does a loop induction
+variable at its loop definition — so downstream descriptors read like the
+paper's (``q[i, 1..10]``, guards like ``miss[i] <> 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..lang import ast
+from .assertions import Assertion, assertion_from_ast
+from .cfg import BRANCH, CFG, CFGNode, LOOP_HEADER
+from .dominance import DominatorInfo
+from .ssa import SSAInfo, SSAName
+from .symbolic import NonAffineError, SymExpr
+
+
+class ValueInfo:
+    """Symbolic values of SSA names plus per-node assertions."""
+
+    def __init__(self, cfg: CFG, dom: DominatorInfo, ssa: SSAInfo):
+        self.cfg = cfg
+        self.dom = dom
+        self.ssa = ssa
+        #: Fully-substituted symbolic value of each SSA definition that
+        #: could be analysed.
+        self.value_of: Dict[SSAName, SymExpr] = {}
+        #: Assertion holding on entry to each CFG node.
+        self.assertion_at: Dict[CFGNode, Assertion] = {}
+        #: Loop induction definitions rendered by base name.
+        self._induction_names = {
+            ssa.def_name[n.loop] for n in cfg.loops() if n.loop in ssa.def_name
+        }
+        self._propagate_values()
+        self._propagate_assertions()
+
+    # -- naming ----------------------------------------------------------------
+
+    def render(self, name: SSAName) -> str:
+        """Pretty name: entry versions and induction variables print bare."""
+        if name.version == 0 or name in self._induction_names:
+            return name.base
+        return str(name)
+
+    # -- symbolic evaluation -----------------------------------------------------
+
+    def expr_at(self, expr: ast.Expr) -> Optional[SymExpr]:
+        """Symbolic value of an AST expression at its (SSA-bound) site.
+
+        Returns ``None`` outside the affine fragment.  Scalar uses resolve
+        through SSA to their propagated values when available; unresolved
+        names appear as their pretty rendering.
+        """
+        try:
+            return self._build(expr)
+        except NonAffineError:
+            return None
+
+    def _build(self, expr: ast.Expr) -> SymExpr:
+        if isinstance(expr, ast.IntLit) or isinstance(expr, ast.FloatLit):
+            return SymExpr.constant(expr.value)
+        if isinstance(expr, ast.Var):
+            name = self.ssa.use_name.get(expr)
+            if name is None:
+                # Array name or unrenamed use: opaque atom by base name.
+                if expr.name in self.ssa.array_names:
+                    raise NonAffineError("aggregate used as scalar")
+                return SymExpr.var(expr.name)
+            return self._value_of_name(name)
+        if isinstance(expr, ast.UnOp) and expr.op == "-":
+            return -self._build(expr.operand)
+        if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "/"):
+            left = self._build(expr.left)
+            right = self._build(expr.right)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            rv = right.constant_value()
+            if rv is None or rv == 0:
+                raise NonAffineError("division by symbolic expression")
+            lv = left.constant_value()
+            if lv is not None:
+                if isinstance(lv, int) and isinstance(rv, int) and lv % rv == 0:
+                    return SymExpr.constant(lv // rv)
+                return SymExpr.constant(lv / rv)
+            if (
+                isinstance(rv, int)
+                and all(c % rv == 0 for _, c in left.terms)
+                and isinstance(left.const, int)
+                and left.const % rv == 0
+            ):
+                return SymExpr(
+                    tuple((n, c // rv) for n, c in left.terms),
+                    left.const // rv,
+                )
+            raise NonAffineError("inexact symbolic division")
+        raise NonAffineError(f"{type(expr).__name__} is not affine")
+
+    def _value_of_name(self, name: SSAName) -> SymExpr:
+        value = self.value_of.get(name)
+        if value is not None:
+            return value
+        return SymExpr.var(self.render(name))
+
+    # -- value propagation ------------------------------------------------------------
+
+    def _propagate_values(self) -> None:
+        # Dominator-tree preorder guarantees definitions are seen before
+        # the uses they reach (within SSA, any use is dominated by its def,
+        # except through phis — which we deliberately leave unresolved).
+        for node in self.dom.dom_tree_preorder():
+            for stmt in node.stmts:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not isinstance(stmt.target, ast.Var):
+                    continue
+                name = self.ssa.def_name.get(stmt.target)
+                if name is None:
+                    continue
+                try:
+                    self.value_of[name] = self._build(stmt.value)
+                except NonAffineError:
+                    continue
+
+    # -- assertion propagation ------------------------------------------------------------
+
+    def _assertion_env(self, expr: ast.Expr) -> Dict[str, SymExpr]:
+        """Environment mapping plain names to their values at this site."""
+        env: Dict[str, SymExpr] = {}
+        for node in expr.walk():
+            if isinstance(node, ast.Var):
+                name = self.ssa.use_name.get(node)
+                if name is not None:
+                    env[node.name] = self._value_of_name(name)
+        return env
+
+    def _propagate_assertions(self) -> None:
+        self.assertion_at = {}
+        self._walk_assertions(self.cfg.entry, Assertion.true())
+
+    def _walk_assertions(self, node: CFGNode, holding: Assertion) -> None:
+        self.assertion_at[node] = holding
+        for child in self.dom.children.get(node, ()):
+            extra = self._edge_assertion(node, child)
+            if extra is None:
+                self._walk_assertions(child, holding)
+            else:
+                self._walk_assertions(child, holding.conjoin(extra))
+
+    def _edge_assertion(
+        self, node: CFGNode, child: CFGNode
+    ) -> Optional[Assertion]:
+        """Assertion contributed by the edge ``node -> child``, if any."""
+        if node.kind is BRANCH:
+            cond = node.branch_cond
+            if child in node.succs:
+                taken_true = node.succs[0] is child
+                env = self._assertion_env(cond)
+                return assertion_from_ast(cond, env, negated=not taken_true)
+            return None
+        if node.kind is LOOP_HEADER and node.succs and node.succs[0] is child:
+            return self._loop_body_assertion(node)
+        return None
+
+    def _loop_body_assertion(self, header: CFGNode) -> Assertion:
+        """``lo <= i <= hi`` (per range, disjoined) conjoined with ``where``."""
+        loop = header.loop
+        induction = self.ssa.def_name.get(loop)
+        if induction is None:  # pragma: no cover - defensive
+            return Assertion.true()
+        ivar = SymExpr.var(self.render(induction))
+        bounds = Assertion.false()
+        analysable = True
+        for rng in loop.ranges:
+            lo = self.expr_at(rng.lo)
+            hi = self.expr_at(rng.hi)
+            if lo is None or hi is None:
+                analysable = False
+                break
+            # lo <= i  and  i <= hi   ==>   lo - i <= 0 and i - hi <= 0.
+            lo_pred = assertion_of_le(lo - ivar)
+            hi_pred = assertion_of_le(ivar - hi)
+            bounds = bounds.disjoin(lo_pred.conjoin(hi_pred))
+        result = bounds if analysable else Assertion.true()
+        if loop.where is not None:
+            env = self._assertion_env(loop.where)
+            result = result.conjoin(assertion_from_ast(loop.where, env))
+        return result
+
+
+def assertion_of_le(expr: SymExpr) -> Assertion:
+    """The assertion ``expr <= 0``."""
+    from .assertions import Predicate
+
+    return Assertion.of(Predicate(op="<=", expr=expr))
+
+
+def propagate_values(cfg: CFG, dom: DominatorInfo, ssa: SSAInfo) -> ValueInfo:
+    """Run value and assertion propagation."""
+    return ValueInfo(cfg, dom, ssa)

@@ -1,0 +1,49 @@
+"""Synthetic versions of the paper's Section 5 applications.
+
+Each workload generates parallel operations with the structure and
+irregularity the paper describes, and runs them on the simulated machine
+in ``static`` / ``taper`` / ``split`` modes (see DESIGN.md substitution
+table).
+"""
+
+from .climate import ClimateWorkload
+from .emu import EmuWorkload
+from .psirrfan import PsirrfanWorkload
+from .vortex import VortexWorkload
+from .workloads import (
+    AppRunResult,
+    AppWorkload,
+    MODES,
+    Phase,
+    active_subset,
+    bimodal_costs,
+    lognormal_costs,
+    power_law_costs,
+    regular_costs,
+    uniform_costs,
+)
+
+ALL_WORKLOADS = {
+    "psirrfan": PsirrfanWorkload,
+    "climate": ClimateWorkload,
+    "vortex": VortexWorkload,
+    "emu": EmuWorkload,
+}
+
+__all__ = [
+    "PsirrfanWorkload",
+    "ClimateWorkload",
+    "VortexWorkload",
+    "EmuWorkload",
+    "AppWorkload",
+    "AppRunResult",
+    "Phase",
+    "MODES",
+    "ALL_WORKLOADS",
+    "regular_costs",
+    "uniform_costs",
+    "lognormal_costs",
+    "bimodal_costs",
+    "power_law_costs",
+    "active_subset",
+]

@@ -1,0 +1,98 @@
+"""The EMU circuit simulator workload (Section 5).
+
+EMU [Ackland, Lucco, London & DeBenedictis] is an event-driven parallel
+circuit simulator.  Per simulated timestep only the *active* devices (those
+whose inputs changed) are re-evaluated — a sparse, time-varying active set
+with bimodal evaluation costs (simple gates vs analogue blocks) — followed
+by a regular node-voltage update pass.
+
+Split exposes that the update of circuit nodes untouched by the active
+devices is independent of device evaluation (the Figure 2 pattern), so in
+``split`` mode the regular update runs beside the irregular evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from ..runtime import ParallelOp
+from .workloads import (
+    AppWorkload,
+    Phase,
+    active_subset,
+    bimodal_costs,
+    regular_costs,
+)
+
+
+class EmuWorkload(AppWorkload):
+    """Event-driven circuit simulation: sparse, bimodal device activity."""
+
+    name = "emu"
+
+    def __init__(
+        self,
+        devices: int = 8192,
+        base_activity: float = 0.25,
+        activity_swing: float = 0.15,
+        gate_cost: float = 8.0,
+        analog_cost: float = 60.0,
+        analog_fraction: float = 0.10,
+        update_cost: float = 5.0,
+        seed: int = 23,
+        steps: int = 4,
+    ):
+        super().__init__(seed=seed, steps=steps)
+        self.devices = devices
+        self.base_activity = base_activity
+        self.activity_swing = activity_swing
+        self.gate_cost = gate_cost
+        self.analog_cost = analog_cost
+        self.analog_fraction = analog_fraction
+        self.update_cost = update_cost
+
+    def phases_for_step(
+        self, rng: random.Random, step: int, mode: str
+    ) -> List[Phase]:
+        # Activity oscillates across timesteps (clock phases).
+        activity = self.base_activity + self.activity_swing * math.sin(
+            step * math.pi / 2.0
+        )
+        active = active_subset(rng, self.devices, max(activity, 0.02))
+        evaluate = ParallelOp(
+            name=f"eval{step}",
+            costs=bimodal_costs(
+                rng,
+                len(active),
+                self.gate_cost,
+                self.analog_cost,
+                self.analog_fraction,
+            ),
+            bytes_per_task=8.0 * 12,
+        )
+        touched = len(active)
+        untouched = self.devices - touched
+        update_independent = ParallelOp(
+            name=f"updI{step}",
+            costs=regular_costs(untouched, self.update_cost),
+            bytes_per_task=8.0 * 4,
+        )
+        update_dependent = ParallelOp(
+            name=f"updD{step}",
+            costs=regular_costs(touched, self.update_cost),
+            bytes_per_task=8.0 * 4,
+        )
+        if mode != "split":
+            update_whole = ParallelOp(
+                name=f"upd{step}",
+                costs=regular_costs(self.devices, self.update_cost),
+                bytes_per_task=8.0 * 4,
+            )
+            return [Phase(evaluate, 0), Phase(update_whole, 1)]
+        return [
+            Phase(evaluate, 0),
+            Phase(update_independent, 0),
+            Phase(update_dependent, 1),
+        ]

@@ -1,0 +1,114 @@
+"""Psirrfan: the x-ray tomography workload (Section 5, Figure 6).
+
+The paper's Psirrfan reconstructs an image from x-ray projections.  Its
+structure is the paper's running example (Figure 1): per sweep, an
+irregular masked column update ``A`` (only the columns selected by the
+mask are reconstructed, at highly variable cost) followed by a regular
+post-processing pass ``B`` over the whole image.
+
+Split exposes (Section 2's three sources, as measured in Figure 6):
+
+1. ``B_I`` — post-processing of columns untouched by ``A`` runs
+   concurrently with ``A``;
+2. pipelining across sweeps — sweep k's dependent tail overlaps sweep
+   k+1's independent head;
+3. the dependent remainder ``B_D`` follows.
+
+With ``taper`` alone the sweep serialises A then B; with ``static`` each
+phase is block-scheduled.  "Same input size" across all processor counts,
+as in Figure 6 (200-1200 processors, one fixed image).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..runtime import ParallelOp
+from .workloads import (
+    AppWorkload,
+    Phase,
+    active_subset,
+    regular_costs,
+    uniform_costs,
+)
+
+
+class PsirrfanWorkload(AppWorkload):
+    """The tomography reconstruction workload.
+
+    Parameters mirror the paper's scale: thousands of image columns, an
+    active mask selecting roughly a third of them per sweep, and
+    reconstruction costs an order of magnitude above post-processing.
+    """
+
+    name = "psirrfan"
+
+    def __init__(
+        self,
+        columns: int = 2048,
+        active_fraction: float = 0.30,
+        reconstruct_lo: float = 15.0,
+        reconstruct_hi: float = 45.0,
+        post_cost: float = 6.0,
+        post_tiles_per_column: int = 2,
+        seed: int = 42,
+        steps: int = 4,
+    ):
+        super().__init__(seed=seed, steps=steps)
+        self.columns = columns
+        self.active_fraction = active_fraction
+        self.reconstruct_lo = reconstruct_lo
+        self.reconstruct_hi = reconstruct_hi
+        self.post_cost = post_cost
+        #: The post-processing pass decomposes each column into tiles —
+        #: finer grain than reconstruction, as in the real code.
+        self.post_tiles_per_column = post_tiles_per_column
+        #: Deferred dependent tail for cross-sweep pipelining (split mode).
+        self._deferred: List[ParallelOp] = []
+
+    def phases_for_step(
+        self, rng: random.Random, step: int, mode: str
+    ) -> List[Phase]:
+        active = active_subset(rng, self.columns, self.active_fraction)
+        a_op = ParallelOp(
+            name=f"A{step}",
+            costs=uniform_costs(
+                rng, len(active), self.reconstruct_lo, self.reconstruct_hi
+            ),
+            bytes_per_task=8.0 * 64,
+        )
+        tiles = self.post_tiles_per_column
+        inactive_count = self.columns - len(active)
+        b_independent = ParallelOp(
+            name=f"BI{step}",
+            costs=regular_costs(inactive_count * tiles, self.post_cost),
+            bytes_per_task=8.0 * 32,
+        )
+        b_dependent = ParallelOp(
+            name=f"BD{step}",
+            costs=regular_costs(len(active) * tiles, self.post_cost),
+            bytes_per_task=8.0 * 32,
+        )
+        if mode != "split":
+            # Unsplit: B is one regular pass over every column, after A.
+            b_whole = ParallelOp(
+                name=f"B{step}",
+                costs=regular_costs(self.columns * tiles, self.post_cost),
+                bytes_per_task=8.0 * 32,
+            )
+            return [Phase(a_op, 0), Phase(b_whole, 1)]
+        # Split mode: A runs beside B_I — and beside the previous sweep's
+        # deferred dependent tail (the pipelining opportunity).  Legality
+        # follows from the dataflow model: BD_{k-1} and A_k both consume
+        # the *previous* version of q (arrays are single-assignment values
+        # in Delirium), so no anti-dependence orders them.
+        phases = [Phase(a_op, 0), Phase(b_independent, 0)]
+        for deferred in self._deferred:
+            phases.append(Phase(deferred, 0))
+        self._deferred = [b_dependent]
+        if step == self.steps - 1:
+            # Last sweep: nothing left to overlap the tail with.
+            phases.append(Phase(b_dependent, 1))
+            self._deferred = []
+        return phases

@@ -1,0 +1,91 @@
+"""The adaptive vortex method workload (Section 5).
+
+The paper evaluates "an adaptive vortex method for modeling turbulent
+fluid flow".  Vortex methods track particles whose interaction costs are
+heavy-tailed: clustered vorticity regions produce long interaction lists
+while quiescent regions are nearly free.  Per time step:
+
+* **tree build** — construct the spatial hierarchy: modest, semi-serial
+  (few coarse tasks),
+* **interactions** — evaluate velocities: heavy-tailed irregular costs,
+* **advection** — move particles: regular and cheap.
+
+Split exposes that advection of the previous step's already-integrated
+particles (and the next step's tree refinement of quiescent regions) is
+independent of the irregular interaction evaluation, so ``split`` mode
+overlaps the regular work with the heavy tail.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..runtime import ParallelOp
+from .workloads import AppWorkload, Phase, power_law_costs, regular_costs
+
+
+class VortexWorkload(AppWorkload):
+    """Adaptive vortex method: heavy-tailed interaction costs."""
+
+    name = "vortex"
+
+    def __init__(
+        self,
+        particles: int = 4096,
+        interaction_scale: float = 10.0,
+        interaction_alpha: float = 2.0,
+        advect_cost: float = 6.0,
+        tree_tasks: int = 128,
+        tree_cost: float = 15.0,
+        seed: int = 13,
+        steps: int = 4,
+    ):
+        super().__init__(seed=seed, steps=steps)
+        self.particles = particles
+        self.interaction_scale = interaction_scale
+        self.interaction_alpha = interaction_alpha
+        self.advect_cost = advect_cost
+        self.tree_tasks = tree_tasks
+        self.tree_cost = tree_cost
+
+    def phases_for_step(
+        self, rng: random.Random, step: int, mode: str
+    ) -> List[Phase]:
+        tree = ParallelOp(
+            name=f"tree{step}",
+            costs=regular_costs(self.tree_tasks, self.tree_cost),
+            bytes_per_task=8.0 * 64,
+        )
+        interactions = ParallelOp(
+            name=f"force{step}",
+            costs=power_law_costs(
+                rng,
+                self.particles,
+                self.interaction_scale,
+                self.interaction_alpha,
+                cap=5.0 * self.interaction_scale,
+            ),
+            bytes_per_task=8.0 * 16,
+        )
+        advect = ParallelOp(
+            name=f"advect{step}",
+            costs=regular_costs(self.particles, self.advect_cost),
+            bytes_per_task=8.0 * 8,
+        )
+        if mode != "split":
+            return [Phase(tree, 0), Phase(interactions, 1), Phase(advect, 2)]
+        # Split: the irregular interaction phase overlaps the regular
+        # advection of the same step plus the *next* step's tree
+        # refinement of quiescent regions (independent of this step's
+        # velocities until the merge).
+        phases = [Phase(tree, 0)] if step == 0 else []
+        group = [Phase(interactions, 1), Phase(advect, 1)]
+        if step + 1 < self.steps:
+            next_tree = ParallelOp(
+                name=f"tree{step + 1}",
+                costs=regular_costs(self.tree_tasks, self.tree_cost),
+                bytes_per_task=8.0 * 64,
+            )
+            group.append(Phase(next_tree, 1))
+        return phases + group

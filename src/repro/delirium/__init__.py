@@ -1,0 +1,39 @@
+"""Delirium: the coarse-grained dataflow intermediate form (Section 3.4).
+
+* :class:`DataflowGraph` / :class:`OpNode` / :class:`Edge` — the graph,
+* :func:`dataflow_of` — build the graph of a program unit,
+* :func:`split_into_graph` / :func:`pipeline_into_graph` — wire split and
+  pipeline results into a graph,
+* :func:`emit` / :func:`parse` — the textual coordination form,
+* :func:`annotate_graph` — symbolic data-size annotations.
+"""
+
+from .annotations import (
+    ELEMENT_BYTES,
+    GraphAnnotations,
+    SizeAnnotation,
+    annotate_decl,
+    annotate_graph,
+)
+from .codegen import dataflow_of, pipeline_into_graph, split_into_graph
+from .graph import PARALLEL, SEQUENTIAL, DataflowGraph, Edge, OpNode
+from .language import DeliriumSyntaxError, emit, parse
+
+__all__ = [
+    "DataflowGraph",
+    "OpNode",
+    "Edge",
+    "PARALLEL",
+    "SEQUENTIAL",
+    "dataflow_of",
+    "split_into_graph",
+    "pipeline_into_graph",
+    "emit",
+    "parse",
+    "DeliriumSyntaxError",
+    "annotate_graph",
+    "annotate_decl",
+    "GraphAnnotations",
+    "SizeAnnotation",
+    "ELEMENT_BYTES",
+]

@@ -1,0 +1,125 @@
+"""Size/type annotations on dataflow edges (Section 3.4).
+
+"The final form of output is a set of annotations on each argument and
+return value of the Delirium functions, giving data size and type
+information.  The Delirium compiler translates this information into
+runtime code for estimating communication costs."
+
+We annotate each edge with a symbolic element count (the product of the
+array's dimension extents) and an element size in bytes; the runtime's
+communication estimator (:mod:`repro.runtime.comm`) evaluates these under
+the concrete problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..analysis.symbolic import SymExpr, expr_from_ast
+from ..lang import ast
+from .graph import DataflowGraph, Edge
+
+#: Element sizes in bytes by base type (FORTRAN defaults).
+ELEMENT_BYTES = {"integer": 4, "real": 8, "logical": 4}
+
+
+@dataclass(frozen=True)
+class SizeAnnotation:
+    """Symbolic size of one communicated block."""
+
+    block: str
+    base_type: str
+    #: Symbolic element count, or None when a bound was unanalysable.
+    elements: Optional[SymExpr]
+    element_bytes: int
+
+    def bytes_under(self, env: Mapping[str, float], default: float = 1024.0) -> float:
+        """Concrete byte count under a problem-size environment."""
+        if self.elements is None:
+            return default * self.element_bytes
+        try:
+            count = self.elements.evaluate(env)
+        except KeyError:
+            return default * self.element_bytes
+        return float(count) * self.element_bytes
+
+    def __str__(self) -> str:
+        size = self.elements if self.elements is not None else "?"
+        return f"{self.block}: {self.base_type}[{size}]"
+
+
+def annotate_decl(decl: ast.Decl) -> SizeAnnotation:
+    """Build the size annotation for one declaration."""
+    element_bytes = ELEMENT_BYTES.get(decl.base_type, 8)
+    if not decl.is_array:
+        return SizeAnnotation(
+            block=decl.name,
+            base_type=decl.base_type,
+            elements=SymExpr.constant(1),
+            element_bytes=element_bytes,
+        )
+    total: Optional[SymExpr] = SymExpr.constant(1)
+    for dim in decl.dims:
+        lo = expr_from_ast(dim.lo)
+        hi = expr_from_ast(dim.hi)
+        if lo is None or hi is None:
+            total = None
+            break
+        extent = hi - lo + 1
+        count = extent.constant_value()
+        if count is not None:
+            total = total.scale(int(count)) if total is not None else None
+        elif total is not None and total.is_constant and isinstance(total.const, int):
+            total = extent.scale(total.const)
+        else:
+            # Product of two symbolic extents leaves the affine fragment;
+            # fall back to "unknown" (the runtime uses a default).
+            total = None
+            break
+    return SizeAnnotation(
+        block=decl.name,
+        base_type=decl.base_type,
+        elements=total,
+        element_bytes=element_bytes,
+    )
+
+
+class GraphAnnotations:
+    """Size annotations for every block communicated in a graph."""
+
+    def __init__(self, graph: DataflowGraph, decls: Mapping[str, ast.Decl]):
+        self.graph = graph
+        self.by_block: Dict[str, SizeAnnotation] = {}
+        for edge in graph.edges:
+            if edge.block in self.by_block:
+                continue
+            decl = decls.get(edge.block)
+            if decl is None:
+                self.by_block[edge.block] = SizeAnnotation(
+                    block=edge.block,
+                    base_type="real",
+                    elements=None,
+                    element_bytes=8,
+                )
+            else:
+                self.by_block[edge.block] = annotate_decl(decl)
+
+    def edge_bytes(
+        self, edge: Edge, env: Mapping[str, float], default: float = 1024.0
+    ) -> float:
+        annotation = self.by_block.get(edge.block)
+        if annotation is None:
+            return default * 8
+        return annotation.bytes_under(env, default)
+
+    def total_bytes(self, env: Mapping[str, float]) -> float:
+        return sum(self.edge_bytes(e, env) for e in self.graph.edges)
+
+
+def annotate_graph(
+    graph: DataflowGraph, unit: ast.Unit
+) -> GraphAnnotations:
+    """Annotate ``graph`` using declarations from ``unit``."""
+    decls = {d.name: d for d in unit.decls}
+    return GraphAnnotations(graph, decls)

@@ -1,0 +1,203 @@
+"""The coarse-grained dataflow graph (Section 3.4).
+
+"The compiler outputs the transformed program in three forms.  The first is
+a dataflow graph representing the parallel control structure.  The graph is
+expressed in the coordination language Delirium ...  The second form of
+output is a series of parallel and sequential sections in the original
+source language. ...  The final form of output is a set of annotations on
+each argument and return value ... giving data size and type information."
+
+An :class:`OpNode` is one *operator* — the minimum unit of scheduling fixed
+by the front end.  Parallel operators additionally carry a task axis (the
+data-parallel induction variable and its ranges) and a per-task cost hint;
+the runtime refines the hint by sampling (Section 4).
+
+Edges carry the memory block communicated and are annotated with symbolic
+size expressions by :mod:`repro.delirium.annotations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+
+SEQUENTIAL = "sequential"
+PARALLEL = "parallel"
+
+
+@dataclass(eq=False)
+class OpNode:
+    """One Delirium operator.
+
+    ``stmts`` is the FORTRAN (MiniF) section the operator invokes.  For
+    parallel operators, ``task_var``/``task_ranges`` define the data
+    parallel axis and ``task_body`` the per-task code; ``where`` guards
+    task creation (an irregular operator in the paper's sense).
+    """
+
+    id: int
+    name: str
+    kind: str = SEQUENTIAL
+    stmts: List[ast.Stmt] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    task_var: Optional[str] = None
+    task_ranges: List[ast.DoRange] = field(default_factory=list)
+    task_body: List[ast.Stmt] = field(default_factory=list)
+    where: Optional[ast.Expr] = None
+    cost_hint: float = 1.0
+    #: Pipeline stage tag: ("AI"|"AD"|"AM", source-loop id) when this node
+    #: came from pipelining; None otherwise.
+    pipeline_role: Optional[Tuple[str, int]] = None
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.kind == PARALLEL
+
+    def __repr__(self) -> str:
+        return f"<Op {self.id} {self.name!r} {self.kind}>"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dataflow edge: ``producer`` makes ``block`` available to
+    ``consumer``."""
+
+    producer: int
+    consumer: int
+    block: str
+
+
+class DataflowGraph:
+    """A directed acyclic graph of Delirium operators."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.nodes: List[OpNode] = []
+        self.edges: List[Edge] = []
+        self._succs: Dict[int, Set[int]] = {}
+        self._preds: Dict[int, Set[int]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        kind: str = SEQUENTIAL,
+        **kwargs,
+    ) -> OpNode:
+        node = OpNode(id=len(self.nodes), name=name, kind=kind, **kwargs)
+        self.nodes.append(node)
+        self._succs[node.id] = set()
+        self._preds[node.id] = set()
+        return node
+
+    def add_edge(self, producer: OpNode, consumer: OpNode, block: str) -> Edge:
+        if producer.id == consumer.id:
+            raise ValueError("self edges are not allowed")
+        edge = Edge(producer.id, consumer.id, block)
+        self.edges.append(edge)
+        self._succs[producer.id].add(consumer.id)
+        self._preds[consumer.id].add(producer.id)
+        if self._has_cycle():
+            # Roll back: dataflow graphs are acyclic by construction.
+            self.edges.pop()
+            self._succs[producer.id].discard(consumer.id)
+            # Recompute preds conservatively (another edge may remain).
+            if not any(
+                e.producer == producer.id and e.consumer == consumer.id
+                for e in self.edges
+            ):
+                self._preds[consumer.id].discard(producer.id)
+            raise ValueError(
+                f"edge {producer.id} -> {consumer.id} would create a cycle"
+            )
+        return edge
+
+    # -- queries ---------------------------------------------------------------------
+
+    def node(self, node_id: int) -> OpNode:
+        return self.nodes[node_id]
+
+    def predecessors(self, node: OpNode) -> List[OpNode]:
+        return [self.nodes[i] for i in sorted(self._preds[node.id])]
+
+    def successors(self, node: OpNode) -> List[OpNode]:
+        return [self.nodes[i] for i in sorted(self._succs[node.id])]
+
+    def in_edges(self, node: OpNode) -> List[Edge]:
+        return [e for e in self.edges if e.consumer == node.id]
+
+    def out_edges(self, node: OpNode) -> List[Edge]:
+        return [e for e in self.edges if e.producer == node.id]
+
+    def roots(self) -> List[OpNode]:
+        return [n for n in self.nodes if not self._preds[n.id]]
+
+    def leaves(self) -> List[OpNode]:
+        return [n for n in self.nodes if not self._succs[n.id]]
+
+    def _has_cycle(self) -> bool:
+        try:
+            self.topological_order()
+            return False
+        except ValueError:
+            return True
+
+    def topological_order(self) -> List[OpNode]:
+        """Kahn's algorithm; raises ``ValueError`` on cycles."""
+        in_degree = {n.id: len(self._preds[n.id]) for n in self.nodes}
+        ready = [n.id for n in self.nodes if in_degree[n.id] == 0]
+        order: List[OpNode] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(self.nodes[current])
+            for succ in sorted(self._succs[current]):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def reachable_from(self, node: OpNode) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [node.id]
+        while stack:
+            current = stack.pop()
+            for succ in self._succs[current]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def concurrent_pairs(self) -> List[Tuple[OpNode, OpNode]]:
+        """Pairs of operators with no path between them in either
+        direction — the interactions Section 4 orchestrates."""
+        descendants = {n.id: self.reachable_from(n) for n in self.nodes}
+        pairs: List[Tuple[OpNode, OpNode]] = []
+        for a in self.nodes:
+            for b in self.nodes:
+                if a.id >= b.id:
+                    continue
+                if b.id not in descendants[a.id] and a.id not in descendants[b.id]:
+                    pairs.append((a, b))
+        return pairs
+
+    def critical_path_length(self, cost=lambda node: 1.0) -> float:
+        """Longest path under ``cost`` (for diagnostics and tests)."""
+        longest: Dict[int, float] = {}
+        for node in self.topological_order():
+            incoming = [
+                longest[p.id] for p in self.predecessors(node)
+            ] or [0.0]
+            longest[node.id] = max(incoming) + cost(node)
+        return max(longest.values(), default=0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DataflowGraph {self.name!r}: {len(self.nodes)} ops, "
+            f"{len(self.edges)} edges>"
+        )

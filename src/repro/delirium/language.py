@@ -1,0 +1,202 @@
+"""A textual form for Delirium coordination graphs (Section 3.4).
+
+The paper expresses the dataflow graph in Delirium, "a functional language
+with special support for describing data parallel operations" (citing the
+authors' earlier Delirium papers).  We provide an S-expression concrete
+syntax that captures the coordination structure — operators, their
+data-parallel axes, guards, cost hints, and the dataflow edges — and a
+parser so graphs round-trip through text::
+
+    (graph fig1
+      (op a parallel (var col) (cost 50.0) (in q mask) (out q result)
+          (where "mask(col) <> 0"))
+      (op b1 parallel (var i) (in q) (out output1))
+      (edge a b1 q))
+
+The embedded FORTRAN sections are referenced by operator name; the text
+form carries coordination structure only, exactly as Delirium separates
+coordination from computation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..lang import ast as mast
+from ..lang.parser import Parser
+from ..lang.lexer import tokenize as minif_tokenize
+from .graph import PARALLEL, SEQUENTIAL, DataflowGraph, OpNode
+
+SExpr = Union[str, float, int, List["SExpr"]]
+
+
+class DeliriumSyntaxError(ValueError):
+    """Raised on malformed Delirium text."""
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def emit(graph: DataflowGraph) -> str:
+    """Render a dataflow graph in the textual coordination form."""
+    lines = [f"(graph {graph.name}"]
+    for node in graph.nodes:
+        lines.append(_emit_op(node))
+    for edge in graph.edges:
+        producer = graph.nodes[edge.producer].name
+        consumer = graph.nodes[edge.consumer].name
+        lines.append(f"  (edge {producer} {consumer} {edge.block})")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_op(node: OpNode) -> str:
+    parts = [f"  (op {node.name} {node.kind}"]
+    if node.task_var:
+        parts.append(f"(var {node.task_var})")
+    if node.cost_hint != 1.0:
+        parts.append(f"(cost {node.cost_hint})")
+    if node.inputs:
+        parts.append("(in " + " ".join(node.inputs) + ")")
+    if node.outputs:
+        parts.append("(out " + " ".join(node.outputs) + ")")
+    if node.where is not None:
+        from ..lang.printer import print_expr
+
+        parts.append(f'(where "{print_expr(node.where)}")')
+    if node.pipeline_role is not None:
+        role, loop_id = node.pipeline_role
+        parts.append(f"(stage {role} {loop_id})")
+    return " ".join(parts) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch in " \t\r\n":
+            index += 1
+        elif ch in "()":
+            tokens.append(ch)
+            index += 1
+        elif ch == '"':
+            end = text.index('"', index + 1)
+            tokens.append(text[index : end + 1])
+            index = end + 1
+        elif ch == ";":
+            while index < len(text) and text[index] != "\n":
+                index += 1
+        else:
+            start = index
+            while index < len(text) and text[index] not in ' \t\r\n()"':
+                index += 1
+            tokens.append(text[start:index])
+    return tokens
+
+
+def _read(tokens: List[str], position: int) -> Tuple[SExpr, int]:
+    if position >= len(tokens):
+        raise DeliriumSyntaxError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[SExpr] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise DeliriumSyntaxError("missing closing parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise DeliriumSyntaxError("unexpected ')'")
+    if token.startswith('"'):
+        return token[1:-1], position + 1
+    try:
+        if "." in token or "e" in token.lower():
+            return float(token), position + 1
+        return int(token), position + 1
+    except ValueError:
+        return token, position + 1
+
+
+def parse(text: str) -> DataflowGraph:
+    """Parse the textual coordination form back into a graph."""
+    tokens = _tokenize(text)
+    sexpr, position = _read(tokens, 0)
+    if position != len(tokens):
+        raise DeliriumSyntaxError("trailing input after graph form")
+    if not isinstance(sexpr, list) or not sexpr or sexpr[0] != "graph":
+        raise DeliriumSyntaxError("expected (graph name ...)")
+    if len(sexpr) < 2 or not isinstance(sexpr[1], str):
+        raise DeliriumSyntaxError("graph needs a name")
+    graph = DataflowGraph(name=str(sexpr[1]))
+    by_name = {}
+    pending_edges: List[Tuple[str, str, str]] = []
+    for form in sexpr[2:]:
+        if not isinstance(form, list) or not form:
+            raise DeliriumSyntaxError(f"bad form {form!r}")
+        head = form[0]
+        if head == "op":
+            node = _parse_op(graph, form)
+            if node.name in by_name:
+                raise DeliriumSyntaxError(f"duplicate operator {node.name!r}")
+            by_name[node.name] = node
+        elif head == "edge":
+            if len(form) != 4:
+                raise DeliriumSyntaxError("edge needs producer consumer block")
+            pending_edges.append((str(form[1]), str(form[2]), str(form[3])))
+        else:
+            raise DeliriumSyntaxError(f"unknown form {head!r}")
+    for producer, consumer, block in pending_edges:
+        if producer not in by_name or consumer not in by_name:
+            raise DeliriumSyntaxError(
+                f"edge references unknown operator {producer!r}/{consumer!r}"
+            )
+        graph.add_edge(by_name[producer], by_name[consumer], block)
+    return graph
+
+
+def _parse_op(graph: DataflowGraph, form: List[SExpr]) -> OpNode:
+    if len(form) < 3:
+        raise DeliriumSyntaxError("op needs a name and kind")
+    name = str(form[1])
+    kind = str(form[2])
+    if kind not in (SEQUENTIAL, PARALLEL):
+        raise DeliriumSyntaxError(f"unknown operator kind {kind!r}")
+    node = graph.add_node(name, kind=kind)
+    for clause in form[3:]:
+        if not isinstance(clause, list) or not clause:
+            raise DeliriumSyntaxError(f"bad op clause {clause!r}")
+        key = clause[0]
+        if key == "var":
+            node.task_var = str(clause[1])
+        elif key == "cost":
+            node.cost_hint = float(clause[1])
+        elif key == "in":
+            node.inputs = [str(x) for x in clause[1:]]
+        elif key == "out":
+            node.outputs = [str(x) for x in clause[1:]]
+        elif key == "where":
+            node.where = _parse_condition(str(clause[1]))
+        elif key == "stage":
+            node.pipeline_role = (str(clause[1]), int(clause[2]))
+        else:
+            raise DeliriumSyntaxError(f"unknown op clause {key!r}")
+    return node
+
+
+def _parse_condition(text: str) -> Optional[mast.Expr]:
+    """Parse a MiniF expression used as a guard in the text form."""
+    tokens = minif_tokenize(text)
+    parser = Parser(tokens)
+    # Conditions may reference arrays; without declarations every name(x)
+    # parses as a Call, which the guard consumers tolerate (opaque).
+    return parser._parse_expr()

@@ -1,0 +1,224 @@
+"""Structural guard predicates for symbolic data descriptors (Section 3.2).
+
+A descriptor triple carries an optional guard ``<G>``: "the access
+represented by the triple is known not to occur if the guard is proven
+false".  Guards arise from ``where`` clauses and ``if`` conditions.  We keep
+them *structural* (not just canonical text) because the split transformation
+needs to
+
+* recognise *mask-style* guards — ``maskarray(index) OP value`` — which are
+  converted into per-dimension masks when a loop is promoted into a range
+  (the paper's ``q[1..10/(miss[*] <> 1), 1..10]``), and
+* prove two guards *complementary* (``mask(i) <> 0`` vs ``mask(i) == 0``),
+  which makes the guarded accesses disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from ..analysis.assertions import Predicate, predicates_contradict
+from ..analysis.symbolic import SymExpr
+from ..lang import ast
+from ..lang.printer import print_expr
+
+_NEGATED_OP = dict(ast.NEGATED_COMPARISON)
+
+
+@dataclass(frozen=True)
+class MaskPred:
+    """A guard of the form ``array(index) OP value``.
+
+    ``index`` and ``value`` are affine symbolic expressions.  This is the
+    shape the paper converts into a dimension mask when the indexing
+    variable is promoted to a range.
+    """
+
+    array: str
+    index: SymExpr
+    op: str
+    value: SymExpr
+
+    def negate(self) -> "MaskPred":
+        return MaskPred(self.array, self.index, _NEGATED_OP[self.op], self.value)
+
+    def substitute(self, bindings: Mapping[str, SymExpr]) -> "MaskPred":
+        return MaskPred(
+            self.array,
+            self.index.substitute(bindings),
+            self.op,
+            self.value.substitute(bindings),
+        )
+
+    def mentions(self, name: str) -> bool:
+        return self.index.mentions(name) or self.value.mentions(name)
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}] {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class AffinePred:
+    """An affine guard ``expr OP 0`` (wraps the assertion predicate form)."""
+
+    expr: SymExpr
+    op: str  # ==, <>, <, <=
+
+    def negate(self) -> "AffinePred":
+        inner = Predicate(op=self.op, expr=self.expr).negate()
+        return AffinePred(expr=inner.expr, op=inner.op)
+
+    def substitute(self, bindings: Mapping[str, SymExpr]) -> "AffinePred":
+        return AffinePred(self.expr.substitute(bindings), self.op)
+
+    def mentions(self, name: str) -> bool:
+        return self.expr.mentions(name)
+
+    def to_predicate(self) -> Predicate:
+        return Predicate(op=self.op, expr=self.expr)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.op} 0"
+
+
+@dataclass(frozen=True)
+class OpaquePred:
+    """An unanalysable guard, identified by canonical source text."""
+
+    text: str
+    truth: bool = True
+
+    def negate(self) -> "OpaquePred":
+        return OpaquePred(self.text, not self.truth)
+
+    def substitute(self, bindings: Mapping[str, SymExpr]) -> "OpaquePred":
+        return self
+
+    def mentions(self, name: str) -> bool:
+        # Conservative: assume the text may mention anything.
+        return True
+
+    def __str__(self) -> str:
+        return f"[{self.text}]" if self.truth else f"not [{self.text}]"
+
+
+GuardPred = Union[MaskPred, AffinePred, OpaquePred]
+#: A guard: conjunction of predicates.  Empty tuple means "always occurs".
+Guard = Tuple[GuardPred, ...]
+
+TRUE_GUARD: Guard = ()
+
+
+def guard_preds_contradict(a: GuardPred, b: GuardPred) -> bool:
+    """True when the two guard predicates provably cannot both hold."""
+    if isinstance(a, MaskPred) and isinstance(b, MaskPred):
+        if a.array != b.array or a.index != b.index or a.value != b.value:
+            return False
+        return _NEGATED_OP[a.op] == b.op or _ops_exclusive(a.op, b.op)
+    if isinstance(a, AffinePred) and isinstance(b, AffinePred):
+        return predicates_contradict(a.to_predicate(), b.to_predicate())
+    if isinstance(a, OpaquePred) and isinstance(b, OpaquePred):
+        return a.text == b.text and a.truth != b.truth
+    return False
+
+
+def _ops_exclusive(op1: str, op2: str) -> bool:
+    """Comparisons on the same operands that exclude each other."""
+    exclusive = {("<", ">"), (">", "<"), ("<", "=="), ("==", "<"),
+                 (">", "=="), ("==", ">")}
+    return (op1, op2) in exclusive
+
+
+def guards_contradict(a: Guard, b: Guard) -> bool:
+    """True when guard ``a`` and guard ``b`` cannot hold simultaneously."""
+    return any(
+        guard_preds_contradict(p, q) for p in a for q in b
+    )
+
+
+def guard_substitute(guard: Guard, bindings: Mapping[str, SymExpr]) -> Guard:
+    return tuple(p.substitute(bindings) for p in guard)
+
+
+def guard_mentions(guard: Guard, name: str) -> bool:
+    return any(p.mentions(name) for p in guard)
+
+
+def guard_str(guard: Guard) -> str:
+    return " and ".join(str(p) for p in guard)
+
+
+def guard_pred_from_ast(cond: ast.Expr, expr_at) -> GuardPred:
+    """Build one structural guard predicate from a condition AST.
+
+    ``expr_at`` maps an AST expression to an affine
+    :class:`~repro.analysis.symbolic.SymExpr` or ``None``
+    (typically ``ValueInfo.expr_at``).  Falls back to an opaque predicate.
+    """
+    if isinstance(cond, ast.BinOp) and cond.op in ast.COMPARISON_OPS:
+        left_aff = expr_at(cond.left)
+        right_aff = expr_at(cond.right)
+        if left_aff is not None and right_aff is not None:
+            if cond.op in (">", ">="):
+                # left > right  ==  right - left < 0 (and likewise >=).
+                op = "<" if cond.op == ">" else "<="
+                return AffinePred(expr=right_aff - left_aff, op=op)
+            return AffinePred(expr=left_aff - right_aff, op=cond.op)
+        # mask-style: arrayref OP affine (either orientation).
+        mask = _try_mask(cond.left, cond.right, cond.op, expr_at)
+        if mask is not None:
+            return mask
+        mask = _try_mask(cond.right, cond.left, _flip(cond.op), expr_at)
+        if mask is not None:
+            return mask
+    return OpaquePred(text=print_expr(cond))
+
+
+def _flip(op: str) -> str:
+    flips = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "==": "==", "<>": "<>"}
+    return flips[op]
+
+
+def _try_mask(
+    array_side: ast.Expr, value_side: ast.Expr, op: str, expr_at
+) -> Optional[MaskPred]:
+    if not isinstance(array_side, ast.ArrayRef):
+        return None
+    if len(array_side.indices) != 1:
+        return None
+    index = expr_at(array_side.indices[0])
+    value = expr_at(value_side)
+    if index is None or value is None:
+        return None
+    return MaskPred(array=array_side.name, index=index, op=op, value=value)
+
+
+def guard_from_condition(cond: ast.Expr, expr_at, negated: bool = False) -> Guard:
+    """Build a guard (conjunction) from a condition AST.
+
+    Conjunctions split into separate predicates; disjunctions and other
+    shapes collapse into a single (possibly opaque) predicate.  With
+    ``negated=True`` the guard for the condition's false branch is built.
+    """
+    if isinstance(cond, ast.UnOp) and cond.op == "not":
+        return guard_from_condition(cond.operand, expr_at, not negated)
+    if isinstance(cond, ast.BinOp) and cond.op == "and" and not negated:
+        return guard_from_condition(cond.left, expr_at) + guard_from_condition(
+            cond.right, expr_at
+        )
+    if isinstance(cond, ast.BinOp) and cond.op == "or" and negated:
+        # not(a or b) == not a and not b.
+        return guard_from_condition(
+            cond.left, expr_at, True
+        ) + guard_from_condition(cond.right, expr_at, True)
+    pred = guard_pred_from_ast(cond, expr_at)
+    if negated:
+        # For affine > / >= shapes guard_pred_from_ast only produces
+        # == <> < <=; negate structurally.
+        if isinstance(pred, AffinePred):
+            return (pred.negate(),)
+        if isinstance(pred, MaskPred):
+            return (pred.negate(),)
+        return (pred.negate(),)
+    return (pred,)

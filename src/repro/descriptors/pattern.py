@@ -1,0 +1,159 @@
+"""Per-dimension access patterns for descriptor triples (Section 3.2).
+
+"Patterns have an expression for each dimension of the memory block,
+representing the range of data touched.  Patterns can optionally include a
+masking expression to further limit access."  A :class:`DimPattern` is a
+symbolic range plus an optional :class:`Mask`; the paper renders a masked
+dimension as ``1..10/(miss[*] <> 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from ..analysis.symbolic import (
+    SymExpr,
+    SymRange,
+    compare,
+    definitely_disjoint_ranges,
+)
+from .guards import MaskPred
+
+_NEGATED_OP = {
+    "==": "<>",
+    "<>": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A mask restricting a dimension: keep element ``x`` iff
+    ``array[x] OP value``.  ``*`` in the paper's rendering stands for the
+    current element."""
+
+    array: str
+    op: str
+    value: SymExpr
+
+    def complementary(self, other: "Mask") -> bool:
+        """True when no element can satisfy both masks."""
+        if self.array != other.array or self.value != other.value:
+            return False
+        return _NEGATED_OP[self.op] == other.op
+
+    def substitute(self, bindings: Mapping[str, SymExpr]) -> "Mask":
+        return Mask(self.array, self.op, self.value.substitute(bindings))
+
+    @staticmethod
+    def from_pred(pred: MaskPred) -> "Mask":
+        return Mask(array=pred.array, op=pred.op, value=pred.value)
+
+    def __str__(self) -> str:
+        return f"{self.array}[*] {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class DimPattern:
+    """The data touched along one dimension: a range, optionally masked."""
+
+    range: SymRange
+    mask: Optional[Mask] = None
+
+    @staticmethod
+    def point(expr: SymExpr) -> "DimPattern":
+        return DimPattern(SymRange.single(expr))
+
+    @property
+    def is_point(self) -> bool:
+        return self.range.is_single
+
+    def substitute(self, bindings: Mapping[str, SymExpr]) -> "DimPattern":
+        rng = SymRange(
+            self.range.lo.substitute(bindings),
+            self.range.hi.substitute(bindings),
+            self.range.skip,
+        )
+        mask = self.mask.substitute(bindings) if self.mask else None
+        return DimPattern(rng, mask)
+
+    def __str__(self) -> str:
+        if self.mask is None:
+            return str(self.range)
+        return f"{self.range}/({self.mask})"
+
+
+#: A full pattern: one DimPattern per array dimension.  ``None`` in a triple
+#: means the whole memory block is touched.
+Pattern = Tuple[DimPattern, ...]
+
+
+def dims_disjoint(
+    a: DimPattern,
+    b: DimPattern,
+    distinct_pairs: frozenset = frozenset(),
+) -> bool:
+    """True when the two dimension patterns provably share no element.
+
+    ``distinct_pairs`` supplies extra facts of the form "name1 != name2"
+    (as frozensets of two names), used when testing loop iterations against
+    each other (the paper's independence test substitutes a fresh induction
+    variable and asks whether the descriptors still intersect).
+    """
+    if definitely_disjoint_ranges(a.range, b.range):
+        return True
+    if a.mask is not None and b.mask is not None and a.mask.complementary(b.mask):
+        return True
+    if distinct_pairs and a.is_point and b.is_point:
+        if _points_distinct(a.range.lo, b.range.lo, distinct_pairs):
+            return True
+    return False
+
+
+def _points_distinct(
+    x: SymExpr, y: SymExpr, distinct_pairs: frozenset
+) -> bool:
+    """True when ``x != y`` follows from a single known-distinct name pair.
+
+    Handles the shape ``x - y == c*(u - v)`` with ``c != 0`` and the fact
+    ``u != v``.
+    """
+    diff = x - y
+    if diff.is_constant:
+        return diff.const != 0
+    if len(diff.terms) != 2:
+        return False
+    (n1, c1), (n2, c2) = diff.terms
+    if c1 != -c2 or diff.const != 0:
+        return False
+    return frozenset({n1, n2}) in distinct_pairs
+
+
+def dim_covers(w: DimPattern, r: DimPattern) -> bool:
+    """True when ``w`` provably touches every element ``r`` touches.
+
+    Used for the live-on-entry rule: "reads known to be dominated by writes
+    in the write set are not included."
+    """
+    if w.mask is not None and w.mask != r.mask:
+        return False
+    if w.range.skip != 1 and w.range != r.range:
+        return False
+    lo_ok = compare(w.range.lo, r.range.lo)
+    hi_ok = compare(r.range.hi, w.range.hi)
+    return lo_ok is not None and lo_ok <= 0 and hi_ok is not None and hi_ok <= 0
+
+
+def pattern_covers(w: Optional[Pattern], r: Optional[Pattern]) -> bool:
+    """Whole-pattern containment; ``None`` (entire block) covers anything."""
+    if w is None:
+        return True
+    if r is None:
+        return False
+    if len(w) != len(r):
+        return False
+    return all(dim_covers(wd, rd) for wd, rd in zip(w, r))

@@ -1,0 +1,37 @@
+"""MiniF: the FORTRAN-flavoured input language of the reproduction.
+
+Public surface:
+
+* :func:`parse` / :func:`parse_unit` — text to AST,
+* :mod:`repro.lang.ast` — node classes,
+* :func:`print_unit` / :func:`print_stmts` — AST back to text,
+* :mod:`repro.lang.builtins` — intrinsic metadata.
+"""
+
+from . import ast
+from .builtins import call_cost, is_pure, lookup, register_intrinsic
+from .errors import LexError, MiniFError, ParseError, SemanticError, SourceLocation
+from .lexer import tokenize
+from .parser import parse, parse_unit
+from .printer import print_expr, print_file, print_stmt, print_stmts, print_unit
+
+__all__ = [
+    "ast",
+    "parse",
+    "parse_unit",
+    "tokenize",
+    "print_expr",
+    "print_stmt",
+    "print_stmts",
+    "print_unit",
+    "print_file",
+    "MiniFError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "lookup",
+    "is_pure",
+    "call_cost",
+    "register_intrinsic",
+]

@@ -1,0 +1,86 @@
+"""Intrinsic functions known to the MiniF frontend.
+
+The analyses need three facts about a called function when its body is not
+available: whether it is *pure* (no memory effects beyond its return value),
+a rough *cost* in abstract work units (used by the split heuristics of
+Section 3.3.1 and by profiling), and whether it *reads* its array arguments
+only (never writes them).  Intrinsics cover the usual FORTRAN repertoire
+plus a few opaque "science" kernels used by the example programs, standing
+in for the paper's application code (reconstruction kernels, cloud physics,
+etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Metadata for a function the compiler cannot see into."""
+
+    name: str
+    pure: bool
+    cost: float  # abstract work units per invocation
+    reads_arrays_only: bool = True
+
+
+_INTRINSICS: Dict[str, Intrinsic] = {}
+
+
+def _register(name: str, pure: bool, cost: float, reads_arrays_only: bool = True) -> None:
+    _INTRINSICS[name] = Intrinsic(name, pure, cost, reads_arrays_only)
+
+
+# Cheap arithmetic intrinsics.
+for _name in ("abs", "min", "max", "mod", "sign", "int", "real"):
+    _register(_name, pure=True, cost=1.0)
+# Transcendentals.
+for _name in ("sqrt", "exp", "log", "sin", "cos", "tan", "atan"):
+    _register(_name, pure=True, cost=4.0)
+# Opaque science kernels used by the example programs.  These model the
+# paper's application subroutines: expensive, pure, read-only on arrays.
+_register("f", pure=True, cost=10.0)
+_register("g", pure=True, cost=10.0)
+_register("reconstruct", pure=True, cost=50.0)
+_register("backproject", pure=True, cost=80.0)
+_register("cloud_physics", pure=True, cost=120.0)
+_register("advect", pure=True, cost=30.0)
+_register("interact", pure=True, cost=25.0)
+_register("device_eval", pure=True, cost=40.0)
+
+
+def lookup(name: str) -> Optional[Intrinsic]:
+    """Return intrinsic metadata for ``name``, or ``None`` if unknown."""
+    return _INTRINSICS.get(name)
+
+
+def is_pure(name: str) -> bool:
+    """True when ``name`` is a known pure intrinsic.
+
+    Unknown functions are treated as impure, which makes every downstream
+    analysis conservative (the paper: "descriptors interfere unless we can
+    prove otherwise").
+    """
+    info = _INTRINSICS.get(name)
+    return info is not None and info.pure
+
+
+def call_cost(name: str, default: float = 20.0) -> float:
+    """Estimated work units for one invocation of ``name``."""
+    info = _INTRINSICS.get(name)
+    if info is None:
+        return default
+    return info.cost
+
+
+def register_intrinsic(
+    name: str, pure: bool, cost: float, reads_arrays_only: bool = True
+) -> None:
+    """Register (or overwrite) intrinsic metadata.
+
+    Example programs use this to teach the frontend about their opaque
+    kernels without having to write MiniF bodies for them.
+    """
+    _register(name, pure=pure, cost=cost, reads_arrays_only=reads_arrays_only)

@@ -1,0 +1,52 @@
+"""Source-located error types for the MiniF frontend.
+
+Every diagnostic raised by the lexer, parser, or later analyses carries a
+:class:`SourceLocation` so that messages can point back into the original
+program text, in the style of a conventional compiler driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a MiniF source file.
+
+    Attributes:
+        line: 1-based line number.
+        column: 1-based column number.
+        filename: name used in diagnostics; defaults to ``<input>``.
+    """
+
+    line: int
+    column: int
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class MiniFError(Exception):
+    """Base class for all MiniF frontend diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(MiniFError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+class ParseError(MiniFError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(MiniFError):
+    """Raised for declaration and type errors caught after parsing."""

@@ -1,0 +1,256 @@
+"""A reference interpreter for MiniF.
+
+Used throughout the test suite to check that transformed programs compute
+the same values as the originals — the strongest evidence a transformation
+is semantics-preserving.  Arrays are Python lists (of lists), 1-based:
+``x(i)`` reads ``env["x"][i-1]``.
+
+Intrinsics map to Python callables; examples and tests may pass extra
+``functions`` to model the paper's opaque application kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from . import ast
+
+DEFAULT_FUNCTIONS: Dict[str, Callable] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "mod": lambda a, b: a % b,
+    "sign": lambda a, b: math.copysign(a, b),
+    "int": int,
+    "real": float,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+}
+
+
+class InterpreterError(RuntimeError):
+    """Raised on dynamic errors (unknown function, bad subscript, ...)."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any = None):
+        self.value = value
+
+
+def eval_expr(
+    expr: ast.Expr,
+    env: Mapping[str, Any],
+    functions: Optional[Mapping[str, Callable]] = None,
+) -> Any:
+    """Evaluate an expression under ``env``."""
+    fns = _merged(functions)
+    return _eval(expr, env, fns)
+
+
+def run_stmts(
+    stmts: Sequence[ast.Stmt],
+    env: Dict[str, Any],
+    functions: Optional[Mapping[str, Callable]] = None,
+) -> Dict[str, Any]:
+    """Execute statements, mutating and returning ``env``."""
+    fns = _merged(functions)
+    try:
+        for stmt in stmts:
+            _exec(stmt, env, fns)
+    except _ReturnSignal:
+        pass
+    return env
+
+
+def run_unit(
+    unit: ast.Unit,
+    env: Dict[str, Any],
+    functions: Optional[Mapping[str, Callable]] = None,
+) -> Dict[str, Any]:
+    """Execute a program unit's body under ``env``.
+
+    Arrays whose declarations have constant bounds and that are missing
+    from ``env`` are allocated and zero-filled.
+    """
+    for decl in unit.decls:
+        if decl.name in env:
+            continue
+        if decl.is_array:
+            shape = []
+            ok = True
+            for dim in decl.dims:
+                try:
+                    lo = _eval(dim.lo, env, _merged(None))
+                    hi = _eval(dim.hi, env, _merged(None))
+                except InterpreterError:
+                    ok = False
+                    break
+                shape.append(int(hi) - int(lo) + 1)
+            if ok:
+                env[decl.name] = _alloc(shape)
+        else:
+            env[decl.name] = 0 if decl.base_type == "integer" else 0.0
+    return run_stmts(unit.body, env, functions)
+
+
+def _alloc(shape: List[int]) -> Any:
+    if len(shape) == 1:
+        return [0.0] * shape[0]
+    return [_alloc(shape[1:]) for _ in range(shape[0])]
+
+
+def _merged(functions: Optional[Mapping[str, Callable]]) -> Dict[str, Callable]:
+    merged = dict(DEFAULT_FUNCTIONS)
+    if functions:
+        merged.update(functions)
+    return merged
+
+
+def _eval(expr: ast.Expr, env: Mapping[str, Any], fns: Mapping[str, Callable]) -> Any:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StringLit)):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise InterpreterError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, ast.ArrayRef):
+        return _load(expr, env, fns)
+    if isinstance(expr, ast.Call):
+        fn = fns.get(expr.name)
+        if fn is None:
+            raise InterpreterError(f"unknown function {expr.name!r}")
+        return fn(*[_eval(a, env, fns) for a in expr.args])
+    if isinstance(expr, ast.UnOp):
+        value = _eval(expr.operand, env, fns)
+        if expr.op == "-":
+            return -value
+        return not _truth(value)
+    if isinstance(expr, ast.BinOp):
+        return _binop(expr, env, fns)
+    raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _binop(expr: ast.BinOp, env: Mapping[str, Any], fns: Mapping[str, Callable]) -> Any:
+    op = expr.op
+    if op == "and":
+        return _truth(_eval(expr.left, env, fns)) and _truth(
+            _eval(expr.right, env, fns)
+        )
+    if op == "or":
+        return _truth(_eval(expr.left, env, fns)) or _truth(
+            _eval(expr.right, env, fns)
+        )
+    left = _eval(expr.left, env, fns)
+    right = _eval(expr.right, env, fns)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            return left // right  # FORTRAN integer division
+        return left / right
+    if op == "==":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise InterpreterError(f"unknown operator {op!r}")
+
+
+def _truth(value: Any) -> bool:
+    return bool(value)
+
+
+def _load(ref: ast.ArrayRef, env: Mapping[str, Any], fns) -> Any:
+    target = env.get(ref.name)
+    if target is None:
+        raise InterpreterError(f"unbound array {ref.name!r}")
+    for index_expr in ref.indices:
+        index = int(_eval(index_expr, env, fns))
+        try:
+            target = target[index - 1]
+        except IndexError:
+            raise InterpreterError(
+                f"subscript {index} out of range for {ref.name!r}"
+            ) from None
+    return target
+
+
+def _store(ref: ast.ArrayRef, value: Any, env: Mapping[str, Any], fns) -> None:
+    target = env.get(ref.name)
+    if target is None:
+        raise InterpreterError(f"unbound array {ref.name!r}")
+    indices = [int(_eval(i, env, fns)) for i in ref.indices]
+    for index in indices[:-1]:
+        target = target[index - 1]
+    try:
+        target[indices[-1] - 1] = value
+    except IndexError:
+        raise InterpreterError(
+            f"subscript {indices[-1]} out of range for {ref.name!r}"
+        ) from None
+
+
+def _exec(stmt: ast.Stmt, env: Dict[str, Any], fns: Mapping[str, Callable]) -> None:
+    if isinstance(stmt, ast.Assign):
+        value = _eval(stmt.value, env, fns)
+        if isinstance(stmt.target, ast.Var):
+            env[stmt.target.name] = value
+        else:
+            _store(stmt.target, value, env, fns)
+    elif isinstance(stmt, ast.If):
+        if _truth(_eval(stmt.cond, env, fns)):
+            for inner in stmt.then_body:
+                _exec(inner, env, fns)
+        else:
+            for inner in stmt.else_body:
+                _exec(inner, env, fns)
+    elif isinstance(stmt, ast.DoLoop):
+        for value in _iteration_values(stmt, env, fns):
+            env[stmt.var] = value
+            if stmt.where is not None and not _truth(
+                _eval(stmt.where, env, fns)
+            ):
+                continue
+            for inner in stmt.body:
+                _exec(inner, env, fns)
+    elif isinstance(stmt, ast.CallStmt):
+        fn = fns.get(stmt.name)
+        if fn is None:
+            raise InterpreterError(f"unknown subroutine {stmt.name!r}")
+        fn(*[_eval(a, env, fns) for a in stmt.args])
+    elif isinstance(stmt, ast.Return):
+        raise _ReturnSignal(
+            _eval(stmt.value, env, fns) if stmt.value is not None else None
+        )
+    else:  # pragma: no cover - defensive
+        raise InterpreterError(f"cannot execute {type(stmt).__name__}")
+
+
+def _iteration_values(loop: ast.DoLoop, env, fns) -> List[int]:
+    values: List[int] = []
+    for rng in loop.ranges:
+        lo = int(_eval(rng.lo, env, fns))
+        hi = int(_eval(rng.hi, env, fns))
+        step = 1
+        if rng.step is not None:
+            step = int(_eval(rng.step, env, fns))
+        values.extend(range(lo, hi + 1, step))
+    return values

@@ -1,0 +1,174 @@
+"""Hand-written lexer for MiniF.
+
+The lexer is line-oriented like FORTRAN: statement boundaries are newlines
+(collapsed, so blank lines are free), and ``!`` starts a comment running to
+end of line.  Identifiers are case-insensitive and normalised to lower case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    ":": TokenKind.COLON,
+}
+
+
+class Lexer:
+    """Converts MiniF source text into a token stream.
+
+    Use :func:`tokenize` for the common case; the class exists so tests can
+    poke at intermediate state and so errors carry a filename.
+    """
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character-level helpers ------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    # -- token-level scanning ---------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens, ending with a single EOF token."""
+        pending_newline = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+                continue
+            if ch == "!" and self._peek(1) != "=":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "\n":
+                self._advance()
+                pending_newline = True
+                continue
+            if pending_newline:
+                pending_newline = False
+                yield Token(TokenKind.NEWLINE, "\n", self._loc())
+            yield self._scan_token()
+        yield Token(TokenKind.NEWLINE, "\n", self._loc())
+        yield Token(TokenKind.EOF, "", self._loc())
+
+    def _scan_token(self) -> Token:
+        loc = self._loc()
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number(loc)
+        if ch.isalpha() or ch == "_":
+            return self._scan_word(loc)
+        if ch == '"' or ch == "'":
+            return self._scan_string(loc)
+        # Multi-character operators first.
+        two = ch + self._peek(1)
+        if two == "==":
+            self._advance(), self._advance()
+            return Token(TokenKind.EQ, "==", loc)
+        if two in ("<>", "!="):
+            self._advance(), self._advance()
+            return Token(TokenKind.NE, "<>", loc)
+        if two == "<=":
+            self._advance(), self._advance()
+            return Token(TokenKind.LE, "<=", loc)
+        if two == ">=":
+            self._advance(), self._advance()
+            return Token(TokenKind.GE, ">=", loc)
+        if ch == "<":
+            self._advance()
+            return Token(TokenKind.LT, "<", loc)
+        if ch == ">":
+            self._advance()
+            return Token(TokenKind.GT, ">", loc)
+        if ch == "=":
+            self._advance()
+            return Token(TokenKind.ASSIGN, "=", loc)
+        if ch in _SINGLE_CHAR:
+            self._advance()
+            return Token(_SINGLE_CHAR[ch], ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _scan_number(self, loc: SourceLocation) -> Token:
+        text = []
+        is_float = False
+        while self._peek().isdigit():
+            text.append(self._advance())
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            text.append(self._advance())
+            if self._peek() in "+-":
+                text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        literal = "".join(text)
+        if is_float:
+            return Token(TokenKind.FLOAT, float(literal), loc)
+        return Token(TokenKind.INT, int(literal), loc)
+
+    def _scan_word(self, loc: SourceLocation) -> Token:
+        text = []
+        while self._peek().isalnum() or self._peek() == "_":
+            text.append(self._advance())
+        word = "".join(text).lower()
+        kind = KEYWORDS.get(word)
+        if kind is not None:
+            return Token(kind, word, loc)
+        return Token(TokenKind.IDENT, word, loc)
+
+    def _scan_string(self, loc: SourceLocation) -> Token:
+        quote = self._advance()
+        text = []
+        while self._peek() and self._peek() != quote:
+            if self._peek() == "\n":
+                raise LexError("unterminated string literal", loc)
+            text.append(self._advance())
+        if not self._peek():
+            raise LexError("unterminated string literal", loc)
+        self._advance()
+        return Token(TokenKind.STRING, "".join(text), loc)
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``source`` and return the full token list (EOF-terminated)."""
+    return list(Lexer(source, filename).tokens())

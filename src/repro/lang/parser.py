@@ -1,0 +1,518 @@
+"""Recursive-descent parser for MiniF.
+
+The grammar is deliberately close to FORTRAN 77 free form::
+
+    file        := unit*
+    unit        := program | subroutine | function
+    program     := 'program' IDENT NL decl* stmt* 'end' 'program' [IDENT] NL
+    subroutine  := 'subroutine' IDENT '(' params? ')' NL decl* stmt*
+                   'end' 'subroutine' [IDENT] NL
+    function    := [type] 'function' IDENT '(' params? ')' NL decl* stmt*
+                   'end' 'function' [IDENT] NL
+    decl        := type declitem (',' declitem)* NL
+    declitem    := IDENT [ '(' dim (',' dim)* ')' ]
+    dim         := expr [ ':' expr ]
+    stmt        := assign | do | if | call | return
+    do          := 'do' IDENT '=' range ('and' range)*
+                   ['where' '(' expr ')'] NL stmt* 'end' 'do' NL
+    range       := bound ',' bound [',' bound]
+    if          := 'if' '(' expr ')' 'then' NL stmt*
+                   ('elseif' '(' expr ')' 'then' NL stmt*)*
+                   ['else' NL stmt*] 'end' 'if' NL
+                 | 'if' '(' expr ')' simple_stmt NL
+
+Loop bounds (``bound``) are parsed at comparison precedence so that the
+keyword ``and`` can serve as the discontinuous-range joiner from the paper's
+Figure 3 (``do i = 1, col-2 and col, n``) while remaining the logical
+conjunction inside parenthesised conditions.
+
+``name(...)`` is an :class:`~repro.lang.ast.ArrayRef` when ``name`` is a
+declared array (or an array parameter) of the enclosing unit, and a
+:class:`~repro.lang.ast.Call` otherwise — the standard FORTRAN
+disambiguation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import ast
+from .errors import ParseError, SemanticError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_TYPE_KINDS = (TokenKind.INTEGER, TokenKind.REAL, TokenKind.LOGICAL)
+
+_COMPARISON_TOKENS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "<>",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.ast.SourceFile`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        # Arrays declared in the unit currently being parsed; used to
+        # disambiguate ArrayRef vs Call.
+        self._arrays: Dict[str, ast.Decl] = {}
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, *kinds: TokenKind) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind, context: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {kind.value}{where}, found {tok.kind.value}"
+                f" ({tok.value!r})",
+                tok.location,
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._at(TokenKind.NEWLINE):
+            self._advance()
+
+    def _end_statement(self) -> None:
+        if self._at(TokenKind.EOF):
+            return
+        self._expect(TokenKind.NEWLINE, "statement end")
+        self._skip_newlines()
+
+    # -- program units ------------------------------------------------------
+
+    def parse_file(self) -> ast.SourceFile:
+        units: List[ast.Unit] = []
+        self._skip_newlines()
+        while not self._at(TokenKind.EOF):
+            units.append(self._parse_unit())
+            self._skip_newlines()
+        return ast.SourceFile(units=units)
+
+    def _parse_unit(self) -> ast.Unit:
+        tok = self._peek()
+        if tok.kind is TokenKind.PROGRAM:
+            return self._parse_program()
+        if tok.kind is TokenKind.SUBROUTINE:
+            return self._parse_subroutine()
+        if tok.kind is TokenKind.FUNCTION or (
+            tok.kind in _TYPE_KINDS
+            and self._peek(1).kind is TokenKind.FUNCTION
+        ):
+            return self._parse_function()
+        raise ParseError(
+            f"expected a program unit, found {tok.kind.value}", tok.location
+        )
+
+    def _parse_program(self) -> ast.Program:
+        loc = self._expect(TokenKind.PROGRAM).location
+        name = str(self._expect(TokenKind.IDENT, "program header").value)
+        self._end_statement()
+        self._arrays = {}
+        decls = self._parse_decls()
+        body = self._parse_stmts()
+        self._parse_end("program", name)
+        return ast.Program(name=name, decls=decls, body=body, loc=loc)
+
+    def _parse_subroutine(self) -> ast.Subroutine:
+        loc = self._expect(TokenKind.SUBROUTINE).location
+        name = str(self._expect(TokenKind.IDENT, "subroutine header").value)
+        params = self._parse_params()
+        self._end_statement()
+        self._arrays = {}
+        decls = self._parse_decls()
+        body = self._parse_stmts()
+        self._parse_end("subroutine", name)
+        return ast.Subroutine(
+            name=name, params=params, decls=decls, body=body, loc=loc
+        )
+
+    def _parse_function(self) -> ast.Function:
+        result_type = "real"
+        if self._peek().kind in _TYPE_KINDS:
+            result_type = str(self._advance().value)
+        loc = self._expect(TokenKind.FUNCTION).location
+        name = str(self._expect(TokenKind.IDENT, "function header").value)
+        params = self._parse_params()
+        self._end_statement()
+        self._arrays = {}
+        decls = self._parse_decls()
+        body = self._parse_stmts()
+        self._parse_end("function", name)
+        return ast.Function(
+            name=name,
+            params=params,
+            decls=decls,
+            body=body,
+            result_type=result_type,
+            loc=loc,
+        )
+
+    def _parse_params(self) -> List[str]:
+        params: List[str] = []
+        self._expect(TokenKind.LPAREN, "parameter list")
+        if not self._at(TokenKind.RPAREN):
+            params.append(str(self._expect(TokenKind.IDENT).value))
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                params.append(str(self._expect(TokenKind.IDENT).value))
+        self._expect(TokenKind.RPAREN, "parameter list")
+        return params
+
+    def _parse_end(self, unit_kind: str, name: str) -> None:
+        self._expect(TokenKind.END, f"{unit_kind} {name}")
+        # 'end program psirrfan' / 'end subroutine' / bare 'end'.
+        if self._at(
+            TokenKind.PROGRAM, TokenKind.SUBROUTINE, TokenKind.FUNCTION
+        ):
+            self._advance()
+            if self._at(TokenKind.IDENT):
+                self._advance()
+        if not self._at(TokenKind.EOF):
+            self._end_statement()
+
+    # -- declarations ---------------------------------------------------------
+
+    def _parse_decls(self) -> List[ast.Decl]:
+        decls: List[ast.Decl] = []
+        while self._peek().kind in _TYPE_KINDS:
+            base_type = str(self._advance().value)
+            decls.append(self._parse_declitem(base_type))
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                decls.append(self._parse_declitem(base_type))
+            self._end_statement()
+        return decls
+
+    def _parse_declitem(self, base_type: str) -> ast.Decl:
+        tok = self._expect(TokenKind.IDENT, "declaration")
+        name = str(tok.value)
+        dims: List[ast.DimSpec] = []
+        if self._at(TokenKind.LPAREN):
+            self._advance()
+            dims.append(self._parse_dim())
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                dims.append(self._parse_dim())
+            self._expect(TokenKind.RPAREN, "array declaration")
+        decl = ast.Decl(name=name, base_type=base_type, dims=dims, loc=tok.location)
+        if dims:
+            self._arrays[name] = decl
+        return decl
+
+    def _parse_dim(self) -> ast.DimSpec:
+        first = self._parse_expr()
+        if self._at(TokenKind.COLON):
+            self._advance()
+            hi = self._parse_expr()
+            return ast.DimSpec(lo=first, hi=hi)
+        return ast.DimSpec(lo=ast.IntLit(1), hi=first)
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_stmts(self) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        self._skip_newlines()
+        while not self._at(TokenKind.END, TokenKind.EOF, TokenKind.ELSE, TokenKind.ELSEIF):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind is TokenKind.DO:
+            return self._parse_do()
+        if tok.kind is TokenKind.IF:
+            return self._parse_if()
+        if tok.kind is TokenKind.CALL:
+            stmt = self._parse_call_stmt()
+            self._end_statement()
+            return stmt
+        if tok.kind is TokenKind.RETURN:
+            self._advance()
+            value = None
+            if not self._at(TokenKind.NEWLINE, TokenKind.EOF):
+                value = self._parse_expr()
+            self._end_statement()
+            return ast.Return(value=value, loc=tok.location)
+        if tok.kind is TokenKind.IDENT:
+            stmt = self._parse_assign()
+            self._end_statement()
+            return stmt
+        raise ParseError(
+            f"expected a statement, found {tok.kind.value}", tok.location
+        )
+
+    def _parse_assign(self) -> ast.Assign:
+        tok = self._peek()
+        target = self._parse_primary()
+        if not isinstance(target, (ast.Var, ast.ArrayRef)):
+            raise SemanticError(
+                "assignment target must be a variable or array element",
+                tok.location,
+            )
+        if isinstance(target, ast.Call):  # pragma: no cover - defensive
+            raise SemanticError(
+                f"cannot assign to call of {target.name!r}", tok.location
+            )
+        self._expect(TokenKind.ASSIGN, "assignment")
+        value = self._parse_expr()
+        return ast.Assign(target=target, value=value, loc=tok.location)
+
+    def _parse_call_stmt(self) -> ast.CallStmt:
+        loc = self._expect(TokenKind.CALL).location
+        name = str(self._expect(TokenKind.IDENT, "call statement").value)
+        args: List[ast.Expr] = []
+        if self._at(TokenKind.LPAREN):
+            self._advance()
+            if not self._at(TokenKind.RPAREN):
+                args.append(self._parse_expr())
+                while self._at(TokenKind.COMMA):
+                    self._advance()
+                    args.append(self._parse_expr())
+            self._expect(TokenKind.RPAREN, "call statement")
+        return ast.CallStmt(name=name, args=args, loc=loc)
+
+    def _parse_do(self) -> ast.DoLoop:
+        loc = self._expect(TokenKind.DO).location
+        var = str(self._expect(TokenKind.IDENT, "do header").value)
+        self._expect(TokenKind.ASSIGN, "do header")
+        ranges = [self._parse_range()]
+        while self._at(TokenKind.AND_RANGE):
+            self._advance()
+            ranges.append(self._parse_range())
+        where = None
+        if self._at(TokenKind.WHERE):
+            self._advance()
+            self._expect(TokenKind.LPAREN, "where clause")
+            where = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "where clause")
+        self._end_statement()
+        body = self._parse_stmts()
+        self._expect(TokenKind.END, "do loop")
+        self._expect(TokenKind.DO, "do loop")
+        self._end_statement()
+        return ast.DoLoop(var=var, ranges=ranges, body=body, where=where, loc=loc)
+
+    def _parse_range(self) -> ast.DoRange:
+        lo = self._parse_bound()
+        self._expect(TokenKind.COMMA, "do range")
+        hi = self._parse_bound()
+        step = None
+        if self._at(TokenKind.COMMA):
+            self._advance()
+            step = self._parse_bound()
+        return ast.DoRange(lo=lo, hi=hi, step=step)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._expect(TokenKind.IF).location
+        self._expect(TokenKind.LPAREN, "if condition")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "if condition")
+        if not self._at(TokenKind.THEN):
+            # One-line form: 'if (c) stmt'.
+            body_tok = self._peek()
+            if body_tok.kind is TokenKind.CALL:
+                inner: ast.Stmt = self._parse_call_stmt()
+            elif body_tok.kind is TokenKind.RETURN:
+                self._advance()
+                value = None
+                if not self._at(TokenKind.NEWLINE, TokenKind.EOF):
+                    value = self._parse_expr()
+                inner = ast.Return(value=value, loc=body_tok.location)
+            else:
+                inner = self._parse_assign()
+            self._end_statement()
+            return ast.If(cond=cond, then_body=[inner], loc=loc)
+        self._expect(TokenKind.THEN, "if statement")
+        self._end_statement()
+        then_body = self._parse_stmts()
+        else_body: List[ast.Stmt] = []
+        if self._at(TokenKind.ELSEIF):
+            elif_tok = self._advance()
+            else_body = [self._parse_if_tail_as_elseif(elif_tok)]
+        elif self._at(TokenKind.ELSE):
+            self._advance()
+            self._end_statement()
+            else_body = self._parse_stmts()
+        self._expect(TokenKind.END, "if statement")
+        self._expect(TokenKind.IF, "if statement")
+        self._end_statement()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, loc=loc)
+
+    def _parse_if_tail_as_elseif(self, elif_tok: Token) -> ast.If:
+        """Parse ``(cond) then ... [elseif|else ...]`` after an ``elseif``.
+
+        The chain shares the enclosing ``end if``, which the *outermost*
+        caller consumes; this helper returns before it.
+        """
+        self._expect(TokenKind.LPAREN, "elseif condition")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "elseif condition")
+        self._expect(TokenKind.THEN, "elseif")
+        self._end_statement()
+        then_body = self._parse_stmts()
+        else_body: List[ast.Stmt] = []
+        if self._at(TokenKind.ELSEIF):
+            self._advance()
+            else_body = [self._parse_if_tail_as_elseif(self._peek())]
+        elif self._at(TokenKind.ELSE):
+            self._advance()
+            self._end_statement()
+            else_body = self._parse_stmts()
+        return ast.If(
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            loc=elif_tok.location,
+        )
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokenKind.OR):
+            tok = self._advance()
+            right = self._parse_and()
+            left = ast.BinOp(op="or", left=left, right=right, loc=tok.location)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._at(TokenKind.AND_RANGE):
+            tok = self._advance()
+            right = self._parse_not()
+            left = ast.BinOp(op="and", left=left, right=right, loc=tok.location)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._at(TokenKind.NOT):
+            tok = self._advance()
+            return ast.UnOp(op="not", operand=self._parse_not(), loc=tok.location)
+        return self._parse_comparison()
+
+    def _parse_bound(self) -> ast.Expr:
+        """A loop bound: arithmetic only, so ``and`` ends the range."""
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        tok = self._peek()
+        if tok.kind in _COMPARISON_TOKENS:
+            self._advance()
+            right = self._parse_additive()
+            return ast.BinOp(
+                op=_COMPARISON_TOKENS[tok.kind],
+                left=left,
+                right=right,
+                loc=tok.location,
+            )
+        if tok.kind is TokenKind.ASSIGN:
+            # FORTRAN-flavoured sources (and the paper's figures) write '='
+            # for equality inside conditions; accept it there.
+            self._advance()
+            right = self._parse_additive()
+            return ast.BinOp(op="==", left=left, right=right, loc=tok.location)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._at(TokenKind.PLUS, TokenKind.MINUS):
+            tok = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinOp(
+                op=str(tok.value), left=left, right=right, loc=tok.location
+            )
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._at(TokenKind.STAR, TokenKind.SLASH):
+            tok = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(
+                op=str(tok.value), left=left, right=right, loc=tok.location
+            )
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._at(TokenKind.MINUS):
+            tok = self._advance()
+            return ast.UnOp(op="-", operand=self._parse_unary(), loc=tok.location)
+        if self._at(TokenKind.PLUS):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(value=int(tok.value), loc=tok.location)
+        if tok.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(value=float(tok.value), loc=tok.location)
+        if tok.kind is TokenKind.STRING:
+            self._advance()
+            return ast.StringLit(value=str(tok.value), loc=tok.location)
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "parenthesised expression")
+            return inner
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            name = str(tok.value)
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    while self._at(TokenKind.COMMA):
+                        self._advance()
+                        args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN, "argument list")
+                if name in self._arrays:
+                    return ast.ArrayRef(name=name, indices=args, loc=tok.location)
+                return ast.Call(name=name, args=args, loc=tok.location)
+            return ast.Var(name=name, loc=tok.location)
+        raise ParseError(
+            f"expected an expression, found {tok.kind.value}", tok.location
+        )
+
+
+def parse(source: str, filename: str = "<input>") -> ast.SourceFile:
+    """Parse MiniF source text into a :class:`~repro.lang.ast.SourceFile`."""
+    return Parser(tokenize(source, filename)).parse_file()
+
+
+def parse_unit(source: str, filename: str = "<input>") -> ast.Unit:
+    """Parse a source containing exactly one unit and return it."""
+    file = parse(source, filename)
+    if len(file.units) != 1:
+        raise ParseError(
+            f"expected exactly one program unit, found {len(file.units)}"
+        )
+    return file.units[0]

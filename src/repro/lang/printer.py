@@ -1,0 +1,160 @@
+"""Unparser for MiniF ASTs.
+
+``print_unit``/``print_expr`` reproduce valid MiniF source from an AST, so
+transformed programs (the output of :mod:`repro.split`) can be shown to users
+in the same notation as the paper's figures, and so round-trip tests can
+check ``parse(print(parse(s)))`` stability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "  "
+
+#: Relative binding strength, used to parenthesise only where needed.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "<>": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+}
+
+
+def print_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render ``expr`` as MiniF source text."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, ast.StringLit):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        args = ", ".join(print_expr(i) for i in expr.indices)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.UnOp):
+        inner = print_expr(expr.operand, parent_prec=6)
+        if expr.op == "not":
+            return f"not {inner}"
+        return f"-{inner}"
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = print_expr(expr.left, parent_prec=prec)
+        # Right operand of same precedence needs parens for - and /.
+        right_prec = prec + 1 if expr.op in ("-", "/") else prec
+        right = print_expr(expr.right, parent_prec=right_prec)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _print_range(rng: ast.DoRange) -> str:
+    text = f"{print_expr(rng.lo)}, {print_expr(rng.hi)}"
+    if rng.step is not None:
+        text += f", {print_expr(rng.step)}"
+    return text
+
+
+def print_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
+    """Render ``stmt`` as a list of source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{print_expr(stmt.target)} = {print_expr(stmt.value)}"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        return [f"{pad}call {stmt.name}({args})"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return"]
+        return [f"{pad}return {print_expr(stmt.value)}"]
+    if isinstance(stmt, ast.DoLoop):
+        header = f"{pad}do {stmt.var} = " + " and ".join(
+            _print_range(r) for r in stmt.ranges
+        )
+        if stmt.where is not None:
+            header += f" where ({print_expr(stmt.where)})"
+        lines = [header]
+        for inner in stmt.body:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(f"{pad}end do")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({print_expr(stmt.cond)}) then"]
+        for inner in stmt.then_body:
+            lines.extend(print_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for inner in stmt.else_body:
+                lines.extend(print_stmt(inner, indent + 1))
+        lines.append(f"{pad}end if")
+        return lines
+    raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+
+
+def print_decl(decl: ast.Decl, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if not decl.dims:
+        return f"{pad}{decl.base_type} {decl.name}"
+    dims = []
+    for dim in decl.dims:
+        if isinstance(dim.lo, ast.IntLit) and dim.lo.value == 1:
+            dims.append(print_expr(dim.hi))
+        else:
+            dims.append(f"{print_expr(dim.lo)}:{print_expr(dim.hi)}")
+    return f"{pad}{decl.base_type} {decl.name}({', '.join(dims)})"
+
+
+def print_unit(unit: ast.Unit) -> str:
+    """Render a program unit as MiniF source text."""
+    if isinstance(unit, ast.Program):
+        header = f"program {unit.name}"
+        footer = "end program"
+    elif isinstance(unit, ast.Subroutine):
+        header = f"subroutine {unit.name}({', '.join(unit.params)})"
+        footer = "end subroutine"
+    elif isinstance(unit, ast.Function):
+        header = (
+            f"{unit.result_type} function {unit.name}"
+            f"({', '.join(unit.params)})"
+        )
+        footer = "end function"
+    else:
+        raise TypeError(f"cannot print unit node {type(unit).__name__}")
+    lines = [header]
+    for decl in unit.decls:
+        lines.append(print_decl(decl, indent=1))
+    for stmt in unit.body:
+        lines.extend(print_stmt(stmt, indent=1))
+    lines.append(footer)
+    return "\n".join(lines) + "\n"
+
+
+def print_file(file: ast.SourceFile) -> str:
+    """Render a whole source file."""
+    return "\n".join(print_unit(u) for u in file.units)
+
+
+def print_stmts(stmts: List[ast.Stmt], indent: int = 0) -> str:
+    """Render a statement list (used when showing split output fragments)."""
+    lines: List[str] = []
+    for stmt in stmts:
+        lines.extend(print_stmt(stmt, indent))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Token definitions for the MiniF lexer.
+
+MiniF is the small FORTRAN-flavoured input language used throughout this
+reproduction.  It is rich enough to express every example program in the
+paper (Figures 1-5) — ``do`` loops with ``where`` clauses and discontinuous
+ranges, conditionals, 1-D/2-D arrays, reductions, and calls — while staying
+small enough that the symbolic analyses of Section 3 can be complete.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Terminal symbols of the MiniF grammar."""
+
+    # Literals and identifiers.
+    IDENT = "identifier"
+    INT = "integer literal"
+    FLOAT = "float literal"
+    STRING = "string literal"
+
+    # Keywords.
+    PROGRAM = "program"
+    SUBROUTINE = "subroutine"
+    FUNCTION = "function"
+    END = "end"
+    DO = "do"
+    WHERE = "where"
+    AND_RANGE = "and"  # joins discontinuous do-ranges; also logical 'and'
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    ELSEIF = "elseif"
+    CALL = "call"
+    RETURN = "return"
+    INTEGER = "integer"
+    REAL = "real"
+    LOGICAL = "logical"
+    OR = "or"
+    NOT = "not"
+
+    # Punctuation and operators.
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    ASSIGN = "="
+    EQ = "=="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    COLON = ":"
+    NEWLINE = "newline"
+    EOF = "end of input"
+
+
+#: Reserved words, mapped to their token kinds.  ``and`` is context-sensitive
+#: (logical operator in expressions, range joiner in ``do`` headers); the
+#: parser resolves the ambiguity, the lexer just emits ``AND_RANGE``.
+KEYWORDS = {
+    "program": TokenKind.PROGRAM,
+    "subroutine": TokenKind.SUBROUTINE,
+    "function": TokenKind.FUNCTION,
+    "end": TokenKind.END,
+    "do": TokenKind.DO,
+    "where": TokenKind.WHERE,
+    "and": TokenKind.AND_RANGE,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "elseif": TokenKind.ELSEIF,
+    "call": TokenKind.CALL,
+    "return": TokenKind.RETURN,
+    "integer": TokenKind.INTEGER,
+    "real": TokenKind.REAL,
+    "logical": TokenKind.LOGICAL,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source location.
+
+    ``value`` carries the decoded payload for literals (``int`` or ``float``)
+    and the identifier text for :attr:`TokenKind.IDENT`; for fixed-spelling
+    tokens it repeats the spelling.
+    """
+
+    kind: TokenKind
+    value: Union[str, int, float]
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}, {self.location})"

@@ -1,0 +1,90 @@
+"""The adaptive runtime system (Section 4 of the paper), simulated.
+
+* :class:`MachineConfig` — the simulated distributed-memory machine,
+* :class:`TaperPolicy` and baselines (:mod:`.schedulers`) — grain-size
+  selection,
+* :func:`run_central` / :func:`run_distributed` — execute one parallel
+  operation,
+* :class:`FinishingTimeEstimator` — Equation 1,
+* :func:`allocate_pair` / :func:`allocate_many` — the iterative processor
+  allocation algorithm,
+* :func:`choose_granularity` — communication granularity for pipelines,
+* :func:`run_concurrent_ops` / :func:`run_pipelined` /
+  :class:`GraphExecutor` — orchestration.
+"""
+
+from .allocation import (
+    AllocationResult,
+    allocate_even,
+    allocate_many,
+    allocate_pair,
+    allocate_proportional,
+)
+from .comm import CommEstimator, FlatCommModel
+from .cost_model import CostFunction, OnlineStats
+from .distributed import DistributedRunResult, block_distribution, run_distributed
+from .estimates import FinishingTimeEstimator, OpProfile, lag_term
+from .executor import (
+    ConcurrentRunResult,
+    GraphExecutor,
+    GraphRunResult,
+    PipelineIteration,
+    PipelineRunResult,
+    profile_of,
+    run_concurrent_ops,
+    run_pipelined,
+)
+from .granularity import GranularityModel, choose_granularity
+from .machine import MachineConfig, ProcessorState, RunResult, fresh_processors
+from .schedulers import (
+    ChunkPolicy,
+    Factoring,
+    GuidedSelfScheduling,
+    SelfScheduling,
+    StaticChunking,
+    make_policy,
+    run_central,
+)
+from .taper import TaperPolicy
+from .task import ParallelOp
+
+__all__ = [
+    "MachineConfig",
+    "ProcessorState",
+    "RunResult",
+    "fresh_processors",
+    "ParallelOp",
+    "OnlineStats",
+    "CostFunction",
+    "TaperPolicy",
+    "SelfScheduling",
+    "GuidedSelfScheduling",
+    "Factoring",
+    "StaticChunking",
+    "ChunkPolicy",
+    "make_policy",
+    "run_central",
+    "run_distributed",
+    "DistributedRunResult",
+    "block_distribution",
+    "FinishingTimeEstimator",
+    "OpProfile",
+    "lag_term",
+    "allocate_pair",
+    "allocate_many",
+    "allocate_even",
+    "allocate_proportional",
+    "AllocationResult",
+    "CommEstimator",
+    "FlatCommModel",
+    "GranularityModel",
+    "choose_granularity",
+    "run_concurrent_ops",
+    "run_pipelined",
+    "ConcurrentRunResult",
+    "PipelineIteration",
+    "PipelineRunResult",
+    "GraphExecutor",
+    "GraphRunResult",
+    "profile_of",
+]

@@ -1,0 +1,93 @@
+"""Online task-cost statistics and cost functions (Section 4.1.1).
+
+"The runtime system samples task execution times to compute their
+statistical mean (mu) and variance (sigma^2). ...  The runtime system does
+additional sampling of task costs to build a *cost function*, which
+estimates task execution times as a function of iteration number within
+the parallel operation.  We use the cost function to scale a chunk size
+K_i by s = mu_g / mu_c."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class OnlineStats:
+    """Welford-style running mean/variance of observed task costs."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def update(self, cost: float) -> None:
+        self.count += 1
+        delta = cost - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (cost - self.mean)
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.stddev / self.mean
+
+
+@dataclass
+class CostFunction:
+    """Estimates task cost as a function of iteration number.
+
+    Built online by bucketing observed (iteration, cost) samples; a query
+    for a not-yet-observed region falls back to the nearest observed
+    bucket, then to the global mean.
+    """
+
+    bucket_size: int = 64
+    _sums: Dict[int, float] = field(default_factory=dict)
+    _counts: Dict[int, int] = field(default_factory=dict)
+    stats: OnlineStats = field(default_factory=OnlineStats)
+
+    def observe(self, iteration: int, cost: float) -> None:
+        bucket = iteration // self.bucket_size
+        self._sums[bucket] = self._sums.get(bucket, 0.0) + cost
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self.stats.update(cost)
+
+    def predict(self, iteration: int) -> float:
+        """Predicted cost of the task at ``iteration``."""
+        if not self._counts:
+            return self.stats.mean or 1.0
+        bucket = iteration // self.bucket_size
+        if bucket in self._counts:
+            return self._sums[bucket] / self._counts[bucket]
+        nearest = min(self._counts, key=lambda b: abs(b - bucket))
+        return self._sums[nearest] / self._counts[nearest]
+
+    def scale_factor(self, iteration: int) -> float:
+        """The paper's chunk scale ``s = mu_g / mu_c``.
+
+        ``mu_g`` is the global mean; ``mu_c`` the predicted mean for the
+        tasks in the upcoming chunk region.  Expensive regions shrink the
+        chunk, cheap regions grow it.  Clamped to [1/8, 8] for stability.
+        """
+        global_mean = self.stats.mean
+        if global_mean <= 0:
+            return 1.0
+        local = self.predict(iteration)
+        if local <= 0:
+            return 1.0
+        factor = global_mean / local
+        return max(0.125, min(8.0, factor))

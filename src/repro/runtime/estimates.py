@@ -1,0 +1,136 @@
+"""Finishing-time estimation — Equation 1 of the paper (Section 4.1.2).
+
+    finish = setup + compute + lag + comm + sched
+
+* ``setup`` — the maximum of the time to contract one operation's data
+  onto p1 processors and expand the other's onto p2;
+* ``compute`` — expected mean time for the portion: ``N * mu / p``;
+* ``lag`` — expected *maximum* finishing time minus the mean, driven by
+  the task-time distribution (mu, sigma) [Kruskal & Weiss];
+* ``comm`` — the Sarkar-Hennessy weighted edge sum (:mod:`.comm`);
+* ``sched`` — predicted number of chunks times per-event overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .machine import MachineConfig
+from .schedulers import ChunkPolicy
+from .taper import TaperPolicy
+
+
+@dataclass
+class OpProfile:
+    """What the runtime knows about one parallel operation when it must
+    allocate processors: sampled statistics plus data sizes."""
+
+    tasks: int
+    mean: float
+    stddev: float = 0.0
+    #: Bytes that must be moved to set the operation up on new processors.
+    setup_bytes: float = 0.0
+    #: Communication estimate callable comm(p); defaults to none.
+    comm: Optional[Callable[[int], float]] = None
+
+    @property
+    def cv(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.stddev / self.mean
+
+    @property
+    def total_work(self) -> float:
+        return self.tasks * self.mean
+
+
+def lag_term(
+    mean: float,
+    stddev: float,
+    tasks_per_proc: float,
+    p: int,
+    adaptive: bool = True,
+) -> float:
+    """Expected straggler excess over the mean (Kruskal-Weiss style).
+
+    For *static* blocks of ``k`` tasks the finishing time varies with
+    standard deviation ``sigma * sqrt(k)``, so the expected maximum over p
+    processors exceeds the mean by about ``sigma * sqrt(2 k ln p)``.  Under
+    *adaptive* chunking the final chunks shrink toward single tasks, so the
+    residual straggler is one task deep: ``sigma * sqrt(2 ln p)``.
+    """
+    if p <= 1 or stddev <= 0.0 or tasks_per_proc <= 0:
+        return 0.0
+    depth = 1.0 if adaptive else max(tasks_per_proc, 1.0)
+    # The Gaussian extreme-value factor sqrt(2 ln p) overshoots for the
+    # bounded task-time distributions real loops produce; cap the
+    # per-task straggler excess at 2.5 sigma.
+    spread = min(math.sqrt(2.0 * math.log(p)), 2.5)
+    return stddev * spread * math.sqrt(depth)
+
+
+@dataclass
+class FinishingTimeEstimator:
+    """Evaluates Eq. 1 for one operation as a function of p."""
+
+    profile: OpProfile
+    config: MachineConfig
+    policy: ChunkPolicy = field(default_factory=TaperPolicy)
+    #: Whether the operation is scheduled adaptively (affects lag depth).
+    adaptive: bool = True
+
+    def setup(self, p: int) -> float:
+        if self.profile.setup_bytes <= 0 or p <= 0:
+            return 0.0
+        # Contract/expand: the data is re-blocked across p processors in
+        # parallel; each processor moves ~bytes/p plus one latency.
+        return self.config.message_latency + (
+            self.profile.setup_bytes / p / self.config.bandwidth
+        )
+
+    def compute(self, p: int) -> float:
+        if p <= 0:
+            return float("inf")
+        return self.profile.total_work / p
+
+    def lag(self, p: int) -> float:
+        tasks_per_proc = self.profile.tasks / max(p, 1)
+        return lag_term(
+            self.profile.mean,
+            self.profile.stddev,
+            tasks_per_proc,
+            p,
+            adaptive=self.adaptive,
+        )
+
+    def comm(self, p: int) -> float:
+        if self.profile.comm is None:
+            return 0.0
+        return self.profile.comm(p)
+
+    def sched(self, p: int) -> float:
+        chunks = self.policy.predict_chunks(
+            self.profile.tasks, max(p, 1), self.profile.cv
+        )
+        # Chunk acquisitions spread over p processors, plus the epoch
+        # protocol's tree rounds (one per p chunks) — the term that makes
+        # ever-larger machines eventually stop paying off.
+        epochs = max(1.0, chunks / max(p, 1))
+        return (
+            chunks * self.config.sched_overhead / max(p, 1)
+            + epochs * self.config.tree_round_time(p)
+        )
+
+    def finish(self, p: int) -> float:
+        """Equation 1."""
+        if p <= 0:
+            return float("inf")
+        return (
+            self.setup(p)
+            + self.compute(p)
+            + self.lag(p)
+            + self.comm(p)
+            + self.sched(p)
+        )

@@ -1,0 +1,393 @@
+"""Executing dataflow graphs on the simulated machine (Section 4).
+
+Three layers, used by the examples and the benchmark harness:
+
+* :func:`run_concurrent_ops` — a set of simultaneously-ready parallel
+  operations: ration processors with the Eq. 1 balancer, execute each
+  share under distributed TAPER, report the combined result.  This is the
+  paper's core scenario ("A and B1 executing simultaneously").
+* :func:`run_pipelined` — a pipelined loop (A_I / A_D / A_M stages per
+  iteration): iteration i's independent stage overlaps iteration i-1's
+  dependent work, with the processor split re-balanced each iteration.
+* :class:`GraphExecutor` — event-driven execution of an arbitrary
+  Delirium graph with preemptive re-allocation whenever the set of
+  running operations changes (the paper reallocates when B1 begins while
+  A is partially complete).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .allocation import allocate_even, allocate_many, allocate_pair
+from .distributed import run_distributed
+from .estimates import FinishingTimeEstimator, OpProfile
+from .machine import MachineConfig, RunResult
+from .schedulers import make_policy
+from .task import ParallelOp
+
+
+def profile_of(op: ParallelOp, sample: int = 32) -> OpProfile:
+    """The runtime's sampled view of an operation (first ``sample`` tasks,
+    as the real system samples during startup)."""
+    observed = op.costs[: max(1, min(sample, len(op.costs)))]
+    mean = sum(observed) / len(observed)
+    if len(observed) > 1:
+        var = sum((c - mean) ** 2 for c in observed) / (len(observed) - 1)
+    else:
+        var = 0.0
+    return OpProfile(
+        tasks=op.size,
+        mean=mean,
+        stddev=math.sqrt(var),
+        setup_bytes=op.bytes_per_task * op.size,
+    )
+
+
+@dataclass
+class ConcurrentRunResult:
+    """Outcome of running several operations side by side."""
+
+    makespan: float
+    per_op: List[RunResult]
+    shares: List[int]
+
+    @property
+    def total_work(self) -> float:
+        return sum(r.total_work for r in self.per_op)
+
+    @property
+    def efficiency(self) -> float:
+        p = sum(self.shares)
+        if p == 0 or self.makespan == 0:
+            return 1.0
+        return self.total_work / (p * self.makespan)
+
+
+def run_concurrent_ops(
+    ops: Sequence[ParallelOp],
+    p: int,
+    config: Optional[MachineConfig] = None,
+    policy: str = "taper",
+    allocator: str = "balance",
+    work_conserving: bool = True,
+) -> ConcurrentRunResult:
+    """Run concurrent operations, sharing ``p`` processors.
+
+    ``allocator`` chooses the *initial* processor split: ``"balance"``
+    (the paper's Eq. 1 equaliser), ``"even"``, or ``"proportional"``.
+
+    With ``work_conserving`` (the paper's behaviour) the allocation seeds
+    the data decomposition and the distributed scheduler's chunk
+    re-assignment then lets idle processors flow across operation
+    boundaries — "the runtime system uses the extra parallelism from the
+    more regular loop nest to smooth the load balance of the computation
+    as a whole".  Without it each operation is pinned to its share (a
+    strictly partitioned baseline for the ablation benches).
+    """
+    config = config or MachineConfig(processors=p)
+    if not ops:
+        return ConcurrentRunResult(makespan=0.0, per_op=[], shares=[])
+    if len(ops) == 1:
+        shares = [p]
+    elif p < 2 * len(ops):
+        shares = allocate_even(p, len(ops))
+    elif allocator == "balance":
+        estimators = [
+            FinishingTimeEstimator(profile_of(op), config) for op in ops
+        ]
+        shares = allocate_many(p, [e.finish for e in estimators])
+    elif allocator == "proportional":
+        from .allocation import allocate_proportional
+
+        shares = allocate_proportional(p, [op.total_work for op in ops])
+    elif allocator == "even":
+        shares = allocate_even(p, len(ops))
+    else:
+        raise ValueError(f"unknown allocator {allocator!r}")
+
+    if work_conserving and len(ops) > 1:
+        return _run_work_conserving(ops, p, shares, config, policy)
+
+    results: List[RunResult] = []
+    for op, share in zip(ops, shares):
+        share = max(share, 1)
+        results.append(
+            run_distributed(
+                op.costs,
+                share,
+                policy=make_policy(policy),
+                config=config,
+                bytes_per_task=op.bytes_per_task,
+            )
+        )
+    makespan = max(r.makespan for r in results)
+    return ConcurrentRunResult(makespan=makespan, per_op=results, shares=shares)
+
+
+def _run_work_conserving(
+    ops: Sequence[ParallelOp],
+    p: int,
+    shares: Sequence[int],
+    config: MachineConfig,
+    policy: str,
+) -> ConcurrentRunResult:
+    """One combined distributed run.
+
+    Every operation's data is block-decomposed over the *whole* machine
+    (each array lives on all p processors, owner-computes); the allocation
+    decides the initial execution priority — processors in an operation's
+    share start on that operation's local tasks, the rest start on their
+    other-op tasks — and chunk re-assignment smooths from there.
+    """
+    from .distributed import block_distribution
+
+    combined: List[float] = []
+    queues: List[List[int]] = [[] for _ in range(p)]
+    offset = 0
+    mean_bytes = sum(op.bytes_per_task * op.size for op in ops) / max(
+        sum(op.size for op in ops), 1
+    )
+    for op in ops:
+        local = block_distribution(op.size, p)
+        for proc, indices in enumerate(local):
+            queues[proc].extend(offset + i for i in indices)
+        combined.extend(op.costs)
+        offset += op.size
+    result = run_distributed(
+        combined,
+        p,
+        policy=make_policy(policy),
+        config=config,
+        bytes_per_task=mean_bytes,
+        initial_queues=queues,
+    )
+    return ConcurrentRunResult(
+        makespan=result.makespan, per_op=[result], shares=list(shares)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pipelined loops
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineIteration:
+    """Task costs of one iteration's three stages."""
+
+    independent: ParallelOp
+    dependent: ParallelOp
+    merge: ParallelOp
+
+
+@dataclass
+class PipelineRunResult:
+    makespan: float
+    total_work: float
+    iterations: int
+    splits: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def efficiency_on(self) -> Callable[[int], float]:
+        return lambda p: self.total_work / (p * self.makespan) if self.makespan else 1.0
+
+
+def run_pipelined(
+    iterations: Sequence[PipelineIteration],
+    p: int,
+    config: Optional[MachineConfig] = None,
+    policy: str = "taper",
+    overlap: bool = True,
+) -> PipelineRunResult:
+    """Execute a pipelined loop.
+
+    With ``overlap`` the runtime overlaps iteration i's A_I with iteration
+    i-1's A_D/A_M, splitting processors via the Eq. 1 balancer; without it
+    (the non-pipelined baseline) the three stages of each iteration run in
+    sequence on all ``p`` processors.
+    """
+    config = config or MachineConfig(processors=p)
+    total_work = sum(
+        it.independent.total_work + it.dependent.total_work + it.merge.total_work
+        for it in iterations
+    )
+    if not iterations:
+        return PipelineRunResult(makespan=0.0, total_work=0.0, iterations=0)
+
+    def stage_time(op: ParallelOp, share: int) -> float:
+        if op.size == 0 or share <= 0:
+            return 0.0
+        return run_distributed(
+            op.costs,
+            max(share, 1),
+            policy=make_policy(policy),
+            config=config,
+            bytes_per_task=op.bytes_per_task,
+        ).makespan
+
+    if not overlap:
+        makespan = sum(
+            stage_time(it.independent, p)
+            + stage_time(it.dependent, p)
+            + stage_time(it.merge, p)
+            for it in iterations
+        )
+        return PipelineRunResult(
+            makespan=makespan,
+            total_work=total_work,
+            iterations=len(iterations),
+        )
+
+    # Overlapped: in the steady state, iteration i+1's A_I runs alongside
+    # iteration i's A_D + A_M.
+    splits: List[Tuple[int, int]] = []
+    makespan = stage_time(iterations[0].independent, p)  # pipeline fill
+    for index, iteration in enumerate(iterations):
+        next_independent = (
+            iterations[index + 1].independent
+            if index + 1 < len(iterations)
+            else None
+        )
+        dep_work = iteration.dependent.total_work + iteration.merge.total_work
+        if next_independent is None or next_independent.size == 0:
+            makespan += stage_time(iteration.dependent, p) + stage_time(
+                iteration.merge, p
+            )
+            continue
+        estimator_next = FinishingTimeEstimator(
+            profile_of(next_independent), config
+        )
+        dep_profile = OpProfile(
+            tasks=iteration.dependent.size + iteration.merge.size,
+            mean=(
+                dep_work / max(iteration.dependent.size + iteration.merge.size, 1)
+            ),
+            stddev=iteration.dependent.stddev,
+            setup_bytes=0.0,
+        )
+        estimator_dep = FinishingTimeEstimator(dep_profile, config)
+        allocation = allocate_pair(
+            p, estimator_next.finish, estimator_dep.finish
+        )
+        splits.append((allocation.p1, allocation.p2))
+        t_next = stage_time(next_independent, allocation.p1)
+        t_dep = stage_time(iteration.dependent, allocation.p2) + stage_time(
+            iteration.merge, allocation.p2
+        )
+        makespan += max(t_next, t_dep)
+    return PipelineRunResult(
+        makespan=makespan,
+        total_work=total_work,
+        iterations=len(iterations),
+        splits=splits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphRunResult:
+    makespan: float
+    total_work: float
+    processors: int
+    op_finish: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        if self.makespan <= 0 or self.processors <= 0:
+            return 1.0
+        return self.total_work / (self.processors * self.makespan)
+
+
+class GraphExecutor:
+    """Event-driven execution of a Delirium graph with preemptive
+    re-allocation at every change in the running set.
+
+    Operations progress at a rate derived from Eq. 1 for their current
+    share: an operation with remaining work W and share q completes W at
+    rate ``W_total / finish(q)`` scaled to its remaining fraction.  This
+    rate model is what lets re-allocation mid-operation (the paper's
+    scenario: "A begins executing first and has partially completed when
+    B1 begins") be simulated cheaply.
+    """
+
+    def __init__(
+        self,
+        graph,
+        op_tasks: Dict[int, ParallelOp],
+        p: int,
+        config: Optional[MachineConfig] = None,
+        allocator: str = "balance",
+    ):
+        self.graph = graph
+        self.op_tasks = op_tasks
+        self.p = p
+        self.config = config or MachineConfig(processors=p)
+        self.allocator = allocator
+
+    def run(self) -> GraphRunResult:
+        remaining_preds = {
+            node.id: len(self.graph.predecessors(node))
+            for node in self.graph.nodes
+        }
+        ready = [n.id for n in self.graph.nodes if remaining_preds[n.id] == 0]
+        running: Dict[int, float] = {}  # op id -> remaining work
+        finish_time: Dict[int, float] = {}
+        now = 0.0
+        total_work = 0.0
+
+        def estimator_for(op_id: int) -> FinishingTimeEstimator:
+            op = self.op_tasks.get(op_id)
+            if op is None or op.size == 0:
+                op = ParallelOp(name=str(op_id), costs=[1.0])
+            return FinishingTimeEstimator(profile_of(op), self.config)
+
+        while ready or running:
+            for op_id in ready:
+                op = self.op_tasks.get(op_id)
+                work = op.total_work if op is not None and op.size else 1.0
+                running[op_id] = work
+                total_work += work
+            ready = []
+            # Allocate among running ops.
+            ids = sorted(running)
+            if self.allocator == "balance" and len(ids) > 1 and self.p >= 2 * len(ids):
+                estimators = [estimator_for(i) for i in ids]
+                shares = allocate_many(self.p, [e.finish for e in estimators])
+            else:
+                shares = allocate_even(self.p, len(ids))
+            rates: Dict[int, float] = {}
+            for op_id, share in zip(ids, shares):
+                share = max(share, 1)
+                estimator = estimator_for(op_id)
+                op = self.op_tasks.get(op_id)
+                base_work = op.total_work if op is not None and op.size else 1.0
+                predicted = max(estimator.finish(share), 1e-9)
+                rates[op_id] = base_work / predicted
+            # Next completion.
+            time_left = {
+                op_id: running[op_id] / rates[op_id] for op_id in ids
+            }
+            finisher = min(time_left, key=time_left.get)
+            dt = time_left[finisher]
+            now += dt
+            for op_id in ids:
+                running[op_id] -= rates[op_id] * dt
+            del running[finisher]
+            finish_time[finisher] = now
+            for succ in self.graph.successors(self.graph.node(finisher)):
+                remaining_preds[succ.id] -= 1
+                if remaining_preds[succ.id] == 0:
+                    ready.append(succ.id)
+        return GraphRunResult(
+            makespan=now,
+            total_work=total_work,
+            processors=self.p,
+            op_finish=finish_time,
+        )

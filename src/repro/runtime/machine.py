@@ -1,0 +1,99 @@
+"""The simulated distributed-memory machine.
+
+The paper's measurements ran on an Ncube-2 with up to 1200 processors.  We
+substitute a discrete-event simulation parameterised by the costs that
+drive the paper's runtime algorithms: per-chunk scheduling overhead,
+message latency, bandwidth, and the tree-broadcast cost of the distributed
+TAPER epoch protocol.  Simulated time is in abstract *work units* — one
+unit is the cost of a nominal task-sized piece of computation — so results
+are reported as speedups/efficiencies, never absolute seconds (see
+DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cost parameters of the simulated machine.
+
+    Defaults are loosely calibrated to an Ncube-2-class message-passing
+    machine relative to a ~10-unit mean task: chunk dispatch is cheap but
+    not free, messages carry a meaningful latency, and the epoch tree
+    costs ``2 log2 p`` message hops.
+    """
+
+    processors: int = 64
+    #: Cost charged to a processor for each chunk it acquires.
+    sched_overhead: float = 0.4
+    #: One-way message latency (work units).
+    message_latency: float = 2.0
+    #: Bandwidth in bytes per work unit.
+    bandwidth: float = 4096.0
+    #: Fixed per-task dispatch cost within an acquired chunk.
+    task_overhead: float = 0.02
+
+    def __post_init__(self):
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` point-to-point."""
+        return self.message_latency + n_bytes / self.bandwidth
+
+    def tree_round_time(self, p: int) -> float:
+        """One token-gather + broadcast round on the binary tree of p
+        leaves (the distributed TAPER epoch protocol)."""
+        if p <= 1:
+            return 0.0
+        return 2.0 * math.ceil(math.log2(p)) * self.message_latency
+
+
+@dataclass
+class ProcessorState:
+    """One simulated processor: a clock plus accounting."""
+
+    index: int
+    clock: float = 0.0
+    busy: float = 0.0
+    tasks_run: int = 0
+    chunks_run: int = 0
+
+    def run(self, work: float, tasks: int = 1) -> None:
+        self.clock += work
+        self.busy += work
+        self.tasks_run += tasks
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one parallel operation."""
+
+    makespan: float
+    total_work: float
+    processors: int
+    chunks: int
+    tasks_moved: int = 0
+    comm_time: float = 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency: ideal time / (p * makespan)."""
+        if self.makespan <= 0 or self.processors <= 0:
+            return 1.0
+        return self.total_work / (self.processors * self.makespan)
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over a single processor doing ``total_work``."""
+        if self.makespan <= 0:
+            return float(self.processors)
+        return self.total_work / self.makespan
+
+
+def fresh_processors(p: int) -> List[ProcessorState]:
+    return [ProcessorState(index=i) for i in range(p)]

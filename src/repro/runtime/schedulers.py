@@ -1,0 +1,193 @@
+"""Baseline scheduling policies and the central-queue simulator.
+
+Baselines the paper cites for chunk-size generation [10, 17, 20]:
+
+* **static** — block decomposition, one contiguous chunk per processor,
+  no runtime scheduling events (the paper's "static" curve in Figure 6);
+* **self-scheduling (SS)** — one task per scheduling event;
+* **guided self-scheduling (GSS)** — ``ceil(R/p)`` per event
+  (Polychronopoulos & Kuck);
+* **factoring** — batches of ``p`` chunks, each ``ceil(R/(2p))``
+  (Hummel, Schonberg & Flynn);
+* **TAPER** — :mod:`repro.runtime.taper`.
+
+:func:`run_central` simulates a parallel operation executed from a central
+task queue under any of these policies on the simulated machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+from .cost_model import CostFunction
+from .machine import MachineConfig, RunResult
+from .taper import TaperPolicy
+
+
+class ChunkPolicy(Protocol):
+    """Anything that can pick the next chunk size."""
+
+    name: str
+
+    def next_chunk(
+        self,
+        remaining: int,
+        p: int,
+        cost_function: CostFunction,
+        next_iteration: int = 0,
+    ) -> int: ...
+
+    def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float: ...
+
+
+@dataclass
+class SelfScheduling:
+    """One task at a time — minimal imbalance, maximal overhead."""
+
+    name: str = "self"
+
+    def next_chunk(self, remaining, p, cost_function, next_iteration=0) -> int:
+        return 1 if remaining > 0 else 0
+
+    def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float:
+        return float(n)
+
+
+@dataclass
+class GuidedSelfScheduling:
+    """GSS: ceil(R/p) per event (Polychronopoulos & Kuck, 1987)."""
+
+    name: str = "gss"
+    min_chunk: int = 1
+
+    def next_chunk(self, remaining, p, cost_function, next_iteration=0) -> int:
+        if remaining <= 0:
+            return 0
+        return max(self.min_chunk, math.ceil(remaining / p))
+
+    def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float:
+        if n <= 0:
+            return 0.0
+        # R shrinks by (1 - 1/p) each event.
+        return max(1.0, p * math.log(max(n / p, 1.0)) + p)
+
+
+@dataclass
+class Factoring:
+    """Factoring: rounds of p chunks, each ceil(R/(2p)) (Hummel et al.)."""
+
+    name: str = "factoring"
+    min_chunk: int = 1
+    _round_left: int = field(default=0, repr=False)
+    _round_size: int = field(default=0, repr=False)
+
+    def next_chunk(self, remaining, p, cost_function, next_iteration=0) -> int:
+        if remaining <= 0:
+            return 0
+        if self._round_left <= 0:
+            self._round_size = max(self.min_chunk, math.ceil(remaining / (2 * p)))
+            self._round_left = p
+        self._round_left -= 1
+        return min(self._round_size, remaining)
+
+    def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float:
+        if n <= 0:
+            return 0.0
+        rounds = max(1.0, math.log2(max(n / p, 2.0)))
+        return min(float(n), p * rounds)
+
+
+@dataclass
+class StaticChunking:
+    """Block decomposition: each processor receives exactly one chunk."""
+
+    name: str = "static"
+    _dealt: int = field(default=0, repr=False)
+    _block: int = field(default=0, repr=False)
+
+    def next_chunk(self, remaining, p, cost_function, next_iteration=0) -> int:
+        if remaining <= 0:
+            return 0
+        if self._block == 0:
+            # First call: fix the block size for the whole operation.
+            self._block = math.ceil((remaining) / p)
+        return min(self._block, remaining)
+
+    def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float:
+        return float(min(n, p))
+
+
+def make_policy(name: str, min_chunk: int = 1) -> ChunkPolicy:
+    """Factory by policy name (fresh instance — policies carry state)."""
+    if name == "taper":
+        return TaperPolicy(min_chunk=min_chunk)
+    if name == "taper-nocost":
+        return TaperPolicy(min_chunk=min_chunk, use_cost_function=False, name="taper-nocost")
+    if name == "self":
+        return SelfScheduling()
+    if name == "gss":
+        return GuidedSelfScheduling(min_chunk=min_chunk)
+    if name == "factoring":
+        return Factoring(min_chunk=min_chunk)
+    if name == "static":
+        return StaticChunking()
+    raise ValueError(f"unknown scheduling policy {name!r}")
+
+
+def run_central(
+    costs: Sequence[float],
+    p: int,
+    policy: ChunkPolicy,
+    config: Optional[MachineConfig] = None,
+    prior_sample_stride: Optional[int] = None,
+) -> RunResult:
+    """Simulate one parallel operation from a central task queue.
+
+    Each *scheduling event* (a processor acquiring a chunk) costs
+    ``sched_overhead``; each task adds ``task_overhead``.  The makespan is
+    the time the last processor finishes.
+
+    ``prior_sample_stride`` models the paper's pre-run sampling ("the
+    runtime system does additional sampling of task costs to build a cost
+    function"): every stride-th task cost is observed before scheduling
+    begins, so the cost function knows the iteration-axis trend up front.
+    """
+    config = config or MachineConfig(processors=p)
+    n = len(costs)
+    if n == 0:
+        return RunResult(makespan=0.0, total_work=0.0, processors=p, chunks=0)
+    cost_function = CostFunction(bucket_size=max(1, n // 16))
+    if prior_sample_stride is not None and prior_sample_stride > 0:
+        for index in range(0, n, prior_sample_stride):
+            cost_function.observe(index, costs[index])
+    heap: List[tuple] = [(0.0, index) for index in range(p)]
+    heapq.heapify(heap)
+    position = 0
+    chunks = 0
+    finish = [0.0] * p
+    while position < n:
+        clock, proc = heapq.heappop(heap)
+        remaining = n - position
+        size = policy.next_chunk(remaining, p, cost_function, position)
+        if size <= 0:
+            size = 1
+        size = min(size, remaining)
+        work = config.sched_overhead + size * config.task_overhead
+        for offset in range(size):
+            cost = costs[position + offset]
+            work += cost
+            cost_function.observe(position + offset, cost)
+        position += size
+        chunks += 1
+        clock += work
+        finish[proc] = clock
+        heapq.heappush(heap, (clock, proc))
+    return RunResult(
+        makespan=max(finish),
+        total_work=float(sum(costs)),
+        processors=p,
+        chunks=chunks,
+    )

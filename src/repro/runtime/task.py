@@ -1,0 +1,76 @@
+"""Tasks and parallel operations (Section 4).
+
+"The set of non-re-entrant operators determines the minimum units of
+scheduling.  Henceforth, we'll call these indivisible scheduling units
+*tasks*."  A :class:`ParallelOp` is one data-parallel Delirium operator:
+an ordered sequence of task costs (work units) plus the data each task
+carries (for communication estimates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ParallelOp:
+    """A parallel operation: ``costs[k]`` is task ``k``'s execution time.
+
+    ``bytes_per_task`` sizes the data that moves when a task is
+    transferred to a non-owner processor.  ``name`` is for reporting.
+    """
+
+    name: str
+    costs: List[float]
+    bytes_per_task: float = 256.0
+
+    def __post_init__(self):
+        if any(c < 0 for c in self.costs):
+            raise ValueError("task costs must be non-negative")
+
+    @property
+    def size(self) -> int:
+        return len(self.costs)
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.costs)
+
+    @property
+    def mean(self) -> float:
+        if not self.costs:
+            return 0.0
+        return self.total_work / len(self.costs)
+
+    @property
+    def variance(self) -> float:
+        if len(self.costs) < 2:
+            return 0.0
+        mu = self.mean
+        return sum((c - mu) ** 2 for c in self.costs) / (len(self.costs) - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the irregularity measure."""
+        mu = self.mean
+        if mu == 0:
+            return 0.0
+        return self.stddev / mu
+
+    def prefix_means(self, buckets: int = 8) -> List[float]:
+        """Bucketed means along the iteration axis — the runtime's *cost
+        function* estimating task cost as a function of iteration number."""
+        if not self.costs:
+            return []
+        size = max(1, len(self.costs) // buckets)
+        means: List[float] = []
+        for start in range(0, len(self.costs), size):
+            piece = self.costs[start : start + size]
+            means.append(sum(piece) / len(piece))
+        return means

@@ -1,0 +1,150 @@
+"""The ReadLinked movement heuristic (Section 3.3.1).
+
+"In our current implementation, we use a heuristic to decide whether moving
+a member of ReadLinked is worthwhile.  The heuristic goes ahead with the
+move if both of the following are true:
+
+* the number of floating point and integer computations in the code that is
+  to be replicated can be calculated and it is below a threshold
+* profiling data shows that the computation is expensive enough to justify
+  moving it"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..analysis.symbolic import expr_from_ast
+from ..lang import ast
+from ..lang.builtins import call_cost
+from .primitives import Primitive
+
+#: Trip count assumed for loops with symbolic bounds when *estimating*
+#: benefit (never when deciding calculability of replication cost).
+NOMINAL_TRIP = 32.0
+
+
+def static_op_count(stmts: Sequence[ast.Stmt]) -> Optional[float]:
+    """Number of arithmetic operations, if statically calculable.
+
+    Returns ``None`` when a loop's trip count is not a compile-time
+    constant — the paper requires the replication cost to be *calculable*.
+    """
+    total = 0.0
+    for stmt in stmts:
+        count = _stmt_ops(stmt)
+        if count is None:
+            return None
+        total += count
+    return total
+
+
+def _stmt_ops(stmt: ast.Stmt) -> Optional[float]:
+    if isinstance(stmt, ast.Assign):
+        return _expr_ops(stmt.value) + sum(
+            _expr_ops(i) for i in getattr(stmt.target, "indices", [])
+        )
+    if isinstance(stmt, ast.CallStmt):
+        return call_cost(stmt.name) + sum(_expr_ops(a) for a in stmt.args)
+    if isinstance(stmt, ast.Return):
+        return _expr_ops(stmt.value) if stmt.value is not None else 0.0
+    if isinstance(stmt, ast.If):
+        then_ops = static_op_count(stmt.then_body)
+        else_ops = static_op_count(stmt.else_body)
+        if then_ops is None or else_ops is None:
+            return None
+        return _expr_ops(stmt.cond) + max(then_ops, else_ops)
+    if isinstance(stmt, ast.DoLoop):
+        trip = _static_trip_count(stmt)
+        if trip is None:
+            return None
+        body = static_op_count(stmt.body)
+        if body is None:
+            return None
+        guard_ops = _expr_ops(stmt.where) if stmt.where is not None else 0.0
+        return trip * (body + guard_ops)
+    raise TypeError(f"unexpected statement {type(stmt).__name__}")
+
+
+def _static_trip_count(loop: ast.DoLoop) -> Optional[float]:
+    total = 0.0
+    for rng in loop.ranges:
+        lo = expr_from_ast(rng.lo)
+        hi = expr_from_ast(rng.hi)
+        if lo is None or hi is None:
+            return None
+        span = (hi - lo).constant_value()
+        if span is None:
+            return None
+        step = 1
+        if rng.step is not None:
+            step_expr = expr_from_ast(rng.step)
+            if step_expr is None or step_expr.constant_value() is None:
+                return None
+            step = int(step_expr.constant_value())
+        if span >= 0:
+            total += span // step + 1
+    return total
+
+
+def _expr_ops(expr: ast.Expr) -> float:
+    total = 0.0
+    for node in expr.walk():
+        if isinstance(node, (ast.BinOp, ast.UnOp)):
+            total += 1
+        elif isinstance(node, ast.Call):
+            total += call_cost(node.name)
+    return total
+
+
+def estimated_weight(primitive: Primitive) -> float:
+    """Benefit estimate for a primitive: op count with nominal trip counts
+    substituted for symbolic loop bounds (a stand-in for profile data)."""
+    return _estimate_stmts(primitive.stmts)
+
+
+def _estimate_stmts(stmts: Sequence[ast.Stmt]) -> float:
+    total = 0.0
+    for stmt in stmts:
+        if isinstance(stmt, ast.DoLoop):
+            trip = _static_trip_count(stmt)
+            if trip is None:
+                trip = NOMINAL_TRIP * len(stmt.ranges)
+            total += trip * _estimate_stmts(stmt.body)
+        elif isinstance(stmt, ast.If):
+            total += _expr_ops(stmt.cond)
+            total += max(
+                _estimate_stmts(stmt.then_body), _estimate_stmts(stmt.else_body)
+            )
+        elif isinstance(stmt, ast.Assign):
+            total += _stmt_ops(stmt) or 0.0
+        elif isinstance(stmt, ast.CallStmt):
+            total += call_cost(stmt.name)
+        elif isinstance(stmt, ast.Return):
+            total += 0.0
+    return total
+
+
+@dataclass
+class ReadLinkedHeuristic:
+    """Decides whether to move a ReadLinked primitive into C_I.
+
+    ``replication_threshold`` bounds the statically calculable cost of the
+    code that would be replicated; ``benefit_threshold`` is the minimum
+    (profiled or estimated) weight of the candidate itself.
+    """
+
+    replication_threshold: float = 500.0
+    benefit_threshold: float = 50.0
+    profile: Optional[Callable[[Primitive], float]] = None
+
+    def should_move(
+        self, candidate: Primitive, to_replicate: Sequence[Primitive]
+    ) -> bool:
+        replicated_stmts = [s for p in to_replicate for s in p.stmts]
+        cost = static_op_count(replicated_stmts)
+        if cost is None or cost >= self.replication_threshold:
+            return False
+        weigher = self.profile or estimated_weight
+        return weigher(candidate) >= self.benefit_threshold

@@ -1,0 +1,84 @@
+"""Subdivision of Linked computations (Section 3.3.1).
+
+"NeedsBound — Linked computations with a transitive flow interference from
+Bound.  GenerateLinked — Linked computations from which Bound or NeedsBound
+has a transitive flow interference.  ReadLinked — Linked computations which
+are neither."
+
+Implemented exactly as the paper's pseudocode::
+
+    Unrestricted = Linked
+    NeedsBound = transitive_flow_up(Unrestricted, Bound)
+    GenerateLinked = transitive_flow_down(Unrestricted, Bound + NeedsBound)
+    ReadLinked = Unrestricted
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence
+
+from ..descriptors import flow_interfere
+from .classify import NO_FACTS, transitive_flow_down, transitive_flow_up
+from .primitives import Primitive
+
+
+@dataclass
+class LinkedSubdivision:
+    """The three Linked sub-categories."""
+
+    needs_bound: List[Primitive] = field(default_factory=list)
+    generate_linked: List[Primitive] = field(default_factory=list)
+    read_linked: List[Primitive] = field(default_factory=list)
+
+
+def subdivide_linked(
+    linked: Sequence[Primitive],
+    bound: Sequence[Primitive],
+    distinct_pairs: FrozenSet[frozenset] = NO_FACTS,
+) -> LinkedSubdivision:
+    """Split the Linked set into NeedsBound / GenerateLinked / ReadLinked."""
+    unrestricted = list(linked)
+    needs_bound = transitive_flow_up(unrestricted, bound, distinct_pairs)
+    generate_linked = transitive_flow_down(
+        unrestricted, list(bound) + needs_bound, distinct_pairs
+    )
+    return LinkedSubdivision(
+        needs_bound=needs_bound,
+        generate_linked=generate_linked,
+        read_linked=unrestricted,
+    )
+
+
+def suppliers_of(
+    primitive: Primitive,
+    candidates: Sequence[Primitive],
+    distinct_pairs: FrozenSet[frozenset] = NO_FACTS,
+) -> List[Primitive]:
+    """Computations among ``candidates`` from which ``primitive`` has a
+    transitive flow interference.
+
+    These are the computations that must accompany a ReadLinked member when
+    it is moved into the independent set ("every computation s from which r
+    has a transitive flow interference must also be put in that set").
+    Only earlier computations (by index) can supply values.
+    """
+    result: List[Primitive] = []
+    frontier = [primitive]
+    remaining = [
+        c for c in candidates if c is not primitive and c.index < primitive.index
+    ]
+    while frontier:
+        new_frontier: List[Primitive] = []
+        for candidate in list(remaining):
+            if any(
+                flow_interfere(
+                    candidate.descriptor, consumer.descriptor, distinct_pairs
+                )
+                for consumer in frontier
+            ):
+                remaining.remove(candidate)
+                result.append(candidate)
+                new_frontier.append(candidate)
+        frontier = new_frontier
+    return sorted(result, key=lambda p: p.index)

@@ -1,0 +1,130 @@
+"""Primitive computations (Section 3.3.1).
+
+"The split algorithm begins by subdividing C into primitive computations.
+Primitive computations are the blocks of code that are managed by the
+transformation; the choice of primitive computation determines the
+granularity of the split.  We have chosen to consider basic blocks,
+function calls, and loops as primitive computations."
+
+``if`` statements whose bodies contain no loops or calls fold into basic
+blocks; otherwise the whole conditional is one primitive (it cannot be
+bisected without control-flow surgery).  Loop nests that profiling marks
+as infrequently executed can be kept whole via ``no_decompose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..descriptors import Descriptor
+from ..lang import ast
+from .context import SplitContext
+
+BLOCK = "block"
+LOOP = "loop"
+CALL = "call"
+COND = "cond"
+
+
+@dataclass(eq=False)
+class Primitive:
+    """One primitive computation: a run of simple statements, a loop, a
+    call, or a conditional."""
+
+    index: int
+    kind: str
+    stmts: List[ast.Stmt]
+    descriptor: Descriptor
+
+    @property
+    def loop(self) -> Optional[ast.DoLoop]:
+        if self.kind == LOOP:
+            return self.stmts[0]
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Primitive {self.index} {self.kind} ({len(self.stmts)} stmt)>"
+
+
+def _is_simple(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.Return)):
+        return True
+    if isinstance(stmt, ast.If):
+        return all(_is_simple(s) for s in stmt.then_body) and all(
+            _is_simple(s) for s in stmt.else_body
+        )
+    return False
+
+
+def decompose(
+    stmts: Sequence[ast.Stmt],
+    context: SplitContext,
+    no_decompose: bool = False,
+) -> List[Primitive]:
+    """Subdivide a statement region into primitive computations.
+
+    With ``no_decompose`` the entire region becomes a single primitive
+    (the paper's infrequently-executed case).
+    """
+    if no_decompose and stmts:
+        return [
+            Primitive(
+                index=0,
+                kind=BLOCK,
+                stmts=list(stmts),
+                descriptor=context.descriptor_of(stmts),
+            )
+        ]
+    primitives: List[Primitive] = []
+    run: List[ast.Stmt] = []
+
+    def flush() -> None:
+        if run:
+            primitives.append(
+                Primitive(
+                    index=len(primitives),
+                    kind=BLOCK,
+                    stmts=list(run),
+                    descriptor=context.descriptor_of(run),
+                )
+            )
+            run.clear()
+
+    for stmt in stmts:
+        if isinstance(stmt, ast.DoLoop):
+            flush()
+            primitives.append(
+                Primitive(
+                    index=len(primitives),
+                    kind=LOOP,
+                    stmts=[stmt],
+                    descriptor=context.descriptor_of([stmt]),
+                )
+            )
+        elif isinstance(stmt, ast.CallStmt):
+            flush()
+            primitives.append(
+                Primitive(
+                    index=len(primitives),
+                    kind=CALL,
+                    stmts=[stmt],
+                    descriptor=context.descriptor_of([stmt]),
+                )
+            )
+        elif _is_simple(stmt):
+            run.append(stmt)
+        else:
+            # A conditional containing loops/calls: one indivisible
+            # primitive.
+            flush()
+            primitives.append(
+                Primitive(
+                    index=len(primitives),
+                    kind=COND,
+                    stmts=[stmt],
+                    descriptor=context.descriptor_of([stmt]),
+                )
+            )
+    flush()
+    return primitives

@@ -1,0 +1,137 @@
+"""Companion source-to-source transformations (Section 3, intro).
+
+"Our compilation environment combines split with source-to-source
+transformations like loop fusion [12] and loop interchange [2] to expose
+additional concurrency."
+
+Both transformations are *verification-driven* like the rest of the
+system: legality is established with symbolic data descriptors rather
+than syntactic pattern matching.
+
+* :func:`fuse_loops` — merge two adjacent loops with identical iteration
+  spaces into one, when no fused-iteration dependence is violated;
+* :func:`interchange_loops` — swap a perfect 2-deep nest's loops, when
+  iterations are independent (so any execution order is legal).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ..analysis.symbolic import SymExpr, range_from_do
+from ..descriptors import (
+    Descriptor,
+    descriptor_flow_interferes,
+    descriptors_interfere,
+    loop_iterations_independent,
+)
+from ..lang import ast
+from .context import SplitContext
+
+
+def _same_iteration_space(a: ast.DoLoop, b: ast.DoLoop) -> bool:
+    """True when the two headers provably iterate identically."""
+    if len(a.ranges) != len(b.ranges):
+        return False
+    for ra, rb in zip(a.ranges, b.ranges):
+        sa = range_from_do(ra)
+        sb = range_from_do(rb)
+        if sa is None or sb is None:
+            return False
+        if sa != sb:
+            return False
+    # Guards must match textually (conservative).
+    from ..lang.printer import print_expr
+
+    ga = print_expr(a.where) if a.where is not None else None
+    gb = print_expr(b.where) if b.where is not None else None
+    return ga == gb
+
+
+def fuse_loops(
+    first: ast.DoLoop,
+    second: ast.DoLoop,
+    context: SplitContext,
+) -> Optional[ast.DoLoop]:
+    """Fuse two adjacent loops into one, if legal.
+
+    Legality: identical iteration spaces, and iteration ``i`` of the
+    *second* loop must not depend on iterations ``j != i`` of the first —
+    checked by testing the first loop's iteration descriptor (with a
+    renamed induction variable) against the second's.  The fused loop
+    runs the second body immediately after the first within each
+    iteration, so same-iteration flow is fine; *cross*-iteration overlap
+    is what fusion would break.
+    """
+    if not _same_iteration_space(first, second):
+        return None
+    builder = context.builder_for([first, second])
+    first_analyzed, second_analyzed = builder.body
+    d_first = builder.builder.of_iteration(first_analyzed)
+    d_second = builder.builder.of_iteration(second_analyzed)
+    # Rename the second loop's induction variable onto the first's so the
+    # descriptors speak about the same iteration.
+    if second.var != first.var:
+        d_second = d_second.substitute(
+            {second.var: SymExpr.var(first.var)}
+        )
+    # Cross-iteration check: iteration i of `second` vs iteration i' != i
+    # of `first` must not interfere.
+    fresh = f"{first.var}'"
+    d_first_other = d_first.substitute({first.var: SymExpr.var(fresh)})
+    pairs = frozenset({frozenset({first.var, fresh})})
+    if descriptors_interfere(d_second, d_first_other, pairs):
+        return None
+
+    fused = copy.deepcopy(first)
+    second_copy = copy.deepcopy(second)
+    if second.var != first.var:
+        from .loop_split import rename_scalar
+
+        rename_scalar(second_copy.body, second.var, first.var)
+    fused.body = fused.body + second_copy.body
+    return fused
+
+
+def interchange_loops(nest: ast.DoLoop, context: SplitContext) -> Optional[ast.DoLoop]:
+    """Interchange a perfect 2-deep nest, if legal.
+
+    Legality (conservative): the body must be a single inner loop, both
+    levels single-range without guards, and *all* iteration pairs of the
+    whole nest independent — then any execution order is valid and the
+    interchange is trivially legal.
+    """
+    if len(nest.body) != 1 or not isinstance(nest.body[0], ast.DoLoop):
+        return None
+    inner = nest.body[0]
+    if nest.where is not None or inner.where is not None:
+        return None
+    if len(nest.ranges) != 1 or len(inner.ranges) != 1:
+        return None
+    builder = context.builder_for([nest])
+    root = builder.body[0]
+    if not loop_iterations_independent(root, builder.builder):
+        return None
+    inner_analyzed = root.body[0]
+    if not loop_iterations_independent(inner_analyzed, builder.builder):
+        return None
+    # Inner bounds must not depend on the outer variable (rectangular).
+    inner_lo = range_from_do(inner.ranges[0])
+    if inner_lo is None:
+        return None
+    if inner_lo.lo.mentions(nest.var) or inner_lo.hi.mentions(nest.var):
+        return None
+
+    new_outer = ast.DoLoop(
+        var=inner.var,
+        ranges=[copy.deepcopy(inner.ranges[0])],
+        body=[
+            ast.DoLoop(
+                var=nest.var,
+                ranges=[copy.deepcopy(nest.ranges[0])],
+                body=copy.deepcopy(inner.body),
+            )
+        ],
+    )
+    return new_outer

@@ -1,0 +1,179 @@
+"""Alias detection and call-site grouping tests."""
+
+from repro.analysis import (
+    alias_pattern,
+    analyse_call_sites,
+    analyze_unit,
+    has_aliased_arrays,
+)
+from repro.lang import ast, parse, parse_unit
+
+
+def test_alias_pattern_no_arrays():
+    unit = parse_unit(
+        """
+program p
+  integer a, b
+  call f2(a, b)
+end program
+"""
+    )
+    call = unit.body[0]
+    assert alias_pattern(call.args, set()) == ()
+
+
+def test_alias_pattern_distinct_arrays():
+    unit = parse_unit(
+        """
+program p
+  real x(10), y(10)
+  call f2(x, y)
+end program
+"""
+    )
+    call = unit.body[0]
+    pattern = alias_pattern(call.args, {"x", "y"})
+    assert pattern == ((0,), (1,))
+    assert not has_aliased_arrays(pattern)
+
+
+def test_alias_pattern_same_array_twice():
+    unit = parse_unit(
+        """
+program p
+  real x(10)
+  call f2(x, x)
+end program
+"""
+    )
+    call = unit.body[0]
+    pattern = alias_pattern(call.args, {"x"})
+    assert pattern == ((0, 1),)
+    assert has_aliased_arrays(pattern)
+
+
+def test_aliased_call_invalidates_forwarding():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real a(10), w
+  a(i) = 1
+  call swap(a, a)
+  w = a(i)
+end program
+"""
+    )
+    result = analyze_unit(unit)
+    assert "a" in result.alias.arrays_aliased
+    load_ref = unit.body[2].value
+    assert load_ref not in result.ssa.aggregate_value
+
+
+def test_read_only_intrinsic_does_not_alias():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real a(10), w
+  w = f(a(i))
+end program
+"""
+    )
+    result = analyze_unit(unit)
+    assert result.alias.arrays_aliased == set()
+
+
+# -- call-site grouping --------------------------------------------------------
+
+
+DEEP_CALLS = """
+program p
+  integer i, j, n
+  real q(n, n), r(n)
+  do i = 1, n
+    do j = 1, n
+      q(i, j) = reconstruct(q, i, j)
+    end do
+  end do
+  r(1) = reconstruct(q, 1, 1)
+end program
+"""
+
+
+def test_sites_collected_with_loop_depth():
+    file = parse(DEEP_CALLS)
+    analysis = analyse_call_sites(file)
+    recon = [s for s in analysis.sites if s.callee == "reconstruct"]
+    assert len(recon) == 2
+    depths = sorted(s.loop_depth for s in recon)
+    assert depths == [0, 2]
+
+
+def test_important_site_gets_precise_group():
+    file = parse(DEEP_CALLS)
+    analysis = analyse_call_sites(file, importance_threshold=100.0)
+    deep = [s for s in analysis.sites if s.loop_depth == 2][0]
+    group = analysis.group_of[deep.node]
+    assert group.precise
+
+
+def test_cheap_site_shares_coarse_group():
+    file = parse(
+        """
+program p
+  real a, b
+  a = sin(1.0)
+  b = sin(2.0)
+end program
+"""
+    )
+    analysis = analyse_call_sites(file, importance_threshold=100.0)
+    groups = analysis.groups_for("sin")
+    assert len(groups) == 1
+    assert not groups[0].precise
+    assert len(groups[0].sites) == 2
+
+
+def test_constant_args_separate_precise_groups():
+    file = parse(
+        """
+program p
+  integer i, n
+  real x(n), y(n)
+  do i = 1, n
+    do j = 1, n
+      x(i) = backproject(y, 1)
+      y(i) = backproject(x, 2)
+    end do
+  end do
+end program
+"""
+    )
+    analysis = analyse_call_sites(file, importance_threshold=100.0)
+    groups = analysis.groups_for("backproject")
+    precise = [g for g in groups if g.precise]
+    assert len(precise) == 2
+
+
+def test_profile_overrides_static_weight():
+    file = parse(
+        """
+program p
+  real a
+  a = sin(1.0)
+end program
+"""
+    )
+    analysis = analyse_call_sites(
+        file, profile={"sin": 1e6}, importance_threshold=100.0
+    )
+    group = analysis.groups_for("sin")[0]
+    assert group.precise
+
+
+def test_group_total_weight():
+    file = parse(DEEP_CALLS)
+    analysis = analyse_call_sites(file)
+    for group in analysis.groups:
+        assert group.total_weight == sum(s.weight for s in group.sites)

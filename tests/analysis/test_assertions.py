@@ -1,0 +1,247 @@
+"""Assertion and predicate implication tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.assertions import (
+    Assertion,
+    Conjunction,
+    Predicate,
+    assertion_from_ast,
+    predicate_implies,
+    predicates_contradict,
+)
+from repro.analysis.symbolic import SymExpr
+from repro.lang import parse_unit
+
+
+def _cond_of(cond):
+    unit = parse_unit(
+        f"""
+program p
+  integer i, j, n, a, mask(n)
+  real s
+  if ({cond}) then
+    s = 1
+  end if
+end program
+"""
+    )
+    return unit.body[0].cond
+
+
+I = SymExpr.var("i")
+A = SymExpr.var("a")
+
+
+def le(expr):
+    return Predicate(op="<=", expr=expr)
+
+
+def lt(expr):
+    return Predicate(op="<", expr=expr)
+
+
+def eq(expr):
+    return Predicate(op="==", expr=expr)
+
+
+def ne(expr):
+    return Predicate(op="<>", expr=expr)
+
+
+# -- predicate implication -----------------------------------------------------
+
+
+def test_identical_predicates_imply():
+    assert predicate_implies(le(I - A), le(I - A))
+
+
+def test_lt_implies_le():
+    assert predicate_implies(lt(I), le(I))
+
+
+def test_le_does_not_imply_lt():
+    assert not predicate_implies(le(I), lt(I))
+
+
+def test_lt_implies_ne():
+    # i < 0 implies i <> 0.
+    assert predicate_implies(lt(I), ne(I))
+
+
+def test_tighter_bound_implies_looser():
+    # i - 5 <= 0 implies i - 10 <= 0.
+    assert predicate_implies(le(I - 5), le(I - 10))
+
+
+def test_looser_bound_does_not_imply_tighter():
+    assert not predicate_implies(le(I - 10), le(I - 5))
+
+
+def test_eq_implies_ne_of_other_constant():
+    # i == 0 implies i - 3 <> 0.
+    assert predicate_implies(eq(I), ne(I - 3))
+
+
+def test_eq_implies_le():
+    # i == 0 implies i <= 0.
+    assert predicate_implies(eq(I), le(I))
+
+
+def test_eq_symmetric_orientation():
+    # i - a == 0 implies a - i == 0.
+    assert predicate_implies(eq(I - A), eq(A - I))
+
+
+def test_unrelated_predicates_do_not_imply():
+    assert not predicate_implies(le(I), le(A))
+
+
+def test_negate_roundtrip():
+    for pred in (le(I - A), lt(I), eq(I), ne(I - 3)):
+        assert pred.negate().negate().expr is not None
+        # Double negation is semantically the identity; for <= and < the
+        # expression is negated twice, restoring the original.
+        assert pred.negate().negate() == pred
+
+
+def test_opaque_negate():
+    pred = Predicate(op="true", opaque="mask(i) <> 0")
+    assert pred.negate().op == "false"
+    assert pred.negate().negate() == pred
+
+
+# -- contradiction ---------------------------------------------------------------
+
+
+def test_contradiction_eq_ne():
+    assert predicates_contradict(eq(I - A), ne(I - A))
+
+
+def test_contradiction_bounds():
+    # (i - 5 <= 0) contradicts (6 - i <= 0), i.e. i <= 5 vs i >= 6.
+    assert predicates_contradict(le(I - 5), le(6 - I))
+    # (i - 5 <= 0) does not contradict (5 - i <= 0): i = 5 satisfies both.
+    assert not predicates_contradict(le(I - 5), le(5 - I))
+
+
+def test_opposite_strict_bounds_contradict():
+    # i < 0 and -i < 0 cannot both hold.
+    assert predicates_contradict(lt(I), lt(-I))
+
+
+def test_opaque_contradiction():
+    p = Predicate(op="true", opaque="mask(i) <> 0")
+    q = Predicate(op="false", opaque="mask(i) <> 0")
+    assert predicates_contradict(p, q)
+
+
+# -- conjunctions and assertions ----------------------------------------------------
+
+
+def test_conjunction_implies():
+    conj = Conjunction(frozenset({lt(I), le(A)}))
+    assert conj.implies(le(I))
+    assert not conj.implies(lt(A))
+
+
+def test_contradictory_conjunction_detected():
+    conj = Conjunction(frozenset({eq(I), ne(I)}))
+    assert conj.is_contradictory()
+
+
+def test_assertion_true_false():
+    assert Assertion.true().is_true
+    assert Assertion.false().is_false
+
+
+def test_assertion_conjoin_prunes_contradictions():
+    a = Assertion.of(eq(I))
+    b = Assertion.of(ne(I))
+    assert a.conjoin(b).is_false
+
+
+def test_assertion_implies_requires_all_disjuncts():
+    a = Assertion.of(lt(I)).disjoin(Assertion.of(le(A)))
+    assert not a.implies(le(I))
+    b = Assertion.of(lt(I)).disjoin(Assertion.of(eq(I)))
+    assert b.implies(le(I))
+
+
+def test_false_assertion_implies_everything():
+    assert Assertion.false().implies(le(I))
+
+
+# -- from AST ---------------------------------------------------------------------------
+
+
+def test_affine_comparison_to_assertion():
+    assertion = assertion_from_ast(_cond_of("i < n"))
+    pred = next(iter(assertion.disjuncts[0].predicates))
+    assert pred.op == "<"
+    assert pred.expr == SymExpr.var("i") - SymExpr.var("n")
+
+
+def test_negated_comparison():
+    assertion = assertion_from_ast(_cond_of("i < n"), negated=True)
+    pred = next(iter(assertion.disjuncts[0].predicates))
+    # not(i < n)  ==  n - i <= 0.
+    assert pred.op == "<="
+    assert pred.expr == SymExpr.var("n") - SymExpr.var("i")
+
+
+def test_and_condition_conjoins():
+    assertion = assertion_from_ast(_cond_of("i < n and j < n"))
+    assert len(assertion.disjuncts) == 1
+    assert len(assertion.disjuncts[0].predicates) == 2
+
+
+def test_or_condition_disjoins():
+    assertion = assertion_from_ast(_cond_of("i < n or j < n"))
+    assert len(assertion.disjuncts) == 2
+
+
+def test_demorgan_on_negated_or():
+    assertion = assertion_from_ast(_cond_of("i < n or j < n"), negated=True)
+    assert len(assertion.disjuncts) == 1
+    assert len(assertion.disjuncts[0].predicates) == 2
+
+
+def test_not_operator():
+    assertion = assertion_from_ast(_cond_of("not (i < n)"))
+    pred = next(iter(assertion.disjuncts[0].predicates))
+    assert pred.op == "<="
+
+
+def test_opaque_condition_canonical_text():
+    positive = assertion_from_ast(_cond_of("mask(i) <> 0"))
+    negative = assertion_from_ast(_cond_of("mask(i) <> 0"), negated=True)
+    p = next(iter(positive.disjuncts[0].predicates))
+    q = next(iter(negative.disjuncts[0].predicates))
+    assert p.opaque == q.opaque
+    assert p.op == "true" and q.op == "false"
+    assert predicates_contradict(p, q)
+
+
+# -- property tests ------------------------------------------------------------------
+
+consts = st.integers(-20, 20)
+
+
+@given(consts, consts)
+def test_le_implication_matches_arithmetic(c1, c2):
+    # (i - c1 <= 0) implies (i - c2 <= 0) iff c1 <= c2.
+    assert predicate_implies(le(I - c1), le(I - c2)) == (c1 <= c2)
+
+
+@given(consts, consts)
+def test_eq_implies_interval(c1, c2):
+    # (i - c1 == 0) implies (i - c2 <= 0) iff c1 <= c2.
+    assert predicate_implies(eq(I - c1), le(I - c2)) == (c1 <= c2)
+
+
+@given(consts)
+def test_predicate_never_implies_own_negation(c):
+    pred = le(I - c)
+    assert not predicate_implies(pred, pred.negate())

@@ -1,0 +1,214 @@
+"""CFG construction and dominance tests."""
+
+from repro.analysis import (
+    BLOCK,
+    BRANCH,
+    LOOP_HEADER,
+    build_cfg,
+    compute_dominators,
+)
+from repro.lang import ast, parse_unit
+
+STRAIGHT = """
+program p
+  real a, b
+  a = 1
+  b = a + 1
+end program
+"""
+
+BRANCHY = """
+program p
+  integer i
+  real s
+  if (i == 0) then
+    s = 1
+  else
+    s = 2
+  end if
+  s = s + 1
+end program
+"""
+
+LOOPY = """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+end program
+"""
+
+NESTED = """
+program p
+  integer i, j, n
+  real q(n, n)
+  do i = 1, n
+    do j = 1, n
+      q(i, j) = 0
+    end do
+  end do
+end program
+"""
+
+
+def test_straight_line_single_block():
+    cfg = build_cfg(parse_unit(STRAIGHT))
+    blocks = [n for n in cfg.reachable() if n.kind is BLOCK and n.stmts]
+    assert len(blocks) == 1
+    assert len(blocks[0].stmts) == 2
+
+
+def test_entry_reaches_exit():
+    cfg = build_cfg(parse_unit(STRAIGHT))
+    assert cfg.exit in cfg.reachable()
+
+
+def test_branch_structure():
+    cfg = build_cfg(parse_unit(BRANCHY))
+    branches = [n for n in cfg.reachable() if n.kind is BRANCH]
+    assert len(branches) == 1
+    branch = branches[0]
+    assert len(branch.succs) == 2
+    # Both arms converge on a join node.
+    then_succ = branch.succs[0].succs[0]
+    else_succ = branch.succs[1].succs[0]
+    assert then_succ is else_succ
+
+
+def test_loop_structure():
+    cfg = build_cfg(parse_unit(LOOPY))
+    headers = list(cfg.loops())
+    assert len(headers) == 1
+    header = headers[0]
+    assert header.kind is LOOP_HEADER
+    # Body edge and exit edge.
+    assert len(header.succs) == 2
+    # Back edge: some predecessor of the header is inside the loop.
+    assert any(p.id > header.id for p in header.preds)
+
+
+def test_nested_loops():
+    cfg = build_cfg(parse_unit(NESTED))
+    headers = list(cfg.loops())
+    assert len(headers) == 2
+    outer, inner = headers
+    body = cfg.blocks_in_loop(outer)
+    assert inner in body
+
+
+def test_blocks_in_loop_excludes_after():
+    cfg = build_cfg(parse_unit(LOOPY))
+    header = next(cfg.loops())
+    body = cfg.blocks_in_loop(header)
+    after = header.succs[1]
+    assert after not in body
+
+
+def test_node_of_stmt_mapping():
+    unit = parse_unit(BRANCHY)
+    cfg = build_cfg(unit)
+    cond = unit.body[0]
+    assert cfg.node_of_stmt[cond].kind is BRANCH
+    tail = unit.body[1]
+    assert cfg.node_of_stmt[tail].kind is BLOCK
+
+
+def test_return_edges_to_exit():
+    cfg = build_cfg(
+        parse_unit(
+            """
+subroutine s(n)
+  integer n
+  if (n == 0) return
+  n = n - 1
+end subroutine
+"""
+        )
+    )
+    returns = [
+        n
+        for n in cfg.reachable()
+        if any(isinstance(s, ast.Return) for s in n.stmts)
+    ]
+    assert returns and all(cfg.exit in n.succs for n in returns)
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = build_cfg(parse_unit(NESTED))
+    order = cfg.reverse_postorder()
+    assert order[0] is cfg.entry
+
+
+def test_rpo_preds_before_succs_for_acyclic():
+    cfg = build_cfg(parse_unit(BRANCHY))
+    order = cfg.reverse_postorder()
+    position = {n: i for i, n in enumerate(order)}
+    for node in order:
+        for succ in node.succs:
+            if position.get(succ, 0) > position[node]:
+                continue
+            # Back edges (loops) are the only exception; BRANCHY has none.
+            raise AssertionError("successor before predecessor in RPO")
+
+
+# -- dominance ----------------------------------------------------------------
+
+
+def test_entry_dominates_everything():
+    cfg = build_cfg(parse_unit(NESTED))
+    dom = compute_dominators(cfg)
+    for node in cfg.reachable():
+        assert dom.dominates(cfg.entry, node)
+
+
+def test_branch_dominates_join_but_arms_do_not():
+    cfg = build_cfg(parse_unit(BRANCHY))
+    dom = compute_dominators(cfg)
+    branch = [n for n in cfg.reachable() if n.kind is BRANCH][0]
+    join = branch.succs[0].succs[0]
+    assert dom.dominates(branch, join)
+    assert not dom.dominates(branch.succs[0], join)
+
+
+def test_join_in_dominance_frontier_of_arms():
+    cfg = build_cfg(parse_unit(BRANCHY))
+    dom = compute_dominators(cfg)
+    branch = [n for n in cfg.reachable() if n.kind is BRANCH][0]
+    then_arm, else_arm = branch.succs
+    join = then_arm.succs[0]
+    assert join in dom.frontier[then_arm]
+    assert join in dom.frontier[else_arm]
+
+
+def test_loop_header_in_own_frontier():
+    cfg = build_cfg(parse_unit(LOOPY))
+    dom = compute_dominators(cfg)
+    header = next(cfg.loops())
+    body = header.succs[0]
+    assert header in dom.frontier[body]
+
+
+def test_idom_of_loop_body_is_header():
+    cfg = build_cfg(parse_unit(LOOPY))
+    dom = compute_dominators(cfg)
+    header = next(cfg.loops())
+    assert dom.idom[header.succs[0]] is header
+
+
+def test_dom_tree_preorder_parent_first():
+    cfg = build_cfg(parse_unit(NESTED))
+    dom = compute_dominators(cfg)
+    order = dom.dom_tree_preorder()
+    position = {n: i for i, n in enumerate(order)}
+    for node in order:
+        parent = dom.idom.get(node)
+        if parent is not None and parent is not node:
+            assert position[parent] < position[node]
+
+
+def test_strict_domination_irreflexive():
+    cfg = build_cfg(parse_unit(STRAIGHT))
+    dom = compute_dominators(cfg)
+    assert not dom.strictly_dominates(cfg.entry, cfg.entry)

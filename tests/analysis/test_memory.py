@@ -1,0 +1,158 @@
+"""Memory usage analysis tests."""
+
+from repro.analysis import READ, WRITE, analyse_memory, build_cfg
+from repro.lang import parse_unit
+
+
+def _memory(source):
+    unit = parse_unit(source)
+    cfg = build_cfg(unit)
+    return unit, cfg, analyse_memory(cfg)
+
+
+def test_scalar_reads_and_writes():
+    unit, cfg, memory = _memory(
+        """
+program p
+  real a, b
+  a = b + 1
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    assert usage.scalar_reads == {"b"}
+    assert usage.scalar_writes == {"a"}
+
+
+def test_array_element_write():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer i
+  real x(10)
+  x(i) = 1
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    assert usage.arrays_written() == {"x"}
+    assert "i" in usage.scalar_reads
+
+
+def test_array_element_read():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer i
+  real x(10), t
+  t = x(i)
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    assert usage.arrays_read() == {"x"}
+    assert usage.arrays_written() == set()
+
+
+def test_whole_array_passed_to_pure_intrinsic_reads_only():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer i, col
+  real q(10, 10), r
+  r = reconstruct(q, i, col)
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    accesses = [a for a in usage.aggregates if a.array == "q"]
+    assert accesses and all(a.mode == READ for a in accesses)
+    assert accesses[0].whole_array
+
+
+def test_unknown_call_stmt_reads_and_writes_arrays():
+    unit, cfg, memory = _memory(
+        """
+program p
+  real x(10)
+  call munge(x)
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    modes = {a.mode for a in usage.aggregates if a.array == "x"}
+    assert modes == {READ, WRITE}
+    assert usage.has_unknown_call
+
+
+def test_unknown_call_may_write_scalar_args():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer n
+  call resize(n)
+end program
+"""
+    )
+    node = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[node]
+    assert "n" in usage.scalar_writes
+
+
+def test_loop_header_usage():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer mask(20), i, n
+  real x(20)
+  do i = 1, n where (mask(i) <> 0)
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    header = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[header]
+    assert "n" in usage.scalar_reads
+    assert "i" in usage.scalar_writes
+    assert usage.arrays_read() == {"mask"}
+
+
+def test_usage_of_nodes_unions_loop_body():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer i, n
+  real x(10), y(10)
+  do i = 1, n
+    x(i) = y(i)
+  end do
+end program
+"""
+    )
+    header = cfg.node_of_stmt[unit.body[0]]
+    total = memory.usage_of_nodes(cfg.blocks_in_loop(header))
+    assert total.arrays_written() == {"x"}
+    assert total.arrays_read() == {"y"}
+
+
+def test_branch_condition_reads():
+    unit, cfg, memory = _memory(
+        """
+program p
+  integer i, n
+  real s
+  if (i < n) then
+    s = 1
+  end if
+end program
+"""
+    )
+    branch = cfg.node_of_stmt[unit.body[0]]
+    usage = memory.usage[branch]
+    assert usage.scalar_reads == {"i", "n"}

@@ -1,0 +1,219 @@
+"""SSA construction tests."""
+
+from repro.analysis import analyze_unit, build_cfg, build_ssa
+from repro.lang import ast, parse_unit
+
+
+def _ssa(source):
+    unit = parse_unit(source)
+    return unit, analyze_unit(unit)
+
+
+def test_straight_line_versions_increment():
+    unit, result = _ssa(
+        """
+program p
+  real a
+  a = 1
+  a = a + 1
+end program
+"""
+    )
+    first, second = unit.body
+    name1 = result.ssa.def_name[first.target]
+    name2 = result.ssa.def_name[second.target]
+    assert name1.base == "a" and name2.base == "a"
+    assert name2.version > name1.version
+    # The use of `a` in the second statement refers to the first def.
+    use = second.value.left
+    assert result.ssa.use_name[use] == name1
+
+
+def test_phi_at_if_join():
+    unit, result = _ssa(
+        """
+program p
+  integer i
+  real s
+  if (i == 0) then
+    s = 1
+  else
+    s = 2
+  end if
+  s = s + 1
+end program
+"""
+    )
+    phis = [p for phis in result.ssa.phis.values() for p in phis if p.var == "s"]
+    assert phis, "expected a phi for s at the join"
+    join_phi = phis[0]
+    assert len(join_phi.args) == 2
+    # The use after the join refers to the phi result.
+    tail = unit.body[1]
+    use = tail.value.left
+    assert result.ssa.use_name[use] == join_phi.result
+
+
+def test_phi_at_loop_header():
+    unit, result = _ssa(
+        """
+program p
+  integer i, n
+  real s
+  s = 0
+  do i = 1, n
+    s = s + 1
+  end do
+end program
+"""
+    )
+    header = next(result.cfg.loops())
+    header_phis = [p for p in result.ssa.phis[header] if p.var == "s"]
+    assert header_phis, "expected a loop-carried phi for s"
+    assert len(header_phis[0].args) == 2  # preheader and back edge
+
+
+def test_induction_variable_defined_at_header():
+    unit, result = _ssa(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    loop = unit.body[0]
+    name = result.ssa.def_name[loop]
+    assert name.base == "i"
+    # Use of i inside the body resolves to the induction def.
+    index_use = loop.body[0].target.indices[0]
+    assert result.ssa.use_name[index_use] == name
+
+
+def test_array_names_not_renamed():
+    unit, result = _ssa(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    assert "x" in result.ssa.array_names
+    for name in result.ssa.def_name.values():
+        assert name.base != "x"
+
+
+def test_call_stmt_scalar_arg_redefined():
+    unit, result = _ssa(
+        """
+program p
+  integer n
+  real x(10)
+  n = 1
+  call resize(x, n)
+  n = n + 0
+end program
+"""
+    )
+    call = unit.body[1]
+    assert (call, 1) in result.ssa.def_name
+    redefined = result.ssa.def_name[(call, 1)]
+    # The use after the call sees the call's definition.
+    tail_use = unit.body[2].value.left
+    assert result.ssa.use_name[tail_use] == redefined
+
+
+def test_aggregate_forwarding_same_block():
+    unit, result = _ssa(
+        """
+program p
+  integer i
+  real a(10), v, w
+  v = 3
+  a(i) = v
+  w = a(i)
+end program
+"""
+    )
+    store = unit.body[1]
+    load_ref = unit.body[2].value
+    assert isinstance(load_ref, ast.ArrayRef)
+    temp = result.ssa.aggregate_temp[store]
+    assert result.ssa.aggregate_value[load_ref] == temp
+
+
+def test_aggregate_forwarding_invalidated_by_other_write():
+    unit, result = _ssa(
+        """
+program p
+  integer i, j
+  real a(10), v, w
+  a(i) = 1
+  a(j) = 2
+  w = a(i)
+end program
+"""
+    )
+    load_ref = unit.body[2].value
+    assert load_ref not in result.ssa.aggregate_value
+
+
+def test_aggregate_forwarding_invalidated_by_call():
+    unit, result = _ssa(
+        """
+program p
+  integer i
+  real a(10), w
+  a(i) = 1
+  call mutate(a)
+  w = a(i)
+end program
+"""
+    )
+    load_ref = unit.body[2].value
+    assert load_ref not in result.ssa.aggregate_value
+
+
+def test_uses_in_where_clause_bound():
+    unit, result = _ssa(
+        """
+program p
+  integer mask(n), i, n, lim
+  real x(n)
+  lim = 5
+  do i = 1, n where (mask(i) <> lim)
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    loop = unit.body[1]
+    lim_use = loop.where.right
+    assert isinstance(lim_use, ast.Var)
+    assert result.ssa.use_name[lim_use].base == "lim"
+
+
+def test_distinct_loops_distinct_induction_versions():
+    unit, result = _ssa(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+  do i = 1, n
+    x(i) = 1
+  end do
+end program
+"""
+    )
+    first, second = unit.body
+    assert result.ssa.def_name[first] != result.ssa.def_name[second]

@@ -1,0 +1,256 @@
+"""SymExpr / SymRange unit and property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.symbolic import (
+    NonAffineError,
+    SymExpr,
+    SymRange,
+    compare,
+    definitely_disjoint_ranges,
+    expr_from_ast,
+    range_from_do,
+)
+from repro.lang import ast, parse_unit
+
+
+def _expr_of(source_expr):
+    unit = parse_unit(
+        f"""
+program p
+  integer i, j, k, n, a, col
+  real t
+  t = {source_expr}
+end program
+"""
+    )
+    return unit.body[0].value
+
+
+# -- construction ------------------------------------------------------------
+
+
+def test_constant():
+    e = SymExpr.constant(5)
+    assert e.is_constant
+    assert e.constant_value() == 5
+
+
+def test_var():
+    e = SymExpr.var("i")
+    assert not e.is_constant
+    assert e.coefficient("i") == 1
+
+
+def test_var_zero_coef_is_constant():
+    assert SymExpr.var("i", 0) == SymExpr.constant(0)
+
+
+def test_from_ast_affine():
+    e = expr_from_ast(_expr_of("2*i + j - 3"))
+    assert e.coefficient("i") == 2
+    assert e.coefficient("j") == 1
+    assert e.const == -3
+
+
+def test_from_ast_env_substitution():
+    env = {"j": SymExpr.var("i") + 1}
+    e = expr_from_ast(_expr_of("j + 1"), env)
+    assert e == SymExpr.var("i") + 2
+
+
+def test_from_ast_nonlinear_returns_none():
+    assert expr_from_ast(_expr_of("i * j")) is None
+
+
+def test_from_ast_array_read_returns_none():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real x(10), t
+  t = x(i) + 1
+end program
+"""
+    )
+    assert expr_from_ast(unit.body[0].value) is None
+
+
+def test_from_ast_division_exact():
+    e = expr_from_ast(_expr_of("(4*i + 8) / 4"))
+    assert e == SymExpr.var("i") + 2
+
+
+def test_from_ast_division_inexact_returns_none():
+    assert expr_from_ast(_expr_of("(4*i + 3) / 4")) is None
+
+
+def test_from_ast_unary_minus():
+    e = expr_from_ast(_expr_of("-i + 5"))
+    assert e.coefficient("i") == -1
+    assert e.const == 5
+
+
+# -- arithmetic -----------------------------------------------------------------
+
+
+def test_addition_merges_terms():
+    e = SymExpr.var("i") + SymExpr.var("i")
+    assert e.coefficient("i") == 2
+
+
+def test_subtraction_cancels():
+    e = SymExpr.var("i") + 3 - SymExpr.var("i")
+    assert e == SymExpr.constant(3)
+
+
+def test_scale():
+    e = (SymExpr.var("i") + 1).scale(3)
+    assert e.coefficient("i") == 3 and e.const == 3
+
+
+def test_mul_two_symbols_raises():
+    with pytest.raises(NonAffineError):
+        SymExpr.var("i") * SymExpr.var("j")
+
+
+def test_substitute():
+    e = SymExpr.var("i") + SymExpr.var("n")
+    out = e.substitute({"i": SymExpr.constant(4)})
+    assert out == SymExpr.var("n") + 4
+
+
+def test_evaluate():
+    e = SymExpr.var("i", 2) + 1
+    assert e.evaluate({"i": 10}) == 21
+
+
+def test_str_rendering():
+    e = SymExpr.var("i", 2) - SymExpr.var("j") + 5
+    text = str(e)
+    assert "2*i" in text and "j" in text and "5" in text
+
+
+# -- property tests ----------------------------------------------------------------
+
+names = st.sampled_from(["i", "j", "k", "n"])
+exprs = st.builds(
+    lambda pairs, c: sum(
+        (SymExpr.var(n, co) for n, co in pairs), SymExpr.constant(c)
+    ),
+    st.lists(st.tuples(names, st.integers(-5, 5)), max_size=4),
+    st.integers(-100, 100),
+)
+
+
+@given(exprs, exprs)
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(exprs, exprs, exprs)
+def test_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(exprs)
+def test_double_negation(a):
+    assert -(-a) == a
+
+
+@given(exprs, exprs)
+def test_sub_then_add_roundtrip(a, b):
+    assert (a - b) + b == a
+
+
+@given(exprs, st.integers(-5, 5))
+def test_scale_distributes(a, k):
+    assert a.scale(k) + a.scale(-k) == SymExpr.constant(0)
+
+
+@given(exprs, st.dictionaries(names, st.integers(-50, 50), min_size=4))
+def test_evaluate_is_linear(a, env):
+    assert (a + a).evaluate(env) == 2 * a.evaluate(env)
+
+
+# -- ranges -----------------------------------------------------------------------
+
+
+def test_range_length_static():
+    r = SymRange(SymExpr.constant(1), SymExpr.constant(10))
+    assert r.length() == 10
+
+
+def test_range_length_with_skip():
+    r = SymRange(SymExpr.constant(1), SymExpr.constant(10), skip=2)
+    assert r.length() == 5
+
+
+def test_range_length_symbolic_is_none():
+    r = SymRange(SymExpr.constant(1), SymExpr.var("n"))
+    assert r.length() is None
+
+
+def test_range_length_empty():
+    r = SymRange(SymExpr.constant(5), SymExpr.constant(2))
+    assert r.length() == 0
+
+
+def test_range_shift():
+    r = SymRange(SymExpr.var("a"), SymExpr.var("n"))
+    shifted = r.shift(-1)
+    assert shifted.lo == SymExpr.var("a") - 1
+
+
+def test_single_range():
+    r = SymRange.single(SymExpr.var("col"))
+    assert r.is_single
+
+
+def test_range_from_do():
+    unit = parse_unit(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 2, n - 1
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    rng = range_from_do(unit.body[0].ranges[0])
+    assert rng.lo == SymExpr.constant(2)
+    assert rng.hi == SymExpr.var("n") - 1
+
+
+def test_compare_decidable():
+    a = SymExpr.var("n") + 1
+    b = SymExpr.var("n")
+    assert compare(a, b) == 1
+    assert compare(b, a) == -1
+    assert compare(a, a) == 0
+
+
+def test_compare_undecidable():
+    assert compare(SymExpr.var("n"), SymExpr.var("m")) is None
+
+
+def test_disjoint_ranges_by_constant_gap():
+    a = SymRange(SymExpr.constant(1), SymExpr.var("a") - 1)
+    b = SymRange(SymExpr.var("a"), SymExpr.var("n"))
+    assert definitely_disjoint_ranges(a, b)
+
+
+def test_overlapping_ranges_not_disjoint():
+    a = SymRange(SymExpr.constant(1), SymExpr.var("n"))
+    b = SymRange(SymExpr.constant(1), SymExpr.var("n"))
+    assert not definitely_disjoint_ranges(a, b)
+
+
+def test_unknown_relation_not_disjoint():
+    a = SymRange(SymExpr.constant(1), SymExpr.var("n"))
+    b = SymRange(SymExpr.var("m"), SymExpr.var("m"))
+    assert not definitely_disjoint_ranges(a, b)

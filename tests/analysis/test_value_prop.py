@@ -1,0 +1,238 @@
+"""Value and assertion propagation tests."""
+
+from repro.analysis import analyze_unit
+from repro.analysis.assertions import Predicate
+from repro.analysis.symbolic import SymExpr
+from repro.lang import ast, parse_unit
+
+
+def _analyse(source):
+    unit = parse_unit(source)
+    return unit, analyze_unit(unit)
+
+
+def test_constant_propagation():
+    unit, result = _analyse(
+        """
+program p
+  integer a, b
+  a = 4
+  b = a + 1
+end program
+"""
+    )
+    b_def = result.ssa.def_name[unit.body[1].target]
+    assert result.values.value_of[b_def] == SymExpr.constant(5)
+
+
+def test_symbolic_value_over_free_names():
+    unit, result = _analyse(
+        """
+program p
+  integer n, half
+  half = n / 1
+  half = half + n
+end program
+"""
+    )
+    second = result.ssa.def_name[unit.body[1].target]
+    assert result.values.value_of[second] == SymExpr.var("n", 2)
+
+
+def test_nonaffine_rhs_not_propagated():
+    unit, result = _analyse(
+        """
+program p
+  integer a, b, c
+  a = b * c
+end program
+"""
+    )
+    a_def = result.ssa.def_name[unit.body[0].target]
+    assert a_def not in result.values.value_of
+
+
+def test_expr_at_resolves_through_values():
+    unit, result = _analyse(
+        """
+program p
+  integer n, m, t
+  m = n + 2
+  t = m - 1
+end program
+"""
+    )
+    value_expr = unit.body[1].value
+    assert result.values.expr_at(value_expr) == SymExpr.var("n") + 1
+
+
+def test_induction_variable_renders_bare():
+    unit, result = _analyse(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i + 1) = 0
+  end do
+end program
+"""
+    )
+    loop = unit.body[0]
+    index = loop.body[0].target.indices[0]
+    assert result.values.expr_at(index) == SymExpr.var("i") + 1
+
+
+def test_phi_merged_values_stay_symbolic():
+    unit, result = _analyse(
+        """
+program p
+  integer i
+  real s, t
+  if (i == 0) then
+    s = 1
+  else
+    s = 2
+  end if
+  t = s
+end program
+"""
+    )
+    t_value = result.values.expr_at(unit.body[1].value)
+    # The phi result has no single value; it appears as an SSA atom.
+    assert t_value is not None
+    assert not t_value.is_constant
+
+
+def test_branch_assertion_on_true_edge():
+    unit, result = _analyse(
+        """
+program p
+  integer i, n
+  real s
+  if (i < n) then
+    s = 1
+  end if
+end program
+"""
+    )
+    branch = result.cfg.node_of_stmt[unit.body[0]]
+    true_block = branch.succs[0]
+    assertion = result.values.assertion_at[true_block]
+    # i < n  ==>  i - n < 0.
+    pred = Predicate(op="<", expr=SymExpr.var("i") - SymExpr.var("n"))
+    assert assertion.implies(pred)
+
+
+def test_branch_assertion_on_false_edge():
+    unit, result = _analyse(
+        """
+program p
+  integer i, n
+  real s
+  if (i < n) then
+    s = 1
+  else
+    s = 2
+  end if
+end program
+"""
+    )
+    branch = result.cfg.node_of_stmt[unit.body[0]]
+    false_block = branch.succs[1]
+    assertion = result.values.assertion_at[false_block]
+    # not(i < n)  ==>  n - i <= 0.
+    pred = Predicate(op="<=", expr=SymExpr.var("n") - SymExpr.var("i"))
+    assert assertion.implies(pred)
+
+
+def test_join_has_no_branch_assertion():
+    unit, result = _analyse(
+        """
+program p
+  integer i, n
+  real s
+  if (i < n) then
+    s = 1
+  end if
+  s = 2
+end program
+"""
+    )
+    tail = result.cfg.node_of_stmt[unit.body[1]]
+    assertion = result.values.assertion_at[tail]
+    pred = Predicate(op="<", expr=SymExpr.var("i") - SymExpr.var("n"))
+    assert not assertion.implies(pred)
+
+
+def test_loop_body_gets_range_assertion():
+    unit, result = _analyse(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 2, n - 1
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    header = result.cfg.node_of_stmt[unit.body[0]]
+    body = header.succs[0]
+    assertion = result.values.assertion_at[body]
+    # 2 <= i: 2 - i <= 0.
+    assert assertion.implies(Predicate(op="<=", expr=2 - SymExpr.var("i")))
+    # i <= n-1: i - n + 1 <= 0.
+    assert assertion.implies(
+        Predicate(op="<=", expr=SymExpr.var("i") - SymExpr.var("n") + 1)
+    )
+
+
+def test_loop_body_gets_where_assertion():
+    unit, result = _analyse(
+        """
+program p
+  integer mask(n), i, n
+  real x(n)
+  do i = 1, n where (mask(i) <> 0)
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    header = result.cfg.node_of_stmt[unit.body[0]]
+    body = header.succs[0]
+    assertion = result.values.assertion_at[body]
+    opaque = [
+        p
+        for c in assertion.disjuncts
+        for p in c.predicates
+        if p.is_opaque
+    ]
+    assert opaque and opaque[0].op == "true"
+    assert "mask(i)" in opaque[0].opaque
+
+
+def test_nested_assertions_accumulate():
+    unit, result = _analyse(
+        """
+program p
+  integer i, j, n
+  real q(n, n)
+  do i = 1, n
+    do j = i, n
+      q(i, j) = 0
+    end do
+  end do
+end program
+"""
+    )
+    inner_loop = unit.body[0].body[0]
+    inner_header = result.cfg.node_of_stmt[inner_loop]
+    inner_body = inner_header.succs[0]
+    assertion = result.values.assertion_at[inner_body]
+    # From the outer loop: 1 <= i; from the inner: i <= j.
+    assert assertion.implies(Predicate(op="<=", expr=1 - SymExpr.var("i")))
+    assert assertion.implies(
+        Predicate(op="<=", expr=SymExpr.var("i") - SymExpr.var("j"))
+    )

@@ -1,0 +1,162 @@
+"""Per-application structural tests: the phases each workload generates."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    ClimateWorkload,
+    EmuWorkload,
+    PsirrfanWorkload,
+    VortexWorkload,
+)
+
+
+def phases(workload, mode, steps=3):
+    rng = random.Random(workload.seed)
+    return [
+        workload.phases_for_step(rng, step, mode) for step in range(steps)
+    ]
+
+
+# -- psirrfan -----------------------------------------------------------------
+
+
+def test_psirrfan_taper_two_phases_per_sweep():
+    for step_phases in phases(PsirrfanWorkload(steps=3), "taper"):
+        assert len(step_phases) == 2
+        names = [p.op.name for p in step_phases]
+        assert names[0].startswith("A")
+        assert names[1].startswith("B")
+
+
+def test_psirrfan_split_defers_dependent_tail():
+    workload = PsirrfanWorkload(steps=3)
+    all_steps = phases(workload, "split")
+    # Step 0 has no deferred tail; steps 1+ carry the previous BD.
+    step0_names = [p.op.name for p in all_steps[0]]
+    assert not any(name.startswith("BD") for name in step0_names)
+    step1_names = [p.op.name for p in all_steps[1]]
+    assert any(name.startswith("BD0") for name in step1_names)
+    # Last step flushes its own tail.
+    last_names = [p.op.name for p in all_steps[-1]]
+    assert any(name.startswith("BD2") for name in last_names)
+
+
+def test_psirrfan_split_covers_all_columns():
+    workload = PsirrfanWorkload(steps=1)
+    (step0,) = phases(workload, "split", steps=1)
+    tiles = workload.post_tiles_per_column
+    total_b_tasks = sum(
+        p.op.size for p in step0 if p.op.name.startswith("B")
+    )
+    assert total_b_tasks == workload.columns * tiles
+
+
+def test_psirrfan_active_fraction_respected():
+    workload = PsirrfanWorkload(steps=1)
+    (step0,) = phases(workload, "taper", steps=1)
+    a_op = step0[0].op
+    expected = workload.columns * workload.active_fraction
+    assert abs(a_op.size - expected) < 0.2 * expected
+
+
+# -- climate ---------------------------------------------------------------------
+
+
+def test_climate_taper_three_serial_phases():
+    for step_phases in phases(ClimateWorkload(steps=2), "taper", steps=2):
+        groups = [p.concurrent_group for p in step_phases]
+        assert groups == [0, 1, 2]
+
+
+def test_climate_split_groups_irregular_with_regular():
+    workload = ClimateWorkload(steps=3)
+    all_steps = phases(workload, "split")
+    # Steady state: cloud + radiation + the *next* step's dynamics share
+    # a group (forward pipelining: dyn_{k+1} does not need cloud_k).
+    step1 = all_steps[1]
+    group_ids = {p.concurrent_group for p in step1}
+    assert len(group_ids) == 1
+    names = sorted(p.op.name for p in step1)
+    assert names == ["cloud1", "dyn2", "rad1"]
+
+
+def test_climate_each_dynamics_runs_exactly_once():
+    workload = ClimateWorkload(steps=3)
+    all_steps = phases(workload, "split")
+    dynamics = [
+        p.op.name
+        for step_phases in all_steps
+        for p in step_phases
+        if p.op.name.startswith("dyn")
+    ]
+    assert sorted(dynamics) == ["dyn0", "dyn1", "dyn2"]
+
+
+def test_climate_cloud_costs_bimodal():
+    workload = ClimateWorkload(steps=1)
+    (step0,) = phases(workload, "taper", steps=1)
+    cloud = next(p.op for p in step0 if p.op.name.startswith("cloud"))
+    values = set(cloud.costs)
+    assert values == {workload.quiescent_cost, workload.convective_cost}
+
+
+# -- vortex ---------------------------------------------------------------------
+
+
+def test_vortex_interaction_costs_capped():
+    workload = VortexWorkload(steps=1)
+    (step0,) = phases(workload, "taper", steps=1)
+    force = next(p.op for p in step0 if p.op.name.startswith("force"))
+    assert max(force.costs) <= 5.0 * workload.interaction_scale + 1e-9
+    assert min(force.costs) >= workload.interaction_scale - 1e-9
+
+
+def test_vortex_split_overlaps_next_tree():
+    workload = VortexWorkload(steps=3)
+    all_steps = phases(workload, "split")
+    # Step k's irregular group carries the *next* step's tree build, so
+    # the regular refinement overlaps the irregular interactions.
+    step1 = all_steps[1]
+    tree_phase = next(p for p in step1 if p.op.name == "tree2")
+    force_phase = next(p for p in step1 if p.op.name == "force1")
+    assert tree_phase.concurrent_group == force_phase.concurrent_group
+
+
+def test_vortex_each_tree_runs_exactly_once():
+    workload = VortexWorkload(steps=3)
+    all_steps = phases(workload, "split")
+    trees = [
+        p.op.name
+        for step_phases in all_steps
+        for p in step_phases
+        if p.op.name.startswith("tree")
+    ]
+    assert sorted(trees) == ["tree0", "tree1", "tree2"]
+
+
+# -- emu ------------------------------------------------------------------------
+
+
+def test_emu_activity_oscillates():
+    workload = EmuWorkload(steps=4)
+    sizes = [
+        next(p.op for p in step_phases if p.op.name.startswith("eval")).size
+        for step_phases in phases(workload, "taper", steps=4)
+    ]
+    assert max(sizes) > min(sizes)
+
+
+def test_emu_split_update_partition():
+    workload = EmuWorkload(steps=1)
+    (step0,) = phases(workload, "split", steps=1)
+    evaluate = next(p.op for p in step0 if p.op.name.startswith("eval"))
+    independent = next(p.op for p in step0 if p.op.name.startswith("updI"))
+    dependent = next(p.op for p in step0 if p.op.name.startswith("updD"))
+    assert independent.size + dependent.size == workload.devices
+    assert dependent.size == evaluate.size
+    # Evaluate and the untouched-node update share the concurrent group.
+    groups = {p.op.name[:4]: p.concurrent_group for p in step0}
+    assert groups["eval"] == groups["updI"]
+    assert groups["updD"] != groups["eval"]

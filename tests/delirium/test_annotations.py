@@ -1,0 +1,136 @@
+"""Size annotation tests."""
+
+import pytest
+
+from repro.analysis.symbolic import SymExpr
+from repro.delirium import DataflowGraph, annotate_decl, annotate_graph
+from repro.delirium.annotations import ELEMENT_BYTES, SizeAnnotation
+from repro.lang import ast, parse_unit
+
+
+def decl_of(source, name):
+    unit = parse_unit(source)
+    return unit.decl_for(name)
+
+
+def test_scalar_annotation():
+    decl = decl_of(
+        """
+program p
+  integer n
+  n = 1
+end program
+""",
+        "n",
+    )
+    annotation = annotate_decl(decl)
+    assert annotation.elements.constant_value() == 1
+    assert annotation.element_bytes == ELEMENT_BYTES["integer"]
+
+
+def test_constant_2d_array():
+    decl = decl_of(
+        """
+program p
+  real q(16, 8)
+  q(1, 1) = 0
+end program
+""",
+        "q",
+    )
+    annotation = annotate_decl(decl)
+    assert annotation.elements.constant_value() == 128
+    assert annotation.bytes_under({}) == 1024.0
+
+
+def test_symbolic_1d_array():
+    decl = decl_of(
+        """
+program p
+  integer n
+  real x(n)
+  x(1) = 0
+end program
+""",
+        "x",
+    )
+    annotation = annotate_decl(decl)
+    assert annotation.elements == SymExpr.var("n")
+    assert annotation.bytes_under({"n": 100}) == 800.0
+
+
+def test_symbolic_times_constant():
+    decl = decl_of(
+        """
+program p
+  integer n
+  real q(n, 4)
+  q(1, 1) = 0
+end program
+""",
+        "q",
+    )
+    annotation = annotate_decl(decl)
+    assert annotation.bytes_under({"n": 10}) == 10 * 4 * 8
+
+
+def test_product_of_two_symbols_unknown():
+    decl = decl_of(
+        """
+program p
+  integer n, m
+  real q(n, m)
+  q(1, 1) = 0
+end program
+""",
+        "q",
+    )
+    annotation = annotate_decl(decl)
+    assert annotation.elements is None
+    # Falls back to the caller-provided default element count.
+    assert annotation.bytes_under({}, default=10.0) == 80.0
+
+
+def test_unbound_symbol_uses_default():
+    annotation = SizeAnnotation(
+        block="x", base_type="real", elements=SymExpr.var("n"), element_bytes=8
+    )
+    assert annotation.bytes_under({}, default=3.0) == 24.0
+
+
+def test_unknown_block_gets_fallback_annotation():
+    unit = parse_unit(
+        """
+program p
+  real x(8)
+  x(1) = 0
+end program
+"""
+    )
+    graph = DataflowGraph()
+    a = graph.add_node("a", outputs=["mystery"])
+    b = graph.add_node("b", inputs=["mystery"])
+    graph.add_edge(a, b, "mystery")
+    annotations = annotate_graph(graph, unit)
+    assert annotations.by_block["mystery"].elements is None
+    assert annotations.edge_bytes(graph.edges[0], {}) > 0
+
+
+def test_total_bytes_sums_edges():
+    unit = parse_unit(
+        """
+program p
+  real x(8), y(8)
+  x(1) = 0
+  y(1) = x(1)
+end program
+"""
+    )
+    graph = DataflowGraph()
+    a = graph.add_node("a", outputs=["x"])
+    b = graph.add_node("b", inputs=["x"], outputs=["y"])
+    c = graph.add_node("c", inputs=["y"])
+    graph.add_edge(a, b, "x")
+    graph.add_edge(b, c, "y")
+    annotations = annotate_graph(graph, unit)
+    assert annotations.total_bytes({}) == 64.0 + 64.0

@@ -1,0 +1,78 @@
+"""Dataflow graph structure tests."""
+
+import pytest
+
+from repro.delirium import PARALLEL, SEQUENTIAL, DataflowGraph
+
+
+def diamond():
+    g = DataflowGraph("diamond")
+    a = g.add_node("a")
+    b = g.add_node("b")
+    c = g.add_node("c")
+    d = g.add_node("d")
+    g.add_edge(a, b, "x")
+    g.add_edge(a, c, "x")
+    g.add_edge(b, d, "y")
+    g.add_edge(c, d, "z")
+    return g, (a, b, c, d)
+
+
+def test_topological_order_respects_edges():
+    g, (a, b, c, d) = diamond()
+    order = [n.id for n in g.topological_order()]
+    assert order.index(a.id) < order.index(b.id)
+    assert order.index(b.id) < order.index(d.id)
+    assert order.index(c.id) < order.index(d.id)
+
+
+def test_cycle_rejected():
+    g = DataflowGraph()
+    a = g.add_node("a")
+    b = g.add_node("b")
+    g.add_edge(a, b, "x")
+    with pytest.raises(ValueError):
+        g.add_edge(b, a, "y")
+    # The failed edge must not be left behind.
+    assert len(g.edges) == 1
+    assert g.topological_order()
+
+
+def test_self_edge_rejected():
+    g = DataflowGraph()
+    a = g.add_node("a")
+    with pytest.raises(ValueError):
+        g.add_edge(a, a, "x")
+
+
+def test_roots_and_leaves():
+    g, (a, b, c, d) = diamond()
+    assert g.roots() == [a]
+    assert g.leaves() == [d]
+
+
+def test_concurrent_pairs():
+    g, (a, b, c, d) = diamond()
+    pairs = g.concurrent_pairs()
+    assert (b, c) in pairs
+    assert all(a not in pair for pair in pairs)
+
+
+def test_predecessors_successors():
+    g, (a, b, c, d) = diamond()
+    assert g.predecessors(d) == [b, c]
+    assert g.successors(a) == [b, c]
+
+
+def test_critical_path_length():
+    g, (a, b, c, d) = diamond()
+    assert g.critical_path_length() == 3.0
+    costs = {a.id: 5.0, b.id: 1.0, c.id: 10.0, d.id: 1.0}
+    assert g.critical_path_length(lambda n: costs[n.id]) == 16.0
+
+
+def test_in_out_edges():
+    g, (a, b, c, d) = diamond()
+    assert len(g.in_edges(d)) == 2
+    assert len(g.out_edges(a)) == 2
+    assert {e.block for e in g.out_edges(a)} == {"x"}

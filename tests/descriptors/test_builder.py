@@ -1,0 +1,431 @@
+"""Descriptor builder tests, including the paper's Section 3.2 example."""
+
+import pytest
+
+from repro.analysis import analyze_unit
+from repro.analysis.symbolic import SymExpr, SymRange
+from repro.descriptors import (
+    DescriptorBuilder,
+    flow_interfere,
+    interfere,
+    loop_iterations_independent,
+)
+from repro.lang import ast, parse_unit
+
+
+def build(source):
+    unit = parse_unit(source)
+    analysis = analyze_unit(unit)
+    return unit, DescriptorBuilder(analysis)
+
+
+# -- the paper's Section 3.2 example ----------------------------------------------
+
+PAPER_32 = """
+program paper32
+  integer miss(10), i, j
+  real q(10, 10), x(10)
+  do i = 1, 10
+    if (miss(i) <> 1) then
+      do j = 1, 10
+        q(i, j) = q(i, j) + x(j)
+      end do
+    end if
+  end do
+end program
+"""
+
+
+def test_paper_iteration_descriptor():
+    unit, builder = build(PAPER_32)
+    loop = unit.body[0]
+    d = builder.of_iteration(loop)
+    # write: < miss[i] <> 1 > q[i, 1..10]
+    q_writes = [t for t in d.writes if t.block == "q"]
+    assert len(q_writes) == 1
+    (w,) = q_writes
+    assert w.pattern[0].is_point and w.pattern[0].range.lo == SymExpr.var("i")
+    assert str(w.pattern[1].range) == "1..10"
+    assert any("miss" in str(p) for p in w.guard)
+    # read: q[i, 1..10] and x[1..10], both guarded.
+    q_reads = [t for t in d.reads if t.block == "q"]
+    x_reads = [t for t in d.reads if t.block == "x"]
+    assert len(q_reads) == 1 and len(x_reads) == 1
+    assert str(x_reads[0].pattern[0].range) == "1..10"
+
+
+def test_paper_whole_loop_descriptor_has_mask():
+    unit, builder = build(PAPER_32)
+    loop = unit.body[0]
+    d = builder.of_loop(loop)
+    q_writes = [t for t in d.writes if t.block == "q"]
+    assert len(q_writes) == 1
+    (w,) = q_writes
+    # write: q[1..10/(miss[*] <> 1), 1..10]
+    assert w.pattern[0].mask is not None
+    assert w.pattern[0].mask.array == "miss"
+    assert w.pattern[0].mask.op == "<>"
+    assert str(w.pattern[0].range) == "1..10"
+    assert w.guard == ()  # guard became a mask
+    assert not w.approximate
+
+
+def test_paper_iterations_independent():
+    unit, builder = build(PAPER_32)
+    loop = unit.body[0]
+    assert loop_iterations_independent(loop, builder)
+
+
+# -- basic shapes --------------------------------------------------------------------
+
+
+def test_scalar_read_write():
+    unit, builder = build(
+        """
+program p
+  real a, b
+  a = b + 1
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert d.blocks_written() == {"a"}
+    assert d.blocks_read() == {"b"}
+
+
+def test_read_after_unconditional_write_not_live():
+    unit, builder = build(
+        """
+program p
+  real a, b
+  a = 1
+  b = a
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "a" not in d.blocks_read()
+
+
+def test_read_before_write_is_live():
+    unit, builder = build(
+        """
+program p
+  real s
+  s = s + 1
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "s" in d.blocks_read()
+    assert "s" in d.blocks_written()
+
+
+def test_guarded_write_does_not_kill_read():
+    unit, builder = build(
+        """
+program p
+  integer i
+  real a, b
+  if (i == 0) then
+    a = 1
+  end if
+  b = a
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "a" in d.blocks_read()
+
+
+def test_array_fill_covers_later_read():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n), y(n)
+  do i = 1, n
+    x(i) = 1
+  end do
+  do i = 1, n
+    y(i) = x(i)
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "x" not in d.blocks_read()
+    assert d.blocks_written() == {"x", "y"}
+
+
+def test_partial_fill_does_not_cover():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n), y(n)
+  do i = 2, n
+    x(i) = 1
+  end do
+  do i = 1, n
+    y(i) = x(i)
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "x" in d.blocks_read()
+
+
+def test_where_guard_becomes_mask_on_promotion():
+    unit, builder = build(
+        """
+program p
+  integer mask(n), i, n
+  real x(n)
+  do i = 1, n where (mask(i) <> 0)
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.pattern[0].mask is not None
+    assert w.pattern[0].mask.array == "mask"
+
+
+def test_discontinuous_ranges_make_two_triples():
+    unit, builder = build(
+        """
+program p
+  integer i, a, n
+  real x(n)
+  do i = 1, a-1 and a+1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    x_writes = [t for t in d.writes if t.block == "x"]
+    assert len(x_writes) == 2
+    his = {str(t.pattern[0].range.hi) for t in x_writes}
+    assert "a - 1" in his
+
+
+def test_strided_loop_promotion():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n, 2
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.pattern[0].range.skip == 2
+
+
+def test_coefficient_scales_skip():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(2 * i) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.pattern[0].range.skip == 2
+    assert w.pattern[0].range.lo == SymExpr.constant(2)
+
+
+def test_negative_coefficient_flips_range():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(n - i + 1) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.pattern[0].range.lo == SymExpr.constant(1)
+    assert w.pattern[0].range.hi == SymExpr.var("n")
+
+
+def test_nonaffine_subscript_approximate():
+    unit, builder = build(
+        """
+program p
+  integer i, n, idx(n)
+  real x(n)
+  do i = 1, n
+    x(idx(i)) = 0
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.approximate
+
+
+def test_triangular_loop_envelope_is_approximate():
+    unit, builder = build(
+        """
+program p
+  integer i, j, n
+  real q(n, n)
+  do i = 1, n
+    do j = 1, i
+      q(i, j) = 0
+    end do
+  end do
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "q"]
+    assert w.approximate
+    assert str(w.pattern[1].range) == "1..n"
+
+
+def test_unknown_call_writes_whole_array_approximately():
+    unit, builder = build(
+        """
+program p
+  real x(10)
+  call munge(x)
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    (w,) = [t for t in d.writes if t.block == "x"]
+    assert w.approximate
+    assert "x" in d.blocks_read()
+
+
+def test_pure_call_reads_only():
+    unit, builder = build(
+        """
+program p
+  integer i, col
+  real q(10, 10), r
+  r = reconstruct(q, i, col)
+end program
+"""
+    )
+    d = builder.region(unit.body)
+    assert "q" in d.blocks_read()
+    assert "q" not in d.blocks_written()
+
+
+# -- interference between regions ---------------------------------------------------
+
+
+FIG4 = """
+program fig4
+  integer i, j, a, n
+  real x(n, n), y(n)
+  real sum, suml, sum2
+  do i = 1, n
+    x(a, i) = x(a, i) + y(i)
+  end do
+  sum = 0
+  do i = 1, n
+    do j = 1, n
+      sum = sum + x(j, i)
+    end do
+  end do
+end program
+"""
+
+
+def test_fig4_g_and_h_interfere():
+    unit, builder = build(FIG4)
+    g = builder.region(unit.body[:1])
+    h = builder.region(unit.body[1:])
+    assert interfere(g, h)
+    assert flow_interfere(g, h)
+    assert not flow_interfere(h, g)
+
+
+def test_fig4_descriptor_contents():
+    unit, builder = build(FIG4)
+    g = builder.region(unit.body[:1])
+    # DG_write = { X[a, 1..n] }.
+    (w,) = [t for t in g.writes if t.block == "x"]
+    assert w.pattern[0].is_point
+    assert w.pattern[0].range.lo == SymExpr.var("a")
+    assert str(w.pattern[1].range) == "1..n"
+    # DG_read includes X[a, 1..n] and Y[1..n].
+    assert {"x", "y"} <= g.blocks_read()
+
+
+def test_restricted_h_does_not_interfere():
+    """Restricting H's column range away from `a` removes interference."""
+    unit, builder = build(
+        """
+program p
+  integer i, j, a, n
+  real x(n, n), y(n)
+  real sum2
+  do i = 1, n
+    x(a, i) = x(a, i) + y(i)
+  end do
+  do i = 1, n
+    do j = 1, a-1 and a+1, n
+      sum2 = sum2 + x(j, i)
+    end do
+  end do
+end program
+"""
+    )
+    g = builder.region(unit.body[:1])
+    h = builder.region(unit.body[1:])
+    # x accesses no longer overlap: column a vs columns != a.
+    x_pairs_interfere = any(
+        not t  # placeholder to keep structure clear
+        for t in ()
+    )
+    assert not interfere(g, h)
+
+
+def test_substitute_descriptor_for_pipelining():
+    unit, builder = build(PAPER_32)
+    loop = unit.body[0]
+    d = builder.of_iteration(loop)
+    prev = d.substitute({"i": SymExpr.var("i") - 1})
+    (w,) = [t for t in prev.writes if t.block == "q"]
+    assert w.pattern[0].range.lo == SymExpr.var("i") - 1
+
+
+def test_iterations_not_independent_when_all_columns_read():
+    unit, builder = build(
+        """
+program p
+  integer i, n
+  real x(n), s(n)
+  do i = 1, n
+    s(i) = f(x)
+    x(i) = s(i)
+  end do
+end program
+"""
+    )
+    loop = unit.body[0]
+    assert not loop_iterations_independent(loop, builder)

@@ -1,0 +1,171 @@
+"""Structural guard predicate tests."""
+
+import pytest
+
+from repro.analysis import analyze_unit
+from repro.analysis.symbolic import SymExpr
+from repro.descriptors.guards import (
+    AffinePred,
+    MaskPred,
+    OpaquePred,
+    guard_from_condition,
+    guard_mentions,
+    guard_preds_contradict,
+    guard_substitute,
+    guards_contradict,
+)
+from repro.lang import ast, parse_unit
+
+ZERO = SymExpr.constant(0)
+COL = SymExpr.var("col")
+
+
+def cond_of(text):
+    unit = parse_unit(
+        f"""
+program p
+  integer mask(n), miss(n), i, col, n
+  real s
+  if ({text}) then
+    s = 1
+  end if
+end program
+"""
+    )
+    analysis = analyze_unit(unit)
+    return unit.body[0].cond, analysis.values.expr_at
+
+
+# -- construction ---------------------------------------------------------------
+
+
+def test_mask_pred_from_array_comparison():
+    cond, expr_at = cond_of("mask(col) <> 0")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, MaskPred)
+    assert pred.array == "mask"
+    assert pred.op == "<>"
+    assert pred.index == COL
+
+
+def test_mask_pred_flipped_orientation():
+    cond, expr_at = cond_of("0 <> mask(col)")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, MaskPred)
+    assert pred.array == "mask"
+
+
+def test_affine_pred_from_scalar_comparison():
+    cond, expr_at = cond_of("i < n")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, AffinePred)
+    assert pred.op == "<"
+
+
+def test_affine_pred_gt_normalised():
+    cond, expr_at = cond_of("i > n")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, AffinePred)
+    assert pred.op == "<"
+    assert pred.expr == SymExpr.var("n") - SymExpr.var("i")
+
+
+def test_opaque_fallback():
+    cond, expr_at = cond_of("mask(col) <> miss(col)")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, OpaquePred)
+
+
+def test_and_splits_into_conjuncts():
+    cond, expr_at = cond_of("mask(col) <> 0 and i < n")
+    guard = guard_from_condition(cond, expr_at)
+    assert len(guard) == 2
+
+
+def test_negated_or_demorgan():
+    cond, expr_at = cond_of("i < n or mask(col) <> 0")
+    guard = guard_from_condition(cond, expr_at, negated=True)
+    assert len(guard) == 2  # not(a or b) == not a and not b
+
+
+def test_not_negates():
+    cond, expr_at = cond_of("not (mask(col) <> 0)")
+    (pred,) = guard_from_condition(cond, expr_at)
+    assert isinstance(pred, MaskPred)
+    assert pred.op == "=="
+
+
+# -- negation / contradiction --------------------------------------------------------
+
+
+def test_mask_negation_roundtrip():
+    pred = MaskPred("mask", COL, "<>", ZERO)
+    assert pred.negate().op == "=="
+    assert pred.negate().negate() == pred
+
+
+def test_mask_contradiction():
+    a = MaskPred("mask", COL, "<>", ZERO)
+    assert guard_preds_contradict(a, a.negate())
+    assert not guard_preds_contradict(a, a)
+
+
+def test_mask_exclusive_comparisons():
+    lt = MaskPred("mask", COL, "<", ZERO)
+    gt = MaskPred("mask", COL, ">", ZERO)
+    eq = MaskPred("mask", COL, "==", ZERO)
+    assert guard_preds_contradict(lt, gt)
+    assert guard_preds_contradict(lt, eq)
+
+
+def test_mask_different_indices_no_contradiction():
+    a = MaskPred("mask", COL, "<>", ZERO)
+    b = MaskPred("mask", COL - 1, "==", ZERO)
+    assert not guard_preds_contradict(a, b)
+
+
+def test_affine_contradiction():
+    a = AffinePred(SymExpr.var("i"), "==")
+    b = AffinePred(SymExpr.var("i"), "<>")
+    assert guard_preds_contradict(a, b)
+
+
+def test_opaque_contradiction_by_text():
+    a = OpaquePred("f(i) <> 0", True)
+    b = OpaquePred("f(i) <> 0", False)
+    assert guard_preds_contradict(a, b)
+    assert not guard_preds_contradict(a, OpaquePred("g(i) <> 0", False))
+
+
+def test_guards_contradict_any_pair():
+    g1 = (MaskPred("mask", COL, "<>", ZERO), OpaquePred("x", True))
+    g2 = (MaskPred("mask", COL, "==", ZERO),)
+    assert guards_contradict(g1, g2)
+    assert not guards_contradict(g1, g1)
+
+
+# -- substitution / mentions ------------------------------------------------------------
+
+
+def test_substitution_shifts_index():
+    pred = MaskPred("mask", COL, "<>", ZERO)
+    shifted = pred.substitute({"col": COL - 1})
+    assert shifted.index == COL - 1
+
+
+def test_guard_mentions():
+    guard = (MaskPred("mask", COL, "<>", ZERO),)
+    assert guard_mentions(guard, "col")
+    assert not guard_mentions(guard, "i")
+    # Opaque predicates conservatively mention everything.
+    assert guard_mentions((OpaquePred("anything", True),), "zzz")
+
+
+def test_guard_substitute_whole_tuple():
+    guard = (
+        MaskPred("mask", COL, "<>", ZERO),
+        AffinePred(COL - 3, "<"),
+    )
+    shifted = guard_substitute(guard, {"col": COL + 5})
+    assert shifted[0].index == COL + 5
+    assert shifted[1].expr == COL + 2

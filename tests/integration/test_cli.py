@@ -1,0 +1,89 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+FIG4 = """
+program fig4
+  integer i, j, a, n
+  real x(n, n), y(n)
+  real sum
+  do i = 1, n
+    x(a, i) = x(a, i) + y(i)
+  end do
+  sum = 0
+  do i = 1, n
+    do j = 1, n
+      sum = sum + x(j, i)
+    end do
+  end do
+end program
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "fig4.f"
+    path.write_text(FIG4)
+    return str(path)
+
+
+def test_compile_report(source_file, capsys):
+    assert main(["compile", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "split" in out
+
+
+def test_compile_emit_delirium(source_file, capsys):
+    assert main(["compile", source_file, "--emit", "delirium"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("(graph fig4")
+    from repro.delirium import parse as parse_delirium
+
+    assert parse_delirium(out).name == "fig4"
+
+
+def test_compile_emit_sections(source_file, capsys):
+    assert main(["compile", source_file, "--emit", "sections"]) == 0
+    out = capsys.readouterr().out
+    assert "! section" in out
+    assert "do " in out
+
+
+def test_compile_no_transforms(source_file, capsys):
+    assert main(["compile", source_file, "--no-split", "--no-pipeline"]) == 0
+    out = capsys.readouterr().out
+    assert "split primitive" not in out
+
+
+def test_descriptors_command(source_file, capsys):
+    assert main(["descriptors", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "primitive 0" in out
+    assert "write:" in out
+    assert "x[a, 1..n]" in out
+
+
+def test_simulate_command(capsys):
+    code = main(
+        [
+            "simulate",
+            "emu",
+            "--modes",
+            "taper",
+            "--processors",
+            "64",
+            "--steps",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "emu" in out and "taper" in out
+
+
+def test_simulate_unknown_app(capsys):
+    assert main(["simulate", "nonesuch"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown application" in err

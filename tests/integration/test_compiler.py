@@ -1,0 +1,99 @@
+"""End-to-end compiler driver tests."""
+
+import pytest
+
+from repro.compiler import compile_source, compile_unit
+from repro.delirium import parse as parse_delirium
+from repro.lang import parse_unit
+
+FIG1 = """
+program fig1
+  integer mask(n), col, i, j, k, n
+  real result(n), q(n, n), output(n, n)
+  do col = 1, n where (mask(col) <> 0)
+    do i = 1, n
+      result(i) = 0
+      do k = 1, n
+        result(i) = result(i) + q(k, i)
+      end do
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = f(q(j, i))
+    end do
+  end do
+end program
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_unit(parse_unit(FIG1))
+
+
+def test_compile_produces_graph(compiled):
+    assert len(compiled.graph.nodes) >= 2
+    assert compiled.graph.topological_order()
+
+
+def test_split_applied_to_figure1(compiled):
+    assert compiled.splits, "expected B to split against A"
+    applied = compiled.splits[0]
+    assert not applied.result.is_trivial
+
+
+def test_pipeline_applied_to_figure1(compiled):
+    assert compiled.pipelines, "expected the masked column loop to pipeline"
+    assert compiled.pipelines[0].result.succeeded
+
+
+def test_delirium_text_round_trips(compiled):
+    parsed = parse_delirium(compiled.delirium_text)
+    assert len(parsed.nodes) == len(compiled.graph.nodes)
+
+
+def test_transformed_sections_nonempty(compiled):
+    sections = compiled.transformed_sections()
+    assert sections
+    assert any("do" in text for text in sections.values())
+
+
+def test_report_mentions_split_and_pipeline(compiled):
+    report = compiled.report()
+    assert "split" in report
+    assert "pipelined" in report
+
+
+def test_annotations_cover_edges(compiled):
+    for edge in compiled.graph.edges:
+        if edge.block.startswith("#"):
+            continue
+        assert edge.block in compiled.annotations.by_block
+
+
+def test_compile_source_multiple_units():
+    programs = compile_source(
+        """
+program main
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 1
+  end do
+end program
+"""
+    )
+    assert len(programs) == 1
+    assert programs[0].unit.name == "main"
+
+
+def test_compile_with_transforms_disabled():
+    program = compile_unit(
+        parse_unit(FIG1), apply_splits=False, apply_pipelining=False
+    )
+    assert program.splits == []
+    assert program.pipelines == []

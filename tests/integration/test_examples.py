@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_quickstart_shows_figure2_structure():
+    path = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    completed = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+    )
+    assert "mask(i) == 0" in completed.stdout  # B_I's guard
+    assert "(graph fig1" in completed.stdout  # Delirium text

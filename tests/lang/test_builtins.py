@@ -1,0 +1,56 @@
+"""Intrinsic metadata tests."""
+
+from repro.lang import call_cost, is_pure, lookup, register_intrinsic
+
+
+def test_known_intrinsics_pure():
+    for name in ("sqrt", "abs", "sin", "f", "reconstruct"):
+        assert is_pure(name)
+
+
+def test_unknown_functions_impure():
+    assert not is_pure("totally_unknown_routine")
+    assert lookup("totally_unknown_routine") is None
+
+
+def test_call_cost_defaults():
+    assert call_cost("sqrt") == 4.0
+    assert call_cost("abs") == 1.0
+    assert call_cost("no_such_function", default=33.0) == 33.0
+
+
+def test_register_intrinsic():
+    register_intrinsic("my_kernel", pure=True, cost=77.0)
+    assert is_pure("my_kernel")
+    assert call_cost("my_kernel") == 77.0
+    info = lookup("my_kernel")
+    assert info.reads_arrays_only
+
+
+def test_register_impure_intrinsic():
+    register_intrinsic(
+        "my_mutator", pure=False, cost=5.0, reads_arrays_only=False
+    )
+    assert not is_pure("my_mutator")
+    info = lookup("my_mutator")
+    assert not info.reads_arrays_only
+
+
+def test_registered_intrinsic_affects_descriptors():
+    from repro.analysis import analyze_unit
+    from repro.descriptors import DescriptorBuilder
+    from repro.lang import parse_unit
+
+    register_intrinsic("pure_reader", pure=True, cost=10.0)
+    unit = parse_unit(
+        """
+program p
+  real x(10), t
+  t = pure_reader(x)
+end program
+"""
+    )
+    builder = DescriptorBuilder(analyze_unit(unit))
+    descriptor = builder.region(unit.body)
+    assert "x" in descriptor.blocks_read()
+    assert "x" not in descriptor.blocks_written()

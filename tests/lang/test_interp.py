@@ -1,0 +1,288 @@
+"""Reference interpreter tests."""
+
+import pytest
+
+from repro.lang import ast, parse_unit
+from repro.lang.interp import (
+    InterpreterError,
+    eval_expr,
+    run_stmts,
+    run_unit,
+)
+
+
+def body_of(source):
+    return parse_unit(source).body
+
+
+def test_assignment_and_arithmetic():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  real a, b
+  a = 3
+  b = a * 2 + 1
+end program
+"""
+        ),
+        {},
+    )
+    assert env["b"] == 7
+
+
+def test_integer_division_truncates():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer a
+  a = 7 / 2
+end program
+"""
+        ),
+        {},
+    )
+    assert env["a"] == 3
+
+
+def test_do_loop_with_step():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer i
+  real s
+  s = 0
+  do i = 1, 9, 2
+    s = s + i
+  end do
+end program
+"""
+        ),
+        {},
+    )
+    assert env["s"] == 1 + 3 + 5 + 7 + 9
+
+
+def test_discontinuous_ranges():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer i, a
+  real s
+  s = 0
+  do i = 1, a - 1 and a + 1, 5
+    s = s + i
+  end do
+end program
+"""
+        ),
+        {"a": 3},
+    )
+    assert env["s"] == 1 + 2 + 4 + 5
+
+
+def test_where_guard_filters_iterations():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer mask(4), i
+  real s
+  s = 0
+  do i = 1, 4 where (mask(i) <> 0)
+    s = s + i
+  end do
+end program
+"""
+        ),
+        {"mask": [1, 0, 0, 1]},
+    )
+    assert env["s"] == 1 + 4
+
+
+def test_array_store_and_load_one_based():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer i
+  real x(3)
+  do i = 1, 3
+    x(i) = i * 10
+  end do
+end program
+"""
+        ),
+        {"x": [0.0] * 3},
+    )
+    assert env["x"] == [10, 20, 30]
+
+
+def test_two_dimensional_arrays():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  integer i, j
+  real q(2, 2)
+  do i = 1, 2
+    do j = 1, 2
+      q(i, j) = 10 * i + j
+    end do
+  end do
+end program
+"""
+        ),
+        {"q": [[0.0, 0.0], [0.0, 0.0]]},
+    )
+    assert env["q"] == [[11, 12], [21, 22]]
+
+
+def test_if_else_branches():
+    source = """
+program p
+  integer i
+  real s
+  if (i > 0) then
+    s = 1
+  else
+    s = -1
+  end if
+end program
+"""
+    assert run_stmts(body_of(source), {"i": 5})["s"] == 1
+    assert run_stmts(body_of(source), {"i": -5})["s"] == -1
+
+
+def test_return_stops_execution():
+    env = run_stmts(
+        body_of(
+            """
+subroutine s(flag)
+  integer flag
+  real a
+  a = 1
+  if (flag == 1) return
+  a = 2
+end subroutine
+"""
+        ),
+        {"flag": 1},
+    )
+    assert env["a"] == 1
+
+
+def test_intrinsic_functions():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  real a
+  a = sqrt(16.0) + abs(-2.0)
+end program
+"""
+        ),
+        {},
+    )
+    assert env["a"] == 6.0
+
+
+def test_custom_functions_injected():
+    env = run_stmts(
+        body_of(
+            """
+program p
+  real a
+  a = f(3.0)
+end program
+"""
+        ),
+        {},
+        functions={"f": lambda v: v * 100},
+    )
+    assert env["a"] == 300.0
+
+
+def test_unknown_function_raises():
+    with pytest.raises(InterpreterError):
+        run_stmts(
+            body_of(
+                """
+program p
+  real a
+  a = mystery(1)
+end program
+"""
+            ),
+            {},
+        )
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(InterpreterError):
+        run_stmts(
+            body_of(
+                """
+program p
+  real a, b
+  a = b + 1
+end program
+"""
+            ),
+            {},
+        )
+
+
+def test_out_of_range_subscript_raises():
+    with pytest.raises(InterpreterError):
+        run_stmts(
+            body_of(
+                """
+program p
+  real x(3)
+  x(9) = 1
+end program
+"""
+            ),
+            {"x": [0.0] * 3},
+        )
+
+
+def test_run_unit_allocates_constant_arrays():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real x(4)
+  do i = 1, 4
+    x(i) = i
+  end do
+end program
+"""
+    )
+    env = run_unit(unit, {})
+    assert env["x"] == [1, 2, 3, 4]
+
+
+def test_logical_operators():
+    source = """
+program p
+  integer i, j
+  real s
+  s = 0
+  if (i > 0 and j > 0) then
+    s = 1
+  end if
+  if (i > 0 or j > 0) then
+    s = s + 10
+  end if
+  if (not (i == j)) then
+    s = s + 100
+  end if
+end program
+"""
+    env = run_stmts(body_of(source), {"i": 1, "j": 0})
+    assert env["s"] == 110

@@ -1,0 +1,117 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.NEWLINE]
+
+
+def test_empty_source_yields_eof():
+    toks = tokenize("")
+    assert toks[-1].kind is TokenKind.EOF
+
+
+def test_integer_literal():
+    tok = tokenize("42")[0]
+    assert tok.kind is TokenKind.INT
+    assert tok.value == 42
+
+
+def test_float_literal():
+    tok = tokenize("3.25")[0]
+    assert tok.kind is TokenKind.FLOAT
+    assert tok.value == 3.25
+
+
+def test_float_exponent():
+    tok = tokenize("1e3")[0]
+    assert tok.kind is TokenKind.FLOAT
+    assert tok.value == 1000.0
+
+
+def test_float_negative_exponent():
+    tok = tokenize("2.5e-2")[0]
+    assert tok.kind is TokenKind.FLOAT
+    assert tok.value == 0.025
+
+
+def test_identifier_case_insensitive():
+    toks = tokenize("Foo FOO foo")
+    assert [t.value for t in toks[:3]] == ["foo", "foo", "foo"]
+
+
+def test_keywords_recognised():
+    assert kinds("do where end if then else program")[:7] == [
+        TokenKind.DO,
+        TokenKind.WHERE,
+        TokenKind.END,
+        TokenKind.IF,
+        TokenKind.THEN,
+        TokenKind.ELSE,
+        TokenKind.PROGRAM,
+    ]
+
+
+def test_comparison_operators():
+    assert kinds("== <> <= >= < >")[:6] == [
+        TokenKind.EQ,
+        TokenKind.NE,
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.LT,
+        TokenKind.GT,
+    ]
+
+
+def test_not_equal_c_style_spelling():
+    toks = tokenize("a != b")
+    assert toks[1].kind is TokenKind.NE
+
+
+def test_comment_runs_to_end_of_line():
+    toks = tokenize("a ! this is a comment\nb")
+    values = [t.value for t in toks if t.kind is TokenKind.IDENT]
+    assert values == ["a", "b"]
+
+
+def test_newlines_collapse():
+    toks = tokenize("a\n\n\nb")
+    newline_count = sum(1 for t in toks if t.kind is TokenKind.NEWLINE)
+    # One separating newline plus the final one before EOF.
+    assert newline_count == 2
+
+
+def test_string_literal():
+    tok = tokenize('"hello"')[0]
+    assert tok.kind is TokenKind.STRING
+    assert tok.value == "hello"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError) as err:
+        tokenize("a @ b")
+    assert "@" in str(err.value)
+
+
+def test_locations_track_lines_and_columns():
+    toks = tokenize("a\n  b")
+    a = toks[0]
+    b = [t for t in toks if t.value == "b"][0]
+    assert (a.location.line, a.location.column) == (1, 1)
+    assert (b.location.line, b.location.column) == (2, 3)
+
+
+def test_figure1_header_tokens():
+    source = "do col = 1, n where (mask(col) <> 0)"
+    ks = kinds(source)
+    assert TokenKind.WHERE in ks
+    assert TokenKind.NE in ks

@@ -1,0 +1,356 @@
+"""Parser unit tests, including the paper's figure programs."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse, parse_unit
+
+FIG1_SOURCE = """
+program fig1
+  integer mask(n), col, i, j, n
+  real result(n), q(n, n), output(n, n)
+  do col = 1, n where (mask(col) <> 0)
+    do i = 1, n
+      result(i) = reconstruct(q, i, col)
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = f(q(j, i))
+    end do
+  end do
+end program
+"""
+
+
+def test_parse_program_name():
+    unit = parse_unit(FIG1_SOURCE)
+    assert isinstance(unit, ast.Program)
+    assert unit.name == "fig1"
+
+
+def test_parse_declarations():
+    unit = parse_unit(FIG1_SOURCE)
+    q = unit.decl_for("q")
+    assert q is not None and q.rank == 2
+    mask = unit.decl_for("mask")
+    assert mask is not None and mask.base_type == "integer"
+    col = unit.decl_for("col")
+    assert col is not None and not col.is_array
+
+
+def test_parse_where_clause():
+    unit = parse_unit(FIG1_SOURCE)
+    loop = unit.body[0]
+    assert isinstance(loop, ast.DoLoop)
+    assert loop.var == "col"
+    assert isinstance(loop.where, ast.BinOp)
+    assert loop.where.op == "<>"
+
+
+def test_array_ref_vs_call_disambiguation():
+    unit = parse_unit(FIG1_SOURCE)
+    inner = unit.body[1].body[0].body[0]  # output(j, i) = f(q(j, i))
+    assert isinstance(inner, ast.Assign)
+    assert isinstance(inner.target, ast.ArrayRef)
+    assert isinstance(inner.value, ast.Call)
+    assert isinstance(inner.value.args[0], ast.ArrayRef)
+
+
+def test_discontinuous_range():
+    unit = parse_unit(
+        """
+program p
+  integer i, a, n
+  real x(n)
+  do i = 1, a-1 and a+1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    loop = unit.body[0]
+    assert isinstance(loop, ast.DoLoop)
+    assert len(loop.ranges) == 2
+    first, second = loop.ranges
+    assert isinstance(first.hi, ast.BinOp) and first.hi.op == "-"
+    assert isinstance(second.lo, ast.BinOp) and second.lo.op == "+"
+
+
+def test_range_with_step():
+    unit = parse_unit(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n, 2
+    x(i) = 1
+  end do
+end program
+"""
+    )
+    loop = unit.body[0]
+    assert loop.ranges[0].step is not None
+    assert loop.ranges[0].step.value == 2
+
+
+def test_if_else():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real s
+  if (i == 0) then
+    s = 1
+  else
+    s = 2
+  end if
+end program
+"""
+    )
+    cond = unit.body[0]
+    assert isinstance(cond, ast.If)
+    assert len(cond.then_body) == 1
+    assert len(cond.else_body) == 1
+
+
+def test_elseif_chain_nests():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real s
+  if (i == 0) then
+    s = 1
+  elseif (i == 1) then
+    s = 2
+  else
+    s = 3
+  end if
+end program
+"""
+    )
+    outer = unit.body[0]
+    assert isinstance(outer, ast.If)
+    inner = outer.else_body[0]
+    assert isinstance(inner, ast.If)
+    assert len(inner.else_body) == 1
+
+
+def test_one_line_if():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real s
+  if (i == 0) s = 1
+end program
+"""
+    )
+    cond = unit.body[0]
+    assert isinstance(cond, ast.If)
+    assert isinstance(cond.then_body[0], ast.Assign)
+    assert cond.else_body == []
+
+
+def test_fortran_style_equality_in_condition():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real s
+  if (i = 0) then
+    s = 1
+  end if
+end program
+"""
+    )
+    cond = unit.body[0]
+    assert cond.cond.op == "=="
+
+
+def test_subroutine_with_params():
+    unit = parse_unit(
+        """
+subroutine sweep(q, n)
+  real q(n, n)
+  integer n, i
+  do i = 1, n
+    q(i, i) = 0
+  end do
+end subroutine
+"""
+    )
+    assert isinstance(unit, ast.Subroutine)
+    assert unit.params == ["q", "n"]
+
+
+def test_function_with_result_type():
+    unit = parse_unit(
+        """
+real function norm(x, n)
+  real x(n)
+  integer n, i
+  real s
+  s = 0
+  do i = 1, n
+    s = s + x(i) * x(i)
+  end do
+  norm = sqrt(s)
+end function
+"""
+    )
+    assert isinstance(unit, ast.Function)
+    assert unit.result_type == "real"
+
+
+def test_call_statement():
+    unit = parse_unit(
+        """
+program p
+  integer n
+  real x(n)
+  call solve(x, n)
+end program
+"""
+    )
+    stmt = unit.body[0]
+    assert isinstance(stmt, ast.CallStmt)
+    assert stmt.name == "solve"
+    assert len(stmt.args) == 2
+
+
+def test_multiple_units_in_file():
+    file = parse(
+        """
+program main
+  integer n
+  real x(n)
+  call fill(x, n)
+end program
+
+subroutine fill(x, n)
+  real x(n)
+  integer n, i
+  do i = 1, n
+    x(i) = i
+  end do
+end subroutine
+"""
+    )
+    assert len(file.units) == 2
+    assert file.main is not None and file.main.name == "main"
+    assert file.unit_named("fill") is not None
+
+
+def test_operator_precedence():
+    unit = parse_unit(
+        """
+program p
+  real a, b, c, d
+  a = b + c * d
+end program
+"""
+    )
+    value = unit.body[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_logical_precedence():
+    unit = parse_unit(
+        """
+program p
+  integer i, j
+  real s
+  if (i < 1 or i > 2 and j == 0) then
+    s = 1
+  end if
+end program
+"""
+    )
+    cond = unit.body[0].cond
+    assert cond.op == "or"
+    assert cond.right.op == "and"
+
+
+def test_unary_minus():
+    unit = parse_unit(
+        """
+program p
+  real a, b
+  a = -b * 2
+end program
+"""
+    )
+    value = unit.body[0].value
+    assert value.op == "*"
+    assert isinstance(value.left, ast.UnOp)
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as err:
+        parse_unit("program p\n  do = 1\nend program\n")
+    assert err.value.location is not None
+
+
+def test_missing_end_do_raises():
+    with pytest.raises(ParseError):
+        parse_unit(
+            """
+program p
+  integer i
+  real x(10)
+  do i = 1, 10
+    x(i) = 0
+end program
+"""
+        )
+
+
+def test_return_statement():
+    unit = parse_unit(
+        """
+subroutine s(n)
+  integer n
+  if (n == 0) return
+  n = n - 1
+end subroutine
+"""
+    )
+    cond = unit.body[0]
+    assert isinstance(cond.then_body[0], ast.Return)
+
+
+def test_dimspec_with_explicit_bounds():
+    unit = parse_unit(
+        """
+program p
+  real x(0:9)
+  x(0) = 1
+end program
+"""
+    )
+    dim = unit.decl_for("x").dims[0]
+    assert dim.lo.value == 0
+    assert dim.hi.value == 9
+
+
+def test_walk_visits_all_nodes():
+    unit = parse_unit(FIG1_SOURCE)
+    names = {n.name for n in unit.walk() if isinstance(n, ast.ArrayRef)}
+    assert {"mask", "result", "q", "output"} <= names
+
+
+def test_array_refs_helper():
+    unit = parse_unit(FIG1_SOURCE)
+    refs = ast.array_refs(unit)
+    assert any(r.name == "q" and len(r.indices) == 2 for r in refs)
+
+
+def test_calls_in_helper():
+    unit = parse_unit(FIG1_SOURCE)
+    call_names = {name for name, _ in ast.calls_in(unit)}
+    assert {"reconstruct", "f"} <= call_names

@@ -1,0 +1,166 @@
+"""Printer round-trip tests: parse → print → parse is a fixpoint."""
+
+import pytest
+
+from repro.lang import ast, parse_unit, print_expr, print_stmt, print_unit
+
+SOURCES = [
+    """
+program simple
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = x(i) + 1
+  end do
+end program
+""",
+    """
+program masked
+  integer mask(n), col, i, n
+  real q(n, n), result(n)
+  do col = 1, n where (mask(col) <> 0)
+    do i = 1, n
+      result(i) = reconstruct(q, i, col)
+    end do
+  end do
+end program
+""",
+    """
+program disc
+  integer i, a, n
+  real x(n), y(n)
+  do i = 1, a-1 and a+1, n
+    x(i) = y(i)
+  end do
+end program
+""",
+    """
+program branchy
+  integer i, n
+  real s
+  s = 0
+  do i = 1, n
+    if (i == 1) then
+      s = s + 1
+    else
+      s = s - 1
+    end if
+  end do
+end program
+""",
+    """
+subroutine sweep(q, n)
+  real q(n, n)
+  integer n, i, j
+  do i = 1, n
+    do j = 1, n, 2
+      q(i, j) = 0
+    end do
+  end do
+end subroutine
+""",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_round_trip_is_fixpoint(source):
+    unit1 = parse_unit(source)
+    text1 = print_unit(unit1)
+    unit2 = parse_unit(text1)
+    text2 = print_unit(unit2)
+    assert text1 == text2
+
+
+def test_print_expr_minimal_parens():
+    unit = parse_unit(
+        """
+program p
+  real a, b, c
+  a = (b + c) * 2
+end program
+"""
+    )
+    text = print_expr(unit.body[0].value)
+    assert text == "(b + c) * 2"
+
+
+def test_print_expr_no_spurious_parens():
+    unit = parse_unit(
+        """
+program p
+  real a, b, c
+  a = b + c + 2
+end program
+"""
+    )
+    assert print_expr(unit.body[0].value) == "b + c + 2"
+
+
+def test_print_subtraction_right_assoc_parens():
+    expr = ast.BinOp(
+        op="-",
+        left=ast.Var(name="a"),
+        right=ast.BinOp(op="-", left=ast.Var(name="b"), right=ast.Var(name="c")),
+    )
+    assert print_expr(expr) == "a - (b - c)"
+
+
+def test_print_where_clause():
+    unit = parse_unit(
+        """
+program p
+  integer mask(n), i, n
+  real x(n)
+  do i = 1, n where (mask(i) <> 0)
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    lines = print_stmt(unit.body[0])
+    assert "where (mask(i) <> 0)" in lines[0]
+
+
+def test_print_discontinuous_range():
+    unit = parse_unit(
+        """
+program p
+  integer i, a, n
+  real x(n)
+  do i = 1, a-1 and a+1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    lines = print_stmt(unit.body[0])
+    assert "do i = 1, a - 1 and a + 1, n" == lines[0]
+
+
+def test_print_declaration_with_bounds():
+    unit = parse_unit(
+        """
+program p
+  real x(0:9)
+  x(0) = 1
+end program
+"""
+    )
+    text = print_unit(unit)
+    assert "real x(0:9)" in text
+
+
+def test_print_not_operator():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real s
+  if (not (i == 0)) then
+    s = 1
+  end if
+end program
+"""
+    )
+    text = print_unit(unit)
+    assert "not" in text

@@ -1,0 +1,75 @@
+"""Online statistics and cost-function tests."""
+
+import pytest
+
+from repro.runtime import CostFunction, OnlineStats
+
+
+def test_online_stats_mean_variance():
+    stats = OnlineStats()
+    for value in (2.0, 4.0, 6.0):
+        stats.update(value)
+    assert stats.count == 3
+    assert stats.mean == pytest.approx(4.0)
+    assert stats.variance == pytest.approx(4.0)
+    assert stats.stddev == pytest.approx(2.0)
+
+
+def test_online_stats_single_sample():
+    stats = OnlineStats()
+    stats.update(7.0)
+    assert stats.variance == 0.0
+    assert stats.cv == 0.0
+
+
+def test_online_stats_cv():
+    stats = OnlineStats()
+    for value in (5.0, 15.0):
+        stats.update(value)
+    assert stats.cv == pytest.approx(stats.stddev / 10.0)
+
+
+def test_cost_function_bucketed_prediction():
+    cf = CostFunction(bucket_size=10)
+    for index in range(10):
+        cf.observe(index, 2.0)
+    for index in range(10, 20):
+        cf.observe(index, 50.0)
+    assert cf.predict(5) == pytest.approx(2.0)
+    assert cf.predict(15) == pytest.approx(50.0)
+
+
+def test_cost_function_nearest_bucket_fallback():
+    cf = CostFunction(bucket_size=10)
+    for index in range(10):
+        cf.observe(index, 3.0)
+    # Bucket 9 unobserved: falls back to the nearest (bucket 0).
+    assert cf.predict(95) == pytest.approx(3.0)
+
+
+def test_cost_function_empty_defaults():
+    cf = CostFunction()
+    assert cf.predict(0) == 1.0
+    assert cf.scale_factor(0) == 1.0
+
+
+def test_scale_factor_direction():
+    cf = CostFunction(bucket_size=10)
+    for index in range(10):
+        cf.observe(index, 1.0)  # cheap region
+    for index in range(10, 20):
+        cf.observe(index, 9.0)  # expensive region
+    # Global mean 5; expensive region predicts 9 -> shrink (<1);
+    # cheap region predicts 1 -> grow (>1).
+    assert cf.scale_factor(15) < 1.0
+    assert cf.scale_factor(5) > 1.0
+
+
+def test_scale_factor_clamped():
+    cf = CostFunction(bucket_size=4)
+    for index in range(4):
+        cf.observe(index, 1e-6)
+    for index in range(4, 8):
+        cf.observe(index, 1e6)
+    assert 0.125 <= cf.scale_factor(6) <= 8.0
+    assert 0.125 <= cf.scale_factor(1) <= 8.0

@@ -1,0 +1,231 @@
+"""Distributed TAPER, Eq. 1 estimates, allocation, and granularity tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    FinishingTimeEstimator,
+    MachineConfig,
+    OpProfile,
+    TaperPolicy,
+    allocate_even,
+    allocate_many,
+    allocate_pair,
+    allocate_proportional,
+    block_distribution,
+    choose_granularity,
+    lag_term,
+    run_distributed,
+)
+
+CONFIG = MachineConfig(processors=32)
+
+
+def uniform(n, cost=10.0):
+    return [cost] * n
+
+
+def skewed(n, seed=11):
+    rng = random.Random(seed)
+    costs = [1.0] * n
+    # All the work on the first tenth of the iterations.
+    for index in range(n // 10):
+        costs[index] = 200.0 + rng.uniform(0, 50)
+    return costs
+
+
+# -- distributed TAPER -------------------------------------------------------------
+
+
+def test_block_distribution_covers_everything():
+    queues = block_distribution(103, 8)
+    flattened = [i for q in queues for i in q]
+    assert sorted(flattened) == list(range(103))
+    sizes = [len(q) for q in queues]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_uniform_workload_keeps_locality():
+    result = run_distributed(uniform(512), 16, config=CONFIG)
+    assert result.locality > 0.8
+    assert result.total_work == pytest.approx(512 * 10.0)
+
+
+def test_skewed_workload_moves_tasks():
+    result = run_distributed(skewed(512), 16, config=CONFIG)
+    assert result.tasks_moved > 0
+    assert result.comm_time > 0
+
+
+def test_distributed_beats_no_stealing_on_skew():
+    costs = skewed(512)
+    moved = run_distributed(costs, 16, config=CONFIG)
+    # No-stealing baseline: per-owner serial execution of its block.
+    queues = block_distribution(len(costs), 16)
+    static_makespan = max(sum(costs[i] for i in q) for q in queues)
+    assert moved.makespan < static_makespan
+
+
+def test_distributed_work_conserved():
+    costs = skewed(300)
+    result = run_distributed(costs, 8, config=CONFIG)
+    assert result.total_work == pytest.approx(sum(costs))
+    assert 8 * result.makespan >= result.total_work
+
+
+# -- Eq. 1 ------------------------------------------------------------------------
+
+
+def make_profile(tasks=1024, mean=10.0, stddev=0.0, setup=0.0):
+    return OpProfile(tasks=tasks, mean=mean, stddev=stddev, setup_bytes=setup)
+
+
+def test_compute_term_scales_inversely():
+    estimator = FinishingTimeEstimator(make_profile(), CONFIG)
+    assert estimator.compute(64) == pytest.approx(estimator.compute(32) / 2)
+
+
+def test_lag_zero_without_variance():
+    estimator = FinishingTimeEstimator(make_profile(stddev=0.0), CONFIG)
+    assert estimator.lag(64) == 0.0
+
+
+def test_lag_grows_with_variance():
+    low = FinishingTimeEstimator(make_profile(stddev=1.0), CONFIG)
+    high = FinishingTimeEstimator(make_profile(stddev=10.0), CONFIG)
+    assert high.lag(64) > low.lag(64)
+
+
+def test_lag_term_monotone_in_p():
+    assert lag_term(10.0, 5.0, 16.0, 64) > lag_term(10.0, 5.0, 16.0, 4)
+
+
+def test_setup_uses_bytes():
+    no_setup = FinishingTimeEstimator(make_profile(setup=0.0), CONFIG)
+    with_setup = FinishingTimeEstimator(make_profile(setup=1e6), CONFIG)
+    assert with_setup.setup(16) > no_setup.setup(16)
+    assert with_setup.setup(64) < with_setup.setup(16)
+
+
+def test_finish_has_interior_minimum_for_irregular_ops():
+    """Adding processors eventually stops helping (lag + sched grow)."""
+    profile = make_profile(tasks=256, mean=4.0, stddev=8.0, setup=1e5)
+    estimator = FinishingTimeEstimator(profile, CONFIG)
+    times = {p: estimator.finish(p) for p in (1, 4, 16, 64, 256, 1024, 4096)}
+    best = min(times, key=times.get)
+    assert best not in (1, 4096)
+
+
+# -- allocation ---------------------------------------------------------------------
+
+
+def linear_estimate(work):
+    return lambda p: work / max(p, 1)
+
+
+def test_allocate_pair_balances_equal_work():
+    result = allocate_pair(64, linear_estimate(1000.0), linear_estimate(1000.0))
+    assert result.p1 == result.p2 == 32
+
+
+def test_allocate_pair_favours_heavy_side():
+    result = allocate_pair(64, linear_estimate(3000.0), linear_estimate(1000.0))
+    assert result.p1 > result.p2
+    assert result.p1 + result.p2 == 64
+
+
+def test_allocate_pair_respects_max_count():
+    calls = {"n": 0}
+
+    def noisy(p):
+        calls["n"] += 1
+        return 1000.0 / max(p, 1)
+
+    allocate_pair(64, noisy, linear_estimate(10.0), max_count=4)
+    # Initial evaluation + at most 4 iterations.
+    assert calls["n"] <= 5
+
+
+def test_allocate_pair_never_starves():
+    result = allocate_pair(8, linear_estimate(1e9), linear_estimate(1.0))
+    assert result.p1 >= 1 and result.p2 >= 1
+
+
+def test_allocate_pair_improves_on_even_split():
+    even_finish = max(4000.0 / 128, 1000.0 / 128)
+    result = allocate_pair(
+        256, linear_estimate(4000.0), linear_estimate(1000.0), max_count=8
+    )
+    assert result.predicted_finish <= even_finish
+
+
+def test_allocate_even_sums_to_p():
+    assert sum(allocate_even(17, 4)) == 17
+    assert allocate_even(8, 3) == [3, 3, 2]
+
+
+def test_allocate_proportional():
+    shares = allocate_proportional(100, [3.0, 1.0])
+    assert sum(shares) == 100
+    assert shares[0] > shares[1]
+
+
+def test_allocate_many_matches_pairwise_for_two():
+    shares = allocate_many(64, [linear_estimate(3000.0), linear_estimate(1000.0)])
+    assert sum(shares) == 64
+    assert shares[0] > shares[1]
+
+
+def test_allocate_many_three_ops():
+    shares = allocate_many(
+        96,
+        [linear_estimate(100.0), linear_estimate(1000.0), linear_estimate(4000.0)],
+    )
+    assert sum(shares) == 96
+    assert shares[2] > shares[1] > shares[0]
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    p=st.integers(2, 512),
+    w1=st.floats(1.0, 1e5),
+    w2=st.floats(1.0, 1e5),
+)
+def test_property_allocation_valid(p, w1, w2):
+    result = allocate_pair(p, linear_estimate(w1), linear_estimate(w2))
+    assert result.p1 + result.p2 == p
+    assert result.p1 >= 1 and result.p2 >= 1
+
+
+# -- granularity ----------------------------------------------------------------------
+
+
+def test_granularity_in_range():
+    g = choose_granularity(
+        1000, bytes_per_item=64.0, consumer_cost_per_item=1.0,
+        producer_cost_per_item=1.0,
+    )
+    assert 1 <= g <= 1000
+
+
+def test_high_latency_prefers_bigger_batches():
+    low_latency = MachineConfig(message_latency=0.1)
+    high_latency = MachineConfig(message_latency=200.0)
+    g_low = choose_granularity(1000, 64.0, 1.0, 1.0, low_latency)
+    g_high = choose_granularity(1000, 64.0, 1.0, 1.0, high_latency)
+    assert g_high > g_low
+
+
+def test_expensive_items_prefer_smaller_batches():
+    config = MachineConfig(message_latency=5.0)
+    cheap = choose_granularity(1000, 64.0, 0.1, 0.1, config)
+    expensive = choose_granularity(1000, 64.0, 50.0, 50.0, config)
+    assert expensive <= cheap
+
+
+def test_single_item():
+    assert choose_granularity(1, 64.0, 1.0, 1.0) == 1

@@ -1,0 +1,68 @@
+"""Machine model and result accounting tests."""
+
+import math
+
+import pytest
+
+from repro.runtime import (
+    MachineConfig,
+    ParallelOp,
+    ProcessorState,
+    RunResult,
+    fresh_processors,
+)
+
+
+def test_config_rejects_zero_processors():
+    with pytest.raises(ValueError):
+        MachineConfig(processors=0)
+
+
+def test_transfer_time_components():
+    config = MachineConfig(message_latency=5.0, bandwidth=100.0)
+    assert config.transfer_time(0) == 5.0
+    assert config.transfer_time(1000.0) == 5.0 + 10.0
+
+
+def test_tree_round_time_scaling():
+    config = MachineConfig(message_latency=2.0)
+    assert config.tree_round_time(1) == 0.0
+    assert config.tree_round_time(2) == 2 * 1 * 2.0
+    assert config.tree_round_time(1024) == 2 * 10 * 2.0
+    # Non-power-of-two rounds up.
+    assert config.tree_round_time(1000) == 2 * 10 * 2.0
+
+
+def test_processor_state_accounting():
+    proc = ProcessorState(index=0)
+    proc.run(5.0, tasks=2)
+    proc.run(3.0)
+    assert proc.clock == 8.0
+    assert proc.busy == 8.0
+    assert proc.tasks_run == 3
+
+
+def test_fresh_processors():
+    procs = fresh_processors(4)
+    assert [p.index for p in procs] == [0, 1, 2, 3]
+    assert all(p.clock == 0.0 for p in procs)
+
+
+def test_run_result_efficiency_and_speedup():
+    result = RunResult(makespan=10.0, total_work=80.0, processors=16, chunks=4)
+    assert result.speedup == 8.0
+    assert result.efficiency == 0.5
+
+
+def test_run_result_degenerate():
+    result = RunResult(makespan=0.0, total_work=0.0, processors=8, chunks=0)
+    assert result.efficiency == 1.0
+    assert result.speedup == 8.0
+
+
+def test_parallel_op_empty():
+    op = ParallelOp(name="empty", costs=[])
+    assert op.total_work == 0.0
+    assert op.mean == 0.0
+    assert op.cv == 0.0
+    assert op.prefix_means() == []

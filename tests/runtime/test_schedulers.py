@@ -1,0 +1,156 @@
+"""Chunk policies and the central-queue simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CostFunction,
+    MachineConfig,
+    make_policy,
+    run_central,
+)
+
+
+def uniform(n, cost=10.0):
+    return [cost] * n
+
+
+def irregular(n, seed=7, lo=1.0, hi=40.0):
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+def bimodal(n, seed=3):
+    rng = random.Random(seed)
+    return [100.0 if rng.random() < 0.1 else 2.0 for _ in range(n)]
+
+
+CONFIG = MachineConfig(processors=16)
+
+
+def test_policy_factory_known_names():
+    for name in ("taper", "self", "gss", "factoring", "static", "taper-nocost"):
+        policy = make_policy(name)
+        assert policy.next_chunk(100, 8, CostFunction()) >= 1
+
+
+def test_policy_factory_unknown_name():
+    with pytest.raises(ValueError):
+        make_policy("magic")
+
+
+def test_self_scheduling_one_task_chunks():
+    policy = make_policy("self")
+    assert policy.next_chunk(50, 8, CostFunction()) == 1
+
+
+def test_gss_chunk_is_remaining_over_p():
+    policy = make_policy("gss")
+    assert policy.next_chunk(64, 8, CostFunction()) == 8
+    assert policy.next_chunk(7, 8, CostFunction()) == 1
+
+
+def test_factoring_rounds_of_p():
+    policy = make_policy("factoring")
+    cf = CostFunction()
+    first = [policy.next_chunk(160, 8, cf) for _ in range(8)]
+    assert len(set(first)) == 1  # same size within a round
+    assert first[0] == 10  # ceil(160 / (2*8))
+
+
+def test_static_single_block_per_processor():
+    policy = make_policy("static")
+    cf = CostFunction()
+    assert policy.next_chunk(100, 4, cf) == 25
+    result = run_central(uniform(100), 4, make_policy("static"), CONFIG)
+    assert result.chunks == 4
+
+
+def test_taper_chunks_shrink():
+    policy = make_policy("taper")
+    cf = CostFunction()
+    # Teach the cost function a high-variance history.
+    for index, cost in enumerate(bimodal(128)):
+        cf.observe(index, cost)
+    big = policy.next_chunk(1000, 8, cf)
+    small = policy.next_chunk(100, 8, cf)
+    assert big > small >= 1
+
+
+def test_taper_zero_variance_is_gss_like():
+    policy = make_policy("taper-nocost")
+    cf = CostFunction()
+    for index in range(64):
+        cf.observe(index, 10.0)
+    chunk = policy.next_chunk(800, 8, cf)
+    assert chunk == 100  # ceil(800/8): no variance, no safety shrink
+
+
+def test_run_central_accounts_all_work():
+    costs = irregular(200)
+    result = run_central(costs, 8, make_policy("taper"), CONFIG)
+    assert result.total_work == pytest.approx(sum(costs))
+    assert result.makespan >= sum(costs) / 8
+
+
+def test_makespan_at_least_longest_task():
+    costs = bimodal(100)
+    result = run_central(costs, 16, make_policy("self"), CONFIG)
+    assert result.makespan >= max(costs)
+
+
+def test_taper_beats_static_on_irregular():
+    costs = bimodal(512)
+    static = run_central(costs, 32, make_policy("static"), CONFIG)
+    taper = run_central(costs, 32, make_policy("taper"), CONFIG)
+    assert taper.makespan < static.makespan
+
+
+def test_self_has_most_chunks():
+    costs = uniform(256)
+    self_result = run_central(costs, 8, make_policy("self"), CONFIG)
+    gss_result = run_central(costs, 8, make_policy("gss"), CONFIG)
+    taper_result = run_central(costs, 8, make_policy("taper"), CONFIG)
+    assert self_result.chunks == 256
+    assert gss_result.chunks < self_result.chunks
+    assert taper_result.chunks < self_result.chunks
+
+
+def test_overhead_hurts_self_scheduling_on_uniform():
+    heavy_overhead = MachineConfig(processors=8, sched_overhead=5.0)
+    costs = uniform(256, cost=2.0)
+    self_result = run_central(costs, 8, make_policy("self"), heavy_overhead)
+    taper_result = run_central(costs, 8, make_policy("taper"), heavy_overhead)
+    assert taper_result.makespan < self_result.makespan
+
+
+def test_efficiency_bounded():
+    costs = irregular(300)
+    result = run_central(costs, 16, make_policy("taper"), CONFIG)
+    assert 0.0 < result.efficiency <= 1.0
+
+
+def test_predict_chunks_reasonable():
+    policy = make_policy("taper")
+    predicted = policy.predict_chunks(1024, 32, cv=0.5)
+    assert 32 <= predicted <= 1024
+    assert make_policy("self").predict_chunks(100, 8) == 100
+    assert make_policy("static").predict_chunks(100, 8) == 8
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    n=st.integers(1, 300),
+    p=st.integers(1, 64),
+    name=st.sampled_from(["taper", "self", "gss", "factoring", "static"]),
+)
+def test_property_all_tasks_complete(n, p, name):
+    costs = [1.0 + (i % 7) for i in range(n)]
+    result = run_central(costs, p, make_policy(name), MachineConfig(processors=p))
+    assert result.total_work == pytest.approx(sum(costs))
+    # Work conservation: p * makespan >= total work.
+    assert p * result.makespan >= result.total_work - 1e-9
+    assert result.makespan >= max(costs) - 1e-9

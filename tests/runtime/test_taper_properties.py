@@ -1,0 +1,133 @@
+"""Property-based tests on TAPER and the distributed scheduler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CostFunction,
+    MachineConfig,
+    TaperPolicy,
+    make_policy,
+    run_distributed,
+)
+
+
+def trained_cost_function(costs):
+    cf = CostFunction(bucket_size=max(1, len(costs) // 8))
+    for index, cost in enumerate(costs):
+        cf.observe(index, cost)
+    return cf
+
+
+# -- TAPER chunk recurrence -----------------------------------------------------
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    remaining=st.integers(1, 100_000),
+    p=st.integers(1, 2048),
+    cv_seed=st.integers(0, 3),
+)
+def test_chunk_always_valid(remaining, p, cv_seed):
+    policy = TaperPolicy()
+    costs = {
+        0: [10.0] * 64,
+        1: [random.Random(1).uniform(1, 50) for _ in range(64)],
+        2: [100.0 if i % 7 == 0 else 1.0 for i in range(64)],
+        3: [float(i + 1) for i in range(64)],
+    }[cv_seed]
+    cf = trained_cost_function(costs)
+    chunk = policy.next_chunk(remaining, p, cf)
+    assert 1 <= chunk <= remaining
+
+
+@settings(deadline=None, max_examples=30)
+@given(p=st.integers(2, 1024))
+def test_chunks_shrink_with_remaining(p):
+    policy = TaperPolicy(use_cost_function=False)
+    cf = trained_cost_function([random.Random(2).uniform(1, 40) for _ in range(64)])
+    big = policy.next_chunk(10_000, p, cf)
+    small = policy.next_chunk(100, p, cf)
+    assert big >= small
+
+
+def test_higher_variance_smaller_chunks():
+    policy = TaperPolicy(use_cost_function=False)
+    flat = trained_cost_function([10.0] * 64)
+    spiky = trained_cost_function([100.0 if i % 4 == 0 else 1.0 for i in range(64)])
+    assert policy.next_chunk(4096, 32, spiky) < policy.next_chunk(4096, 32, flat)
+
+
+def test_cost_function_scale_shrinks_chunks_in_expensive_regions():
+    policy = TaperPolicy()
+    # First half cheap, second half expensive.
+    costs = [1.0] * 128 + [50.0] * 128
+    cf = trained_cost_function(costs)
+    cheap_region = policy.next_chunk(128, 8, cf, next_iteration=10)
+    expensive_region = policy.next_chunk(128, 8, cf, next_iteration=200)
+    assert expensive_region < cheap_region
+
+
+def test_predict_chunks_monotone_in_n():
+    policy = TaperPolicy()
+    assert policy.predict_chunks(10_000, 64, 0.5) >= policy.predict_chunks(
+        1_000, 64, 0.5
+    )
+
+
+def test_min_chunk_respected():
+    policy = TaperPolicy(min_chunk=8)
+    cf = trained_cost_function([100.0 if i % 3 == 0 else 1.0 for i in range(64)])
+    assert policy.next_chunk(1000, 512, cf) >= 8
+
+
+# -- distributed run invariants -----------------------------------------------------
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    n=st.integers(1, 400),
+    p=st.integers(1, 64),
+    seed=st.integers(0, 100),
+)
+def test_distributed_work_conservation(n, p, seed):
+    rng = random.Random(seed)
+    costs = [rng.uniform(0.5, 30.0) for _ in range(n)]
+    result = run_distributed(costs, p, config=MachineConfig(processors=p))
+    assert result.total_work == pytest.approx(sum(costs))
+    assert result.makespan >= max(costs) - 1e-9
+    assert p * result.makespan >= result.total_work - 1e-9
+    assert 0 <= result.tasks_moved <= n
+    assert 0.0 <= result.locality <= 1.0
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 50))
+def test_distributed_beats_static_blocks_on_skew(seed):
+    rng = random.Random(seed)
+    n, p = 256, 16
+    costs = [rng.uniform(50, 100) if i < n // 8 else 1.0 for i in range(n)]
+    from repro.runtime import block_distribution
+
+    static = max(
+        sum(costs[i] for i in q) for q in block_distribution(n, p)
+    )
+    adaptive = run_distributed(costs, p, config=MachineConfig(processors=p))
+    assert adaptive.makespan <= static * 1.05
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    n=st.integers(16, 300),
+    p=st.integers(2, 32),
+    name=st.sampled_from(["taper", "gss", "factoring", "self"]),
+)
+def test_distributed_all_policies_complete(n, p, name):
+    costs = [1.0 + (i % 5) for i in range(n)]
+    result = run_distributed(
+        costs, p, policy=make_policy(name), config=MachineConfig(processors=p)
+    )
+    assert result.total_work == pytest.approx(sum(costs))

@@ -1,0 +1,91 @@
+"""SplitContext tests: fresh names, re-analysis, cloning."""
+
+import pytest
+
+from repro.lang import ast, parse_unit
+from repro.split import SplitContext, clone_stmts
+
+SOURCE = """
+program p
+  integer i, n
+  real x(n), sum
+  sum = 0
+  do i = 1, n
+    sum = sum + x(i)
+  end do
+end program
+"""
+
+
+def test_fresh_scalar_unique_and_declared():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    first = context.fresh_scalar("sum")
+    second = context.fresh_scalar("sum")
+    assert first != second
+    assert first != "sum"
+    names = {d.name for d in context.decls}
+    assert {first, second} <= names
+
+
+def test_fresh_scalar_avoids_existing_names():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    # "sum1" could collide with an existing name; simulate by creating it.
+    context._names.add("sum1")
+    name = context.fresh_scalar("sum")
+    assert name != "sum1"
+
+
+def test_fresh_array_like_copies_shape():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    replica = context.fresh_array_like("x")
+    decl = context.decl_for(replica)
+    assert decl is not None
+    assert decl.rank == 1
+    assert decl.base_type == "real"
+
+
+def test_fresh_scalar_type():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    name = context.fresh_scalar("count", base_type="integer")
+    assert context.decl_for(name).base_type == "integer"
+
+
+def test_analyse_fragment_sees_context_decls():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    replica = context.fresh_scalar("sum")
+    stmt = ast.Assign(
+        target=ast.Var(name=replica), value=ast.IntLit(value=0)
+    )
+    analysis = context.analyse([stmt])
+    assert analysis.unit.decl_for(replica) is not None
+
+
+def test_descriptor_of_fragment():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    descriptor = context.descriptor_of(unit.body[1:])
+    assert "sum" in descriptor.blocks_written()
+    assert "x" in descriptor.blocks_read()
+
+
+def test_clone_stmts_deep():
+    unit = parse_unit(SOURCE)
+    clones = clone_stmts(unit.body)
+    assert len(clones) == len(unit.body)
+    assert clones[0] is not unit.body[0]
+    # Mutating a clone leaves the original untouched.
+    clones[0].target.name = "other"
+    assert unit.body[0].target.name == "sum"
+
+
+def test_builder_for_positional_mapping():
+    unit = parse_unit(SOURCE)
+    context = SplitContext(unit)
+    fragment = context.builder_for(unit.body)
+    assert len(fragment.body) == len(unit.body)
+    assert isinstance(fragment.body[1], ast.DoLoop)

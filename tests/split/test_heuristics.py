@@ -1,0 +1,140 @@
+"""ReadLinked movement heuristic tests (sensitivity per DESIGN.md §5)."""
+
+import pytest
+
+from repro.lang import parse_unit
+from repro.split import (
+    Primitive,
+    ReadLinkedHeuristic,
+    SplitContext,
+    decompose,
+    estimated_weight,
+    static_op_count,
+)
+
+
+def primitives_of(source):
+    unit = parse_unit(source)
+    context = SplitContext(unit)
+    return decompose(unit.body, context)
+
+
+CONSTANT_LOOP = """
+program p
+  integer i
+  real x(16)
+  do i = 1, 16
+    x(i) = x(i) * 2 + 1
+  end do
+end program
+"""
+
+SYMBOLIC_LOOP = """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = x(i) * 2 + 1
+  end do
+end program
+"""
+
+
+def test_calculable_cost_allows_move():
+    prims = primitives_of(CONSTANT_LOOP)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=1000.0, benefit_threshold=0.0
+    )
+    assert heuristic.should_move(prims[0], prims)
+
+
+def test_incalculable_cost_blocks_move():
+    """Paper: the replication cost must be *calculable*."""
+    prims = primitives_of(SYMBOLIC_LOOP)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=1e12, benefit_threshold=0.0
+    )
+    assert not heuristic.should_move(prims[0], prims)
+
+
+def test_cost_above_threshold_blocks_move():
+    prims = primitives_of(CONSTANT_LOOP)
+    cost = static_op_count(prims[0].stmts)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=cost - 1, benefit_threshold=0.0
+    )
+    assert not heuristic.should_move(prims[0], prims)
+
+
+def test_benefit_below_threshold_blocks_move():
+    prims = primitives_of(CONSTANT_LOOP)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=1e9, benefit_threshold=1e9
+    )
+    assert not heuristic.should_move(prims[0], [])
+
+
+def test_empty_replication_set_is_free():
+    prims = primitives_of(CONSTANT_LOOP)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=0.5, benefit_threshold=0.0
+    )
+    # Nothing to replicate: cost 0 < any positive threshold.
+    assert heuristic.should_move(prims[0], [])
+
+
+def test_custom_profile_callable():
+    prims = primitives_of(CONSTANT_LOOP)
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=1e9,
+        benefit_threshold=50.0,
+        profile=lambda primitive: 100.0,
+    )
+    assert heuristic.should_move(prims[0], [])
+    heuristic_low = ReadLinkedHeuristic(
+        replication_threshold=1e9,
+        benefit_threshold=50.0,
+        profile=lambda primitive: 10.0,
+    )
+    assert not heuristic_low.should_move(prims[0], [])
+
+
+def test_estimated_weight_uses_nominal_trips():
+    prims = primitives_of(SYMBOLIC_LOOP)
+    weight = estimated_weight(prims[0])
+    assert weight > 0  # symbolic bounds estimated, not rejected
+
+
+def test_static_op_count_nested_constant():
+    unit = parse_unit(
+        """
+program p
+  integer i, j
+  real q(4, 4)
+  do i = 1, 4
+    do j = 1, 4
+      q(i, j) = q(i, j) + 1
+    end do
+  end do
+end program
+"""
+    )
+    assert static_op_count(unit.body) == 16
+
+
+def test_static_op_count_if_takes_max_branch():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real a
+  if (i == 0) then
+    a = 1 + 2 + 3
+  else
+    a = 1
+  end if
+end program
+"""
+    )
+    # cond (1 op) + max(2 ops, 0 ops).
+    assert static_op_count(unit.body) == 3

@@ -1,0 +1,146 @@
+"""Reproduction of the paper's Figure 5: the Linked sub-categories.
+
+The named computations and their relationships:
+
+* W writes array x — the split target,
+* B reads x (Bound),
+* A writes y, read by B (GenerateLinked) and by C,
+* C reads y but feeds nothing Bound needs (ReadLinked),
+* D reads ``total`` computed by B (NeedsBound),
+* E touches nothing related (Free).
+"""
+
+import pytest
+
+from repro.analysis import analyze_unit
+from repro.descriptors import DescriptorBuilder
+from repro.lang import parse_unit
+from repro.split import (
+    ReadLinkedHeuristic,
+    SplitContext,
+    classify,
+    decompose,
+    split_computation,
+    subdivide_linked,
+)
+
+FIG5 = """
+program fig5
+  integer i, n
+  real x(n), y(n), z(n), e(n)
+  real total, t
+  do i = 1, n
+    x(i) = x(i) + 1
+  end do
+  do i = 1, n
+    y(i) = sqrt(1.0 * i)
+  end do
+  total = 0
+  do i = 1, n
+    total = total + x(i) * y(i)
+  end do
+  do i = 1, n
+    z(i) = y(i) * 2
+  end do
+  t = total * 2
+  do i = 1, n
+    e(i) = 5
+  end do
+end program
+"""
+
+
+@pytest.fixture(scope="module")
+def fig5_classified():
+    unit = parse_unit(FIG5)
+    analysis = analyze_unit(unit)
+    builder = DescriptorBuilder(analysis)
+    d_w = builder.region(unit.body[:1])
+    context = SplitContext(unit)
+    primitives = decompose(unit.body[1:], context)
+    classification = classify(primitives, d_w)
+    subdivision = subdivide_linked(classification.linked, classification.bound)
+    return unit, primitives, classification, subdivision
+
+
+def _texts(primitives):
+    from repro.lang import print_stmts
+
+    return [print_stmts(p.stmts) for p in primitives]
+
+
+def test_bound_is_b(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    texts = _texts(classification.bound)
+    # B is the total-accumulating loop (plus its init block, which writes
+    # `total` that B reads — that is GenerateLinked, not Bound).
+    assert any("total = total + x(i) * y(i)" in t for t in texts)
+    assert all("x(i) * y(i)" in t or "total = 0" not in t for t in texts)
+
+
+def test_free_is_e(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    texts = _texts(classification.free)
+    assert any("e(i) = 5" in t for t in texts)
+    assert len(classification.free) == 1
+
+
+def test_generate_linked_contains_a(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    texts = _texts(subdivision.generate_linked)
+    assert any("y(i) = sqrt" in t for t in texts)
+
+
+def test_needs_bound_contains_d(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    texts = _texts(subdivision.needs_bound)
+    assert any("t = total * 2" in t for t in texts)
+
+
+def test_read_linked_contains_c(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    texts = _texts(subdivision.read_linked)
+    assert any("z(i) = y(i) * 2" in t for t in texts)
+
+
+def test_categories_partition_linked(fig5_classified):
+    unit, prims, classification, subdivision = fig5_classified
+    linked_count = (
+        len(subdivision.needs_bound)
+        + len(subdivision.generate_linked)
+        + len(subdivision.read_linked)
+    )
+    assert linked_count == len(classification.linked)
+
+
+def test_moving_c_replicates_a():
+    """With a permissive heuristic, C moves to C_I and replicates A."""
+    unit = parse_unit(FIG5.replace("1, n", "1, 10"))  # constant bounds
+    analysis = analyze_unit(unit)
+    builder = DescriptorBuilder(analysis)
+    d_w = builder.region(unit.body[:1])
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=1e9, benefit_threshold=0.0
+    )
+    result = split_computation(unit.body[1:], d_w, unit, heuristic=heuristic)
+    from repro.lang import print_stmts
+
+    independent_text = print_stmts(result.independent)
+    assert "z(i) = y(i) * 2" in independent_text
+    assert "sqrt" in independent_text  # A replicated alongside C
+
+
+def test_strict_heuristic_keeps_c_dependent():
+    unit = parse_unit(FIG5)
+    analysis = analyze_unit(unit)
+    builder = DescriptorBuilder(analysis)
+    d_w = builder.region(unit.body[:1])
+    heuristic = ReadLinkedHeuristic(
+        replication_threshold=0.0, benefit_threshold=1e9
+    )
+    result = split_computation(unit.body[1:], d_w, unit, heuristic=heuristic)
+    from repro.lang import print_stmts
+
+    assert "z(i) = y(i) * 2" in print_stmts(
+        result.dependent
+    ) or "z(i) = y(i) * 2" in print_stmts(result.merge)

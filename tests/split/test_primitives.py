@@ -1,0 +1,269 @@
+"""Primitive decomposition and reduction detection tests."""
+
+from repro.lang import ast, parse_unit
+from repro.split import (
+    BLOCK,
+    CALL,
+    COND,
+    LOOP,
+    SplitContext,
+    decompose,
+    find_reductions,
+    static_op_count,
+)
+
+
+def _decompose(source, **kwargs):
+    unit = parse_unit(source)
+    context = SplitContext(unit)
+    return unit, decompose(unit.body, context, **kwargs)
+
+
+def test_basic_block_run_is_one_primitive():
+    unit, prims = _decompose(
+        """
+program p
+  real a, b, c
+  a = 1
+  b = a + 1
+  c = b * 2
+end program
+"""
+    )
+    assert len(prims) == 1
+    assert prims[0].kind == BLOCK
+    assert len(prims[0].stmts) == 3
+
+
+def test_loop_breaks_blocks():
+    unit, prims = _decompose(
+        """
+program p
+  integer i, n
+  real x(n), a, b
+  a = 1
+  do i = 1, n
+    x(i) = a
+  end do
+  b = 2
+end program
+"""
+    )
+    assert [p.kind for p in prims] == [BLOCK, LOOP, BLOCK]
+
+
+def test_call_is_own_primitive():
+    unit, prims = _decompose(
+        """
+program p
+  real x(10)
+  call setup(x)
+  call solve(x)
+end program
+"""
+    )
+    assert [p.kind for p in prims] == [CALL, CALL]
+
+
+def test_simple_if_folds_into_block():
+    unit, prims = _decompose(
+        """
+program p
+  integer i
+  real a
+  a = 1
+  if (i == 0) then
+    a = 2
+  end if
+end program
+"""
+    )
+    assert len(prims) == 1
+    assert prims[0].kind == BLOCK
+
+
+def test_if_containing_loop_is_cond_primitive():
+    unit, prims = _decompose(
+        """
+program p
+  integer i, j, n
+  real x(n)
+  if (n > 0) then
+    do j = 1, n
+      x(j) = 0
+    end do
+  end if
+end program
+"""
+    )
+    assert len(prims) == 1
+    assert prims[0].kind == COND
+
+
+def test_no_decompose_keeps_one_primitive():
+    unit, prims = _decompose(
+        """
+program p
+  integer i, n
+  real x(n), a
+  a = 1
+  do i = 1, n
+    x(i) = a
+  end do
+end program
+""",
+        no_decompose=True,
+    )
+    assert len(prims) == 1
+
+
+def test_primitive_descriptors_attached():
+    unit, prims = _decompose(
+        """
+program p
+  integer i, n
+  real x(n), y(n)
+  do i = 1, n
+    x(i) = y(i)
+  end do
+end program
+"""
+    )
+    loop_prim = prims[0]
+    assert "x" in loop_prim.descriptor.blocks_written()
+    assert "y" in loop_prim.descriptor.blocks_read()
+
+
+# -- reductions ----------------------------------------------------------------
+
+
+def loop_of(source):
+    return parse_unit(source).body[0]
+
+
+def test_sum_reduction_detected():
+    loop = loop_of(
+        """
+program p
+  integer i, n
+  real s, x(n)
+  do i = 1, n
+    s = s + x(i)
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {"s": "+"}
+
+
+def test_product_reduction_detected():
+    loop = loop_of(
+        """
+program p
+  integer i, n
+  real s, x(n)
+  do i = 1, n
+    s = s * x(i)
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {"s": "*"}
+
+
+def test_mixed_operator_rejected():
+    loop = loop_of(
+        """
+program p
+  integer i, n
+  real s, x(n)
+  do i = 1, n
+    s = s + x(i)
+    s = s * 2
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {}
+
+
+def test_extra_read_rejects_accumulator():
+    loop = loop_of(
+        """
+program p
+  integer i, n
+  real s, x(n)
+  do i = 1, n
+    s = s + x(i)
+    x(i) = s
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {}
+
+
+def test_nested_reduction_detected():
+    loop = loop_of(
+        """
+program p
+  integer i, j, n
+  real s, x(n, n)
+  do i = 1, n
+    do j = 1, n
+      s = s + x(j, i)
+    end do
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {"s": "+"}
+
+
+def test_subtraction_not_a_reduction():
+    loop = loop_of(
+        """
+program p
+  integer i, n
+  real s, x(n)
+  do i = 1, n
+    s = s - x(i)
+  end do
+end program
+"""
+    )
+    assert find_reductions(loop) == {}
+
+
+# -- static op counting -------------------------------------------------------------
+
+
+def test_static_op_count_constant_loop():
+    unit = parse_unit(
+        """
+program p
+  integer i
+  real x(10)
+  do i = 1, 10
+    x(i) = x(i) * 2 + 1
+  end do
+end program
+"""
+    )
+    count = static_op_count(unit.body)
+    assert count == 20  # 10 iterations x 2 ops
+
+
+def test_static_op_count_symbolic_bounds_incalculable():
+    unit = parse_unit(
+        """
+program p
+  integer i, n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+end program
+"""
+    )
+    assert static_op_count(unit.body) is None

@@ -1,0 +1,212 @@
+"""Loop fusion and interchange tests (verification-driven legality)."""
+
+import pytest
+
+from repro.lang import ast, parse_unit, print_stmts
+from repro.lang.interp import run_stmts
+from repro.split import SplitContext
+from repro.split.source_transforms import fuse_loops, interchange_loops
+
+
+def _unit(source):
+    unit = parse_unit(source)
+    return unit, SplitContext(unit)
+
+
+# -- fusion --------------------------------------------------------------------
+
+
+FUSABLE = """
+program p
+  integer i, j, n
+  real x(n), y(n)
+  do i = 1, n
+    x(i) = 2 * i
+  end do
+  do j = 1, n
+    y(j) = x(j) + 1
+  end do
+end program
+"""
+
+
+def test_fusion_succeeds_for_same_iteration_flow():
+    unit, context = _unit(FUSABLE)
+    fused = fuse_loops(unit.body[0], unit.body[1], context)
+    assert fused is not None
+    text = print_stmts([fused])
+    assert text.count("do ") == 1
+    # The second body was renamed onto the first induction variable.
+    assert "y(i) = x(i) + 1" in text
+
+
+def test_fusion_semantics_preserved():
+    unit, context = _unit(FUSABLE)
+    fused = fuse_loops(unit.body[0], unit.body[1], context)
+    n = 8
+    env_ref = {"n": n, "x": [0.0] * n, "y": [0.0] * n, "i": 0, "j": 0}
+    run_stmts(unit.body, env_ref)
+    env_fused = {"n": n, "x": [0.0] * n, "y": [0.0] * n, "i": 0, "j": 0}
+    run_stmts([fused], env_fused)
+    assert env_fused["x"] == env_ref["x"]
+    assert env_fused["y"] == env_ref["y"]
+
+
+def test_fusion_rejected_on_cross_iteration_flow():
+    unit, context = _unit(
+        """
+program p
+  integer i, j, n
+  real x(n), y(n)
+  do i = 1, n
+    x(i) = 2 * i
+  end do
+  do j = 1, n
+    y(j) = x(n - j + 1)
+  end do
+end program
+"""
+    )
+    # y(j) reads x(n-j+1): iteration j of the second loop needs iteration
+    # n-j+1 of the first — fusing would read stale values.
+    assert fuse_loops(unit.body[0], unit.body[1], context) is None
+
+
+def test_fusion_rejected_on_different_spaces():
+    unit, context = _unit(
+        """
+program p
+  integer i, j, n
+  real x(n), y(n)
+  do i = 1, n
+    x(i) = 1
+  end do
+  do j = 2, n
+    y(j) = x(j)
+  end do
+end program
+"""
+    )
+    assert fuse_loops(unit.body[0], unit.body[1], context) is None
+
+
+def test_fusion_rejected_on_guard_mismatch():
+    unit, context = _unit(
+        """
+program p
+  integer mask(n), i, j, n
+  real x(n), y(n)
+  do i = 1, n where (mask(i) <> 0)
+    x(i) = 1
+  end do
+  do j = 1, n
+    y(j) = x(j)
+  end do
+end program
+"""
+    )
+    assert fuse_loops(unit.body[0], unit.body[1], context) is None
+
+
+# -- interchange ----------------------------------------------------------------
+
+
+RECTANGULAR = """
+program p
+  integer i, j, n, m
+  real q(n, m)
+  do i = 1, n
+    do j = 1, m
+      q(i, j) = i + j
+    end do
+  end do
+end program
+"""
+
+
+def test_interchange_swaps_headers():
+    unit, context = _unit(RECTANGULAR)
+    swapped = interchange_loops(unit.body[0], context)
+    assert swapped is not None
+    assert swapped.var == "j"
+    assert swapped.body[0].var == "i"
+
+
+def test_interchange_semantics_preserved():
+    unit, context = _unit(RECTANGULAR)
+    swapped = interchange_loops(unit.body[0], context)
+    n, m = 4, 5
+    env_ref = {"n": n, "m": m, "q": [[0.0] * m for _ in range(n)]}
+    run_stmts(unit.body, env_ref)
+    env_new = {"n": n, "m": m, "q": [[0.0] * m for _ in range(n)]}
+    run_stmts([swapped], env_new)
+    assert env_new["q"] == env_ref["q"]
+
+
+def test_interchange_rejected_for_dependent_iterations():
+    unit, context = _unit(
+        """
+program p
+  integer i, j, n
+  real q(n, n)
+  do i = 2, n
+    do j = 1, n
+      q(i, j) = q(i - 1, j) + 1
+    end do
+  end do
+end program
+"""
+    )
+    assert interchange_loops(unit.body[0], context) is None
+
+
+def test_interchange_rejected_for_triangular_nest():
+    unit, context = _unit(
+        """
+program p
+  integer i, j, n
+  real q(n, n)
+  do i = 1, n
+    do j = 1, i
+      q(i, j) = 1
+    end do
+  end do
+end program
+"""
+    )
+    assert interchange_loops(unit.body[0], context) is None
+
+
+def test_interchange_rejected_for_imperfect_nest():
+    unit, context = _unit(
+        """
+program p
+  integer i, j, n
+  real q(n, n), r(n)
+  do i = 1, n
+    r(i) = 0
+    do j = 1, n
+      q(i, j) = 1
+    end do
+  end do
+end program
+"""
+    )
+    assert interchange_loops(unit.body[0], context) is None
+
+
+def test_interchange_rejected_with_guard():
+    unit, context = _unit(
+        """
+program p
+  integer mask(n), i, j, n
+  real q(n, n)
+  do i = 1, n where (mask(i) <> 0)
+    do j = 1, n
+      q(i, j) = 1
+    end do
+  end do
+end program
+"""
+    )
+    assert interchange_loops(unit.body[0], context) is None
