@@ -55,6 +55,7 @@ def test_alloc_ablation_pinned(pinned):
         f"Processor allocation ablation (pinned groups, p={P})",
         ["allocator", "shares", "makespan"],
         rows,
+        name="ablation_alloc_pinned",
     )
     balance = pinned["balance"].makespan
     even = pinned["even"].makespan
@@ -78,6 +79,7 @@ def test_alloc_reduces_movement_when_stealing(capsys):
             ["balance", f"{balanced.makespan:.0f}", balanced.per_op[0].tasks_moved],
             ["even", f"{even.makespan:.0f}", even.per_op[0].tasks_moved],
         ],
+        name="ablation_alloc_stealing",
     )
     # With stealing both converge; makespans must agree closely.
     assert balanced.makespan <= even.makespan * 1.1

@@ -70,6 +70,7 @@ def test_costfn_ablation_table(results):
         f"Cost-function-guided vs blind distributed TAPER (p={P}, n={N})",
         ["workload", "guided", "blind", "improvement"],
         rows,
+        name="ablation_costfn",
     )
     # Guided wins clearly on both irregular workloads.
     assert (

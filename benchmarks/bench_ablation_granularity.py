@@ -37,6 +37,7 @@ def test_granularity_curve():
         f"Pipelined pair, {N} items — predicted time vs batch size",
         ["batch", "time", ""],
         rows,
+        name="ablation_granularity_scan",
     )
     # The chosen batch beats both extremes by a clear margin.
     assert model.time(best) < 0.9 * model.time(1)
@@ -59,6 +60,7 @@ def test_granularity_tracks_latency():
         "Chosen granularity vs message latency",
         ["latency", "batch size"],
         rows,
+        name="ablation_granularity_latency",
     )
 
 

@@ -53,6 +53,7 @@ def test_ablation_sched_table(table):
         f"Chunk policy ablation — makespan, p={P}, n={N}",
         ["workload"] + list(POLICIES),
         rows,
+        name="ablation_sched",
     )
     # Severe irregularity: TAPER beats static comfortably.
     severe = table["severe"]

@@ -41,6 +41,7 @@ def test_climate_table(results):
         "UCLA climate model — paper vs reproduction",
         ["configuration", "paper eff/speedup", "ours"],
         rows,
+        name="climate",
     )
     # Shape: TAPER@512 efficient, decays at 1024; split restores it.
     assert results[("taper", 512)].efficiency >= 0.78

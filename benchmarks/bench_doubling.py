@@ -41,6 +41,7 @@ def test_doubling_table(results):
         f"Doubling processors with split ({BASE_P} -> {2 * BASE_P})",
         ["app", f"eff@{BASE_P}", f"eff@{2 * BASE_P}", "eff loss", "speedup gain"],
         rows,
+        name="doubling",
     )
     for name, (base, doubled) in results.items():
         loss = (base.efficiency - doubled.efficiency) / base.efficiency

@@ -66,6 +66,7 @@ def test_paper_descriptor_rendering():
             ["write: q[1..10/(miss[*] <> 1), 1..10]", text.splitlines()[0]],
             ["read: q[...], x[1..10]", text.splitlines()[1][:60]],
         ],
+        name="fig1_descriptors",
     )
     assert "q[1..10/(miss[*] <> 1), 1..10]" in text
     assert "x[1..10]" in text

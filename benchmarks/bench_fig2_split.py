@@ -53,6 +53,7 @@ def test_fig2_structure():
             ["B_D", "do i = 1,n where (mask[i] <> 0)", dependent.splitlines()[0]],
             ["B_M", "merge of output1/output2", merge.splitlines()[0]],
         ],
+        name="fig2_split",
     )
     assert "where (mask(i) == 0)" in independent
     assert "where (mask(i) <> 0)" in dependent

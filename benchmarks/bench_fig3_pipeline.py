@@ -53,6 +53,7 @@ def test_fig3_structure():
             ["A_D", "compute prev column", dependent.splitlines()[0]],
             ["A_M", "glue + q updates", merge.splitlines()[0]],
         ],
+        name="fig3_pipeline_structure",
     )
     assert "col - 2 and col, n" in independent
     assert "col - 1, col - 1" in dependent
@@ -86,6 +87,7 @@ def test_pipeline_execution_wins(benchmark):
             ["serialised", f"{serialised.makespan:.1f}"],
             ["pipelined", f"{overlapped.makespan:.1f}"],
         ],
+        name="fig3_pipeline_speedup",
     )
     assert overlapped.makespan < serialised.makespan
 

@@ -53,6 +53,7 @@ def test_fig4_structure():
             ["H_D range", "do j = a, a" if "do j = a, a" in dependent else "?"],
             ["H_M", merge.replace("\n", "; ")],
         ],
+        name="fig4_reduction",
     )
     assert "a - 1" in independent and "a + 1" in independent
     assert "do j = a, a" in dependent

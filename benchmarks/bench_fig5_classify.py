@@ -84,6 +84,7 @@ def test_fig5_classification():
         "Figure 5 — classification against W's descriptor",
         ["computation", "category"],
         rows,
+        name="fig5_classify",
     )
     categories = {category for _, category in ((r[0], r[1]) for r in rows)}
     assert categories >= {

@@ -43,6 +43,7 @@ def test_fig6_table(series):
         "Figure 6 — Psirrfan speedup (efficiency) vs processors",
         ["p", "static", "TAPER", "TAPER with split"],
         rows,
+        name="fig6_psirrfan",
     )
     # Shape assertions.
     # 1. split dominates at scale.

@@ -4,13 +4,45 @@ Every benchmark regenerates one of the paper's tables or figures (see
 DESIGN.md's per-experiment index), printing the same rows/series the paper
 reports and asserting the expected *shape* (who wins, by roughly what
 factor) rather than absolute numbers.
+
+Each table is also dumped as machine-readable JSON —
+``BENCH_<name>.json`` under :data:`RESULTS_DIR` (override with the
+``REPRO_BENCH_DIR`` environment variable) — so successive PRs accumulate
+a perf trajectory that scripts can diff instead of scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
+import os
 
-def print_table(title: str, header: list, rows: list) -> None:
-    """Render a result table to stdout (visible with pytest -s)."""
+RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
+
+
+def dump_rows(name: str, header: list, rows: list, title: str = "") -> str:
+    """Write one benchmark's rows to ``BENCH_<name>.json``; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = {
+        "name": name,
+        "title": title,
+        "header": [str(column) for column in header],
+        "rows": [[cell for cell in row] for row in rows],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def print_table(title: str, header: list, rows: list, name: str = "") -> None:
+    """Render a result table to stdout (visible with pytest -s).
+
+    With ``name``, the rows are also dumped to ``BENCH_<name>.json`` via
+    :func:`dump_rows`.
+    """
     print()
     print(title)
     widths = [
@@ -23,3 +55,5 @@ def print_table(title: str, header: list, rows: list) -> None:
     for row in rows:
         print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))
     print()
+    if name:
+        dump_rows(name, header, rows, title=title)

@@ -11,7 +11,12 @@ Sharp (PLDI '93):
 5. execute the graph on the simulated distributed-memory machine.
 
 Run:  python examples/quickstart.py
+
+The same workload can be traced on the simulated machine with
+``python -m repro trace examples/fig1.f`` (see README's "Tracing a run").
 """
+
+import pathlib
 
 from repro.analysis import analyze_unit
 from repro.compiler import compile_unit
@@ -19,28 +24,11 @@ from repro.descriptors import DescriptorBuilder, interfere
 from repro.lang import parse_unit, print_stmts
 from repro.runtime import GraphExecutor, MachineConfig, ParallelOp
 
-FIG1_SOURCE = """
-program fig1
-  integer mask(n), col, i, j, k, n
-  real result(n), q(n, n), output(n, n)
-  do col = 1, n where (mask(col) <> 0)
-    do i = 1, n
-      result(i) = 0
-      do k = 1, n
-        result(i) = result(i) + q(k, i)
-      end do
-    end do
-    do i = 1, n
-      q(i, col) = result(i)
-    end do
-  end do
-  do i = 1, n
-    do j = 1, n
-      output(j, i) = f(q(j, i))
-    end do
-  end do
-end program
-"""
+# The Figure 1 program lives in fig1.f so the CLI can trace the same
+# workload: python -m repro trace examples/fig1.f
+FIG1_SOURCE = (
+    pathlib.Path(__file__).resolve().with_name("fig1.f").read_text()
+)
 
 
 def main() -> None:

@@ -8,7 +8,13 @@ Commands:
 * ``descriptors FILE``  — print the symbolic data descriptor of every
   top-level primitive computation;
 * ``simulate APP``      — run one of the paper's applications on the
-  simulated machine and report speedup/efficiency.
+  simulated machine and report speedup/efficiency;
+* ``trace TARGET``      — run a MiniF source file or a workload with the
+  ``repro.obs`` tracer attached and export a Chrome ``trace_event`` JSON
+  (one lane per simulated processor; load in ``chrome://tracing`` or
+  https://ui.perfetto.dev), a metrics report (per-processor utilization,
+  sched/comm/idle overhead breakdown, load imbalance), and optionally an
+  ASCII per-processor timeline.
 """
 
 from __future__ import annotations
@@ -86,6 +92,113 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_source_file(args: argparse.Namespace, tracer, config) -> float:
+    """Compile a MiniF file and execute its coordination graph wave by
+    wave — each wave of simultaneously-ready parallel operations runs
+    under the Eq. 1 allocator + distributed TAPER with the tracer
+    attached.  Returns the accumulated makespan."""
+    import random
+
+    from .compiler import compile_source
+    from .runtime import ParallelOp, run_concurrent_ops
+
+    with open(args.target) as handle:
+        source = handle.read()
+    program = compile_source(source)[0]
+    graph = program.graph
+    # Synthetic task costs (as in examples/quickstart.py): masked/guarded
+    # operations are irregular, everything else regular.
+    rng = random.Random(args.seed)
+    op_tasks = {}
+    for node in graph.nodes:
+        if node.pipeline_role is not None:
+            continue  # pipelined stages mirror ops already present
+        n_tasks = args.tasks if node.is_parallel else 8
+        if node.where is not None:
+            costs = [rng.uniform(10.0, 50.0) for _ in range(n_tasks)]
+        else:
+            costs = [10.0] * n_tasks
+        op_tasks[node.id] = ParallelOp(name=node.name, costs=costs)
+    remaining = {
+        node.id: len(graph.predecessors(node)) for node in graph.nodes
+    }
+    ready = sorted(nid for nid, count in remaining.items() if count == 0)
+    makespan = 0.0
+    while ready:
+        ops = [
+            op_tasks[nid]
+            for nid in ready
+            if nid in op_tasks and op_tasks[nid].size
+        ]
+        if ops:
+            result = run_concurrent_ops(
+                ops, config.processors, config, tracer=tracer
+            )
+            makespan += result.makespan
+            tracer.advance(result.makespan)
+        done, ready = ready, []
+        for nid in done:
+            for successor in graph.successors(graph.node(nid)):
+                remaining[successor.id] -= 1
+                if remaining[successor.id] == 0:
+                    ready.append(successor.id)
+        ready.sort()
+    return makespan
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .apps import ALL_WORKLOADS
+    from .obs import (
+        Tracer,
+        aggregate,
+        metrics_summary,
+        render_timeline,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+    from .runtime import MachineConfig
+
+    tracer = Tracer()
+    p = args.processors
+    config = MachineConfig(processors=p)
+    if args.target in ALL_WORKLOADS:
+        workload = ALL_WORKLOADS[args.target](steps=args.steps)
+        result = workload.run(p, args.mode, config, tracer=tracer)
+        makespan = result.makespan
+        label = f"{args.target} ({args.mode}, {args.steps} steps)"
+    elif os.path.exists(args.target):
+        makespan = _trace_source_file(args, tracer, config)
+        label = os.path.basename(args.target)
+    else:
+        print(
+            f"unknown trace target {args.target!r}: not a workload "
+            f"({', '.join(sorted(ALL_WORKLOADS))}) or a source file",
+            file=sys.stderr,
+        )
+        return 2
+    report = aggregate(tracer.events, processors=p)
+    write_chrome_trace(tracer.events, args.out, processors=p)
+    write_metrics_json(report, args.metrics)
+    print(
+        f"traced {label} on p={p}: {len(tracer.events)} events, "
+        f"makespan {makespan:.1f} work units"
+    )
+    print(f"chrome trace -> {args.out} (chrome://tracing or ui.perfetto.dev)")
+    print(f"metrics      -> {args.metrics}")
+    print()
+    print(metrics_summary(report))
+    if args.timeline:
+        print()
+        print(
+            render_timeline(
+                tracer.events, processors=p, width=args.timeline_width
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -130,6 +243,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument("--steps", type=int, default=3)
     simulate_parser.set_defaults(func=_cmd_simulate)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help=(
+            "trace a MiniF source file or workload on the simulated "
+            "machine (Chrome trace JSON + metrics report)"
+        ),
+    )
+    trace_parser.add_argument(
+        "target", help="a MiniF source file or a workload name"
+    )
+    trace_parser.add_argument("--processors", "-p", type=int, default=64)
+    trace_parser.add_argument(
+        "--mode",
+        default="split",
+        choices=("static", "taper", "split"),
+        help="execution mode for workload targets",
+    )
+    trace_parser.add_argument(
+        "--steps", type=int, default=2, help="time steps for workload targets"
+    )
+    trace_parser.add_argument(
+        "--tasks",
+        type=int,
+        default=256,
+        help="tasks per parallel op for source-file targets",
+    )
+    trace_parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic-cost RNG seed"
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trace_parser.add_argument(
+        "--metrics", default="metrics.json", help="metrics report output path"
+    )
+    trace_parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print an ASCII per-processor timeline",
+    )
+    trace_parser.add_argument("--timeline-width", type=int, default=72)
+    trace_parser.set_defaults(func=_cmd_trace)
     return parser
 
 

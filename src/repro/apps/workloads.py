@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import Tracer
 from ..runtime import (
     MachineConfig,
     ParallelOp,
@@ -170,6 +171,7 @@ class AppWorkload:
         p: int,
         mode: str = "taper",
         config: Optional[MachineConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> AppRunResult:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; pick from {MODES}")
@@ -179,7 +181,7 @@ class AppWorkload:
         total_work = 0.0
         for step in range(self.steps):
             phases = self.phases_for_step(rng, step, mode)
-            step_result = self._run_step(phases, p, mode, config)
+            step_result = self._run_step(phases, p, mode, config, tracer)
             makespan += step_result.makespan
             total_work += step_result.work
         return AppRunResult(
@@ -197,28 +199,45 @@ class AppWorkload:
         p: int,
         mode: str,
         config: MachineConfig,
+        tracer: Optional[Tracer] = None,
     ) -> StepResult:
+        # Serialised sub-runs each start their local clock at zero; when
+        # tracing, advance the tracer's origin after each one so the
+        # combined stream lays them end to end on one timeline.
         work = sum(phase.op.total_work for phase in phases)
         if mode == "static":
-            makespan = sum(
-                run_central(
-                    phase.op.costs, p, make_policy("static"), config
+            makespan = 0.0
+            for phase in phases:
+                if not phase.op.size:
+                    continue
+                span = run_central(
+                    phase.op.costs,
+                    p,
+                    make_policy("static"),
+                    config,
+                    tracer=tracer,
+                    op_label=phase.op.name,
                 ).makespan
-                for phase in phases
-                if phase.op.size
-            )
+                makespan += span
+                if tracer is not None:
+                    tracer.advance(span)
             return StepResult(makespan=makespan, work=work)
         if mode == "taper":
-            makespan = sum(
-                run_distributed(
+            makespan = 0.0
+            for phase in phases:
+                if not phase.op.size:
+                    continue
+                span = run_distributed(
                     phase.op.costs,
                     p,
                     config=config,
                     bytes_per_task=phase.op.bytes_per_task,
+                    tracer=tracer,
+                    op_label=phase.op.name,
                 ).makespan
-                for phase in phases
-                if phase.op.size
-            )
+                makespan += span
+                if tracer is not None:
+                    tracer.advance(span)
             return StepResult(makespan=makespan, work=work)
         # split mode: group concurrent phases under the Eq. 1 allocator.
         makespan = 0.0
@@ -234,16 +253,21 @@ class AppWorkload:
         for group_id in order:
             ops = groups[group_id]
             if len(ops) == 1:
-                makespan += run_distributed(
+                span = run_distributed(
                     ops[0].costs,
                     p,
                     config=config,
                     bytes_per_task=ops[0].bytes_per_task,
+                    tracer=tracer,
+                    op_label=ops[0].name,
                 ).makespan
             else:
-                makespan += run_concurrent_ops(
-                    ops, p, config, allocator="balance"
+                span = run_concurrent_ops(
+                    ops, p, config, allocator="balance", tracer=tracer
                 ).makespan
+            makespan += span
+            if tracer is not None:
+                tracer.advance(span)
         return StepResult(makespan=makespan, work=work)
 
     # -- reporting helpers ----------------------------------------------------------

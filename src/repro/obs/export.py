@@ -1,0 +1,174 @@
+"""Exporting traces: Chrome ``trace_event`` JSON and metrics reports.
+
+:func:`to_chrome_trace` converts an event stream to the Trace Event
+Format understood by ``chrome://tracing`` and https://ui.perfetto.dev —
+one timeline lane (thread) per simulated processor, duration events for
+tasks/chunks/messages, instants for scheduler decisions.
+
+Simulated time is in abstract work units; the exporter maps one work
+unit to ``time_scale`` microseconds (default 1000, i.e. 1 work unit
+renders as 1ms) so the viewer's zoom levels behave sensibly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .events import (
+    CHUNK_ACQUIRE,
+    CHUNK_COMPLETE,
+    Event,
+    MSG_RECV,
+    TASK_DISPATCH,
+)
+from .metrics import MetricsReport, aggregate
+
+#: Chrome trace category per event-kind prefix (used for viewer filtering).
+_CATEGORY = {
+    "chunk": "sched",
+    "task": "compute",
+    "msg": "comm",
+    "epoch": "protocol",
+    "taper": "decision",
+    "alloc": "decision",
+    "pipeline": "pipeline",
+    "granularity": "decision",
+    "op": "op",
+}
+
+#: Kinds rendered as duration ("X") events on a processor lane.
+_DURATION_KINDS = {TASK_DISPATCH, CHUNK_ACQUIRE, MSG_RECV}
+
+
+def _category(kind: str) -> str:
+    return _CATEGORY.get(kind.split(".", 1)[0], "misc")
+
+
+def _args(event: Event) -> Dict[str, Any]:
+    args: Dict[str, Any] = dict(event.attrs)
+    if event.op:
+        args["op"] = event.op
+    return args
+
+
+def to_chrome_trace(
+    events: Sequence[Event],
+    processors: Optional[int] = None,
+    time_scale: float = 1000.0,
+) -> Dict[str, Any]:
+    """Build a Chrome Trace Event Format document (JSON-object form)."""
+    lanes = processors or 0
+    for event in events:
+        if event.proc + 1 > lanes:
+            lanes = event.proc + 1
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro simulated machine"},
+        }
+    ]
+    for proc in range(lanes):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": proc,
+                "args": {"name": "proc %d" % proc},
+            }
+        )
+        # Keep lanes ordered by processor index in the viewer.
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": 0,
+                "tid": proc,
+                "args": {"sort_index": proc},
+            }
+        )
+    for event in events:
+        tid = event.proc if event.proc >= 0 else lanes  # runtime lane
+        base: Dict[str, Any] = {
+            "name": event.op or event.kind,
+            "cat": _category(event.kind),
+            "pid": 0,
+            "tid": tid,
+            "ts": event.time * time_scale,
+            "args": _args(event),
+        }
+        if event.kind in _DURATION_KINDS or (
+            event.kind == CHUNK_COMPLETE and event.dur > 0
+        ):
+            base["ph"] = "X"
+            base["dur"] = event.dur * time_scale
+            if event.kind != TASK_DISPATCH:
+                base["name"] = event.kind
+        else:
+            base["ph"] = "i"
+            base["s"] = "t" if event.proc >= 0 else "g"
+            base["name"] = event.kind
+        trace_events.append(base)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "time_unit": "work units",
+            "time_scale_us_per_unit": time_scale,
+        },
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[Event],
+    path: str,
+    processors: Optional[int] = None,
+    time_scale: float = 1000.0,
+) -> None:
+    document = to_chrome_trace(
+        events, processors=processors, time_scale=time_scale
+    )
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def write_metrics_json(report: MetricsReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def metrics_summary(report: MetricsReport) -> str:
+    """A short human-readable digest of a metrics report."""
+    breakdown = report.breakdown()
+    lines = [
+        "makespan            %.1f work units" % report.makespan,
+        "processors          %d" % report.processors,
+        "utilization         %.1f%%" % (100.0 * report.utilization),
+        "load imbalance      %.2f (max-mean)/mean" % report.load_imbalance,
+        "breakdown           compute %.1f%% | sched %.1f%% | comm %.1f%% | idle %.1f%%"
+        % (
+            100.0 * breakdown["compute"],
+            100.0 * breakdown["sched"],
+            100.0 * breakdown["comm"],
+            100.0 * breakdown["idle"],
+        ),
+        "messages            %d (%.0f bytes)" % (report.messages, report.bytes_moved),
+        "epochs              %d" % report.epochs,
+        "chunk reassignments %d (%d tasks moved)"
+        % (report.reassignments, report.tasks_moved),
+    ]
+    if report.per_op:
+        lines.append("operations:")
+        for name, om in sorted(report.per_op.items()):
+            lines.append(
+                "  %-16s %6d tasks  %5d chunks  work %10.1f  span %9.1f"
+                % (name, om.tasks, om.chunks, om.work, om.span)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""ASCII per-processor timeline rendering for terminal debugging.
+
+Buckets the traced run into ``width`` time columns and draws one row per
+simulated processor, each cell showing the dominant activity in that
+bucket::
+
+    t=0.0                                                     t=412.7
+    p000 |################ss##########c###########..........| 78%
+    p001 |##############ss############################......| 86%
+         # compute   s sched   c comm   . idle
+
+The dominant-category rule keeps thin overheads visible: a bucket is
+labelled with whichever of compute/sched/comm has the largest share of
+its occupied time, and idle only when nothing ran at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .events import CHUNK_ACQUIRE, Event, MSG_RECV, TASK_DISPATCH
+
+_GLYPH = {"compute": "#", "sched": "s", "comm": "c", "idle": "."}
+
+#: event kind -> accounting category
+_KIND_CATEGORY = {
+    TASK_DISPATCH: "compute",
+    CHUNK_ACQUIRE: "sched",
+    MSG_RECV: "comm",
+}
+
+
+def _overlap(start: float, end: float, lo: float, hi: float) -> float:
+    return max(0.0, min(end, hi) - max(start, lo))
+
+
+def render_timeline(
+    events: Sequence[Event],
+    processors: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """Render the event stream as an ASCII per-processor timeline."""
+    lanes = processors or 0
+    makespan = 0.0
+    for event in events:
+        if event.proc + 1 > lanes:
+            lanes = event.proc + 1
+        if event.proc >= 0 and event.end > makespan:
+            makespan = event.end
+    if lanes == 0 or makespan <= 0:
+        return "(no processor events)"
+    width = max(width, 8)
+    # Per-lane interval lists by category.
+    intervals: List[List[Tuple[float, float, str]]] = [[] for _ in range(lanes)]
+    for event in events:
+        category = _KIND_CATEGORY.get(event.kind)
+        if category is None or event.proc < 0 or event.dur <= 0:
+            continue
+        intervals[event.proc].append((event.time, event.end, category))
+
+    bucket = makespan / width
+    label_width = len(str(lanes - 1))
+    rows: List[str] = []
+    header = "t=0.0".ljust(label_width + 2 + width // 2)
+    header += ("t=%.1f" % makespan).rjust(label_width + width - len(header) + 2)
+    rows.append(header)
+    for proc in range(lanes):
+        shares = [
+            {"compute": 0.0, "sched": 0.0, "comm": 0.0} for _ in range(width)
+        ]
+        busy = 0.0
+        for start, end, category in intervals[proc]:
+            busy += end - start if category == "compute" else 0.0
+            first = min(width - 1, int(start / bucket))
+            last = min(width - 1, int(end / bucket))
+            for column in range(first, last + 1):
+                lo = column * bucket
+                hi = lo + bucket
+                shares[column][category] += _overlap(start, end, lo, hi)
+        cells = []
+        for column in range(width):
+            share = shares[column]
+            total = share["compute"] + share["sched"] + share["comm"]
+            if total <= 0:
+                cells.append(_GLYPH["idle"])
+            else:
+                dominant = max(share, key=share.get)
+                cells.append(_GLYPH[dominant])
+        utilization = 100.0 * busy / makespan
+        rows.append(
+            "p%0*d |%s| %3.0f%%" % (label_width, proc, "".join(cells), utilization)
+        )
+    rows.append(
+        " " * (label_width + 1)
+        + "  # compute   s sched   c comm   . idle"
+    )
+    return "\n".join(rows)

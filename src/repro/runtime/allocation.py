@@ -27,7 +27,9 @@ execution behavior."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs.events import ALLOC_DECIDE, Tracer
 
 FinishEstimate = Callable[[int], float]
 
@@ -53,6 +55,8 @@ def allocate_pair(
     estimate_b: FinishEstimate,
     epsilon: float = 0.05,
     max_count: int = 4,
+    tracer: Optional[Tracer] = None,
+    labels: Tuple[str, str] = ("A", "B"),
 ) -> AllocationResult:
     """Ration ``p`` processors between two concurrent operations.
 
@@ -66,6 +70,7 @@ def allocate_pair(
     count = 0
     e_a = estimate_a(p1)
     e_b = estimate_b(p2)
+    trail = [[p1, p2, e_a, e_b]]
     while count < max_count and abs(e_a - e_b) > epsilon * max(e_a, e_b, 1e-12):
         if e_a > e_b:
             p1 = p1 + p2 // 2
@@ -79,6 +84,18 @@ def allocate_pair(
         e_a = estimate_a(p1)
         e_b = estimate_b(p2)
         count += 1
+        trail.append([p1, p2, e_a, e_b])
+    if tracer is not None:
+        tracer.emit(
+            ALLOC_DECIDE,
+            tracer.now,
+            op="+".join(labels),
+            shares=[p1, p2],
+            estimates=[e_a, e_b],
+            labels=list(labels),
+            iterations=count,
+            trail=trail,
+        )
     return AllocationResult(
         p1=p1, p2=p2, estimate1=e_a, estimate2=e_b, iterations=count
     )
@@ -115,6 +132,8 @@ def allocate_many(
     estimates: Sequence[FinishEstimate],
     epsilon: float = 0.05,
     max_count: int = 4,
+    tracer: Optional[Tracer] = None,
+    labels: Optional[Sequence[str]] = None,
 ) -> List[int]:
     """Generalisation to k concurrent operations.
 
@@ -151,6 +170,20 @@ def allocate_many(
             best_finish = finish
             best_shares = list(shares)
     final_finish = max(estimates[i](shares[i]) for i in range(k))
-    if final_finish <= best_finish:
-        return shares
-    return best_shares
+    chosen = shares if final_finish <= best_finish else best_shares
+    if tracer is not None:
+        chosen_labels = (
+            list(labels) if labels else [str(i) for i in range(k)]
+        )
+        tracer.emit(
+            ALLOC_DECIDE,
+            tracer.now,
+            op="+".join(chosen_labels),
+            shares=list(chosen),
+            estimates=[estimates[i](chosen[i]) for i in range(k)],
+            labels=chosen_labels,
+            predicted_finish=max(
+                estimates[i](chosen[i]) for i in range(k)
+            ),
+        )
+    return chosen

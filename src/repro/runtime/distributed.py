@@ -27,6 +27,15 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..obs.events import (
+    CHUNK_ACQUIRE,
+    CHUNK_COMPLETE,
+    CHUNK_REASSIGN,
+    EPOCH_ADVANCE,
+    TASK_DISPATCH,
+    TOKEN_ROUND,
+    Tracer,
+)
 from .cost_model import CostFunction
 from .machine import MachineConfig, RunResult
 from .schedulers import ChunkPolicy
@@ -70,6 +79,10 @@ def run_distributed(
     bytes_per_task: float = 256.0,
     initial_queues: Optional[List[List[int]]] = None,
     cost_guided: bool = True,
+    tracer: Optional[Tracer] = None,
+    op_label: str = "op",
+    task_labels: Optional[Sequence[str]] = None,
+    trace_proc_offset: int = 0,
 ) -> DistributedRunResult:
     """Simulate one parallel operation under distributed TAPER.
 
@@ -83,6 +96,14 @@ def run_distributed(
     *work*, re-assign the predicted-expensive tail).  With it off, the
     scheduler is blind: FIFO local order, victims by task count, tail
     steals — the ablation baseline for "TAPER *with cost functions*".
+
+    ``tracer`` records the full scheduling event stream (``repro.obs``);
+    tracing is observational only and never changes the simulated result.
+    ``op_label`` names the operation in emitted events; ``task_labels``
+    optionally attributes each task index to a finer label (used by the
+    work-conserving combined runs to keep per-op metrics); and
+    ``trace_proc_offset`` shifts the emitted processor ids so concurrent
+    runs on disjoint processor groups get disjoint timeline lanes.
     """
     config = config or MachineConfig(processors=p)
     policy = policy or TaperPolicy()
@@ -115,6 +136,13 @@ def run_distributed(
     # broadcast, i.e. one tree round per p chunks.
     epoch_share = config.tree_round_time(p) / max(p, 1)
 
+    trace = tracer is not None
+    if trace and hasattr(policy, "tracer"):
+        policy.tracer = tracer
+    # Per-processor open-chunk bookkeeping (tracing only).
+    chunk_start = [0.0] * p if trace else None
+    chunk_tasks = [0] * p if trace else None
+
     heap: List[tuple] = [(0.0, proc) for proc in range(p)]
     heapq.heapify(heap)
     finish = [0.0] * p
@@ -138,6 +166,8 @@ def run_distributed(
             # the most loaded one takes the re-assigned tail of that
             # processor's work, not just when it is fully idle — this is
             # the root's continuous chunk re-assignment.
+            if trace:
+                tracer.now = clock
             size = policy.next_chunk(total_remaining, p, cost_function)
             size = max(1, min(size, total_remaining))
             if cost_guided:
@@ -194,7 +224,27 @@ def run_distributed(
                 remaining_per_proc[proc] += size
                 work_left[proc] += stolen_work
                 claim[victim] = min(claim[victim], remaining_per_proc[victim])
-                transfer = config.transfer_time(size * bytes_per_task)
+                if trace:
+                    tracer.emit(
+                        CHUNK_REASSIGN,
+                        clock,
+                        proc=proc + trace_proc_offset,
+                        op=op_label,
+                        victim=victim + trace_proc_offset,
+                        tasks=size,
+                        bytes=size * bytes_per_task,
+                    )
+                    transfer = config.transfer(
+                        size * bytes_per_task,
+                        tracer,
+                        time=clock,
+                        src=victim + trace_proc_offset,
+                        dst=proc + trace_proc_offset,
+                        op=op_label,
+                        tasks=size,
+                    )
+                else:
+                    transfer = config.transfer_time(size * bytes_per_task)
                 overhead += transfer
                 comm_time += transfer
                 tasks_moved += size
@@ -202,6 +252,41 @@ def run_distributed(
                 break  # racing pops; nothing left anywhere
             claim[proc] = min(max(size, 1), remaining_per_proc[proc])
             overhead += config.sched_overhead + epoch_share
+            if trace:
+                if chunk_tasks[proc]:
+                    tracer.emit(
+                        CHUNK_COMPLETE,
+                        chunk_start[proc],
+                        dur=clock - chunk_start[proc],
+                        proc=proc + trace_proc_offset,
+                        op=op_label,
+                        tasks=chunk_tasks[proc],
+                    )
+                chunk_start[proc] = clock
+                chunk_tasks[proc] = 0
+                # One epoch = p chunks; a new epoch costs one tree round.
+                if chunks % p == 0:
+                    epoch = chunks // p
+                    tracer.emit(
+                        EPOCH_ADVANCE, clock, op=op_label, epoch=epoch
+                    )
+                    tracer.emit(
+                        TOKEN_ROUND,
+                        clock,
+                        dur=config.tree_round_time(p),
+                        op=op_label,
+                        epoch=epoch,
+                    )
+                tracer.emit(
+                    CHUNK_ACQUIRE,
+                    clock,
+                    dur=config.sched_overhead + epoch_share,
+                    proc=proc + trace_proc_offset,
+                    op=op_label,
+                    size=claim[proc],
+                    remaining=total_remaining,
+                    epoch=chunks // p,
+                )
             chunks += 1
         # Execute one task of the current claim; re-enter the event loop
         # so faster processors can re-assign the claim's tail.
@@ -213,8 +298,31 @@ def run_distributed(
         work_left[proc] -= cost
         cost_function.observe(index, cost)
         clock += overhead + cost + config.task_overhead
+        if trace:
+            tracer.emit(
+                TASK_DISPATCH,
+                clock - cost - config.task_overhead,
+                dur=cost,
+                proc=proc + trace_proc_offset,
+                op=task_labels[index] if task_labels else op_label,
+                task=index,
+                overhead=config.task_overhead,
+            )
+            chunk_tasks[proc] += 1
         finish[proc] = clock
         heapq.heappush(heap, (clock, proc))
+
+    if trace:
+        for proc in range(p):
+            if chunk_tasks[proc]:
+                tracer.emit(
+                    CHUNK_COMPLETE,
+                    chunk_start[proc],
+                    dur=finish[proc] - chunk_start[proc],
+                    proc=proc + trace_proc_offset,
+                    op=op_label,
+                    tasks=chunk_tasks[proc],
+                )
 
     return DistributedRunResult(
         makespan=max(finish),

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import OP_BEGIN, OP_END, PIPELINE_STAGE, Tracer
 from .allocation import allocate_even, allocate_many, allocate_pair
 from .distributed import run_distributed
 from .estimates import FinishingTimeEstimator, OpProfile
@@ -73,6 +74,7 @@ def run_concurrent_ops(
     policy: str = "taper",
     allocator: str = "balance",
     work_conserving: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> ConcurrentRunResult:
     """Run concurrent operations, sharing ``p`` processors.
 
@@ -98,7 +100,12 @@ def run_concurrent_ops(
         estimators = [
             FinishingTimeEstimator(profile_of(op), config) for op in ops
         ]
-        shares = allocate_many(p, [e.finish for e in estimators])
+        shares = allocate_many(
+            p,
+            [e.finish for e in estimators],
+            tracer=tracer,
+            labels=[op.name for op in ops],
+        )
     elif allocator == "proportional":
         from .allocation import allocate_proportional
 
@@ -109,20 +116,29 @@ def run_concurrent_ops(
         raise ValueError(f"unknown allocator {allocator!r}")
 
     if work_conserving and len(ops) > 1:
-        return _run_work_conserving(ops, p, shares, config, policy)
+        return _run_work_conserving(ops, p, shares, config, policy, tracer)
 
     results: List[RunResult] = []
+    lane_offset = 0
     for op, share in zip(ops, shares):
         share = max(share, 1)
-        results.append(
-            run_distributed(
-                op.costs,
-                share,
-                policy=make_policy(policy),
-                config=config,
-                bytes_per_task=op.bytes_per_task,
-            )
+        result = run_distributed(
+            op.costs,
+            share,
+            policy=make_policy(policy),
+            config=config,
+            bytes_per_task=op.bytes_per_task,
+            tracer=tracer,
+            op_label=op.name,
+            trace_proc_offset=lane_offset,
         )
+        if tracer is not None:
+            tracer.emit(OP_BEGIN, 0.0, op=op.name, share=share)
+            tracer.emit(
+                OP_END, result.makespan, op=op.name, share=share
+            )
+        lane_offset += share
+        results.append(result)
     makespan = max(r.makespan for r in results)
     return ConcurrentRunResult(makespan=makespan, per_op=results, shares=shares)
 
@@ -133,6 +149,7 @@ def _run_work_conserving(
     shares: Sequence[int],
     config: MachineConfig,
     policy: str,
+    tracer: Optional[Tracer] = None,
 ) -> ConcurrentRunResult:
     """One combined distributed run.
 
@@ -150,12 +167,15 @@ def _run_work_conserving(
     mean_bytes = sum(op.bytes_per_task * op.size for op in ops) / max(
         sum(op.size for op in ops), 1
     )
+    task_labels: Optional[List[str]] = [] if tracer is not None else None
     for op in ops:
         local = block_distribution(op.size, p)
         for proc, indices in enumerate(local):
             queues[proc].extend(offset + i for i in indices)
         combined.extend(op.costs)
         offset += op.size
+        if task_labels is not None:
+            task_labels.extend([op.name] * op.size)
     result = run_distributed(
         combined,
         p,
@@ -163,7 +183,14 @@ def _run_work_conserving(
         config=config,
         bytes_per_task=mean_bytes,
         initial_queues=queues,
+        tracer=tracer,
+        op_label="+".join(op.name for op in ops),
+        task_labels=task_labels,
     )
+    if tracer is not None:
+        for op, share in zip(ops, shares):
+            tracer.emit(OP_BEGIN, 0.0, op=op.name, share=share)
+            tracer.emit(OP_END, result.makespan, op=op.name, share=share)
     return ConcurrentRunResult(
         makespan=result.makespan, per_op=[result], shares=list(shares)
     )
@@ -201,6 +228,7 @@ def run_pipelined(
     config: Optional[MachineConfig] = None,
     policy: str = "taper",
     overlap: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> PipelineRunResult:
     """Execute a pipelined loop.
 
@@ -228,13 +256,31 @@ def run_pipelined(
             bytes_per_task=op.bytes_per_task,
         ).makespan
 
+    def emit_stage(
+        start: float, dur: float, stage: str, iteration: int, share: int
+    ) -> None:
+        if tracer is not None and dur > 0:
+            tracer.emit(
+                PIPELINE_STAGE,
+                start,
+                dur=dur,
+                op="%s[%d]" % (stage, iteration),
+                stage=stage,
+                iteration=iteration,
+                share=share,
+            )
+
     if not overlap:
-        makespan = sum(
-            stage_time(it.independent, p)
-            + stage_time(it.dependent, p)
-            + stage_time(it.merge, p)
-            for it in iterations
-        )
+        makespan = 0.0
+        for index, it in enumerate(iterations):
+            for stage_name, op in (
+                ("independent", it.independent),
+                ("dependent", it.dependent),
+                ("merge", it.merge),
+            ):
+                duration = stage_time(op, p)
+                emit_stage(makespan, duration, stage_name, index, p)
+                makespan += duration
         return PipelineRunResult(
             makespan=makespan,
             total_work=total_work,
@@ -245,6 +291,7 @@ def run_pipelined(
     # iteration i's A_D + A_M.
     splits: List[Tuple[int, int]] = []
     makespan = stage_time(iterations[0].independent, p)  # pipeline fill
+    emit_stage(0.0, makespan, "independent", 0, p)
     for index, iteration in enumerate(iterations):
         next_independent = (
             iterations[index + 1].independent
@@ -253,9 +300,11 @@ def run_pipelined(
         )
         dep_work = iteration.dependent.total_work + iteration.merge.total_work
         if next_independent is None or next_independent.size == 0:
-            makespan += stage_time(iteration.dependent, p) + stage_time(
-                iteration.merge, p
-            )
+            tail_dep = stage_time(iteration.dependent, p)
+            emit_stage(makespan, tail_dep, "dependent", index, p)
+            tail_merge = stage_time(iteration.merge, p)
+            emit_stage(makespan + tail_dep, tail_merge, "merge", index, p)
+            makespan += tail_dep + tail_merge
             continue
         estimator_next = FinishingTimeEstimator(
             profile_of(next_independent), config
@@ -269,13 +318,23 @@ def run_pipelined(
             setup_bytes=0.0,
         )
         estimator_dep = FinishingTimeEstimator(dep_profile, config)
+        if tracer is not None:
+            tracer.now = makespan
         allocation = allocate_pair(
-            p, estimator_next.finish, estimator_dep.finish
+            p,
+            estimator_next.finish,
+            estimator_dep.finish,
+            tracer=tracer,
+            labels=("independent[%d]" % (index + 1), "dependent[%d]" % index),
         )
         splits.append((allocation.p1, allocation.p2))
         t_next = stage_time(next_independent, allocation.p1)
         t_dep = stage_time(iteration.dependent, allocation.p2) + stage_time(
             iteration.merge, allocation.p2
+        )
+        emit_stage(makespan, t_next, "independent", index + 1, allocation.p1)
+        emit_stage(
+            makespan, t_dep, "dependent+merge", index, allocation.p2
         )
         makespan += max(t_next, t_dep)
     return PipelineRunResult(
@@ -324,12 +383,20 @@ class GraphExecutor:
         p: int,
         config: Optional[MachineConfig] = None,
         allocator: str = "balance",
+        tracer: Optional[Tracer] = None,
     ):
         self.graph = graph
         self.op_tasks = op_tasks
         self.p = p
         self.config = config or MachineConfig(processors=p)
         self.allocator = allocator
+        self.tracer = tracer
+
+    def _op_name(self, op_id: int) -> str:
+        try:
+            return self.graph.node(op_id).name
+        except Exception:
+            return str(op_id)
 
     def run(self) -> GraphRunResult:
         remaining_preds = {
@@ -348,18 +415,30 @@ class GraphExecutor:
                 op = ParallelOp(name=str(op_id), costs=[1.0])
             return FinishingTimeEstimator(profile_of(op), self.config)
 
+        tracer = self.tracer
         while ready or running:
             for op_id in ready:
                 op = self.op_tasks.get(op_id)
                 work = op.total_work if op is not None and op.size else 1.0
                 running[op_id] = work
                 total_work += work
+                if tracer is not None:
+                    tracer.emit(
+                        OP_BEGIN, now, op=self._op_name(op_id), work=work
+                    )
             ready = []
             # Allocate among running ops.
             ids = sorted(running)
             if self.allocator == "balance" and len(ids) > 1 and self.p >= 2 * len(ids):
                 estimators = [estimator_for(i) for i in ids]
-                shares = allocate_many(self.p, [e.finish for e in estimators])
+                if tracer is not None:
+                    tracer.now = now
+                shares = allocate_many(
+                    self.p,
+                    [e.finish for e in estimators],
+                    tracer=tracer,
+                    labels=[self._op_name(i) for i in ids],
+                )
             else:
                 shares = allocate_even(self.p, len(ids))
             rates: Dict[int, float] = {}
@@ -381,6 +460,8 @@ class GraphExecutor:
                 running[op_id] -= rates[op_id] * dt
             del running[finisher]
             finish_time[finisher] = now
+            if tracer is not None:
+                tracer.emit(OP_END, now, op=self._op_name(finisher))
             for succ in self.graph.successors(self.graph.node(finisher)):
                 remaining_preds[succ.id] -= 1
                 if remaining_preds[succ.id] == 0:

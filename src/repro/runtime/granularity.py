@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.events import GRANULARITY_DECIDE, Tracer
 from .machine import MachineConfig
 
 
@@ -81,6 +82,8 @@ def choose_granularity(
     consumer_cost_per_item: float,
     producer_cost_per_item: float,
     config: Optional[MachineConfig] = None,
+    tracer: Optional[Tracer] = None,
+    op_label: str = "pipeline",
 ) -> int:
     """Batch size for a pipelined pair (convenience wrapper)."""
     config = config or MachineConfig()
@@ -91,4 +94,15 @@ def choose_granularity(
         producer_cost_per_item=producer_cost_per_item,
         config=config,
     )
-    return model.best()
+    best = model.best()
+    if tracer is not None:
+        tracer.emit(
+            GRANULARITY_DECIDE,
+            tracer.now,
+            op=op_label,
+            items=items,
+            batch=best,
+            predicted_time=model.time(best),
+            bytes_per_item=bytes_per_item,
+        )
+    return best

@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.events import MSG_RECV, MSG_SEND, Tracer
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -44,6 +46,39 @@ class MachineConfig:
     def transfer_time(self, n_bytes: float) -> float:
         """Time to move ``n_bytes`` point-to-point."""
         return self.message_latency + n_bytes / self.bandwidth
+
+    def transfer(
+        self,
+        n_bytes: float,
+        tracer: Optional[Tracer] = None,
+        time: float = 0.0,
+        src: int = -1,
+        dst: int = -1,
+        op: str = "",
+        **attrs,
+    ) -> float:
+        """Move ``n_bytes`` point-to-point, tracing the message pair.
+
+        Returns :meth:`transfer_time`; when ``tracer`` is given, emits a
+        send instant on the source lane and a receive span (the transfer
+        time, charged to the destination) on the destination lane.
+        """
+        duration = self.transfer_time(n_bytes)
+        if tracer is not None:
+            tracer.emit(
+                MSG_SEND, time, proc=src, op=op, bytes=n_bytes, dst=dst, **attrs
+            )
+            tracer.emit(
+                MSG_RECV,
+                time,
+                dur=duration,
+                proc=dst,
+                op=op,
+                bytes=n_bytes,
+                src=src,
+                **attrs,
+            )
+        return duration
 
     def tree_round_time(self, p: int) -> float:
         """One token-gather + broadcast round on the binary tree of p

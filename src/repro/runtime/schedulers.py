@@ -22,6 +22,12 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
+from ..obs.events import (
+    CHUNK_ACQUIRE,
+    CHUNK_COMPLETE,
+    TASK_DISPATCH,
+    Tracer,
+)
 from .cost_model import CostFunction
 from .machine import MachineConfig, RunResult
 from .taper import TaperPolicy
@@ -143,6 +149,9 @@ def run_central(
     policy: ChunkPolicy,
     config: Optional[MachineConfig] = None,
     prior_sample_stride: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    op_label: str = "op",
+    trace_proc_offset: int = 0,
 ) -> RunResult:
     """Simulate one parallel operation from a central task queue.
 
@@ -163,6 +172,9 @@ def run_central(
     if prior_sample_stride is not None and prior_sample_stride > 0:
         for index in range(0, n, prior_sample_stride):
             cost_function.observe(index, costs[index])
+    trace = tracer is not None
+    if trace and hasattr(policy, "tracer"):
+        policy.tracer = tracer
     heap: List[tuple] = [(0.0, index) for index in range(p)]
     heapq.heapify(heap)
     position = 0
@@ -171,18 +183,52 @@ def run_central(
     while position < n:
         clock, proc = heapq.heappop(heap)
         remaining = n - position
+        if trace:
+            tracer.now = clock
         size = policy.next_chunk(remaining, p, cost_function, position)
         if size <= 0:
             size = 1
         size = min(size, remaining)
         work = config.sched_overhead + size * config.task_overhead
+        if trace:
+            tracer.emit(
+                CHUNK_ACQUIRE,
+                clock,
+                dur=config.sched_overhead,
+                proc=proc + trace_proc_offset,
+                op=op_label,
+                size=size,
+                remaining=remaining,
+            )
+            task_clock = clock + config.sched_overhead
         for offset in range(size):
             cost = costs[position + offset]
             work += cost
             cost_function.observe(position + offset, cost)
+            if trace:
+                task_clock += config.task_overhead
+                tracer.emit(
+                    TASK_DISPATCH,
+                    task_clock,
+                    dur=cost,
+                    proc=proc + trace_proc_offset,
+                    op=op_label,
+                    task=position + offset,
+                    overhead=config.task_overhead,
+                )
+                task_clock += cost
         position += size
         chunks += 1
         clock += work
+        if trace:
+            tracer.emit(
+                CHUNK_COMPLETE,
+                clock - work + config.sched_overhead,
+                dur=work - config.sched_overhead,
+                proc=proc + trace_proc_offset,
+                op=op_label,
+                tasks=size,
+            )
         finish[proc] = clock
         heapq.heappush(heap, (clock, proc))
     return RunResult(

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.events import TAPER_DECISION, Tracer
 from .cost_model import CostFunction
 
 
@@ -40,6 +41,9 @@ class TaperPolicy:
     min_chunk: int = 1
     #: Use the cost-function scale s = mu_g / mu_c.
     use_cost_function: bool = True
+    #: Observability sink (attached by the run loops; ``tracer.now`` holds
+    #: the simulated clock at the moment of the decision).
+    tracer: Optional[Tracer] = field(default=None, repr=False, compare=False)
 
     def next_chunk(
         self,
@@ -53,9 +57,22 @@ class TaperPolicy:
             return 0
         beta = cost_function.stats.cv * math.sqrt(2.0 * math.log(max(p, 2)))
         base = math.ceil(remaining / (p * (1.0 + beta)))
+        scale = 1.0
         if self.use_cost_function:
-            base = round(base * cost_function.scale_factor(next_iteration))
-        return max(self.min_chunk, min(int(base), remaining))
+            scale = cost_function.scale_factor(next_iteration)
+            base = round(base * scale)
+        size = max(self.min_chunk, min(int(base), remaining))
+        if self.tracer is not None:
+            self.tracer.emit(
+                TAPER_DECISION,
+                self.tracer.now,
+                remaining=remaining,
+                p=p,
+                beta=beta,
+                scale=scale,
+                size=size,
+            )
+        return size
 
     def predict_chunks(self, n: int, p: int, cv: float = 0.5) -> float:
         """Expected number of scheduling events for ``n`` tasks on ``p``

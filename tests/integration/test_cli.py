@@ -87,3 +87,80 @@ def test_simulate_unknown_app(capsys):
     assert main(["simulate", "nonesuch"]) == 2
     err = capsys.readouterr().err
     assert "unknown application" in err
+
+
+def _assert_trace_outputs(trace_path, metrics_path, processors):
+    import json
+
+    document = json.loads(trace_path.read_text())
+    assert isinstance(document["traceEvents"], list)
+    assert all(e["ph"] in ("X", "i", "M") for e in document["traceEvents"])
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["processors"] == processors
+    assert 0.0 < metrics["utilization"] <= 1.0
+    assert set(metrics["breakdown"]) == {"compute", "sched", "comm", "idle"}
+    assert len(metrics["per_processor"]) == processors
+
+
+def test_trace_workload(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        [
+            "trace",
+            "psirrfan",
+            "-p",
+            "32",
+            "--steps",
+            "1",
+            "--out",
+            str(trace_path),
+            "--metrics",
+            str(metrics_path),
+            "--timeline",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "traced psirrfan" in out
+    assert "utilization" in out
+    assert "p00 " in out  # timeline rows (zero-padded lane labels)
+    _assert_trace_outputs(trace_path, metrics_path, 32)
+
+
+def test_trace_source_file(source_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        [
+            "trace",
+            source_file,
+            "-p",
+            "16",
+            "--tasks",
+            "64",
+            "--out",
+            str(trace_path),
+            "--metrics",
+            str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "traced fig4.f" in out
+    _assert_trace_outputs(trace_path, metrics_path, 16)
+
+
+def test_trace_unknown_target(tmp_path, capsys):
+    code = main(
+        [
+            "trace",
+            "nonesuch",
+            "--out",
+            str(tmp_path / "t.json"),
+            "--metrics",
+            str(tmp_path / "m.json"),
+        ]
+    )
+    assert code == 2
+    assert "unknown trace target" in capsys.readouterr().err

@@ -1,0 +1,38 @@
+"""Same workload + same seed must give a byte-identical event stream."""
+
+import random
+
+from repro.apps import ALL_WORKLOADS
+from repro.obs import Tracer
+from repro.runtime import MachineConfig, run_distributed
+
+
+def _distributed_stream(seed):
+    rng = random.Random(seed)
+    costs = [rng.uniform(5.0, 40.0) for _ in range(256)]
+    tracer = Tracer()
+    run_distributed(costs, 16, tracer=tracer, op_label="d")
+    return tracer.to_jsonl()
+
+
+def test_distributed_stream_is_deterministic():
+    assert _distributed_stream(3) == _distributed_stream(3)
+
+
+def test_different_seeds_differ():
+    assert _distributed_stream(3) != _distributed_stream(4)
+
+
+def _workload_stream():
+    config = MachineConfig(processors=32)
+    workload = ALL_WORKLOADS["psirrfan"](steps=1)
+    tracer = Tracer()
+    workload.run(32, "split", config, tracer=tracer)
+    return tracer.to_jsonl()
+
+
+def test_workload_stream_is_deterministic():
+    first = _workload_stream()
+    second = _workload_stream()
+    assert first == second
+    assert first  # non-empty

@@ -1,0 +1,126 @@
+"""Unit tests for the event stream: emission, observability invariance."""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    CHUNK_ACQUIRE,
+    CHUNK_COMPLETE,
+    CHUNK_REASSIGN,
+    EPOCH_ADVANCE,
+    MSG_RECV,
+    MSG_SEND,
+    TAPER_DECISION,
+    TASK_DISPATCH,
+    Tracer,
+    events_from_jsonl,
+)
+from repro.runtime import (
+    MachineConfig,
+    ParallelOp,
+    make_policy,
+    run_central,
+    run_concurrent_ops,
+    run_distributed,
+)
+
+
+@pytest.fixture()
+def costs():
+    rng = random.Random(7)
+    return [rng.uniform(5.0, 25.0) for _ in range(256)]
+
+
+def test_tracer_emit_and_origin():
+    tracer = Tracer()
+    tracer.emit(TASK_DISPATCH, 1.0, dur=2.0, proc=0, op="x", task=3)
+    tracer.advance(10.0)
+    tracer.emit(TASK_DISPATCH, 1.0, dur=2.0, proc=0, op="x", task=4)
+    assert len(tracer) == 2
+    assert tracer.events[0].time == 1.0
+    assert tracer.events[1].time == 11.0
+    assert tracer.makespan() == 13.0
+    assert tracer.events[0].attrs["task"] == 3
+
+
+def test_tracing_does_not_change_distributed_result(costs):
+    untraced = run_distributed(costs, 16)
+    tracer = Tracer()
+    traced = run_distributed(costs, 16, tracer=tracer)
+    assert traced == untraced
+    assert len(tracer.events) > 0
+
+
+def test_tracing_does_not_change_central_result(costs):
+    untraced = run_central(costs, 8, make_policy("taper"))
+    tracer = Tracer()
+    traced = run_central(
+        costs, 8, make_policy("taper"), tracer=tracer, op_label="c"
+    )
+    assert traced == untraced
+
+
+def test_distributed_event_kinds(costs):
+    tracer = Tracer()
+    run_distributed(costs, 16, tracer=tracer, op_label="demo")
+    kinds = {event.kind for event in tracer.events}
+    assert TASK_DISPATCH in kinds
+    assert CHUNK_ACQUIRE in kinds
+    assert CHUNK_COMPLETE in kinds
+    assert EPOCH_ADVANCE in kinds
+    assert TAPER_DECISION in kinds
+    # One task event per task, labelled with the operation.
+    tasks = tracer.by_kind(TASK_DISPATCH)
+    assert len(tasks) == len(costs)
+    assert all(event.op == "demo" for event in tasks)
+    # Total traced compute equals total work.
+    assert sum(event.dur for event in tasks) == pytest.approx(sum(costs))
+
+
+def test_steals_emit_reassign_and_messages():
+    # Heavily imbalanced initial queues force re-assignment.
+    costs = [30.0] * 64
+    queues = [list(range(64)), [], [], []]
+    tracer = Tracer()
+    result = run_distributed(
+        costs, 4, initial_queues=queues, tracer=tracer, op_label="imb"
+    )
+    assert result.tasks_moved > 0
+    reassigns = tracer.by_kind(CHUNK_REASSIGN)
+    assert sum(event.attrs["tasks"] for event in reassigns) == result.tasks_moved
+    sends = tracer.by_kind(MSG_SEND)
+    recvs = tracer.by_kind(MSG_RECV)
+    assert len(sends) == len(recvs) == len(reassigns)
+    # Transfer time charged to the receiving (stealing) processor.
+    assert sum(event.dur for event in recvs) == pytest.approx(result.comm_time)
+
+
+def test_chunk_acquire_counts_match_result(costs):
+    tracer = Tracer()
+    result = run_distributed(costs, 16, tracer=tracer)
+    assert len(tracer.by_kind(CHUNK_ACQUIRE)) == result.chunks
+
+
+def test_concurrent_ops_label_tasks_per_op():
+    rng = random.Random(3)
+    ops = [
+        ParallelOp("A", [rng.uniform(10, 40) for _ in range(128)]),
+        ParallelOp("B", [8.0] * 256),
+    ]
+    tracer = Tracer()
+    run_concurrent_ops(ops, 16, MachineConfig(processors=16), tracer=tracer)
+    labels = {
+        event.op for event in tracer.by_kind(TASK_DISPATCH)
+    }
+    assert labels == {"A", "B"}
+
+
+def test_jsonl_roundtrip(costs):
+    tracer = Tracer()
+    run_distributed(costs, 8, tracer=tracer, op_label="rt")
+    text = tracer.to_jsonl()
+    restored = events_from_jsonl(text)
+    assert len(restored) == len(tracer.events)
+    assert restored[0] == tracer.events[0]
+    assert restored[-1] == tracer.events[-1]

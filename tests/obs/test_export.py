@@ -1,0 +1,115 @@
+"""Schema validity of the Chrome ``trace_event`` export."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    aggregate,
+    metrics_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.runtime import run_distributed
+
+VALID_PHASES = {"X", "i", "M"}
+
+
+@pytest.fixture()
+def trace_doc():
+    rng = random.Random(5)
+    costs = [rng.uniform(5.0, 30.0) for _ in range(200)]
+    tracer = Tracer()
+    run_distributed(costs, 8, tracer=tracer, op_label="x")
+    return to_chrome_trace(tracer.events, processors=8), tracer
+
+
+def test_document_shape(trace_doc):
+    document, _ = trace_doc
+    assert isinstance(document["traceEvents"], list)
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["source"] == "repro.obs"
+
+
+def test_event_schema(trace_doc):
+    document, _ = trace_doc
+    for entry in document["traceEvents"]:
+        assert entry["ph"] in VALID_PHASES
+        assert isinstance(entry["name"], str) and entry["name"]
+        assert isinstance(entry["pid"], int)
+        assert isinstance(entry["tid"], int)
+        if entry["ph"] == "M":
+            assert entry["name"] in (
+                "process_name",
+                "thread_name",
+                "thread_sort_index",
+            )
+            continue
+        assert isinstance(entry["ts"], float)
+        assert entry["ts"] >= 0.0
+        assert isinstance(entry["cat"], str)
+        assert isinstance(entry["args"], dict)
+        if entry["ph"] == "X":
+            assert isinstance(entry["dur"], float)
+            assert entry["dur"] >= 0.0
+        else:  # instant
+            assert entry["s"] in ("t", "g")
+
+
+def test_one_metadata_lane_per_processor(trace_doc):
+    document, _ = trace_doc
+    names = [
+        entry
+        for entry in document["traceEvents"]
+        if entry["ph"] == "M" and entry["name"] == "thread_name"
+    ]
+    assert {entry["tid"] for entry in names} == set(range(8))
+    assert [entry["args"]["name"] for entry in sorted(names, key=lambda e: e["tid"])] == [
+        "proc %d" % i for i in range(8)
+    ]
+
+
+def test_every_event_exported(trace_doc):
+    document, tracer = trace_doc
+    payload = [e for e in document["traceEvents"] if e["ph"] != "M"]
+    assert len(payload) == len(tracer.events)
+
+
+def test_time_scale(trace_doc):
+    _, tracer = trace_doc
+    document = to_chrome_trace(tracer.events, processors=8, time_scale=10.0)
+    task = next(
+        e
+        for e in document["traceEvents"]
+        if e["ph"] == "X" and e["cat"] == "compute"
+    )
+    event = next(e for e in tracer.events if e.kind == "task.dispatch")
+    assert task["ts"] == pytest.approx(event.time * 10.0)
+    assert task["dur"] == pytest.approx(event.dur * 10.0)
+
+
+def test_write_roundtrip(tmp_path, trace_doc):
+    _, tracer = trace_doc
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    write_chrome_trace(tracer.events, str(trace_path), processors=8)
+    report = aggregate(tracer.events, processors=8)
+    write_metrics_json(report, str(metrics_path))
+    document = json.loads(trace_path.read_text())
+    assert all(e["ph"] in VALID_PHASES for e in document["traceEvents"])
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["makespan"] == pytest.approx(report.makespan)
+    assert 0.0 < metrics["utilization"] <= 1.0
+
+
+def test_metrics_summary_mentions_key_figures(trace_doc):
+    _, tracer = trace_doc
+    report = aggregate(tracer.events, processors=8)
+    text = metrics_summary(report)
+    assert "utilization" in text
+    assert "breakdown" in text
+    assert "compute" in text and "idle" in text
+    assert "x" in report.per_op and "x" in text

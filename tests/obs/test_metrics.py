@@ -1,0 +1,113 @@
+"""Aggregation correctness: the metrics report must reconcile with both
+the raw event stream and the simulator's own RunResult accounting."""
+
+import random
+
+import pytest
+
+from repro.obs import Tracer, aggregate
+from repro.runtime import run_distributed
+
+
+@pytest.fixture()
+def traced_run():
+    rng = random.Random(11)
+    costs = [rng.uniform(5.0, 30.0) for _ in range(300)]
+    tracer = Tracer()
+    result = run_distributed(costs, 16, tracer=tracer, op_label="m")
+    return costs, tracer, result
+
+
+def test_total_compute_equals_total_work(traced_run):
+    costs, tracer, _ = traced_run
+    report = aggregate(tracer.events, processors=16)
+    assert report.total_compute == pytest.approx(sum(costs))
+
+
+def test_makespan_matches_simulator(traced_run):
+    _, tracer, result = traced_run
+    report = aggregate(tracer.events, processors=16)
+    assert report.makespan == pytest.approx(result.makespan)
+
+
+def test_utilization_bounds_and_breakdown_sums(traced_run):
+    _, tracer, _ = traced_run
+    report = aggregate(tracer.events, processors=16)
+    assert 0.0 < report.utilization <= 1.0
+    for pm in report.per_proc:
+        assert 0.0 <= pm.utilization(report.makespan) <= 1.0
+        assert pm.idle(report.makespan) >= 0.0
+    breakdown = report.breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_per_proc_counts(traced_run):
+    costs, tracer, result = traced_run
+    report = aggregate(tracer.events, processors=16)
+    assert len(report.per_proc) == 16
+    assert sum(pm.tasks for pm in report.per_proc) == len(costs)
+    assert sum(pm.chunks for pm in report.per_proc) == result.chunks
+    histogram = report.chunks_histogram()
+    assert sum(histogram.values()) == result.chunks
+
+
+def test_comm_and_moves_match_simulator():
+    costs = [25.0] * 96
+    queues = [list(range(96)), [], [], [], [], [], [], []]
+    tracer = Tracer()
+    result = run_distributed(costs, 8, initial_queues=queues, tracer=tracer)
+    report = aggregate(tracer.events, processors=8)
+    assert report.tasks_moved == result.tasks_moved
+    assert report.total_comm == pytest.approx(result.comm_time)
+    assert report.reassignments == report.messages > 0
+    assert report.bytes_moved > 0
+    stolen = sum(pm.tasks_stolen for pm in report.per_proc)
+    lost = sum(pm.tasks_lost for pm in report.per_proc)
+    assert stolen == lost == result.tasks_moved
+
+
+def test_epoch_count(traced_run):
+    _, tracer, result = traced_run
+    report = aggregate(tracer.events)
+    # The sim advances one epoch every p acquired chunks (including the
+    # implicit epoch at chunk 0).
+    assert result.chunks // 16 <= report.epochs <= result.chunks // 16 + 1
+
+
+def test_per_op_work(traced_run):
+    costs, tracer, _ = traced_run
+    report = aggregate(tracer.events)
+    assert "m" in report.per_op
+    om = report.per_op["m"]
+    assert om.work == pytest.approx(sum(costs))
+    assert om.tasks == len(costs)
+    assert om.span > 0.0
+
+
+def test_processors_arg_pads_idle_lanes(traced_run):
+    _, tracer, _ = traced_run
+    report = aggregate(tracer.events, processors=32)
+    assert report.processors == 32
+    assert len(report.per_proc) == 32
+    # Lanes beyond the run's 16 processors are fully idle.
+    assert all(pm.compute == 0.0 for pm in report.per_proc[16:])
+
+
+def test_to_dict_is_json_ready(traced_run):
+    import json
+
+    _, tracer, _ = traced_run
+    report = aggregate(tracer.events, processors=16)
+    blob = json.dumps(report.to_dict(), sort_keys=True)
+    data = json.loads(blob)
+    assert data["processors"] == 16
+    assert len(data["per_processor"]) == 16
+    assert set(data["breakdown"]) == {"compute", "sched", "comm", "idle"}
+
+
+def test_empty_stream():
+    report = aggregate([], processors=4)
+    assert report.makespan == 0.0
+    assert report.total_compute == 0.0
+    assert report.load_imbalance == 0.0
+    assert report.breakdown()["compute"] == 1.0

@@ -1,0 +1,57 @@
+"""ASCII timeline rendering."""
+
+import random
+
+from repro.obs import Tracer, render_timeline
+from repro.runtime import run_distributed
+
+
+def _traced(p=8, n=200):
+    rng = random.Random(2)
+    costs = [rng.uniform(5.0, 30.0) for _ in range(n)]
+    tracer = Tracer()
+    result = run_distributed(costs, p, tracer=tracer, op_label="t")
+    return tracer, result
+
+
+def test_one_row_per_processor():
+    tracer, _ = _traced(p=8)
+    text = render_timeline(tracer.events, processors=8, width=40)
+    rows = [line for line in text.splitlines() if line.startswith("p")]
+    assert len(rows) == 8
+    for index, row in enumerate(rows):
+        assert row.startswith("p%d " % index)
+
+
+def test_width_and_glyphs():
+    tracer, _ = _traced(p=4)
+    width = 50
+    text = render_timeline(tracer.events, processors=4, width=width)
+    rows = [line for line in text.splitlines() if line.startswith("p")]
+    for row in rows:
+        lane = row.split("|")[1]
+        assert len(lane) == width
+        assert set(lane) <= {"#", "s", "c", "."}
+    # A busy run is mostly compute.
+    assert any("#" in row for row in rows)
+
+
+def test_header_and_legend_mention_makespan():
+    tracer, result = _traced(p=4)
+    text = render_timeline(tracer.events, processors=4, width=40)
+    assert "t=0.0" in text
+    assert "t=%.1f" % result.makespan in text
+    assert "# compute" in text and ". idle" in text
+
+
+def test_utilization_column():
+    tracer, _ = _traced(p=4)
+    text = render_timeline(tracer.events, processors=4, width=40)
+    rows = [line for line in text.splitlines() if line.startswith("p")]
+    for row in rows:
+        assert row.rstrip().endswith("%")
+
+
+def test_empty_stream():
+    text = render_timeline([], processors=2, width=20)
+    assert text == "(no processor events)"
