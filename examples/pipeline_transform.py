@@ -20,12 +20,8 @@ Run:  python examples/pipeline_transform.py
 import random
 
 from repro.lang import parse_unit, print_stmts
-from repro.runtime import (
-    MachineConfig,
-    ParallelOp,
-    PipelineIteration,
-    run_pipelined,
-)
+from repro.runtime import MachineConfig, ParallelOp, PipelineIteration
+from repro.runtime.executor import run_pipelined
 from repro.split import pipeline_loop
 
 SOURCE = """

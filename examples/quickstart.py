@@ -8,21 +8,24 @@ Sharp (PLDI '93):
 2. build symbolic data descriptors for the two interacting computations,
 3. apply the split transformation (Figure 2) and pipelining (Figure 3),
 4. emit the Delirium coordination graph,
-5. execute the graph on the simulated distributed-memory machine.
+5. execute the graph on the simulated distributed-memory machine,
+6. execute the same graph for real, on multiprocessing workers.
 
 Run:  python examples/quickstart.py
 
 The same workload can be traced on the simulated machine with
-``python -m repro trace examples/fig1.f`` (see README's "Tracing a run").
+``python -m repro trace examples/fig1.f`` (see README's "Tracing a run")
+or executed on either backend with ``python -m repro run examples/fig1.f
+--backend mp --procs 2`` (README's "Choosing a backend").
 """
 
 import pathlib
 
+import repro.api as api
 from repro.analysis import analyze_unit
 from repro.compiler import compile_unit
 from repro.descriptors import DescriptorBuilder, interfere
 from repro.lang import parse_unit, print_stmts
-from repro.runtime import GraphExecutor, MachineConfig, ParallelOp
 
 # The Figure 1 program lives in fig1.f so the CLI can trace the same
 # workload: python -m repro trace examples/fig1.f
@@ -68,31 +71,30 @@ def main() -> None:
     print("=" * 70)
     print("3. Executing the graph on the simulated machine (Section 4)")
     print("=" * 70)
-    # Attach synthetic task costs to the parallel operators: A is the
-    # irregular reconstruction, everything else is regular.
-    import random
-
-    rng = random.Random(0)
-    op_tasks = {}
-    for node in program.graph.nodes:
-        if node.pipeline_role is not None:
-            continue  # the pipelined stages mirror ops already present
-        n_tasks = 256 if node.is_parallel else 8
-        if "0" in node.name and node.where is not None:
-            costs = [rng.uniform(10.0, 50.0) for _ in range(n_tasks)]
-        else:
-            costs = [10.0] * n_tasks
-        op_tasks[node.id] = ParallelOp(name=node.name, costs=costs)
-
+    # repro.api attaches real kernels to the graph's parallel operators
+    # (irregular for masked ops, regular otherwise) and runs it on the
+    # backend named in the RunConfig — here the simulator, at scale.
     for p in (32, 128, 512):
-        executor = GraphExecutor(
-            program.graph, op_tasks, p=p, config=MachineConfig(processors=p)
-        )
-        result = executor.run()
+        result = api.run(program, api.RunConfig(processors=p), tasks=256)
         print(
             f"  p={p:4d}  makespan={result.makespan:9.1f}  "
             f"efficiency={result.efficiency:5.2f}"
         )
+
+    print()
+    print("=" * 70)
+    print("4. Executing the graph for real (multiprocessing backend)")
+    print("=" * 70)
+    # Same program, same kernels, but now each task is a Python call on
+    # a real worker process; time is wall-clock seconds and the TAPER
+    # chunk sizes come from measured task durations.
+    result = api.run(
+        program,
+        api.RunConfig(processors=2, backend="mp", mp_timeout=120.0),
+        tasks=32,
+        elements=200,
+    )
+    print(f"  {result.summary()}")
 
 
 if __name__ == "__main__":

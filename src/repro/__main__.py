@@ -14,7 +14,13 @@ Commands:
   (one lane per simulated processor; load in ``chrome://tracing`` or
   https://ui.perfetto.dev), a metrics report (per-processor utilization,
   sched/comm/idle overhead breakdown, load imbalance), and optionally an
-  ASCII per-processor timeline.
+  ASCII per-processor timeline;
+* ``run TARGET``        — execute a MiniF source file or a workload
+  through :mod:`repro.api` on a chosen backend: ``--backend sim`` (the
+  discrete-event simulator) or ``--backend mp`` (real child processes
+  via ``multiprocessing``, TAPER-scheduled).  ``--trace-out`` exports a
+  Chrome trace either way — simulated clock or wall clock, one lane per
+  worker.
 """
 
 from __future__ import annotations
@@ -100,7 +106,8 @@ def _trace_source_file(args: argparse.Namespace, tracer, config) -> float:
     import random
 
     from .compiler import compile_source
-    from .runtime import ParallelOp, run_concurrent_ops
+    from .runtime.executor import run_concurrent_ops
+    from .runtime.task import ParallelOp
 
     with open(args.target) as handle:
         source = handle.read()
@@ -199,6 +206,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from . import api
+
+    overrides = {}
+    if args.mode:
+        overrides["mode"] = args.mode
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    if args.tasks is not None:
+        overrides["tasks"] = args.tasks
+    config = api.RunConfig(
+        processors=args.procs,
+        backend=args.backend,
+        policy=args.policy,
+        cost_source=args.cost_source,
+        mp_timeout=args.timeout,
+        seed=args.seed,
+    )
+    try:
+        if args.trace_out or args.metrics_out:
+            result, report = api.trace(args.target, config, **overrides)
+        else:
+            result, report = api.run(args.target, config, **overrides), None
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(result.summary())
+    if report is not None:
+        if args.trace_out:
+            report.write_chrome_trace(args.trace_out)
+            print(f"chrome trace -> {args.trace_out}")
+        if args.metrics_out:
+            report.write_metrics(args.metrics_out)
+            print(f"metrics      -> {args.metrics_out}")
+        print()
+        print(report.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -286,6 +332,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--timeline-width", type=int, default=72)
     trace_parser.set_defaults(func=_cmd_trace)
+
+    run_parser = commands.add_parser(
+        "run",
+        help=(
+            "execute a source file or workload on a backend "
+            "(sim = simulator, mp = real multiprocessing workers)"
+        ),
+    )
+    run_parser.add_argument(
+        "target",
+        help=(
+            "a MiniF source file, a real-kernel workload "
+            "(fig1, reduction, psirrfan), or an application workload"
+        ),
+    )
+    run_parser.add_argument(
+        "--backend", choices=("sim", "mp"), default="sim"
+    )
+    run_parser.add_argument(
+        "--procs", "-p", type=int, default=4,
+        help="processors (sim) / worker processes (mp)",
+    )
+    run_parser.add_argument(
+        "--policy",
+        default="taper",
+        choices=("taper", "taper-nocost", "self", "gss", "factoring", "static"),
+        help="chunk self-scheduling policy",
+    )
+    run_parser.add_argument(
+        "--cost-source",
+        default="measured",
+        choices=("measured", "declared"),
+        help=(
+            "TAPER cost feedback: measured task durations (mp default) or "
+            "the declared per-task estimates (deterministic chunk sizes)"
+        ),
+    )
+    run_parser.add_argument(
+        "--mode",
+        default=None,
+        choices=("static", "taper", "split"),
+        help="execution mode for application-workload targets",
+    )
+    run_parser.add_argument(
+        "--steps", type=int, default=None,
+        help="time steps for application-workload targets",
+    )
+    run_parser.add_argument(
+        "--tasks", type=int, default=None,
+        help="tasks per parallel op for source-file targets",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="hard wall-clock limit for mp runs (seconds)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--trace-out", default=None, help="Chrome trace output path"
+    )
+    run_parser.add_argument(
+        "--metrics-out", default=None, help="metrics JSON output path"
+    )
+    run_parser.set_defaults(func=_cmd_run)
     return parser
 
 

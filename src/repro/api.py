@@ -1,0 +1,364 @@
+"""repro.api — the single documented entry point.
+
+Three verbs cover the whole toolchain::
+
+    import repro.api as api
+
+    program = api.compile(open("examples/fig1.f").read())
+    result = api.run(program, api.RunConfig(processors=8))
+    result, report = api.trace("psirrfan", api.RunConfig(processors=64))
+
+* :func:`compile` — MiniF source to a :class:`CompiledProgram` (split,
+  pipelining, Delirium graph);
+* :func:`run` — execute a compiled program, a named workload, or
+  explicit operations on the backend named by the :class:`RunConfig`
+  (``"sim"`` — the discrete-event simulator; ``"mp"`` — real
+  ``multiprocessing`` workers);
+* :func:`trace` — :func:`run` with a Tracer attached, returning a
+  :class:`TraceReport` that exports Chrome traces / metrics JSON.
+
+Examples, ``python -m repro``, and the benchmark harness all route
+through these instead of importing ``run_concurrent_ops`` /
+``run_pipelined`` / ``GraphExecutor`` / ``run_distributed`` directly
+(those names are deprecated in ``repro.runtime``'s namespace).
+
+Accepted ``run`` targets:
+
+* a :class:`CompiledProgram` — graph execution with real kernels
+  attached per operator (:func:`repro.apps.kernels.graph_real_ops`);
+* a path to a ``.f`` source file — compiled, then as above;
+* a name in :data:`repro.apps.kernels.REAL_WORKLOADS` (``fig1``,
+  ``reduction``, ``psirrfan``) — real-kernel operations;
+* a name in :data:`repro.apps.ALL_WORKLOADS` — the Section 5 synthetic
+  workloads (``mode``/``steps`` via keyword overrides);
+* a :class:`ParallelOp` / :class:`RealOp` or a sequence of them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .compiler import CompiledProgram, compile_source
+from .obs import (
+    MetricsReport,
+    Tracer,
+    aggregate,
+    metrics_summary,
+    render_timeline,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .runtime.backends import BackendRunResult, backend_for
+from .runtime.config import RunConfig
+from .runtime.task import ParallelOp, RealOp
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "TraceReport",
+    "compile",
+    "run",
+    "trace",
+]
+
+RunTarget = Union[
+    str,
+    CompiledProgram,
+    ParallelOp,
+    RealOp,
+    Sequence[Union[ParallelOp, RealOp]],
+]
+
+
+def compile(  # noqa: A001 - the facade verb is worth the shadow
+    source: str,
+    apply_splits: bool = True,
+    apply_pipelining: bool = True,
+) -> CompiledProgram:
+    """Compile one MiniF program unit end to end.
+
+    Multi-unit sources compile fine; the first unit's program is
+    returned (use :func:`repro.compiler.compile_source` directly for all
+    of them).
+    """
+    programs = compile_source(
+        source,
+        apply_splits=apply_splits,
+        apply_pipelining=apply_pipelining,
+    )
+    if not programs:
+        raise ValueError("source contains no program units")
+    return programs[0]
+
+
+@dataclass
+class RunResult:
+    """What :func:`run` reports, whatever the target or backend."""
+
+    backend: str
+    target: str
+    makespan: float
+    total_work: float
+    processors: int
+    tasks: int
+    chunks: int
+    time_unit: str
+    value_total: float
+    speedup: float
+    efficiency: float
+    per_op: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        unit = "s" if self.time_unit == "seconds" else " work units"
+        return (
+            f"{self.target}: backend={self.backend} p={self.processors} "
+            f"tasks={self.tasks} chunks={self.chunks} "
+            f"makespan={self.makespan:.4g}{unit} "
+            f"speedup={self.speedup:.2f}x eff={self.efficiency:.2f} "
+            f"value_total={self.value_total:.0f}"
+        )
+
+
+@dataclass
+class TraceReport:
+    """The observability side of a traced run."""
+
+    tracer: Tracer
+    processors: int
+    metrics: MetricsReport
+    #: ``"work-units"`` (sim clock) or ``"seconds"`` (mp wall clock).
+    time_unit: str = "work-units"
+
+    @property
+    def events(self):
+        return self.tracer.events
+
+    def write_chrome_trace(self, path: str) -> str:
+        # Map one wall-clock second to one viewer second; one simulated
+        # work unit to one viewer millisecond (the sim default).
+        seconds = self.time_unit == "seconds"
+        write_chrome_trace(
+            self.events,
+            path,
+            processors=self.processors,
+            time_scale=1e6 if seconds else 1000.0,
+            time_unit="seconds" if seconds else "work units",
+        )
+        return path
+
+    def write_metrics(self, path: str) -> str:
+        write_metrics_json(self.metrics, path)
+        return path
+
+    def summary(self) -> str:
+        unit = "seconds" if self.time_unit == "seconds" else "work units"
+        return metrics_summary(self.metrics, time_unit=unit)
+
+    def timeline(self, width: int = 72) -> str:
+        return render_timeline(
+            self.events, processors=self.processors, width=width
+        )
+
+
+def _from_backend(
+    raw: BackendRunResult, target: str
+) -> RunResult:
+    return RunResult(
+        backend=raw.backend,
+        target=target,
+        makespan=raw.makespan,
+        total_work=raw.total_work,
+        processors=raw.processors,
+        tasks=raw.tasks_total,
+        chunks=raw.chunks,
+        time_unit=raw.time_unit,
+        value_total=raw.value_total,
+        speedup=raw.speedup,
+        efficiency=raw.efficiency,
+        per_op=dict(raw.per_op),
+    )
+
+
+def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
+    """A Section 5 synthetic workload (sim modes, or spun-up on mp)."""
+    from .apps import ALL_WORKLOADS
+
+    mode = overrides.pop("mode", "split")
+    steps = overrides.pop("steps", 2)
+    workload = ALL_WORKLOADS[name](steps=steps)
+    if cfg.backend == "sim":
+        raw = workload.run(
+            cfg.processors, mode, cfg.machine_config(), tracer=cfg.tracer
+        )
+        return RunResult(
+            backend="sim",
+            target=f"{name} ({mode})",
+            makespan=raw.makespan,
+            total_work=raw.total_work,
+            processors=cfg.processors,
+            tasks=0,
+            chunks=0,
+            time_unit="work-units",
+            value_total=0.0,
+            speedup=raw.speedup,
+            efficiency=raw.efficiency,
+        )
+    # mp: execute each step's concurrent groups as real spin work, laying
+    # the steps end to end on the shared tracer timeline.
+    import random as random_module
+
+    backend = backend_for(cfg)
+    rng = random_module.Random(workload.seed)
+    makespan = 0.0
+    total_work = 0.0
+    tasks = chunks = 0
+    value_total = 0.0
+    per_op: Dict[str, object] = {}
+    for step in range(workload.steps):
+        phases = workload.phases_for_step(rng, step, mode)
+        groups: Dict[int, List[ParallelOp]] = {}
+        order: List[int] = []
+        for phase in phases:
+            if phase.op.size == 0:
+                continue
+            if phase.concurrent_group not in groups:
+                groups[phase.concurrent_group] = []
+                order.append(phase.concurrent_group)
+            groups[phase.concurrent_group].append(phase.op)
+        for group_id in order:
+            raw = backend.run_ops(groups[group_id], cfg)
+            makespan += raw.makespan
+            total_work += raw.total_work
+            tasks += raw.tasks_total
+            chunks += raw.chunks
+            value_total += raw.value_total
+            per_op.update(raw.per_op)
+            if cfg.tracer is not None:
+                cfg.tracer.advance(raw.makespan)
+    return RunResult(
+        backend=cfg.backend,
+        target=f"{name} ({mode})",
+        makespan=makespan,
+        total_work=total_work,
+        processors=cfg.processors,
+        tasks=tasks,
+        chunks=chunks,
+        time_unit="seconds",
+        value_total=value_total,
+        speedup=total_work / makespan if makespan > 0 else 0.0,
+        efficiency=(
+            total_work / (makespan * cfg.processors) if makespan > 0 else 0.0
+        ),
+        per_op=per_op,
+    )
+
+
+def run(
+    target: RunTarget,
+    config: Optional[RunConfig] = None,
+    **overrides,
+) -> RunResult:
+    """Execute ``target`` under ``config`` (see module docstring for the
+    accepted targets).
+
+    Keyword ``overrides`` are applied to the config
+    (``run(x, processors=4, backend="mp")``); workload targets also
+    accept ``mode=``/``steps=``, graph targets ``tasks=``/``elements=``.
+    """
+    cfg = config or RunConfig()
+    # Target-specific overrides are popped before RunConfig.with_.
+    workload_overrides = {
+        key: overrides.pop(key)
+        for key in ("mode", "steps", "tasks", "elements")
+        if key in overrides
+    }
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    backend = backend_for(cfg)
+
+    from .apps.kernels import REAL_WORKLOADS, graph_real_ops
+
+    if isinstance(target, str):
+        from .apps import ALL_WORKLOADS
+
+        if target in REAL_WORKLOADS:
+            ops = REAL_WORKLOADS[target](seed=cfg.seed)
+            raw = backend.run_ops(ops, cfg)
+            return _from_backend(raw, target)
+        if target in ALL_WORKLOADS:
+            return _run_app_workload(target, cfg, workload_overrides)
+        if os.path.exists(target):
+            with open(target) as handle:
+                program = compile(handle.read())
+            label = os.path.basename(target)
+            return _run_program(
+                program, cfg, backend, label, workload_overrides
+            )
+        raise ValueError(
+            f"unknown run target {target!r}: not a real-kernel workload "
+            f"({', '.join(sorted(REAL_WORKLOADS))}), an app workload "
+            f"({', '.join(sorted(ALL_WORKLOADS))}), or a source file"
+        )
+    if isinstance(target, CompiledProgram):
+        return _run_program(
+            target, cfg, backend, target.unit.name, workload_overrides
+        )
+    if isinstance(target, (ParallelOp, RealOp)):
+        return _from_backend(backend.run_op(target, cfg), target.name)
+    ops = list(target)
+    if not ops:
+        raise ValueError("empty operation list")
+    label = "+".join(op.name for op in ops)
+    return _from_backend(backend.run_ops(ops, cfg), label)
+
+
+def _run_program(
+    program: CompiledProgram,
+    cfg: RunConfig,
+    backend,
+    label: str,
+    overrides: dict,
+) -> RunResult:
+    op_map = graph_real_ops_cached(program, cfg, overrides)
+    raw = backend.run_graph(program.graph, op_map, cfg)
+    return _from_backend(raw, label)
+
+
+def graph_real_ops_cached(
+    program: CompiledProgram, cfg: RunConfig, overrides: dict
+) -> Dict[int, RealOp]:
+    from .apps.kernels import graph_real_ops
+
+    return graph_real_ops(
+        program.graph,
+        tasks=overrides.get("tasks", 64),
+        elements=overrides.get("elements", 400),
+        seed=cfg.seed,
+    )
+
+
+def trace(
+    target: RunTarget,
+    config: Optional[RunConfig] = None,
+    **overrides,
+) -> Tuple[RunResult, TraceReport]:
+    """:func:`run` with a fresh Tracer attached; returns the run result
+    plus a :class:`TraceReport` (Chrome trace / metrics export)."""
+    cfg = (config or RunConfig()).with_(tracer=Tracer())
+    # Preserve explicit tracer if the caller provided one.
+    if config is not None and config.tracer is not None:
+        cfg = cfg.with_(tracer=config.tracer)
+    result = run(target, cfg, **overrides)
+    tracer = cfg.tracer
+    # Wall-clock worker reports can interleave: keep the exported stream
+    # chronological for the timeline renderer.
+    tracer.events.sort(key=lambda event: (event.time, event.proc))
+    report = TraceReport(
+        tracer=tracer,
+        processors=cfg.processors,
+        metrics=aggregate(tracer.events, processors=cfg.processors),
+        time_unit=result.time_unit,
+    )
+    return result, report

@@ -1,0 +1,236 @@
+"""Real, executable kernels for the multiprocessing backend.
+
+The simulator abstracts a task to a cost; the mp backend needs the task
+itself.  This module provides deterministic, pure-Python kernels with the
+*shape* of the paper's computations — Figure 1's masked column
+reconstruction and post-processing pass, a parallel reduction, and the
+Psirrfan tomography sweep — as module-level callables (picklable under
+every ``multiprocessing`` start method) plus builders that attach
+declared per-task cost estimates so the same operation runs on either
+backend.
+
+Every kernel returns an *integral* float, so value totals are exact
+under any summation order: a sim run and an mp run of the same workload
+report identical task and value totals, which the equivalence suite (and
+the ``python -m repro run`` acceptance check) relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.task import RealOp
+
+#: Inner-loop elements per declared work unit: chosen so a "10 unit"
+#: task is a few hundred microseconds of real compute — large enough to
+#: dwarf dispatch overhead, small enough for quick smoke runs.
+ELEMENTS_PER_UNIT = 50
+
+
+def units_of(elements: int) -> float:
+    """Declared cost (work units) of a kernel with ``elements`` inner steps."""
+    return elements / ELEMENTS_PER_UNIT
+
+
+# ---------------------------------------------------------------------------
+# Kernels (module-level, deterministic, integral-valued)
+# ---------------------------------------------------------------------------
+
+
+def column_sum_kernel(payload: Tuple[int, int]) -> float:
+    """Figure 1's reconstruction: ``result(i) = sum_k q(k, i)``.
+
+    ``payload = (col, elements)``; the synthetic matrix entry
+    ``q(k, col)`` is the deterministic integer ``(k * 31 + col * 7) % 97``.
+    """
+    col, elements = payload
+    acc = 0
+    base = col * 7
+    for k in range(elements):
+        acc += (k * 31 + base) % 97
+    return float(acc % 1_000_003)
+
+
+def post_process_kernel(payload: Tuple[int, int]) -> float:
+    """Figure 1's regular pass: ``output(j, i) = f(q(j, i))``.
+
+    ``payload = (i, elements)``; ``f`` is a cheap integer polynomial.
+    """
+    i, elements = payload
+    acc = 0
+    base = i * 13
+    for j in range(elements):
+        q = (j * 17 + base) % 89
+        acc += (q * q + 3 * q + 7) % 101
+    return float(acc % 1_000_003)
+
+
+def range_sum_kernel(payload: Tuple[int, int]) -> float:
+    """One reduction leaf: sum a strided slice of the virtual input."""
+    start, length = payload
+    acc = 0
+    for index in range(start, start + length):
+        acc += (index * index + 1) % 9973
+    return float(acc % 10_000_019)
+
+
+def psirrfan_reconstruct_kernel(payload: Tuple[int, int]) -> float:
+    """One active tomography column: back-project ``elements`` rays."""
+    col, elements = payload
+    acc = 0
+    angle = col * 29
+    for ray in range(elements):
+        # Integer stand-in for the projection geometry.
+        acc += ((ray * angle + ray * ray) % 193) + 1
+    return float(acc % 1_000_033)
+
+
+# ---------------------------------------------------------------------------
+# Workload builders (RealOps with declared costs)
+# ---------------------------------------------------------------------------
+
+
+def fig1_ops(
+    columns: int = 96,
+    elements: int = 600,
+    active_fraction: float = 0.5,
+    seed: int = 0,
+) -> List[RealOp]:
+    """Figure 1 as two real operations: the irregular masked column loop
+    ``A`` beside the regular post-processing pass ``B`` (split's ``B_I``
+    portion is what makes them concurrent; here the whole of ``B`` is
+    independent for simplicity of the standalone workload)."""
+    rng = random.Random(seed)
+    active = [c for c in range(columns) if rng.random() < active_fraction]
+    # Irregular: each active column reconstructs 1x-3x the base elements.
+    a_payloads = [
+        (col, elements * rng.randrange(1, 4)) for col in active
+    ]
+    b_payloads = [(i, elements) for i in range(columns)]
+    return [
+        RealOp(
+            name="A",
+            kernel=column_sum_kernel,
+            payloads=a_payloads,
+            bytes_per_task=8.0 * 64,
+            costs=[units_of(p[1]) for p in a_payloads],
+        ),
+        RealOp(
+            name="B",
+            kernel=post_process_kernel,
+            payloads=b_payloads,
+            bytes_per_task=8.0 * 32,
+            costs=[units_of(p[1]) for p in b_payloads],
+        ),
+    ]
+
+
+def reduction_ops(
+    leaves: int = 256, length: int = 700, seed: int = 0
+) -> List[RealOp]:
+    """A flat data-parallel reduction: one regular operation whose tasks
+    sum disjoint slices (Figure 4's reduction pattern)."""
+    payloads = [(leaf * length, length) for leaf in range(leaves)]
+    return [
+        RealOp(
+            name="reduce",
+            kernel=range_sum_kernel,
+            payloads=payloads,
+            bytes_per_task=8.0 * 16,
+            costs=[units_of(length)] * leaves,
+        )
+    ]
+
+
+def psirrfan_ops(
+    columns: int = 128,
+    elements: int = 500,
+    active_fraction: float = 0.35,
+    post_elements: int = 180,
+    seed: int = 42,
+) -> List[RealOp]:
+    """One Psirrfan sweep with the split structure: the irregular
+    reconstruction ``A`` runs beside the independent post-processing
+    ``B_I``; the dependent remainder ``B_D`` (declared ``deps=("A",)``)
+    is dispatched only once ``A`` completes — the mp backend's
+    dependency-aware scheduling at work."""
+    rng = random.Random(seed)
+    active = [c for c in range(columns) if rng.random() < active_fraction]
+    inactive = [c for c in range(columns) if c not in set(active)]
+    a_payloads = [
+        (col, elements + rng.randrange(0, 2 * elements)) for col in active
+    ]
+    bi_payloads = [(col, post_elements) for col in inactive]
+    bd_payloads = [(col, post_elements) for col in active]
+    return [
+        RealOp(
+            name="A",
+            kernel=psirrfan_reconstruct_kernel,
+            payloads=a_payloads,
+            bytes_per_task=8.0 * 64,
+            costs=[units_of(p[1]) for p in a_payloads],
+        ),
+        RealOp(
+            name="BI",
+            kernel=post_process_kernel,
+            payloads=bi_payloads,
+            bytes_per_task=8.0 * 32,
+            costs=[units_of(post_elements)] * len(bi_payloads),
+        ),
+        RealOp(
+            name="BD",
+            kernel=post_process_kernel,
+            payloads=bd_payloads,
+            bytes_per_task=8.0 * 32,
+            costs=[units_of(post_elements)] * len(bd_payloads),
+            deps=("A",),
+        ),
+    ]
+
+
+#: Real-kernel workloads runnable on either backend by name
+#: (``python -m repro run <name> --backend mp``).
+REAL_WORKLOADS = {
+    "fig1": fig1_ops,
+    "reduction": reduction_ops,
+    "psirrfan": psirrfan_ops,
+}
+
+
+def graph_real_ops(
+    graph,
+    tasks: int = 64,
+    elements: int = 400,
+    seed: int = 0,
+) -> Dict[int, RealOp]:
+    """Attach real kernels to a compiled Delirium graph's operators.
+
+    Mirrors the synthetic-cost convention of ``python -m repro trace``:
+    masked (``where``-guarded) operators get irregular per-task work,
+    everything else regular — but here each task is an actual kernel
+    call, so both backends execute/account the identical operation set.
+    Pipeline-mirror stages are skipped exactly as in the trace driver.
+    """
+    rng = random.Random(seed)
+    op_map: Dict[int, RealOp] = {}
+    for node in graph.nodes:
+        if node.pipeline_role is not None:
+            continue
+        n_tasks = tasks if node.is_parallel else 8
+        if node.where is not None:
+            payloads = [
+                (index, elements * rng.randrange(1, 5))
+                for index in range(n_tasks)
+            ]
+            kernel = column_sum_kernel
+        else:
+            payloads = [(index, elements) for index in range(n_tasks)]
+            kernel = post_process_kernel
+        op_map[node.id] = RealOp(
+            name=node.name,
+            kernel=kernel,
+            payloads=payloads,
+            costs=[units_of(p[1]) for p in payloads],
+        )
+    return op_map

@@ -25,14 +25,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.events import Tracer
-from ..runtime import (
-    MachineConfig,
-    ParallelOp,
-    make_policy,
-    run_central,
-    run_concurrent_ops,
-    run_distributed,
-)
+from ..runtime.distributed import run_distributed
+from ..runtime.executor import run_concurrent_ops
+from ..runtime.machine import MachineConfig
+from ..runtime.schedulers import make_policy, run_central
+from ..runtime.task import ParallelOp
 
 MODES = ("static", "taper", "split")
 

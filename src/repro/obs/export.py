@@ -56,8 +56,14 @@ def to_chrome_trace(
     events: Sequence[Event],
     processors: Optional[int] = None,
     time_scale: float = 1000.0,
+    time_unit: str = "work units",
 ) -> Dict[str, Any]:
-    """Build a Chrome Trace Event Format document (JSON-object form)."""
+    """Build a Chrome Trace Event Format document (JSON-object form).
+
+    For wall-clock streams (the mp backend) pass ``time_scale=1e6,
+    time_unit="seconds"`` so one second of real time renders as one
+    second in the viewer.
+    """
     lanes = processors or 0
     for event in events:
         if event.proc + 1 > lanes:
@@ -118,7 +124,7 @@ def to_chrome_trace(
         "displayTimeUnit": "ms",
         "otherData": {
             "source": "repro.obs",
-            "time_unit": "work units",
+            "time_unit": time_unit,
             "time_scale_us_per_unit": time_scale,
         },
     }
@@ -129,9 +135,13 @@ def write_chrome_trace(
     path: str,
     processors: Optional[int] = None,
     time_scale: float = 1000.0,
+    time_unit: str = "work units",
 ) -> None:
     document = to_chrome_trace(
-        events, processors=processors, time_scale=time_scale
+        events,
+        processors=processors,
+        time_scale=time_scale,
+        time_unit=time_unit,
     )
     with open(path, "w") as handle:
         json.dump(document, handle, sort_keys=True)
@@ -144,11 +154,19 @@ def write_metrics_json(report: MetricsReport, path: str) -> None:
         handle.write("\n")
 
 
-def metrics_summary(report: MetricsReport) -> str:
-    """A short human-readable digest of a metrics report."""
+def metrics_summary(
+    report: MetricsReport, time_unit: str = "work units"
+) -> str:
+    """A short human-readable digest of a metrics report.
+
+    ``time_unit`` only labels/formats the output; pass ``"seconds"`` for
+    wall-clock (mp backend) streams so sub-second spans stay readable.
+    """
     breakdown = report.breakdown()
+    time_fmt = "%.4g" if time_unit == "seconds" else "%.1f"
     lines = [
-        "makespan            %.1f work units" % report.makespan,
+        ("makespan            " + time_fmt + " %s")
+        % (report.makespan, time_unit),
         "processors          %d" % report.processors,
         "utilization         %.1f%%" % (100.0 * report.utilization),
         "load imbalance      %.2f (max-mean)/mean" % report.load_imbalance,
@@ -166,9 +184,15 @@ def metrics_summary(report: MetricsReport) -> str:
     ]
     if report.per_op:
         lines.append("operations:")
+        number = ".4g" if time_unit == "seconds" else ".1f"
+        op_fmt = (
+            "  %-16s %6d tasks  %5d chunks  work %10"
+            + number
+            + "  span %9"
+            + number
+        )
         for name, om in sorted(report.per_op.items()):
             lines.append(
-                "  %-16s %6d tasks  %5d chunks  work %10.1f  span %9.1f"
-                % (name, om.tasks, om.chunks, om.work, om.span)
+                op_fmt % (name, om.tasks, om.chunks, om.work, om.span)
             )
     return "\n".join(lines)

@@ -1,17 +1,31 @@
-"""The adaptive runtime system (Section 4 of the paper), simulated.
+"""The adaptive runtime system (Section 4 of the paper).
 
+* :class:`RunConfig` — the unified, frozen run configuration,
+* :mod:`.backends` — the Backend protocol: :class:`SimBackend`
+  (discrete-event simulation) and :class:`MultiprocessingBackend`
+  (real parallel execution on worker processes),
 * :class:`MachineConfig` — the simulated distributed-memory machine,
 * :class:`TaperPolicy` and baselines (:mod:`.schedulers`) — grain-size
   selection,
-* :func:`run_central` / :func:`run_distributed` — execute one parallel
-  operation,
+* :func:`run_central` — execute one parallel operation from a central
+  queue,
 * :class:`FinishingTimeEstimator` — Equation 1,
 * :func:`allocate_pair` / :func:`allocate_many` — the iterative processor
   allocation algorithm,
-* :func:`choose_granularity` — communication granularity for pipelines,
-* :func:`run_concurrent_ops` / :func:`run_pipelined` /
-  :class:`GraphExecutor` — orchestration.
+* :func:`choose_granularity` — communication granularity for pipelines.
+
+.. deprecated::
+   Importing :func:`run_distributed`, :func:`run_concurrent_ops`,
+   :func:`run_pipelined` or :class:`GraphExecutor` from this package is
+   deprecated: their overlapping positional/keyword knobs are replaced by
+   :class:`RunConfig` + :func:`repro.api.run`.  The names keep working
+   for one release (with a :class:`DeprecationWarning`); the underlying
+   functions remain available undeprecated in their home submodules for
+   backend-internal use.
 """
+
+import importlib
+import warnings
 
 from .allocation import (
     AllocationResult,
@@ -21,21 +35,20 @@ from .allocation import (
     allocate_proportional,
 )
 from .comm import CommEstimator, FlatCommModel
+from .config import RunConfig
 from .cost_model import CostFunction, OnlineStats
-from .distributed import DistributedRunResult, block_distribution, run_distributed
+from .distributed import DistributedRunResult, block_distribution
 from .estimates import FinishingTimeEstimator, OpProfile, lag_term
 from .executor import (
     ConcurrentRunResult,
-    GraphExecutor,
     GraphRunResult,
     PipelineIteration,
     PipelineRunResult,
     profile_of,
-    run_concurrent_ops,
-    run_pipelined,
 )
 from .granularity import GranularityModel, choose_granularity
 from .machine import MachineConfig, ProcessorState, RunResult, fresh_processors
+from .sampling import profile_from_costs, sample_mean_std, stats_from_costs
 from .schedulers import (
     ChunkPolicy,
     Factoring,
@@ -46,14 +59,49 @@ from .schedulers import (
     run_central,
 )
 from .taper import TaperPolicy
-from .task import ParallelOp
+from .task import ParallelOp, RealOp, real_op_from_parallel, spin_task
+
+#: Old entry points -> (home module, replacement hint).  Resolved lazily
+#: through ``__getattr__`` (PEP 562) so importing them from this package
+#: warns once while backend-internal imports from the submodules stay
+#: silent.
+_DEPRECATED = {
+    "run_distributed": ("repro.runtime.distributed", "backend.run_op"),
+    "run_concurrent_ops": ("repro.runtime.executor", "backend.run_ops"),
+    "run_pipelined": ("repro.runtime.executor", "backend.run_pipeline"),
+    "GraphExecutor": ("repro.runtime.executor", "backend.run_graph"),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        home, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name} from repro.runtime is deprecated; use "
+            f"repro.api.run with a RunConfig (or {replacement} on a "
+            f"repro.runtime.backends backend). {name} itself stays "
+            f"available in {home}.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(home), name)
+    raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_DEPRECATED))
+
 
 __all__ = [
+    "RunConfig",
     "MachineConfig",
     "ProcessorState",
     "RunResult",
     "fresh_processors",
     "ParallelOp",
+    "RealOp",
+    "real_op_from_parallel",
+    "spin_task",
     "OnlineStats",
     "CostFunction",
     "TaperPolicy",
@@ -70,6 +118,9 @@ __all__ = [
     "FinishingTimeEstimator",
     "OpProfile",
     "lag_term",
+    "sample_mean_std",
+    "stats_from_costs",
+    "profile_from_costs",
     "allocate_pair",
     "allocate_many",
     "allocate_even",

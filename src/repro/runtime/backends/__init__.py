@@ -1,0 +1,42 @@
+"""Execution backends behind one protocol (see DESIGN.md).
+
+* :class:`SimBackend` — the discrete-event simulator (Section 4's
+  machine model; abstract work units, deterministic).
+* :class:`MultiprocessingBackend` — real execution of Python kernels on
+  a ``multiprocessing`` worker pool with TAPER chunk self-scheduling,
+  Eq. 1 worker-subset rationing, and pipelined stage overlap
+  (wall-clock seconds, actually parallel).
+
+Pick one with :func:`get_backend` / ``RunConfig.backend`` — or, higher
+up, through :func:`repro.api.run`.
+"""
+
+from .base import (
+    AnyOp,
+    Backend,
+    BackendRunResult,
+    OpOutcome,
+    as_parallel_op,
+    as_real_op,
+    backend_for,
+    get_backend,
+    register_backend,
+)
+from .mp import MpBackendError, MultiprocessingBackend, real_machine_config
+from .sim import SimBackend
+
+__all__ = [
+    "AnyOp",
+    "Backend",
+    "BackendRunResult",
+    "OpOutcome",
+    "SimBackend",
+    "MultiprocessingBackend",
+    "MpBackendError",
+    "real_machine_config",
+    "as_parallel_op",
+    "as_real_op",
+    "backend_for",
+    "get_backend",
+    "register_backend",
+]

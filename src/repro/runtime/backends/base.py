@@ -1,0 +1,147 @@
+"""The Backend protocol: one interface, simulated or real execution.
+
+A backend executes parallel operations — singly, concurrently under the
+Eq. 1 processor ration, as a pipelined loop, or as a whole Delirium
+graph — and reports a :class:`BackendRunResult` in a shape common to the
+discrete-event simulator (:class:`repro.runtime.backends.sim.SimBackend`)
+and the real ``multiprocessing`` pool
+(:class:`repro.runtime.backends.mp.MultiprocessingBackend`).
+
+Time units differ by backend — the simulator reports abstract *work
+units*, the mp backend wall-clock *seconds* (``time_unit`` says which) —
+but the schedulable quantities (task counts, chunk counts, kernel value
+totals) are directly comparable, which is what the sim-vs-mp equivalence
+suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Union
+
+from ..config import RunConfig
+from ..task import ParallelOp, RealOp
+
+#: What backends accept: simulated ops, real-kernel ops, or a mix.
+AnyOp = Union[ParallelOp, RealOp]
+
+
+@dataclass
+class OpOutcome:
+    """Per-operation accounting within one backend run."""
+
+    name: str
+    tasks: int = 0
+    chunks: int = 0
+    #: Sum of measured (mp) or declared (sim) task costs.
+    work: float = 0.0
+    #: Sum of kernel return values (tasks for spin kernels).
+    value_total: float = 0.0
+    finish: float = 0.0
+
+
+@dataclass
+class BackendRunResult:
+    """The unified outcome every backend reports."""
+
+    backend: str
+    makespan: float
+    total_work: float
+    processors: int
+    tasks_total: int
+    chunks: int
+    #: ``"work-units"`` (sim) or ``"seconds"`` (mp).
+    time_unit: str
+    #: Sum of kernel return values across all operations.
+    value_total: float = 0.0
+    per_op: Dict[str, OpOutcome] = field(default_factory=dict)
+    #: Processor shares chosen by the allocator (concurrent runs).
+    shares: List[int] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan <= 0:
+            return float(self.processors)
+        return self.total_work / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        if self.processors <= 0:
+            return 1.0
+        return self.speedup / self.processors
+
+
+class Backend(Protocol):
+    """Anything that can execute parallel operations under a RunConfig."""
+
+    name: str
+
+    def run_op(self, op: AnyOp, cfg: RunConfig) -> BackendRunResult:
+        """Execute one parallel operation on the whole machine."""
+        ...
+
+    def run_ops(
+        self, ops: Sequence[AnyOp], cfg: RunConfig
+    ) -> BackendRunResult:
+        """Execute simultaneously-ready operations, rationing processors
+        with the Eq. 1 balancer (the paper's core scenario)."""
+        ...
+
+    def run_pipeline(
+        self, iterations: Sequence, cfg: RunConfig
+    ) -> BackendRunResult:
+        """Execute a pipelined loop (A_I / A_D / A_M per iteration),
+        overlapping iteration i's independent stage with iteration i-1's
+        dependent work."""
+        ...
+
+    def run_graph(
+        self, graph, op_tasks: Dict[int, AnyOp], cfg: RunConfig
+    ) -> BackendRunResult:
+        """Execute a Delirium dataflow graph, re-allocating whenever the
+        running set changes."""
+        ...
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_backend(name: str, cls: type) -> None:
+    _REGISTRY[name] = cls
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a backend by RunConfig name (``"sim"`` or ``"mp"``)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return cls()
+
+
+def backend_for(cfg: RunConfig) -> Backend:
+    return get_backend(cfg.backend)
+
+
+def as_real_op(op: AnyOp, cfg: RunConfig) -> RealOp:
+    """Normalise to an executable op (simulated ops become spin burns)."""
+    if isinstance(op, RealOp):
+        return op
+    from ..task import real_op_from_parallel
+
+    return real_op_from_parallel(op, cfg.time_scale)
+
+
+def as_parallel_op(op: AnyOp, cfg: RunConfig) -> ParallelOp:
+    """Normalise to the simulator's view (real ops need declared costs)."""
+    if isinstance(op, ParallelOp):
+        return op
+    if op.costs is None:
+        raise ValueError(
+            f"RealOp {op.name!r} has no declared costs; the sim backend "
+            "needs per-task cost estimates (set RealOp.costs or run on "
+            "the mp backend, which measures)"
+        )
+    return op.to_parallel_op()

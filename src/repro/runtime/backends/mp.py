@@ -1,0 +1,654 @@
+"""Real parallel execution on a ``multiprocessing`` worker pool.
+
+The paper's runtime on a real (shared-memory) machine instead of the
+simulator: Delirium graph operations execute as actual Python callables
+in child processes, and the Section 4 orchestration algorithms make the
+real scheduling decisions —
+
+* **TAPER chunk self-scheduling** — workers pull chunks from the
+  coordinator; each chunk's size follows the Eq. 2 taper computed from
+  the *sampled* mean/variance of task durations (wall-clock measured, or
+  declared costs in ``cost_source="declared"`` mode for determinism);
+* **Eq. 1 processor rationing** — when several operations are runnable
+  at once, :func:`allocate_many` balances their predicted finishing
+  times and the resulting shares become *worker-subset assignments*
+  (worker w prefers chunks of its assigned operation; with
+  ``work_conserving`` idle workers flow across operation boundaries);
+* **pipelined stage overlap** — dependency-aware dispatch lets iteration
+  i+1's independent stage run beside iteration i's dependent/merge work,
+  exactly the paper's A_I / A_D / A_M overlap;
+* **re-allocation at every change in the running set** — operation
+  completion triggers a fresh Eq. 1 split, mirroring
+  :class:`GraphExecutor`'s preemptive behaviour.
+
+The coordinator is *centralized* (one queue pair per worker); the paper
+notes the distributed protocol "degenerates into the centralized TAPER
+algorithm" under skew, and at worker counts a single host offers the
+tree protocol buys nothing.  ``RunConfig.sim_model="central"`` puts the
+simulator in the matching topology for the equivalence suite.
+
+Observability: the coordinator threads the same ``repro.obs`` Tracer the
+simulator uses — CHUNK_ACQUIRE / TASK_DISPATCH / CHUNK_COMPLETE /
+OP_BEGIN / OP_END / ALLOC_DECIDE / TAPER_DECISION events with wall-clock
+timestamps (seconds since run start) on per-worker lanes — so Chrome
+traces and metrics reports work identically for simulated and real runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...obs.events import (
+    ALLOC_DECIDE,
+    CHUNK_ACQUIRE,
+    CHUNK_COMPLETE,
+    OP_BEGIN,
+    OP_END,
+    TASK_DISPATCH,
+    Tracer,
+)
+from ..allocation import allocate_even, allocate_many, allocate_proportional
+from ..config import RunConfig
+from ..cost_model import CostFunction
+from ..estimates import FinishingTimeEstimator, OpProfile
+from ..machine import MachineConfig
+from ..sampling import sample_mean_std
+from ..schedulers import make_policy
+from ..task import RealOp
+from .base import (
+    AnyOp,
+    BackendRunResult,
+    OpOutcome,
+    as_real_op,
+    register_backend,
+)
+
+
+class MpBackendError(RuntimeError):
+    """A worker crashed, a kernel raised, or the watchdog expired."""
+
+
+def real_machine_config(p: int) -> MachineConfig:
+    """Eq. 1 cost parameters in *seconds* for an in-host worker pool.
+
+    The simulator's defaults are work-unit-scaled (sched overhead 0.4
+    units against ~10-unit tasks); feeding wall-clock task means measured
+    in milliseconds into those estimators would let the overhead terms
+    swamp the compute term.  These constants are the same story at real
+    scale: a fraction of a millisecond per chunk dispatch over a local
+    queue, memory-speed transfer.
+    """
+    return MachineConfig(
+        processors=p,
+        sched_overhead=2e-4,
+        message_latency=5e-5,
+        bandwidth=2e9,
+        task_overhead=5e-6,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(wid, ops_payload, request_q, reply_q, t0):
+    """Chunk self-scheduling loop of one worker process.
+
+    ``ops_payload`` is ``[(kernel, payloads), ...]``; all timestamps are
+    reported relative to the coordinator's ``t0`` (``perf_counter`` is
+    system-wide on every platform we target, so worker and coordinator
+    clocks agree).
+    """
+    request_q.put(("ready", wid, None))
+    while True:
+        message = reply_q.get()
+        if message[0] == "stop":
+            return
+        _, op_index, indices = message
+        kernel, payloads = ops_payload[op_index]
+        records = []
+        value_total = 0.0
+        try:
+            for index in indices:
+                start = time.perf_counter() - t0
+                value = kernel(payloads[index])
+                duration = (time.perf_counter() - t0) - start
+                records.append((index, start, duration))
+                value_total += float(value)
+        except BaseException:
+            request_q.put(("error", wid, traceback.format_exc()))
+            return
+        request_q.put(("done", wid, (op_index, records, value_total)))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _OpState:
+    """Coordinator-side bookkeeping for one operation."""
+
+    op: RealOp
+    label: str
+    index: int
+    deps: Set[int]
+    pending: Deque[int]
+    policy: object
+    cost_fn: CostFunction
+    declared: Optional[List[float]] = None
+    outstanding: int = 0
+    dispatched: int = 0
+    done_tasks: int = 0
+    chunks: int = 0
+    measured_work: float = 0.0
+    value_total: float = 0.0
+    started: bool = False
+    completed: bool = False
+    first_time: float = 0.0
+    last_time: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.op.size
+
+    @property
+    def remaining(self) -> int:
+        return len(self.pending)
+
+    def remaining_work_estimate(self) -> float:
+        mean = self.cost_fn.stats.mean
+        if mean <= 0 and self.declared:
+            mean = sum(self.declared) / len(self.declared)
+        return self.remaining * max(mean, 1e-12)
+
+
+class _MpSession:
+    """One dependency-aware run of a set of operations on a worker pool."""
+
+    def __init__(
+        self,
+        real_ops: Sequence[RealOp],
+        deps: Sequence[Set[int]],
+        cfg: RunConfig,
+    ):
+        self.cfg = cfg
+        self.tracer: Optional[Tracer] = cfg.tracer
+        self.p = cfg.processors
+        self.declared_mode = cfg.cost_source == "declared"
+        # Eq. 1 estimation needs cost parameters in the same unit as the
+        # sampled task means: work units when costs are declared, seconds
+        # when they are measured.
+        if self.declared_mode:
+            self.machine = cfg.machine_config()
+        elif cfg.machine is not None:
+            self.machine = cfg.machine
+        else:
+            self.machine = real_machine_config(self.p)
+        self.reply_qs: List = []
+        self.ops: List[_OpState] = []
+        labels_seen: Dict[str, int] = {}
+        for index, (op, dep_set) in enumerate(zip(real_ops, deps)):
+            label = op.name
+            if label in labels_seen:
+                labels_seen[label] += 1
+                label = f"{label}#{labels_seen[op.name]}"
+            else:
+                labels_seen[label] = 0
+            if self.declared_mode and op.costs is None and op.payloads:
+                raise ValueError(
+                    f"cost_source='declared' but op {op.name!r} declares "
+                    "no costs"
+                )
+            self.ops.append(
+                _OpState(
+                    op=op,
+                    label=label,
+                    index=index,
+                    deps=set(dep_set),
+                    pending=deque(range(op.size)),
+                    policy=make_policy(cfg.policy, min_chunk=cfg.min_chunk),
+                    cost_fn=CostFunction(
+                        bucket_size=max(1, op.size // 16)
+                    ),
+                    declared=(
+                        list(op.costs) if op.costs is not None else None
+                    ),
+                )
+            )
+        # Worker-subset assignment: worker w prefers self.assignment[w].
+        self.assignment: List[int] = [-1] * self.p
+        self.idle: Set[int] = set()
+        self.t0 = 0.0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def _runnable(self, state: _OpState) -> bool:
+        return (
+            not state.completed
+            and state.remaining > 0
+            and all(self.ops[d].completed for d in state.deps)
+        )
+
+    def _resolve_instant_ops(self) -> None:
+        """Zero-task operations complete the moment their deps do."""
+        changed = True
+        while changed:
+            changed = False
+            for state in self.ops:
+                if (
+                    not state.completed
+                    and state.size == 0
+                    and all(self.ops[d].completed for d in state.deps)
+                ):
+                    state.completed = True
+                    changed = True
+
+    def _profile(self, state: _OpState) -> OpProfile:
+        """The runtime's sampled view of an op — shared sampling helper,
+        fed from measured durations or the declared-cost prefix."""
+        if state.cost_fn.stats.count > 0:
+            stats = state.cost_fn.stats
+            mean, stddev = stats.mean, stats.stddev
+        elif state.declared is not None:
+            observed = state.declared[
+                : max(1, min(self.cfg.sample_tasks, len(state.declared)))
+            ]
+            mean, stddev = sample_mean_std(observed)
+        else:
+            mean, stddev = 0.0, 0.0
+        return OpProfile(
+            tasks=max(state.remaining, 1), mean=mean, stddev=stddev
+        )
+
+    def _reallocate(self) -> None:
+        """Eq. 1 processor rationing -> worker-subset assignment."""
+        runnable = [s for s in self.ops if self._runnable(s)]
+        if not runnable:
+            return
+        if len(runnable) == 1:
+            shares = [self.p]
+        elif self.p < 2 * len(runnable) or self.cfg.allocator == "even":
+            shares = allocate_even(self.p, len(runnable))
+        elif self.cfg.allocator == "proportional":
+            shares = allocate_proportional(
+                self.p,
+                [s.remaining_work_estimate() for s in runnable],
+            )
+        else:
+            estimators = [
+                FinishingTimeEstimator(self._profile(s), self.machine)
+                for s in runnable
+            ]
+            shares = allocate_many(
+                self.p, [e.finish for e in estimators]
+            )
+        new_assignment = [-1] * self.p
+        worker = 0
+        for state, share in zip(runnable, shares):
+            for _ in range(max(share, 1)):
+                if worker < self.p:
+                    new_assignment[worker] = state.index
+                    worker += 1
+        while worker < self.p:
+            new_assignment[worker] = runnable[-1].index
+            worker += 1
+        if new_assignment != self.assignment:
+            self.assignment = new_assignment
+            if self.tracer is not None:
+                self.tracer.emit(
+                    ALLOC_DECIDE,
+                    self._now(),
+                    op="+".join(s.label for s in runnable),
+                    shares=[int(s) for s in shares],
+                    labels=[s.label for s in runnable],
+                )
+
+    def _pick_op(self, wid: int) -> Optional[_OpState]:
+        preferred = self.assignment[wid]
+        if preferred >= 0 and self._runnable(self.ops[preferred]):
+            return self.ops[preferred]
+        if not self.cfg.work_conserving and preferred >= 0:
+            return None
+        candidates = [s for s in self.ops if self._runnable(s)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.remaining_work_estimate())
+
+    def _share_width(self, state: _OpState) -> int:
+        width = sum(1 for a in self.assignment if a == state.index)
+        return max(width, 1)
+
+    def _dispatch(self, wid: int) -> bool:
+        state = self._pick_op(wid)
+        if state is None:
+            self.idle.add(wid)
+            return False
+        tracer = self.tracer
+        remaining_before = state.remaining
+        if tracer is not None:
+            tracer.now = self._now()
+            if hasattr(state.policy, "tracer"):
+                state.policy.tracer = tracer
+        size = state.policy.next_chunk(
+            remaining_before,
+            self._share_width(state),
+            state.cost_fn,
+            state.dispatched,
+        )
+        if size <= 0:
+            size = 1
+        size = min(size, remaining_before)
+        indices = [state.pending.popleft() for _ in range(size)]
+        if self.declared_mode:
+            # Observe the chunk's declared costs at dispatch, matching
+            # run_central's observation order for equivalence.
+            for index in indices:
+                state.cost_fn.observe(index, state.declared[index])
+        state.outstanding += size
+        state.dispatched += size
+        state.chunks += 1
+        if tracer is not None:
+            now = self._now()
+            if not state.started:
+                tracer.emit(OP_BEGIN, now, op=state.label)
+            tracer.emit(
+                CHUNK_ACQUIRE,
+                now,
+                proc=wid,
+                op=state.label,
+                size=size,
+                remaining=remaining_before,
+            )
+        if not state.started:
+            state.started = True
+            state.first_time = self._now()
+        self.reply_qs[wid].put(("run", state.index, indices))
+        return True
+
+    def _handle_report(self, wid: int, report) -> None:
+        op_index, records, value_total = report
+        state = self.ops[op_index]
+        tracer = self.tracer
+        chunk_tasks = len(records)
+        for index, start, duration in records:
+            state.measured_work += duration
+            if not self.declared_mode:
+                state.cost_fn.observe(index, duration)
+            if tracer is not None:
+                tracer.emit(
+                    TASK_DISPATCH,
+                    start,
+                    dur=duration,
+                    proc=wid,
+                    op=state.label,
+                    task=index,
+                )
+        if records:
+            first_start = records[0][1]
+            last_end = records[-1][1] + records[-1][2]
+            state.last_time = max(state.last_time, last_end)
+            if tracer is not None:
+                tracer.emit(
+                    CHUNK_COMPLETE,
+                    first_start,
+                    dur=last_end - first_start,
+                    proc=wid,
+                    op=state.label,
+                    tasks=chunk_tasks,
+                )
+        state.outstanding -= chunk_tasks
+        state.done_tasks += chunk_tasks
+        state.value_total += value_total
+        if (
+            not state.completed
+            and state.done_tasks >= state.size
+            and state.remaining == 0
+        ):
+            state.completed = True
+            if tracer is not None:
+                tracer.emit(OP_END, state.last_time, op=state.label)
+            self._resolve_instant_ops()
+            # The running set changed: re-ration and wake idle workers.
+            self._reallocate()
+            for idle_wid in sorted(self.idle):
+                self.idle.discard(idle_wid)
+                self._dispatch(idle_wid)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> BackendRunResult:
+        cfg = self.cfg
+        self._resolve_instant_ops()
+        if all(state.completed for state in self.ops):
+            return self._result(0.0)
+        method = cfg.mp_start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(method)
+        request_q = ctx.Queue()
+        self.reply_qs = [ctx.SimpleQueue() for _ in range(self.p)]
+        ops_payload = [
+            (state.op.kernel, state.op.payloads) for state in self.ops
+        ]
+        self.t0 = time.perf_counter()
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(wid, ops_payload, request_q, self.reply_qs[wid], self.t0),
+                daemon=True,
+            )
+            for wid in range(self.p)
+        ]
+        for process in workers:
+            process.start()
+        deadline = time.perf_counter() + cfg.mp_timeout
+        self._reallocate()
+        try:
+            while not all(state.completed for state in self.ops):
+                remaining_time = deadline - time.perf_counter()
+                if remaining_time <= 0:
+                    raise MpBackendError(
+                        f"mp backend watchdog expired after "
+                        f"{cfg.mp_timeout:.1f}s"
+                    )
+                try:
+                    kind, wid, payload = request_q.get(
+                        timeout=min(0.5, remaining_time)
+                    )
+                except queue_module.Empty:
+                    if any(not w.is_alive() for w in workers):
+                        raise MpBackendError(
+                            "a worker process died unexpectedly"
+                        )
+                    continue
+                if kind == "error":
+                    raise MpBackendError(
+                        f"worker {wid} raised:\n{payload}"
+                    )
+                if kind == "done":
+                    self._handle_report(wid, payload)
+                self._dispatch(wid)
+                if (
+                    len(self.idle) == self.p
+                    and all(s.outstanding == 0 for s in self.ops)
+                    and not all(s.completed for s in self.ops)
+                ):
+                    raise MpBackendError(
+                        "dependency deadlock: every worker idle with "
+                        "operations still incomplete"
+                    )
+        finally:
+            for reply_q in self.reply_qs:
+                try:
+                    reply_q.put(("stop",))
+                except Exception:
+                    pass
+            for process in workers:
+                process.join(timeout=2.0)
+            for process in workers:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            request_q.close()
+            request_q.cancel_join_thread()
+        makespan = max(
+            (state.last_time for state in self.ops if state.size), default=0.0
+        )
+        return self._result(makespan)
+
+    def _result(self, makespan: float) -> BackendRunResult:
+        per_op = {
+            state.label: OpOutcome(
+                name=state.label,
+                tasks=state.done_tasks,
+                chunks=state.chunks,
+                work=state.measured_work,
+                value_total=state.value_total,
+                finish=state.last_time,
+            )
+            for state in self.ops
+        }
+        return BackendRunResult(
+            backend="mp",
+            makespan=makespan,
+            total_work=sum(s.measured_work for s in self.ops),
+            processors=self.p,
+            tasks_total=sum(s.done_tasks for s in self.ops),
+            chunks=sum(s.chunks for s in self.ops),
+            time_unit="seconds",
+            value_total=sum(s.value_total for s in self.ops),
+            per_op=per_op,
+            shares=[],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backend facade
+# ---------------------------------------------------------------------------
+
+
+class MultiprocessingBackend:
+    """Real execution on ``RunConfig.processors`` child processes."""
+
+    name = "mp"
+
+    def _session(
+        self,
+        ops: Sequence[AnyOp],
+        deps: Sequence[Set[int]],
+        cfg: RunConfig,
+    ) -> BackendRunResult:
+        real_ops = [as_real_op(op, cfg) for op in ops]
+        return _MpSession(real_ops, deps, cfg).run()
+
+    def run_op(self, op: AnyOp, cfg: RunConfig) -> BackendRunResult:
+        return self._session([op], [set()], cfg)
+
+    def run_ops(
+        self, ops: Sequence[AnyOp], cfg: RunConfig
+    ) -> BackendRunResult:
+        # Honour declared name-dependencies among RealOps (graph fragments
+        # flattened to a list); plain ParallelOps are all concurrent.
+        name_to_index = {
+            op.name: index for index, op in enumerate(ops)
+        }
+        deps: List[Set[int]] = []
+        for op in ops:
+            dep_names = getattr(op, "deps", ()) or ()
+            deps.append(
+                {
+                    name_to_index[name]
+                    for name in dep_names
+                    if name in name_to_index
+                }
+            )
+        return self._session(ops, deps, cfg)
+
+    def run_pipeline(
+        self, iterations: Sequence, cfg: RunConfig
+    ) -> BackendRunResult:
+        """A_I / A_D / A_M with cross-iteration overlap.
+
+        Dependences: A_D(i) needs A_I(i); A_M(i) needs A_D(i); A_D(i+1)
+        needs A_M(i) (the loop-carried flow through the merged array).
+        A_I is independent, so iteration i+1's independent stage overlaps
+        iteration i's dependent work exactly as in the simulator.
+        """
+        from ..task import ParallelOp
+
+        ops: List[AnyOp] = []
+        deps: List[Set[int]] = []
+        merge_of_prev: Optional[int] = None
+        for i, iteration in enumerate(iterations):
+            stages = (
+                (f"independent[{i}]", iteration.independent),
+                (f"dependent[{i}]", iteration.dependent),
+                (f"merge[{i}]", iteration.merge),
+            )
+            indices = []
+            for label, stage in stages:
+                indices.append(len(ops))
+                ops.append(
+                    ParallelOp(
+                        name=label,
+                        costs=list(stage.costs),
+                        bytes_per_task=stage.bytes_per_task,
+                    )
+                )
+            indep_index, dep_index, merge_index = indices
+            deps.append(set())  # A_I(i): independent
+            dep_deps = {indep_index}
+            if merge_of_prev is not None:
+                dep_deps.add(merge_of_prev)
+            deps.append(dep_deps)  # A_D(i)
+            deps.append({dep_index})  # A_M(i)
+            merge_of_prev = merge_index
+        return self._session(ops, deps, cfg)
+
+    def run_graph(
+        self, graph, op_tasks: Dict[int, AnyOp], cfg: RunConfig
+    ) -> BackendRunResult:
+        """Every graph node becomes a session op (nodes without attached
+        tasks are zero-task pass-throughs); edges become dependences."""
+        nodes = list(graph.nodes)
+        index_of = {node.id: index for index, node in enumerate(nodes)}
+        ops: List[AnyOp] = []
+        deps: List[Set[int]] = []
+        for node in nodes:
+            attached = op_tasks.get(node.id)
+            if attached is None:
+                ops.append(
+                    RealOp(name=node.name, kernel=_noop_kernel, payloads=[])
+                )
+            else:
+                ops.append(attached)
+            deps.append(
+                {
+                    index_of[pred.id]
+                    for pred in graph.predecessors(node)
+                }
+            )
+        return self._session(ops, deps, cfg)
+
+
+def _noop_kernel(payload) -> float:  # pragma: no cover - placeholder ops
+    return 0.0
+
+
+register_backend("mp", MultiprocessingBackend)

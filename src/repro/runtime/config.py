@@ -1,0 +1,153 @@
+"""The unified run configuration shared by every execution backend.
+
+Before ``RunConfig`` existed, the machine shape, scheduler policy, taper
+parameters, allocator choice and tracer were passed as overlapping
+positional/keyword knobs duplicated across :func:`run_distributed`,
+:func:`run_concurrent_ops`, :func:`run_pipelined` and
+:class:`GraphExecutor`.  A single frozen dataclass now carries all of
+them; backends (:mod:`repro.runtime.backends`) and the public facade
+(:mod:`repro.api`) take one ``RunConfig`` instead of a knob soup, and the
+old signatures survive one release as thin deprecation shims (see
+``repro/runtime/__init__.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from .machine import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.events import Tracer
+
+#: Names accepted by :func:`repro.runtime.schedulers.make_policy`.
+POLICIES = ("taper", "taper-nocost", "self", "gss", "factoring", "static")
+ALLOCATORS = ("balance", "even", "proportional")
+BACKENDS = ("sim", "mp")
+SIM_MODELS = ("distributed", "central")
+COST_SOURCES = ("measured", "declared")
+MP_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything a backend needs to execute parallel operations.
+
+    The dataclass is frozen: a config can be shared between runs, used as
+    a dict key, and handed to worker processes without aliasing surprises.
+    Use :meth:`with_` to derive variants.
+
+    Simulation-only fields (``machine``, ``sim_model``) are ignored by the
+    mp backend except where noted; mp-only fields (``cost_source``,
+    ``time_scale``, ``mp_*``) are ignored by the simulator.
+    """
+
+    #: Processors (sim) / worker processes (mp).
+    processors: int = 8
+    #: Which execution backend runs the operations: ``"sim"`` (the
+    #: discrete-event simulator) or ``"mp"`` (real ``multiprocessing``).
+    backend: str = "sim"
+    #: Chunk-size policy name (see :func:`make_policy`).
+    policy: str = "taper"
+    #: Initial processor split among concurrent operations: ``"balance"``
+    #: (Eq. 1), ``"even"``, or ``"proportional"``.
+    allocator: str = "balance"
+    #: Let idle processors flow across operation boundaries.
+    work_conserving: bool = True
+    #: Minimum grain fixed by the front end (TAPER's floor).
+    min_chunk: int = 1
+    #: Startup sampling depth (tasks observed before the first estimate).
+    sample_tasks: int = 32
+    #: Simulated machine cost parameters; defaults to
+    #: ``MachineConfig(processors=processors)``.  Must agree with
+    #: ``processors`` when given.
+    machine: Optional[MachineConfig] = None
+    #: Simulator task-queue model: ``"distributed"`` (per-processor queues
+    #: with chunk re-assignment, the paper's Section 4.1.1 protocol) or
+    #: ``"central"`` (one central queue — matches the mp coordinator's
+    #: topology for equivalence testing).
+    sim_model: str = "distributed"
+    #: Where the mp backend's TAPER statistics come from: ``"measured"``
+    #: (wall-clock task durations) or ``"declared"`` (the operation's
+    #: declared per-task costs — deterministic, for equivalence tests).
+    cost_source: str = "measured"
+    #: Seconds of real busy-work per declared work unit when the mp
+    #: backend executes a simulated :class:`ParallelOp`.
+    time_scale: float = 2e-4
+    #: ``multiprocessing`` start method; ``None`` picks ``fork`` where
+    #: available (fast) falling back to ``spawn``.
+    mp_start_method: Optional[str] = None
+    #: Watchdog: seconds the mp coordinator waits for worker progress
+    #: before terminating the pool and raising.
+    mp_timeout: float = 120.0
+    #: Observability sink shared by both backends (``None`` = no tracing).
+    tracer: Optional["Tracer"] = field(default=None, compare=False)
+    #: Seed for synthetic-cost generation in drivers that need one.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("RunConfig.processors must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; pick from {BACKENDS}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; pick from {POLICIES}"
+            )
+        if self.allocator not in ALLOCATORS:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; pick from {ALLOCATORS}"
+            )
+        if self.sim_model not in SIM_MODELS:
+            raise ValueError(
+                f"unknown sim_model {self.sim_model!r}; pick from {SIM_MODELS}"
+            )
+        if self.cost_source not in COST_SOURCES:
+            raise ValueError(
+                f"unknown cost_source {self.cost_source!r}; "
+                f"pick from {COST_SOURCES}"
+            )
+        if self.mp_start_method not in MP_START_METHODS:
+            raise ValueError(
+                f"unknown mp_start_method {self.mp_start_method!r}; "
+                f"pick from {MP_START_METHODS[1:]} or None"
+            )
+        if self.min_chunk < 1:
+            raise ValueError("RunConfig.min_chunk must be >= 1")
+        if self.sample_tasks < 1:
+            raise ValueError("RunConfig.sample_tasks must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("RunConfig.time_scale must be > 0")
+        if self.mp_timeout <= 0:
+            raise ValueError("RunConfig.mp_timeout must be > 0")
+        if (
+            self.machine is not None
+            and self.machine.processors != self.processors
+        ):
+            raise ValueError(
+                "RunConfig.machine.processors "
+                f"({self.machine.processors}) disagrees with "
+                f"RunConfig.processors ({self.processors})"
+            )
+
+    # -- derived views ------------------------------------------------------
+
+    def machine_config(self) -> MachineConfig:
+        """The simulated machine (defaulted to the configured width)."""
+        if self.machine is not None:
+            return self.machine
+        return MachineConfig(processors=self.processors)
+
+    def policy_instance(self):
+        """A fresh chunk policy (policies carry per-operation state)."""
+        from .schedulers import make_policy
+
+        return make_policy(self.policy, min_chunk=self.min_chunk)
+
+    def with_(self, **changes) -> "RunConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -17,7 +17,6 @@ Three layers, used by the examples and the benchmark harness:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -32,17 +31,17 @@ from .task import ParallelOp
 
 def profile_of(op: ParallelOp, sample: int = 32) -> OpProfile:
     """The runtime's sampled view of an operation (first ``sample`` tasks,
-    as the real system samples during startup)."""
-    observed = op.costs[: max(1, min(sample, len(op.costs)))]
-    mean = sum(observed) / len(observed)
-    if len(observed) > 1:
-        var = sum((c - mean) ** 2 for c in observed) / (len(observed) - 1)
-    else:
-        var = 0.0
-    return OpProfile(
+    as the real system samples during startup).
+
+    Thin wrapper over :func:`repro.runtime.sampling.profile_from_costs`,
+    the shared sampling helper every backend uses.
+    """
+    from .sampling import profile_from_costs
+
+    return profile_from_costs(
+        op.costs,
         tasks=op.size,
-        mean=mean,
-        stddev=math.sqrt(var),
+        sample=sample,
         setup_bytes=op.bytes_per_task * op.size,
     )
 

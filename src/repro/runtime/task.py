@@ -5,13 +5,19 @@ scheduling.  Henceforth, we'll call these indivisible scheduling units
 *tasks*."  A :class:`ParallelOp` is one data-parallel Delirium operator:
 an ordered sequence of task costs (work units) plus the data each task
 carries (for communication estimates).
+
+:class:`RealOp` is the executable counterpart: the same scheduling shape,
+but each task is a real Python callable invocation ``kernel(payload)``
+that the multiprocessing backend dispatches to worker processes (and the
+simulator can evaluate serially for result checking).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -74,3 +80,92 @@ class ParallelOp:
             piece = self.costs[start : start + size]
             means.append(sum(piece) / len(piece))
         return means
+
+
+@dataclass
+class RealOp:
+    """A parallel operation whose tasks are real Python calls.
+
+    Task ``k`` executes ``kernel(payloads[k])`` and yields a numeric
+    value; the runtime treats the call as the indivisible scheduling unit.
+    For ``multiprocessing`` dispatch the kernel must be a *module-level*
+    callable and each payload picklable.
+
+    ``costs`` optionally declares per-task cost estimates (work units) so
+    the simulator — and the mp backend in ``cost_source="declared"`` mode
+    — can schedule the operation without timing it first.
+    """
+
+    name: str
+    kernel: Callable[[Any], float]
+    payloads: List[Any]
+    bytes_per_task: float = 256.0
+    costs: Optional[List[float]] = None
+    #: Op names this operation depends on (graph/pipeline execution).
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.costs is not None and len(self.costs) != len(self.payloads):
+            raise ValueError(
+                f"RealOp {self.name!r}: {len(self.costs)} declared costs "
+                f"for {len(self.payloads)} payloads"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.payloads)
+
+    def to_parallel_op(self, default_cost: float = 10.0) -> ParallelOp:
+        """The simulator's view: declared costs (or a flat default)."""
+        costs = (
+            list(self.costs)
+            if self.costs is not None
+            else [default_cost] * self.size
+        )
+        return ParallelOp(
+            name=self.name, costs=costs, bytes_per_task=self.bytes_per_task
+        )
+
+    def run_serial(self) -> Tuple[List[float], float]:
+        """Execute every task in-process, in index order.
+
+        Returns ``(measured_costs_seconds, value_total)`` — the serial
+        baseline the mp backend's speedup is measured against, and the
+        ground-truth result total for equivalence checks.
+        """
+        measured: List[float] = []
+        total = 0.0
+        kernel = self.kernel
+        for payload in self.payloads:
+            start = time.perf_counter()
+            value = kernel(payload)
+            measured.append(time.perf_counter() - start)
+            total += float(value)
+        return measured, total
+
+
+def spin_task(seconds: float) -> float:
+    """Busy-spin for ``seconds`` of real CPU time; returns 1.0.
+
+    The bridge from simulated to real execution: any :class:`ParallelOp`
+    becomes executable by mapping each declared task cost to a calibrated
+    burn (``RunConfig.time_scale`` seconds per work unit).  Module-level
+    so it pickles under every multiprocessing start method.
+    """
+    deadline = time.perf_counter() + seconds
+    x = 1.0
+    while time.perf_counter() < deadline:
+        # Keep the ALU busy so the burn measures compute, not sleep.
+        x = x * 1.0000001 + 1e-9
+    return 1.0
+
+
+def real_op_from_parallel(op: ParallelOp, time_scale: float) -> RealOp:
+    """Wrap a simulated operation as real busy-work (see :func:`spin_task`)."""
+    return RealOp(
+        name=op.name,
+        kernel=spin_task,
+        payloads=[cost * time_scale for cost in op.costs],
+        bytes_per_task=op.bytes_per_task,
+        costs=list(op.costs),
+    )

@@ -1,0 +1,125 @@
+"""The repro.api facade: compile / run / trace over every target kind."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.runtime.config import RunConfig
+from repro.runtime.task import ParallelOp, RealOp
+
+SIM = RunConfig(processors=4)
+
+FIG1_SOURCE = open("examples/fig1.f").read()
+
+
+def test_compile_returns_program():
+    program = api.compile(FIG1_SOURCE)
+    assert program.graph.nodes
+
+
+def test_compile_empty_source_raises():
+    with pytest.raises(ValueError):
+        api.compile("")
+
+
+def test_run_real_workload_by_name():
+    result = api.run("fig1", SIM)
+    assert result.backend == "sim"
+    assert result.tasks > 0
+    assert result.value_total > 0
+    assert result.time_unit == "work-units"
+
+
+def test_run_app_workload_by_name():
+    result = api.run("climate", SIM, mode="split", steps=1)
+    assert result.backend == "sim"
+    assert result.speedup > 1.0
+
+
+def test_run_source_path():
+    result = api.run("examples/fig1.f", SIM, tasks=16, elements=100)
+    assert result.target == "fig1.f"
+    assert result.tasks > 0
+
+
+def test_run_compiled_program():
+    program = api.compile(FIG1_SOURCE)
+    result = api.run(program, SIM, tasks=16, elements=100)
+    assert result.tasks > 0
+
+
+def test_run_single_op_and_sequence():
+    op = ParallelOp(name="solo", costs=[5.0] * 32)
+    assert api.run(op, SIM).tasks == 32
+    pair = [
+        ParallelOp(name="a", costs=[5.0] * 16),
+        ParallelOp(name="b", costs=[5.0] * 16),
+    ]
+    assert api.run(pair, SIM).tasks == 32
+
+
+def test_run_unknown_target_raises():
+    with pytest.raises(ValueError, match="unknown run target"):
+        api.run("no-such-workload", SIM)
+
+
+def test_run_empty_sequence_raises():
+    with pytest.raises(ValueError, match="empty"):
+        api.run([], SIM)
+
+
+def test_run_keyword_overrides_config():
+    result = api.run("fig1", SIM, processors=2)
+    assert result.processors == 2
+
+
+def test_run_invalid_override_raises():
+    with pytest.raises(ValueError):
+        api.run("fig1", SIM, backend="quantum")
+
+
+def test_trace_produces_exportable_report(tmp_path):
+    result, report = api.trace("fig1", SIM)
+    assert report.events
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    report.write_chrome_trace(str(trace_path))
+    report.write_metrics(str(metrics_path))
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["time_unit"] == "work units"
+    assert json.loads(metrics_path.read_text())["processors"] == 4
+    assert "makespan" in report.summary()
+    assert report.timeline()
+
+
+def test_trace_mp_marks_seconds(tmp_path):
+    cfg = RunConfig(processors=2, backend="mp", mp_timeout=60.0)
+    result, report = api.trace("reduction", cfg)
+    assert result.time_unit == "seconds"
+    assert report.time_unit == "seconds"
+    trace_path = tmp_path / "mp_trace.json"
+    report.write_chrome_trace(str(trace_path))
+    doc = json.loads(trace_path.read_text())
+    assert doc["otherData"]["time_unit"] == "seconds"
+    assert doc["otherData"]["time_scale_us_per_unit"] == 1e6
+    # Events are sorted chronologically for the exporters.
+    times = [e.time for e in report.events]
+    assert times == sorted(times)
+
+
+def test_real_op_run_serial_matches_parallel_value():
+    ident = RealOp(
+        name="ident",
+        kernel=_payload_kernel,
+        payloads=[float(i) for i in range(10)],
+        costs=[1.0] * 10,
+    )
+    _, total = ident.run_serial()
+    assert total == sum(range(10))
+    assert api.run(ident, SIM).value_total == total
+
+
+def _payload_kernel(payload):
+    return float(payload)

@@ -1,0 +1,54 @@
+"""The old entry points warn once at the package boundary and keep
+working; the same names imported from their home submodules stay silent.
+"""
+
+import warnings
+
+import pytest
+
+import repro.runtime
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["run_distributed", "run_concurrent_ops", "run_pipelined", "GraphExecutor"],
+)
+def test_package_level_access_warns(name):
+    with pytest.warns(DeprecationWarning, match=name):
+        getattr(repro.runtime, name)
+
+
+def test_deprecated_name_still_functional():
+    with pytest.warns(DeprecationWarning):
+        run_distributed = repro.runtime.run_distributed
+    result = run_distributed([5.0] * 32, 4)
+    assert result.makespan > 0
+
+
+def test_submodule_import_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.runtime.distributed import run_distributed  # noqa: F401
+        from repro.runtime.executor import (  # noqa: F401
+            GraphExecutor,
+            run_concurrent_ops,
+            run_pipelined,
+        )
+
+
+def test_new_names_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert repro.runtime.RunConfig is not None
+        assert repro.runtime.MachineConfig is not None
+
+
+def test_dir_lists_deprecated_names():
+    listing = dir(repro.runtime)
+    assert "run_distributed" in listing
+    assert "GraphExecutor" in listing
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.runtime.definitely_not_a_thing

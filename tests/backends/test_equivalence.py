@@ -1,0 +1,68 @@
+"""Sim-vs-mp equivalence on deterministic workloads.
+
+The mp coordinator is a central chunk queue; with ``cost_source=
+"declared"`` it observes the declared chunk costs at dispatch in the
+same order as the simulator's ``run_central``, so for a single
+operation both backends walk the identical TAPER chunk-size sequence.
+Kernels return integral floats, so value totals are exact under any
+summation order and must match bit-for-bit across backends.
+"""
+
+from repro.apps.kernels import fig1_ops, psirrfan_ops, reduction_ops
+from repro.runtime.backends import get_backend
+from repro.runtime.config import RunConfig
+
+MP_CFG = RunConfig(
+    processors=2, backend="mp", cost_source="declared", mp_timeout=90.0
+)
+SIM_CFG = RunConfig(
+    processors=2, backend="sim", sim_model="central", cost_source="declared"
+)
+
+
+def test_single_op_same_chunk_sequence_and_values():
+    op = reduction_ops(leaves=64, length=300)[0]
+    sim = get_backend("sim").run_op(op, SIM_CFG)
+    mp = get_backend("mp").run_op(op, MP_CFG)
+    assert sim.tasks_total == mp.tasks_total == 64
+    assert sim.chunks == mp.chunks
+    assert sim.value_total == mp.value_total
+
+
+def test_fig1_totals_match_across_backends():
+    sim = get_backend("sim").run_ops(fig1_ops(columns=48, elements=200), SIM_CFG)
+    mp = get_backend("mp").run_ops(fig1_ops(columns=48, elements=200), MP_CFG)
+    assert sim.tasks_total == mp.tasks_total
+    assert sim.value_total == mp.value_total
+
+
+def test_psirrfan_with_dependency_totals_match():
+    ops = psirrfan_ops(columns=48, elements=150, post_elements=80)
+    sim = get_backend("sim").run_ops(
+        psirrfan_ops(columns=48, elements=150, post_elements=80), SIM_CFG
+    )
+    mp = get_backend("mp").run_ops(ops, MP_CFG)
+    assert sim.tasks_total == mp.tasks_total
+    assert sim.value_total == mp.value_total
+    # The dependent op must have run after A on the mp side.
+    assert mp.per_op["BD"].tasks == len(ops[2].payloads)
+
+
+def test_api_reports_identical_totals():
+    import repro.api as api
+
+    rs = api.run("fig1", SIM_CFG)
+    rm = api.run("fig1", MP_CFG)
+    assert rs.tasks == rm.tasks
+    assert rs.value_total == rm.value_total
+
+
+def test_graph_totals_match(tmp_path):
+    import repro.api as api
+
+    source = open("examples/fig1.f").read()
+    program = api.compile(source)
+    rs = api.run(program, SIM_CFG, tasks=32, elements=120)
+    rm = api.run(program, MP_CFG, tasks=32, elements=120)
+    assert rs.tasks == rm.tasks
+    assert rs.value_total == rm.value_total

@@ -1,0 +1,128 @@
+"""Multiprocessing backend smoke tests — sized for a 2-core CI box.
+
+Every run is bounded twice: the backend's own ``mp_timeout`` watchdog
+and the directory-wide SIGALRM guard in ``conftest.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.backends import (
+    MpBackendError,
+    MultiprocessingBackend,
+    real_machine_config,
+)
+from repro.runtime.config import RunConfig
+from repro.runtime.executor import PipelineIteration
+from repro.runtime.task import ParallelOp, RealOp
+
+CFG = RunConfig(processors=2, backend="mp", mp_timeout=60.0, time_scale=5e-5)
+
+
+def failing_kernel(payload):
+    raise RuntimeError("kernel exploded")
+
+
+def identity_kernel(payload):
+    return float(payload)
+
+
+def sleepy_kernel(seconds):
+    time.sleep(seconds)
+    return 0.0
+
+
+def test_spin_op_runs_on_real_children():
+    op = ParallelOp(name="spin", costs=[4.0] * 24)
+    result = MultiprocessingBackend().run_op(op, CFG)
+    assert result.backend == "mp"
+    assert result.time_unit == "seconds"
+    assert result.tasks_total == 24
+    assert result.value_total == 24.0  # spin kernels return 1.0 per task
+    assert result.makespan > 0.0
+    assert result.chunks >= 1
+
+
+def test_real_op_values_summed():
+    op = RealOp(
+        name="ident",
+        kernel=identity_kernel,
+        payloads=[float(i) for i in range(16)],
+    )
+    result = MultiprocessingBackend().run_op(op, CFG)
+    assert result.value_total == sum(range(16))
+
+
+def test_dependencies_respected():
+    ops = [
+        RealOp(name="first", kernel=identity_kernel, payloads=[1.0] * 8),
+        RealOp(
+            name="second",
+            kernel=identity_kernel,
+            payloads=[2.0] * 8,
+            deps=("first",),
+        ),
+    ]
+    result = MultiprocessingBackend().run_ops(ops, CFG)
+    assert result.tasks_total == 16
+    first = result.per_op["first"]
+    second = result.per_op["second"]
+    # The dependent op cannot start before the prerequisite finishes.
+    assert second.finish >= first.finish
+
+
+def test_pipeline_runs_all_stages():
+    iterations = [
+        PipelineIteration(
+            independent=ParallelOp(name="A_I", costs=[3.0] * 10),
+            dependent=ParallelOp(name="A_D", costs=[2.0] * 10),
+            merge=ParallelOp(name="A_M", costs=[1.0] * 4),
+        )
+        for _ in range(2)
+    ]
+    result = MultiprocessingBackend().run_pipeline(iterations, CFG)
+    assert result.tasks_total == 48
+    assert result.value_total == 48.0
+    assert len(result.per_op) == 6  # 3 stages x 2 iterations
+
+
+def test_worker_exception_propagates():
+    op = RealOp(name="boom", kernel=failing_kernel, payloads=[0.0] * 4)
+    with pytest.raises(MpBackendError, match="kernel exploded"):
+        MultiprocessingBackend().run_op(op, CFG)
+
+
+def test_watchdog_times_out_stuck_run():
+    # A kernel far slower than the deadline: the watchdog must abort
+    # rather than wait for completion.
+    slow = RealOp(name="slow", kernel=sleepy_kernel, payloads=[30.0] * 4)
+    tight = CFG.with_(mp_timeout=2.0)
+    start = time.monotonic()
+    with pytest.raises(MpBackendError, match="watchdog expired"):
+        MultiprocessingBackend().run_op(slow, tight)
+    assert time.monotonic() - start < 30.0
+
+
+def test_tracer_gets_wall_clock_events():
+    from repro.obs import Tracer
+    from repro.obs.events import CHUNK_ACQUIRE, TASK_DISPATCH
+
+    tracer = Tracer()
+    cfg = CFG.with_(tracer=tracer)
+    op = ParallelOp(name="traced", costs=[4.0] * 12)
+    MultiprocessingBackend().run_op(op, cfg)
+    kinds = {event.kind for event in tracer.events}
+    assert TASK_DISPATCH in kinds
+    assert CHUNK_ACQUIRE in kinds
+    procs = {
+        event.proc for event in tracer.events if event.kind == TASK_DISPATCH
+    }
+    # Both workers did work (12 spin tasks across 2 workers).
+    assert procs == {0, 1}
+
+
+def test_real_machine_config_scaled_to_seconds():
+    machine = real_machine_config(2)
+    assert machine.processors == 2
+    assert machine.sched_overhead < 0.01  # seconds, not work units

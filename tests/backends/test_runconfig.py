@@ -1,0 +1,81 @@
+"""RunConfig: the one knob surface, validated at construction."""
+
+import pytest
+
+from repro.runtime.config import RunConfig
+from repro.runtime.machine import MachineConfig
+
+
+def test_defaults_are_valid():
+    cfg = RunConfig()
+    assert cfg.processors == 8
+    assert cfg.backend == "sim"
+    assert cfg.policy == "taper"
+    assert cfg.cost_source == "measured"
+
+
+def test_frozen():
+    cfg = RunConfig()
+    with pytest.raises(Exception):
+        cfg.processors = 4
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"processors": 0},
+        {"processors": -3},
+        {"backend": "cuda"},
+        {"policy": "round-robin"},
+        {"allocator": "random"},
+        {"min_chunk": 0},
+        {"sample_tasks": 0},
+        {"sim_model": "hybrid"},
+        {"cost_source": "psychic"},
+        {"time_scale": 0.0},
+        {"time_scale": -1.0},
+        {"mp_start_method": "thread"},
+        {"mp_timeout": 0.0},
+    ],
+)
+def test_invalid_values_raise(kwargs):
+    with pytest.raises(ValueError):
+        RunConfig(**kwargs)
+
+
+def test_machine_processor_mismatch_raises():
+    with pytest.raises(ValueError):
+        RunConfig(processors=8, machine=MachineConfig(processors=4))
+
+
+def test_machine_matching_processors_ok():
+    machine = MachineConfig(processors=16)
+    cfg = RunConfig(processors=16, machine=machine)
+    assert cfg.machine_config() is machine
+
+
+def test_machine_config_default_synthesized():
+    cfg = RunConfig(processors=12)
+    assert cfg.machine_config().processors == 12
+
+
+def test_with_returns_new_validated_config():
+    cfg = RunConfig()
+    other = cfg.with_(processors=4, backend="mp")
+    assert other.processors == 4
+    assert other.backend == "mp"
+    assert cfg.processors == 8  # original untouched
+    with pytest.raises(ValueError):
+        cfg.with_(policy="nope")
+
+
+def test_policy_instance_resolves():
+    from repro.runtime.taper import TaperPolicy
+
+    assert isinstance(RunConfig(policy="taper").policy_instance(), TaperPolicy)
+
+
+def test_tracer_excluded_from_equality():
+    from repro.obs import Tracer
+
+    assert RunConfig() == RunConfig(tracer=Tracer())
