@@ -20,7 +20,9 @@ Commands:
   discrete-event simulator) or ``--backend mp`` (real child processes
   via ``multiprocessing``, TAPER-scheduled).  ``--trace-out`` exports a
   Chrome trace either way — simulated clock or wall clock, one lane per
-  worker.
+  worker.  mp runs recover from worker death and kernel exceptions by
+  default (``--on-fault retry``); ``--inject-fault kill:1:2`` et al.
+  drive the deterministic chaos harness (see README "Fault tolerance").
 """
 
 from __future__ import annotations
@@ -208,6 +210,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from . import api
+    from .runtime.faults import FaultPlan, parse_fault_spec
 
     overrides = {}
     if args.mode:
@@ -216,6 +219,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["steps"] = args.steps
     if args.tasks is not None:
         overrides["tasks"] = args.tasks
+    fault_plan = None
+    if args.inject_fault:
+        try:
+            fault_plan = FaultPlan(
+                tuple(parse_fault_spec(spec) for spec in args.inject_fault)
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     config = api.RunConfig(
         processors=args.procs,
         backend=args.backend,
@@ -223,6 +235,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cost_source=args.cost_source,
         mp_timeout=args.timeout,
         seed=args.seed,
+        fault_plan=fault_plan,
+        on_fault=args.on_fault,
+        max_retries=args.max_retries,
+        heartbeat_interval=args.heartbeat,
     )
     try:
         if args.trace_out or args.metrics_out:
@@ -386,6 +402,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--timeout", type=float, default=120.0,
         help="hard wall-clock limit for mp runs (seconds)",
+    )
+    run_parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="KIND[:WORKER[:CHUNK[:ARG]]]",
+        help=(
+            "inject a deterministic fault into an mp run (repeatable): "
+            "kill:1:2 kills worker 1 at its 2nd chunk; raise:*:3:2 makes "
+            "kernels raise on global dispatches 3 and 4; delay:0:1:0.25 "
+            "holds worker 0's reply 0.25s"
+        ),
+    )
+    run_parser.add_argument(
+        "--on-fault",
+        choices=("retry", "fail"),
+        default="retry",
+        help=(
+            "worker death / kernel exception policy: recover and continue "
+            "degraded (retry) or raise immediately (fail)"
+        ),
+    )
+    run_parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="per-task retry budget before quarantine",
+    )
+    run_parser.add_argument(
+        "--heartbeat", type=float, default=0.2,
+        help="seconds between coordinator liveness sweeps",
     )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(

@@ -52,9 +52,12 @@ from .obs import (
 )
 from .runtime.backends import BackendRunResult, backend_for
 from .runtime.config import RunConfig
+from .runtime.faults import FaultPlan, FaultReport
 from .runtime.task import ParallelOp, RealOp
 
 __all__ = [
+    "FaultPlan",
+    "FaultReport",
     "RunConfig",
     "RunResult",
     "TraceReport",
@@ -109,16 +112,21 @@ class RunResult:
     speedup: float
     efficiency: float
     per_op: Dict[str, object] = field(default_factory=dict)
+    #: Fault-recovery account of the run (mp backend; ``None`` on sim).
+    fault_report: Optional[FaultReport] = None
 
     def summary(self) -> str:
         unit = "s" if self.time_unit == "seconds" else " work units"
-        return (
+        text = (
             f"{self.target}: backend={self.backend} p={self.processors} "
             f"tasks={self.tasks} chunks={self.chunks} "
             f"makespan={self.makespan:.4g}{unit} "
             f"speedup={self.speedup:.2f}x eff={self.efficiency:.2f} "
             f"value_total={self.value_total:.0f}"
         )
+        if self.fault_report is not None and self.fault_report.any_fault:
+            text += f"\nfaults: {self.fault_report.summary()}"
+        return text
 
 
 @dataclass
@@ -178,6 +186,7 @@ def _from_backend(
         speedup=raw.speedup,
         efficiency=raw.efficiency,
         per_op=dict(raw.per_op),
+        fault_report=raw.fault_report,
     )
 
 
@@ -216,6 +225,7 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
     tasks = chunks = 0
     value_total = 0.0
     per_op: Dict[str, object] = {}
+    fault_report = FaultReport()
     for step in range(workload.steps):
         phases = workload.phases_for_step(rng, step, mode)
         groups: Dict[int, List[ParallelOp]] = {}
@@ -235,6 +245,8 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
             chunks += raw.chunks
             value_total += raw.value_total
             per_op.update(raw.per_op)
+            if raw.fault_report is not None:
+                fault_report.merge(raw.fault_report)
             if cfg.tracer is not None:
                 cfg.tracer.advance(raw.makespan)
     return RunResult(
@@ -252,6 +264,7 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
             total_work / (makespan * cfg.processors) if makespan > 0 else 0.0
         ),
         per_op=per_op,
+        fault_report=fault_report,
     )
 
 

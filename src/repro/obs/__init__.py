@@ -28,8 +28,10 @@ from .events import (
     CHUNK_ACQUIRE,
     CHUNK_COMPLETE,
     CHUNK_REASSIGN,
+    CHUNK_RETRIED,
     EPOCH_ADVANCE,
     Event,
+    FAULT_INJECTED,
     GRANULARITY_DECIDE,
     MSG_RECV,
     MSG_SEND,
@@ -40,6 +42,7 @@ from .events import (
     TASK_DISPATCH,
     TOKEN_ROUND,
     Tracer,
+    WORKER_DIED,
     events_from_jsonl,
     events_to_jsonl,
 )
@@ -70,6 +73,9 @@ __all__ = [
     "GRANULARITY_DECIDE",
     "OP_BEGIN",
     "OP_END",
+    "WORKER_DIED",
+    "CHUNK_RETRIED",
+    "FAULT_INJECTED",
     "events_to_jsonl",
     "events_from_jsonl",
     "aggregate",

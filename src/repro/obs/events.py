@@ -57,6 +57,15 @@ GRANULARITY_DECIDE = "granularity.decide"
 #: A parallel operation entered / left the running set.
 OP_BEGIN = "op.begin"
 OP_END = "op.end"
+#: A worker process was detected dead (attrs: in-flight chunk size).
+WORKER_DIED = "fault.worker_died"
+#: A chunk failed (kernel exception) and was re-enqueued with backoff
+#: (attrs: attempt, backoff, tasks; quarantined tasks carry
+#: ``quarantined``).
+CHUNK_RETRIED = "chunk.retry"
+#: The fault-injection harness fired a planned fault
+#: (attrs: fault kind, target worker).
+FAULT_INJECTED = "fault.injected"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -73,6 +82,9 @@ ALL_KINDS = (
     GRANULARITY_DECIDE,
     OP_BEGIN,
     OP_END,
+    WORKER_DIED,
+    CHUNK_RETRIED,
+    FAULT_INJECTED,
 )
 
 

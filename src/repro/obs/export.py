@@ -35,6 +35,7 @@ _CATEGORY = {
     "pipeline": "pipeline",
     "granularity": "decision",
     "op": "op",
+    "fault": "fault",
 }
 
 #: Kinds rendered as duration ("X") events on a processor lane.
@@ -182,6 +183,16 @@ def metrics_summary(
         "chunk reassignments %d (%d tasks moved)"
         % (report.reassignments, report.tasks_moved),
     ]
+    if report.workers_died or report.chunk_retries or report.faults_injected:
+        lines.append(
+            "faults              %d workers died | %d chunk retries | "
+            "%d injected"
+            % (
+                report.workers_died,
+                report.chunk_retries,
+                report.faults_injected,
+            )
+        )
     if report.per_op:
         lines.append("operations:")
         number = ".4g" if time_unit == "seconds" else ".1f"

@@ -27,11 +27,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from .events import (
     CHUNK_ACQUIRE,
     CHUNK_REASSIGN,
+    CHUNK_RETRIED,
     EPOCH_ADVANCE,
     Event,
+    FAULT_INJECTED,
     MSG_RECV,
     MSG_SEND,
     TASK_DISPATCH,
+    WORKER_DIED,
 )
 
 
@@ -115,6 +118,10 @@ class MetricsReport:
     epochs: int
     reassignments: int
     tasks_moved: int
+    #: Fault-recovery accounting (mp backend; zero on clean/sim runs).
+    workers_died: int = 0
+    chunk_retries: int = 0
+    faults_injected: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -190,6 +197,9 @@ class MetricsReport:
             "epochs": self.epochs,
             "reassignments": self.reassignments,
             "tasks_moved": self.tasks_moved,
+            "workers_died": self.workers_died,
+            "chunk_retries": self.chunk_retries,
+            "faults_injected": self.faults_injected,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -224,6 +234,9 @@ def aggregate(
     epochs = 0
     reassignments = 0
     tasks_moved = 0
+    workers_died = 0
+    chunk_retries = 0
+    faults_injected = 0
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
     # overshoot the real finish); summary-only streams (pipeline stages,
@@ -281,6 +294,12 @@ def aggregate(
             victim = event.attrs.get("victim", -1)
             if 0 <= victim < lanes:
                 per_proc[victim].tasks_lost += moved
+        elif event.kind == WORKER_DIED:
+            workers_died += 1
+        elif event.kind == CHUNK_RETRIED:
+            chunk_retries += 1
+        elif event.kind == FAULT_INJECTED:
+            faults_injected += 1
 
     makespan = lane_makespan if lane_makespan > 0 else any_makespan
     return MetricsReport(
@@ -293,4 +312,7 @@ def aggregate(
         epochs=epochs,
         reassignments=reassignments,
         tasks_moved=tasks_moved,
+        workers_died=workers_died,
+        chunk_retries=chunk_retries,
+        faults_injected=faults_injected,
     )

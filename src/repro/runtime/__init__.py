@@ -39,6 +39,13 @@ from .config import RunConfig
 from .cost_model import CostFunction, OnlineStats
 from .distributed import DistributedRunResult, block_distribution
 from .estimates import FinishingTimeEstimator, OpProfile, lag_term
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    parse_fault_spec,
+)
 from .executor import (
     ConcurrentRunResult,
     GraphRunResult,
@@ -94,6 +101,11 @@ def __dir__():
 
 __all__ = [
     "RunConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultReport",
+    "FaultInjector",
+    "parse_fault_spec",
     "MachineConfig",
     "ProcessorState",
     "RunResult",

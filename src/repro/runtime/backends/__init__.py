@@ -22,10 +22,14 @@ from .base import (
     get_backend,
     register_backend,
 )
+from ..faults import FaultPlan, FaultReport, FaultSpec
 from .mp import MpBackendError, MultiprocessingBackend, real_machine_config
 from .sim import SimBackend
 
 __all__ = [
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
     "AnyOp",
     "Backend",
     "BackendRunResult",

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Union
 
 from ..config import RunConfig
+from ..faults import FaultReport
 from ..task import ParallelOp, RealOp
 
 #: What backends accept: simulated ops, real-kernel ops, or a mix.
@@ -57,6 +58,9 @@ class BackendRunResult:
     per_op: Dict[str, OpOutcome] = field(default_factory=dict)
     #: Processor shares chosen by the allocator (concurrent runs).
     shares: List[int] = field(default_factory=list)
+    #: Fault-recovery accounting (mp backend: always present, empty on
+    #: clean runs; ``None`` on the simulator, which cannot fault).
+    fault_report: Optional[FaultReport] = None
 
     @property
     def speedup(self) -> float:

@@ -27,38 +27,79 @@ algorithm" under skew, and at worker counts a single host offers the
 tree protocol buys nothing.  ``RunConfig.sim_model="central"`` puts the
 simulator in the matching topology for the equivalence suite.
 
+**Fault tolerance** (``RunConfig.on_fault="retry"``, the default): the
+self-scheduling chunk queue is exactly the structure that makes recovery
+cheap — a lost chunk is just re-enqueued.
+
+* *Worker death* — the coordinator sweeps ``Process.is_alive()`` plus
+  per-worker heartbeat timestamps every ``heartbeat_interval`` seconds;
+  a dead worker's in-flight chunk is reclaimed to the front of its
+  operation's queue, the Eq. 1 ration re-runs over the shrunk pool, and
+  the run continues degraded on the survivors.
+* *Kernel exceptions* — the failing chunk is retried with exponential
+  backoff (``retry_backoff * 2**attempt``) under a per-task
+  ``max_retries`` budget; tasks that exhaust it are quarantined and the
+  run completes with a structured
+  :class:`~repro.runtime.faults.FaultReport` instead of hanging or
+  crashing.
+* *Honest statistics* — retried tasks are excluded from the TAPER
+  mean/variance sample (:func:`first_attempt_records`) so recovery does
+  not bias the chunk recurrence; their results still count.
+* *Fault injection* — a seeded :class:`FaultPlan` threads directives
+  (kill / raise / delay) into dispatch messages deterministically, so
+  chaos tests replay exactly.
+
+``on_fault="fail"`` restores the all-or-nothing behaviour (any fault
+raises :class:`MpBackendError`).  Coordinator death and corrupted shared
+state are out of scope — see DESIGN.md's fault model.
+
 Observability: the coordinator threads the same ``repro.obs`` Tracer the
 simulator uses — CHUNK_ACQUIRE / TASK_DISPATCH / CHUNK_COMPLETE /
-OP_BEGIN / OP_END / ALLOC_DECIDE / TAPER_DECISION events with wall-clock
-timestamps (seconds since run start) on per-worker lanes — so Chrome
-traces and metrics reports work identically for simulated and real runs.
+OP_BEGIN / OP_END / ALLOC_DECIDE / TAPER_DECISION events, plus the fault
+lane (WORKER_DIED / CHUNK_REASSIGN / CHUNK_RETRIED / FAULT_INJECTED) —
+with wall-clock timestamps (seconds since run start) on per-worker
+lanes, so Chrome traces and metrics reports show recovery in place.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ...obs.events import (
     ALLOC_DECIDE,
     CHUNK_ACQUIRE,
     CHUNK_COMPLETE,
+    CHUNK_REASSIGN,
+    CHUNK_RETRIED,
+    FAULT_INJECTED,
     OP_BEGIN,
     OP_END,
     TASK_DISPATCH,
     Tracer,
+    WORKER_DIED,
 )
 from ..allocation import allocate_even, allocate_many, allocate_proportional
 from ..config import RunConfig
 from ..cost_model import CostFunction
 from ..estimates import FinishingTimeEstimator, OpProfile
+from ..faults import FaultInjector, FaultReport, InjectedFault
 from ..machine import MachineConfig
-from ..sampling import sample_mean_std
+from ..sampling import first_attempt_records, sample_mean_std
 from ..schedulers import make_policy
 from ..task import RealOp
 from .base import (
@@ -71,7 +112,7 @@ from .base import (
 
 
 class MpBackendError(RuntimeError):
-    """A worker crashed, a kernel raised, or the watchdog expired."""
+    """An unrecoverable pool failure (or any fault under ``on_fault="fail"``)."""
 
 
 def real_machine_config(p: int) -> MachineConfig:
@@ -105,17 +146,38 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     reported relative to the coordinator's ``t0`` (``perf_counter`` is
     system-wide on every platform we target, so worker and coordinator
     clocks agree).
+
+    A kernel exception does *not* kill the worker: the failed chunk is
+    reported (``("error", wid, (op_index, indices, traceback))``) and the
+    worker keeps serving — retry policy is the coordinator's call.  Fault
+    directives attached to a dispatch are obeyed before/around the chunk:
+    ``("kill",)`` exits the process abruptly (simulating a crash),
+    ``("raise",)`` raises inside the kernel loop, ``("delay", s)`` holds
+    the reply for ``s`` seconds (simulating a stall).
     """
     request_q.put(("ready", wid, None))
     while True:
         message = reply_q.get()
         if message[0] == "stop":
             return
-        _, op_index, indices = message
+        _, op_index, indices, fault = message
+        if fault is not None and fault[0] == "kill":
+            # Detach from the shared queue before dying: Queue writes go
+            # through a feeder thread holding a cross-process lock, and
+            # exiting inside its release window would wedge every
+            # survivor's put() (corrupted shared state is out of scope —
+            # a kill fault must only lose this worker).
+            request_q.close()
+            request_q.join_thread()
+            os._exit(17)  # crash hard: no cleanup, no reply
         kernel, payloads = ops_payload[op_index]
         records = []
         value_total = 0.0
         try:
+            if fault is not None and fault[0] == "raise":
+                raise InjectedFault(
+                    f"injected kernel fault on worker {wid}"
+                )
             for index in indices:
                 start = time.perf_counter() - t0
                 value = kernel(payloads[index])
@@ -123,8 +185,12 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
                 records.append((index, start, duration))
                 value_total += float(value)
         except BaseException:
-            request_q.put(("error", wid, traceback.format_exc()))
-            return
+            request_q.put(
+                ("error", wid, (op_index, list(indices), traceback.format_exc()))
+            )
+            continue
+        if fault is not None and fault[0] == "delay":
+            time.sleep(fault[1])
         request_q.put(("done", wid, (op_index, records, value_total)))
 
 
@@ -155,6 +221,14 @@ class _OpState:
     completed: bool = False
     first_time: float = 0.0
     last_time: float = 0.0
+    #: Task indices dispatched more than once (reclaimed or retried);
+    #: their measured durations are excluded from cost statistics.
+    retried: Set[int] = field(default_factory=set)
+    #: Failed attempts per task index (kernel exceptions + crashes).
+    attempts: Dict[int, int] = field(default_factory=dict)
+    #: Task indices whose retry budget ran out; they count as "done"
+    #: for completion purposes but contribute no value.
+    quarantined: Set[int] = field(default_factory=set)
 
     @property
     def size(self) -> int:
@@ -163,6 +237,11 @@ class _OpState:
     @property
     def remaining(self) -> int:
         return len(self.pending)
+
+    @property
+    def settled_tasks(self) -> int:
+        """Tasks that need no further dispatch (succeeded or poisoned)."""
+        return self.done_tasks + len(self.quarantined)
 
     def remaining_work_estimate(self) -> float:
         mean = self.cost_fn.stats.mean
@@ -228,6 +307,19 @@ class _MpSession:
         self.assignment: List[int] = [-1] * self.p
         self.idle: Set[int] = set()
         self.t0 = 0.0
+        # -- fault-tolerance state ------------------------------------------
+        self.alive: List[bool] = [True] * self.p
+        self.live_count = self.p
+        #: wid -> (op_index, indices) of the chunk a worker is running.
+        self.in_flight: Dict[int, Tuple[int, List[int]]] = {}
+        #: Heartbeat timestamps: last message seen per worker.
+        self.last_seen: Dict[int, float] = {}
+        #: Backoff queue of failed chunks: (ready_time, op_index, indices).
+        self.delayed: List[Tuple[float, int, List[int]]] = []
+        self.fault_report = FaultReport()
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(cfg.fault_plan) if cfg.fault_plan else None
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -249,7 +341,9 @@ class _MpSession:
             for state in self.ops:
                 if (
                     not state.completed
-                    and state.size == 0
+                    and state.settled_tasks >= state.size
+                    and state.remaining == 0
+                    and state.outstanding == 0
                     and all(self.ops[d].completed for d in state.deps)
                 ):
                     state.completed = True
@@ -272,18 +366,30 @@ class _MpSession:
             tasks=max(state.remaining, 1), mean=mean, stddev=stddev
         )
 
+    def _live_workers(self) -> List[int]:
+        return [wid for wid in range(self.p) if self.alive[wid]]
+
     def _reallocate(self) -> None:
-        """Eq. 1 processor rationing -> worker-subset assignment."""
+        """Eq. 1 processor rationing -> worker-subset assignment.
+
+        Rations only the *surviving* workers: after a worker death the
+        same machinery re-runs over the shrunk pool, which is the whole
+        of "continue degraded".
+        """
         runnable = [s for s in self.ops if self._runnable(s)]
         if not runnable:
             return
+        live = self._live_workers()
+        width = len(live)
+        if width == 0:
+            return
         if len(runnable) == 1:
-            shares = [self.p]
-        elif self.p < 2 * len(runnable) or self.cfg.allocator == "even":
-            shares = allocate_even(self.p, len(runnable))
+            shares = [width]
+        elif width < 2 * len(runnable) or self.cfg.allocator == "even":
+            shares = allocate_even(width, len(runnable))
         elif self.cfg.allocator == "proportional":
             shares = allocate_proportional(
-                self.p,
+                width,
                 [s.remaining_work_estimate() for s in runnable],
             )
         else:
@@ -292,18 +398,18 @@ class _MpSession:
                 for s in runnable
             ]
             shares = allocate_many(
-                self.p, [e.finish for e in estimators]
+                width, [e.finish for e in estimators]
             )
         new_assignment = [-1] * self.p
-        worker = 0
+        cursor = 0
         for state, share in zip(runnable, shares):
             for _ in range(max(share, 1)):
-                if worker < self.p:
-                    new_assignment[worker] = state.index
-                    worker += 1
-        while worker < self.p:
-            new_assignment[worker] = runnable[-1].index
-            worker += 1
+                if cursor < width:
+                    new_assignment[live[cursor]] = state.index
+                    cursor += 1
+        while cursor < width:
+            new_assignment[live[cursor]] = runnable[-1].index
+            cursor += 1
         if new_assignment != self.assignment:
             self.assignment = new_assignment
             if self.tracer is not None:
@@ -327,10 +433,16 @@ class _MpSession:
         return max(candidates, key=lambda s: s.remaining_work_estimate())
 
     def _share_width(self, state: _OpState) -> int:
-        width = sum(1 for a in self.assignment if a == state.index)
+        width = sum(
+            1
+            for wid, assigned in enumerate(self.assignment)
+            if assigned == state.index and self.alive[wid]
+        )
         return max(width, 1)
 
     def _dispatch(self, wid: int) -> bool:
+        if not self.alive[wid]:
+            return False
         state = self._pick_op(wid)
         if state is None:
             self.idle.add(wid)
@@ -353,12 +465,18 @@ class _MpSession:
         indices = [state.pending.popleft() for _ in range(size)]
         if self.declared_mode:
             # Observe the chunk's declared costs at dispatch, matching
-            # run_central's observation order for equivalence.
+            # run_central's observation order for equivalence.  Retried
+            # tasks were observed at their first dispatch; observing
+            # them again would double-count the sample.
             for index in indices:
-                state.cost_fn.observe(index, state.declared[index])
+                if index not in state.retried:
+                    state.cost_fn.observe(index, state.declared[index])
         state.outstanding += size
         state.dispatched += size
         state.chunks += 1
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.on_dispatch(wid)
         if tracer is not None:
             now = self._now()
             if not state.started:
@@ -371,21 +489,64 @@ class _MpSession:
                 size=size,
                 remaining=remaining_before,
             )
+            if fault is not None:
+                tracer.emit(
+                    FAULT_INJECTED,
+                    now,
+                    proc=wid,
+                    op=state.label,
+                    fault=fault[0],
+                )
+        if fault is not None:
+            self.fault_report.injected.append(
+                {
+                    "fault": fault[0],
+                    "worker": wid,
+                    "op": state.label,
+                    "tasks": size,
+                }
+            )
         if not state.started:
             state.started = True
             state.first_time = self._now()
-        self.reply_qs[wid].put(("run", state.index, indices))
+        self.in_flight[wid] = (state.index, indices)
+        self.reply_qs[wid].put(("run", state.index, indices, fault))
         return True
+
+    def _wake_idle(self) -> None:
+        for idle_wid in sorted(self.idle):
+            self.idle.discard(idle_wid)
+            self._dispatch(idle_wid)
+
+    def _maybe_complete(self, state: _OpState) -> None:
+        if (
+            not state.completed
+            and state.settled_tasks >= state.size
+            and state.remaining == 0
+            and state.outstanding == 0
+        ):
+            state.completed = True
+            if self.tracer is not None:
+                self.tracer.emit(OP_END, state.last_time, op=state.label)
+            self._resolve_instant_ops()
+            # The running set changed: re-ration and wake idle workers.
+            self._reallocate()
+            self._wake_idle()
 
     def _handle_report(self, wid: int, report) -> None:
         op_index, records, value_total = report
         state = self.ops[op_index]
         tracer = self.tracer
         chunk_tasks = len(records)
-        for index, start, duration in records:
-            state.measured_work += duration
+        # Retried tasks ran under post-fault conditions; keep them out of
+        # the TAPER sample (their results still count below).
+        for index, start, duration in first_attempt_records(
+            records, state.retried
+        ):
             if not self.declared_mode:
                 state.cost_fn.observe(index, duration)
+        for index, start, duration in records:
+            state.measured_work += duration
             if tracer is not None:
                 tracer.emit(
                     TASK_DISPATCH,
@@ -411,20 +572,128 @@ class _MpSession:
         state.outstanding -= chunk_tasks
         state.done_tasks += chunk_tasks
         state.value_total += value_total
-        if (
-            not state.completed
-            and state.done_tasks >= state.size
-            and state.remaining == 0
-        ):
-            state.completed = True
-            if tracer is not None:
-                tracer.emit(OP_END, state.last_time, op=state.label)
-            self._resolve_instant_ops()
-            # The running set changed: re-ration and wake idle workers.
+        self._maybe_complete(state)
+
+    # -- fault handling ------------------------------------------------------
+
+    def _handle_error(self, wid: int, payload) -> None:
+        """A kernel raised inside a chunk: retry, quarantine, or fail."""
+        op_index, indices, tb = payload
+        state = self.ops[op_index]
+        if self.cfg.on_fault == "fail":
+            raise MpBackendError(f"worker {wid} raised:\n{tb}")
+        now = self._now()
+        survivors: List[int] = []
+        max_attempt = 0
+        for index in indices:
+            attempt = state.attempts.get(index, 0) + 1
+            state.attempts[index] = attempt
+            state.retried.add(index)
+            if attempt > self.cfg.max_retries:
+                state.quarantined.add(index)
+                self.fault_report.quarantined.append((state.label, index))
+            else:
+                survivors.append(index)
+                max_attempt = max(max_attempt, attempt)
+        state.outstanding -= len(indices)
+        backoff = 0.0
+        if survivors:
+            backoff = self.cfg.retry_backoff * (2 ** (max_attempt - 1))
+            self.delayed.append((now + backoff, op_index, survivors))
+            self.fault_report.retries += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CHUNK_RETRIED,
+                now,
+                proc=wid,
+                op=state.label,
+                tasks=len(indices),
+                attempt=max_attempt,
+                backoff=backoff,
+                quarantined=len(indices) - len(survivors),
+            )
+        self._maybe_complete(state)
+
+    def _release_delayed(self) -> None:
+        """Move backoff-expired chunks back into their pending queues."""
+        if not self.delayed:
+            return
+        now = self._now()
+        ready = [entry for entry in self.delayed if entry[0] <= now]
+        if not ready:
+            return
+        self.delayed = [entry for entry in self.delayed if entry[0] > now]
+        for _, op_index, indices in ready:
+            state = self.ops[op_index]
+            state.pending.extendleft(reversed(indices))
+        self._wake_idle()
+
+    def _next_delayed_due(self) -> Optional[float]:
+        if not self.delayed:
+            return None
+        return min(entry[0] for entry in self.delayed)
+
+    def _check_liveness(self, workers) -> None:
+        """The heartbeat sweep: reclaim chunks of dead workers.
+
+        ``Process.is_alive()`` is authoritative on a single host; the
+        ``last_seen`` timestamps recorded per message are kept in the
+        fault report for post-mortems.
+        """
+        now = self._now()
+        for wid in range(self.p):
+            if not self.alive[wid] or workers[wid].is_alive():
+                continue
+            self.alive[wid] = False
+            self.live_count -= 1
+            self.idle.discard(wid)
+            chunk = self.in_flight.pop(wid, None)
+            lost_tasks = len(chunk[1]) if chunk else 0
+            if self.tracer is not None:
+                self.tracer.emit(
+                    WORKER_DIED,
+                    now,
+                    proc=wid,
+                    tasks=lost_tasks,
+                    last_seen=self.last_seen.get(wid, 0.0),
+                )
+            self.fault_report.workers_died.append(wid)
+            if self.cfg.on_fault == "fail":
+                raise MpBackendError(
+                    f"worker {wid} died unexpectedly "
+                    f"(pid {workers[wid].pid}, "
+                    f"exitcode {workers[wid].exitcode})"
+                )
+            if chunk is not None:
+                op_index, indices = chunk
+                state = self.ops[op_index]
+                state.outstanding -= len(indices)
+                # A crash mid-chunk loses the whole chunk's results (the
+                # worker reports atomically), so re-running every task is
+                # safe: nothing was double-counted.
+                state.pending.extendleft(reversed(indices))
+                for index in indices:
+                    state.retried.add(index)
+                    state.attempts[index] = state.attempts.get(index, 0) + 1
+                self.fault_report.chunks_reassigned += 1
+                self.fault_report.tasks_reassigned += len(indices)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        CHUNK_REASSIGN,
+                        now,
+                        proc=wid,
+                        op=state.label,
+                        tasks=len(indices),
+                        victim=wid,
+                    )
+            if self.live_count == 0:
+                raise MpBackendError(
+                    "every worker process died; nothing left to run on"
+                )
+            # Continue degraded: re-ration the survivors and put them
+            # to work on the reclaimed chunks.
             self._reallocate()
-            for idle_wid in sorted(self.idle):
-                self.idle.discard(idle_wid)
-                self._dispatch(idle_wid)
+            self._wake_idle()
 
     # -- main loop -----------------------------------------------------------
 
@@ -458,35 +727,47 @@ class _MpSession:
         for process in workers:
             process.start()
         deadline = time.perf_counter() + cfg.mp_timeout
+        next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
         try:
             while not all(state.completed for state in self.ops):
-                remaining_time = deadline - time.perf_counter()
+                self._release_delayed()
+                now_abs = time.perf_counter()
+                remaining_time = deadline - now_abs
                 if remaining_time <= 0:
                     raise MpBackendError(
                         f"mp backend watchdog expired after "
                         f"{cfg.mp_timeout:.1f}s"
                     )
+                timeout = min(0.5, remaining_time, cfg.heartbeat_interval)
+                due = self._next_delayed_due()
+                if due is not None:
+                    timeout = min(timeout, max(due - self._now(), 0.001))
                 try:
-                    kind, wid, payload = request_q.get(
-                        timeout=min(0.5, remaining_time)
-                    )
+                    kind, wid, payload = request_q.get(timeout=timeout)
                 except queue_module.Empty:
-                    if any(not w.is_alive() for w in workers):
-                        raise MpBackendError(
-                            "a worker process died unexpectedly"
-                        )
+                    self._check_liveness(workers)
+                    next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
                     continue
+                self.last_seen[wid] = self._now()
                 if kind == "error":
-                    raise MpBackendError(
-                        f"worker {wid} raised:\n{payload}"
-                    )
-                if kind == "done":
+                    self.in_flight.pop(wid, None)
+                    self._handle_error(wid, payload)
+                elif kind == "done":
+                    self.in_flight.pop(wid, None)
                     self._handle_report(wid, payload)
+                elif kind == "ready":
+                    pass
                 self._dispatch(wid)
+                if time.perf_counter() >= next_heartbeat:
+                    self._check_liveness(workers)
+                    next_heartbeat = (
+                        time.perf_counter() + cfg.heartbeat_interval
+                    )
                 if (
-                    len(self.idle) == self.p
+                    len(self.idle) == self.live_count
                     and all(s.outstanding == 0 for s in self.ops)
+                    and not self.delayed
                     and not all(s.completed for s in self.ops)
                 ):
                     raise MpBackendError(
@@ -494,7 +775,11 @@ class _MpSession:
                         "operations still incomplete"
                     )
         finally:
-            for reply_q in self.reply_qs:
+            for wid, reply_q in enumerate(self.reply_qs):
+                # A crashed worker has no reader on its reply queue;
+                # skip the stop message so shutdown can't wedge on it.
+                if not self.alive[wid] or not workers[wid].is_alive():
+                    continue
                 try:
                     reply_q.put(("stop",))
                 except Exception:
@@ -524,6 +809,7 @@ class _MpSession:
             )
             for state in self.ops
         }
+        self.fault_report.worker_last_seen = dict(self.last_seen)
         return BackendRunResult(
             backend="mp",
             makespan=makespan,
@@ -535,6 +821,7 @@ class _MpSession:
             value_total=sum(s.value_total for s in self.ops),
             per_op=per_op,
             shares=[],
+            fault_report=self.fault_report,
         )
 
 

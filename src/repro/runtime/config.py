@@ -17,6 +17,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from .faults import FaultPlan
 from .machine import MachineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -29,6 +30,7 @@ BACKENDS = ("sim", "mp")
 SIM_MODELS = ("distributed", "central")
 COST_SOURCES = ("measured", "declared")
 MP_START_METHODS = (None, "fork", "spawn", "forkserver")
+ON_FAULT = ("retry", "fail")
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,24 @@ class RunConfig:
     #: Watchdog: seconds the mp coordinator waits for worker progress
     #: before terminating the pool and raising.
     mp_timeout: float = 120.0
+    #: What the mp coordinator does when a worker dies or a kernel
+    #: raises: ``"retry"`` (reclaim/re-enqueue chunks, continue degraded
+    #: on the survivors) or ``"fail"`` (the pre-fault-tolerance
+    #: behaviour: raise :class:`MpBackendError` immediately).
+    on_fault: str = "retry"
+    #: Per-task retry budget for failing kernels; a task that fails more
+    #: than this many times is quarantined and reported in the
+    #: :class:`~repro.runtime.faults.FaultReport` instead of retried
+    #: forever.
+    max_retries: int = 2
+    #: Seconds between the coordinator's liveness sweeps
+    #: (``Process.is_alive()`` + heartbeat timestamps over the pool).
+    heartbeat_interval: float = 0.2
+    #: Base of the exponential retry backoff: a chunk's n-th retry waits
+    #: ``retry_backoff * 2**(n-1)`` seconds before re-dispatch.
+    retry_backoff: float = 0.05
+    #: Deterministic fault-injection plan (``None`` = no injection).
+    fault_plan: Optional[FaultPlan] = None
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -124,6 +144,16 @@ class RunConfig:
             raise ValueError("RunConfig.time_scale must be > 0")
         if self.mp_timeout <= 0:
             raise ValueError("RunConfig.mp_timeout must be > 0")
+        if self.on_fault not in ON_FAULT:
+            raise ValueError(
+                f"unknown on_fault {self.on_fault!r}; pick from {ON_FAULT}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("RunConfig.max_retries must be >= 0")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("RunConfig.heartbeat_interval must be > 0")
+        if self.retry_backoff < 0:
+            raise ValueError("RunConfig.retry_backoff must be >= 0")
         if (
             self.machine is not None
             and self.machine.processors != self.processors

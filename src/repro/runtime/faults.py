@@ -1,0 +1,304 @@
+"""Fault model for real execution: plans, injection, and reports.
+
+The paper's runtime (§4) assumes every processor survives the run; a
+production pool does not get that luxury.  This module is the
+self-contained vocabulary the multiprocessing backend uses to *describe*
+faults — it imports nothing from the rest of the runtime so ``config``
+and ``backends`` can both import it freely.
+
+Three pieces:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a deterministic, picklable
+  description of faults to inject (kill worker k at its n-th chunk,
+  raise inside a kernel, delay a reply), built directly or seeded via
+  :meth:`FaultPlan.random`;
+* :class:`FaultInjector` — the coordinator-side state machine that turns
+  a plan into per-dispatch directives (``("kill",)``, ``("raise",)``,
+  ``("delay", seconds)``).  All counting happens in the coordinator
+  process, so injection is deterministic given the dispatch order;
+* :class:`FaultReport` — the structured account of what actually went
+  wrong and what recovery did about it, attached to every mp
+  ``BackendRunResult`` instead of an opaque crash.
+
+What is recovered: worker-process death (chunks reclaimed and re-run on
+the survivors) and kernel exceptions (per-chunk retry with exponential
+backoff, then quarantine).  What is *not*: coordinator death and
+corrupted shared state — see DESIGN.md's fault model.
+"""
+
+from __future__ import annotations
+
+import random as random_module
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Fault kinds a plan can inject.
+FAULT_KINDS = ("kill", "raise", "delay")
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker kernel by a ``raise`` fault directive."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``worker`` targets a specific worker id, or ``-1`` for "any worker"
+    (the fault then fires at the ``at_chunk``-th *global* dispatch).
+    ``at_chunk`` counts chunk dispatches (0-based): per-worker when a
+    worker is named, across the whole pool otherwise.  ``times`` is how
+    many matching dispatches get the fault (``raise`` faults with
+    ``times`` larger than the retry budget exhaust it and force
+    quarantine).  ``delay`` is the reply delay in seconds for ``delay``
+    faults.
+    """
+
+    kind: str
+    worker: int = -1
+    at_chunk: int = 0
+    times: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}"
+            )
+        if self.at_chunk < 0:
+            raise ValueError("FaultSpec.at_chunk must be >= 0")
+        if self.times < 1:
+            raise ValueError("FaultSpec.times must be >= 1")
+        if self.kind == "delay" and self.delay <= 0:
+            raise ValueError("delay faults need FaultSpec.delay > 0")
+
+    def directive(self) -> Tuple:
+        """The wire form a worker obeys."""
+        if self.kind == "delay":
+            return ("delay", self.delay)
+        return (self.kind,)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject into one run."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs; freeze to a tuple.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def kill_worker(cls, worker: int = -1, at_chunk: int = 0) -> "FaultPlan":
+        """Kill ``worker`` when it is handed its ``at_chunk``-th chunk.
+
+        ``worker=-1`` kills whichever worker receives the ``at_chunk``-th
+        *global* dispatch — the deterministic choice when you care that
+        *a* worker dies, not which one (a named worker may never be
+        handed a chunk on a fast run).
+        """
+        return cls((FaultSpec("kill", worker=worker, at_chunk=at_chunk),))
+
+    @classmethod
+    def kernel_raise(
+        cls, at_chunk: int = 0, times: int = 1, worker: int = -1
+    ) -> "FaultPlan":
+        """Make a kernel raise on ``times`` dispatches from ``at_chunk``."""
+        return cls(
+            (FaultSpec("raise", worker=worker, at_chunk=at_chunk, times=times),)
+        )
+
+    @classmethod
+    def delay_reply(
+        cls, seconds: float, worker: int = -1, at_chunk: int = 0
+    ) -> "FaultPlan":
+        """Hold a worker's reply for ``seconds`` after it computes."""
+        return cls(
+            (
+                FaultSpec(
+                    "delay", worker=worker, at_chunk=at_chunk, delay=seconds
+                ),
+            )
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: int,
+        faults: int = 1,
+        kinds: Tuple[str, ...] = ("kill", "raise"),
+        max_chunk: int = 8,
+    ) -> "FaultPlan":
+        """A seeded plan: the same seed always builds the same faults."""
+        rng = random_module.Random(seed)
+        specs: List[FaultSpec] = []
+        for _ in range(faults):
+            kind = rng.choice(list(kinds))
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    worker=rng.randrange(workers),
+                    at_chunk=rng.randrange(max_chunk),
+                    delay=0.05 if kind == "delay" else 0.0,
+                )
+            )
+        return cls(tuple(specs))
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI form ``kind[:worker[:chunk[:arg]]]``.
+
+    ``worker`` is an id or ``*`` (any); ``arg`` is ``times`` for
+    ``raise`` faults and ``seconds`` for ``delay`` faults.  Examples:
+    ``kill:1:2`` (kill worker 1 at its 2nd chunk), ``raise:*:3:2``
+    (raise on global dispatches 3 and 4), ``delay:0:1:0.25``.
+    """
+    parts = text.split(":")
+    kind = parts[0]
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in {text!r}; "
+            f"pick from {FAULT_KINDS}"
+        )
+    worker = -1
+    if len(parts) > 1 and parts[1] not in ("", "*"):
+        worker = int(parts[1])
+    at_chunk = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+    times, delay = 1, 0.0
+    if len(parts) > 3 and parts[3]:
+        if kind == "delay":
+            delay = float(parts[3])
+        else:
+            times = int(parts[3])
+    if kind == "delay" and delay <= 0:
+        delay = 0.1
+    return FaultSpec(
+        kind=kind, worker=worker, at_chunk=at_chunk, times=times, delay=delay
+    )
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-dispatch directives.
+
+    Lives in the coordinator: it counts chunk dispatches (globally and
+    per worker) and fires each spec at most ``times`` times, so the same
+    plan against the same dispatch sequence injects the same faults.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._global = 0
+        self._per_worker: Dict[int, int] = {}
+        self._fired = [0] * len(plan.specs)
+
+    def on_dispatch(self, wid: int) -> Optional[Tuple]:
+        """The directive for this dispatch, or ``None``.
+
+        At most one fault fires per dispatch (specs are checked in plan
+        order); counters advance either way.
+        """
+        global_index = self._global
+        self._global += 1
+        worker_index = self._per_worker.get(wid, 0)
+        self._per_worker[wid] = worker_index + 1
+        for spec_index, spec in enumerate(self.plan.specs):
+            if spec.worker >= 0 and spec.worker != wid:
+                continue
+            index = worker_index if spec.worker >= 0 else global_index
+            if index < spec.at_chunk:
+                continue
+            if self._fired[spec_index] >= spec.times:
+                continue
+            self._fired[spec_index] += 1
+            return spec.directive()
+        return None
+
+
+@dataclass
+class FaultReport:
+    """What went wrong during one run, and what recovery did about it.
+
+    Attached to every mp :class:`BackendRunResult` (empty for clean
+    runs) so callers inspect structure instead of parsing a traceback.
+    """
+
+    #: Worker ids detected dead, in detection order.
+    workers_died: List[int] = field(default_factory=list)
+    #: Chunks reclaimed from dead workers and re-enqueued.
+    chunks_reassigned: int = 0
+    #: Tasks inside those reclaimed chunks.
+    tasks_reassigned: int = 0
+    #: Chunk retry attempts after kernel exceptions (with backoff).
+    retries: int = 0
+    #: ``(op label, task index)`` pairs whose retry budget ran out.
+    quarantined: List[Tuple[str, int]] = field(default_factory=list)
+    #: Fault directives actually injected (kind/worker/chunk dicts).
+    injected: List[Dict[str, Any]] = field(default_factory=list)
+    #: Last message timestamp per worker (heartbeat bookkeeping),
+    #: seconds since run start.
+    worker_last_seen: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every task's result made it into the totals."""
+        return not self.quarantined
+
+    @property
+    def any_fault(self) -> bool:
+        return bool(
+            self.workers_died
+            or self.retries
+            or self.quarantined
+            or self.injected
+        )
+
+    def merge(self, other: "FaultReport") -> None:
+        """Fold another run's report into this one (multi-step drivers)."""
+        self.workers_died.extend(other.workers_died)
+        self.chunks_reassigned += other.chunks_reassigned
+        self.tasks_reassigned += other.tasks_reassigned
+        self.retries += other.retries
+        self.quarantined.extend(other.quarantined)
+        self.injected.extend(other.injected)
+        self.worker_last_seen.update(other.worker_last_seen)
+
+    def summary(self) -> str:
+        if not self.any_fault:
+            return "no faults"
+        parts = []
+        if self.workers_died:
+            parts.append(
+                f"workers died: {self.workers_died} "
+                f"({self.chunks_reassigned} chunks / "
+                f"{self.tasks_reassigned} tasks reassigned)"
+            )
+        if self.retries:
+            parts.append(f"chunk retries: {self.retries}")
+        if self.quarantined:
+            parts.append(
+                f"quarantined tasks: {len(self.quarantined)} "
+                f"{self.quarantined[:8]}"
+            )
+        if self.injected:
+            parts.append(f"faults injected: {len(self.injected)}")
+        return "; ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "workers_died": list(self.workers_died),
+            "chunks_reassigned": self.chunks_reassigned,
+            "tasks_reassigned": self.tasks_reassigned,
+            "retries": self.retries,
+            "quarantined": [list(pair) for pair in self.quarantined],
+            "injected": list(self.injected),
+            "worker_last_seen": dict(self.worker_last_seen),
+        }

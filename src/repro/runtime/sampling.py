@@ -17,7 +17,7 @@ identically.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import AbstractSet, List, Optional, Sequence, Tuple
 
 from .cost_model import OnlineStats
 from .estimates import OpProfile
@@ -33,6 +33,24 @@ def sample_costs(costs: Sequence[float], sample: int = DEFAULT_SAMPLE) -> Sequen
     if not costs:
         return costs
     return costs[: max(1, min(sample, len(costs)))]
+
+
+def first_attempt_records(
+    records: Sequence[Tuple[int, float, float]],
+    retried: AbstractSet[int],
+) -> List[Tuple[int, float, float]]:
+    """Drop measured ``(index, start, duration)`` records of retried tasks.
+
+    Retried tasks ran after a fault (a reclaimed chunk or a kernel
+    exception): their wall-clock durations include warm caches, backoff
+    scheduling skew, and whatever the fault disturbed, so feeding them to
+    the TAPER mean/variance estimator would bias the chunk recurrence.
+    Only first-attempt samples count toward cost statistics; the retried
+    tasks' *results* still count toward value totals.
+    """
+    if not retried:
+        return list(records)
+    return [record for record in records if record[0] not in retried]
 
 
 def sample_mean_std(

@@ -87,10 +87,13 @@ def test_pipeline_runs_all_stages():
     assert len(result.per_op) == 6  # 3 stages x 2 iterations
 
 
-def test_worker_exception_propagates():
+def test_worker_exception_propagates_with_on_fault_fail():
+    # on_fault="fail" restores the pre-fault-tolerance contract: the
+    # first kernel exception aborts the whole run.
     op = RealOp(name="boom", kernel=failing_kernel, payloads=[0.0] * 4)
+    strict = CFG.with_(on_fault="fail")
     with pytest.raises(MpBackendError, match="kernel exploded"):
-        MultiprocessingBackend().run_op(op, CFG)
+        MultiprocessingBackend().run_op(op, strict)
 
 
 def test_watchdog_times_out_stuck_run():
