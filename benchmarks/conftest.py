@@ -9,6 +9,8 @@ Each table is also dumped as machine-readable JSON —
 ``BENCH_<name>.json`` under :data:`RESULTS_DIR` (override with the
 ``REPRO_BENCH_DIR`` environment variable) — so successive PRs accumulate
 a perf trajectory that scripts can diff instead of scraping stdout.
+The canonical location is the repository root: that is where CI uploads
+from and where the git-tracked trajectory lives.
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ import json
 import os
 
 RESULTS_DIR = os.environ.get(
-    "REPRO_BENCH_DIR", os.path.join(os.path.dirname(__file__), "results")
+    "REPRO_BENCH_DIR",
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 )
 
 

@@ -23,6 +23,11 @@ Commands:
   worker.  mp runs recover from worker death and kernel exceptions by
   default (``--on-fault retry``); ``--inject-fault kill:1:2`` et al.
   drive the deterministic chaos harness (see README "Fault tolerance").
+  ``--checkpoint DIR`` journals completed chunks so a killed run
+  restarts from where it stopped with ``--resume DIR``; ``--speculate``
+  duplicates straggler chunks onto idle workers; ``--wall-clock-limit``
+  stops gracefully with a resumable partial result (see README
+  "Resumable runs").
 """
 
 from __future__ import annotations
@@ -208,8 +213,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit status for a run cancelled by SIGINT/SIGTERM (128 + SIGINT,
+#: the shell convention for death-by-Ctrl-C).
+EXIT_CANCELLED_SIGNAL = 130
+#: Exit status for a run stopped by ``--wall-clock-limit`` (EX_TEMPFAIL:
+#: partial result checkpointed, try again with ``--resume``).
+EXIT_CANCELLED_WALL_CLOCK = 75
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from . import api
+    from .runtime.checkpoint import load_run_target
     from .runtime.faults import FaultPlan, parse_fault_spec
 
     overrides = {}
@@ -228,24 +242,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
-    config = api.RunConfig(
-        processors=args.procs,
-        backend=args.backend,
-        policy=args.policy,
-        cost_source=args.cost_source,
-        mp_timeout=args.timeout,
-        seed=args.seed,
-        fault_plan=fault_plan,
-        on_fault=args.on_fault,
-        max_retries=args.max_retries,
-        heartbeat_interval=args.heartbeat,
-    )
+    try:
+        config = api.RunConfig(
+            processors=args.procs,
+            backend=args.backend,
+            policy=args.policy,
+            cost_source=args.cost_source,
+            mp_timeout=args.timeout,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            on_fault=args.on_fault,
+            max_retries=args.max_retries,
+            heartbeat_interval=args.heartbeat,
+            checkpoint_dir=args.resume or args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=bool(args.resume),
+            speculation_factor=args.speculate,
+            wall_clock_limit=args.wall_clock_limit,
+        )
+        if args.resume:
+            # Re-apply the manifest's scheduling fields (processors,
+            # policy, ...) so forgetting to restate them can't trip the
+            # fingerprint check; pull the stored target if none given.
+            config = api.resume_config(args.resume, config)
+            if args.target is None:
+                stored = load_run_target(args.resume) or {}
+                args.target = stored.get("target")
+                for key, value in (stored.get("overrides") or {}).items():
+                    overrides.setdefault(key, value)
+            if args.target is None:
+                print(
+                    f"no stored run target in {args.resume}; pass the "
+                    "original TARGET as well",
+                    file=sys.stderr,
+                )
+                return 2
+    except (ValueError, api.CheckpointError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.target is None:
+        print("a run TARGET is required (unless --resume)", file=sys.stderr)
+        return 2
     try:
         if args.trace_out or args.metrics_out:
             result, report = api.trace(args.target, config, **overrides)
         else:
             result, report = api.run(args.target, config, **overrides), None
-    except ValueError as error:
+    except (ValueError, api.CheckpointError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(result.summary())
@@ -258,6 +301,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"metrics      -> {args.metrics_out}")
         print()
         print(report.summary())
+    if result.cancelled:
+        return (
+            EXIT_CANCELLED_WALL_CLOCK
+            if result.cancel_reason == "wall_clock_limit"
+            else EXIT_CANCELLED_SIGNAL
+        )
     return 0
 
 
@@ -358,9 +407,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "target",
+        nargs="?",
+        default=None,
         help=(
             "a MiniF source file, a real-kernel workload "
-            "(fig1, reduction, psirrfan), or an application workload"
+            "(fig1, reduction, psirrfan), or an application workload "
+            "(optional with --resume: the checkpointed target is reused)"
         ),
     )
     run_parser.add_argument(
@@ -431,6 +483,45 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--heartbeat", type=float, default=0.2,
         help="seconds between coordinator liveness sweeps",
+    )
+    run_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal every completed chunk to DIR (mp backend): a killed "
+            "run restarts from where it stopped via --resume DIR"
+        ),
+    )
+    run_parser.add_argument(
+        "--checkpoint-interval", type=int, default=1, metavar="N",
+        help="completed chunks between journal fsyncs (default 1)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "replay the chunk journal in DIR, skip completed chunks, and "
+            "run only the remainder (TARGET defaults to the one recorded "
+            "at checkpoint time)"
+        ),
+    )
+    run_parser.add_argument(
+        "--speculate", type=float, default=None, metavar="FACTOR",
+        help=(
+            "duplicate a straggling chunk onto an idle worker when its "
+            "elapsed time exceeds FACTOR x the Kruskal-Weiss tail "
+            "estimate; first result wins (try 2.0)"
+        ),
+    )
+    run_parser.add_argument(
+        "--wall-clock-limit", type=float, default=None, metavar="SECONDS",
+        help=(
+            "stop gracefully after SECONDS: drain in-flight chunks, "
+            "checkpoint, and exit 75 with a partial result (vs --timeout, "
+            "which raises)"
+        ),
     )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument(

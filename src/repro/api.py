@@ -51,17 +51,27 @@ from .obs import (
     write_metrics_json,
 )
 from .runtime.backends import BackendRunResult, backend_for
+from .runtime.checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    load_run_target,
+    save_run_target,
+)
 from .runtime.config import RunConfig
 from .runtime.faults import FaultPlan, FaultReport
 from .runtime.task import ParallelOp, RealOp
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointMismatchError",
     "FaultPlan",
     "FaultReport",
     "RunConfig",
     "RunResult",
     "TraceReport",
     "compile",
+    "resume",
+    "resume_config",
     "run",
     "trace",
 ]
@@ -114,6 +124,15 @@ class RunResult:
     per_op: Dict[str, object] = field(default_factory=dict)
     #: Fault-recovery account of the run (mp backend; ``None`` on sim).
     fault_report: Optional[FaultReport] = None
+    #: The run stopped early but cleanly (Ctrl-C / wall-clock limit);
+    #: the totals above cover the completed prefix.
+    cancelled: bool = False
+    cancel_reason: str = ""
+    #: Checkpoint directory this run can be resumed from (``None`` when
+    #: checkpointing was off).
+    resume_dir: Optional[str] = None
+    #: Tasks restored from a replayed journal rather than executed.
+    tasks_resumed: int = 0
 
     def summary(self) -> str:
         unit = "s" if self.time_unit == "seconds" else " work units"
@@ -124,6 +143,18 @@ class RunResult:
             f"speedup={self.speedup:.2f}x eff={self.efficiency:.2f} "
             f"value_total={self.value_total:.0f}"
         )
+        if self.tasks_resumed:
+            text += (
+                f"\nresumed: {self.tasks_resumed} tasks restored from "
+                "the journal (not re-executed)"
+            )
+        if self.cancelled:
+            text += f"\ncancelled: {self.cancel_reason}"
+            if self.resume_dir:
+                text += (
+                    f"; resume with `python -m repro run --backend "
+                    f"{self.backend} --resume {self.resume_dir}`"
+                )
         if self.fault_report is not None and self.fault_report.any_fault:
             text += f"\nfaults: {self.fault_report.summary()}"
         return text
@@ -187,6 +218,10 @@ def _from_backend(
         efficiency=raw.efficiency,
         per_op=dict(raw.per_op),
         fault_report=raw.fault_report,
+        cancelled=raw.cancelled,
+        cancel_reason=raw.cancel_reason,
+        resume_dir=raw.resume_dir,
+        tasks_resumed=raw.tasks_resumed,
     )
 
 
@@ -194,6 +229,13 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
     """A Section 5 synthetic workload (sim modes, or spun-up on mp)."""
     from .apps import ALL_WORKLOADS
 
+    if cfg.checkpoint_dir:
+        raise ValueError(
+            f"workload {name!r} executes as many independent backend "
+            "sessions; the chunk journal covers exactly one session — "
+            "checkpoint a real-kernel workload (fig1, reduction, "
+            "psirrfan), explicit operations, or a compiled program"
+        )
     mode = overrides.pop("mode", "split")
     steps = overrides.pop("steps", 2)
     workload = ALL_WORKLOADS[name](steps=steps)
@@ -290,6 +332,10 @@ def run(
     if overrides:
         cfg = cfg.with_(**overrides)
     backend = backend_for(cfg)
+    if isinstance(target, str) and cfg.checkpoint_dir and not cfg.resume:
+        # Sidecar the CLI-reconstructible target next to the journal so
+        # `python -m repro run --resume DIR` needs no target argument.
+        save_run_target(cfg.checkpoint_dir, target, workload_overrides)
 
     from .apps.kernels import REAL_WORKLOADS, graph_real_ops
 
@@ -350,6 +396,56 @@ def graph_real_ops_cached(
         elements=overrides.get("elements", 400),
         seed=cfg.seed,
     )
+
+
+def resume_config(
+    checkpoint_dir: str, base: Optional[RunConfig] = None
+) -> RunConfig:
+    """A config that resumes the run checkpointed in ``checkpoint_dir``.
+
+    The manifest's scheduling-relevant fields (processors, policy,
+    cost source, ...) are applied over ``base`` — they *must* match the
+    original run for the journal to replay, so restating them on resume
+    is both error-prone and pointless.  Operational knobs from ``base``
+    (timeouts, tracer, fault plan, speculation) are kept as given.
+    """
+    from .runtime.checkpoint import load_manifest
+
+    manifest = load_manifest(checkpoint_dir)
+    cfg = base or RunConfig()
+    stored = {
+        key: value
+        for key, value in manifest.config.items()
+        if hasattr(cfg, key)
+    }
+    return cfg.with_(checkpoint_dir=checkpoint_dir, resume=True, **stored)
+
+
+def resume(
+    checkpoint_dir: str,
+    target: Optional[RunTarget] = None,
+    config: Optional[RunConfig] = None,
+    **overrides,
+) -> RunResult:
+    """Resume a checkpointed run: replay the journal, run the remainder.
+
+    ``target`` defaults to the one recorded in the checkpoint's
+    ``run.json`` sidecar (string targets only — explicit operation
+    objects cannot be reconstructed and must be passed again, built
+    from the same seed).
+    """
+    cfg = resume_config(checkpoint_dir, config)
+    if target is None:
+        stored = load_run_target(checkpoint_dir)
+        if stored is None or not stored.get("target"):
+            raise ValueError(
+                f"no stored run target in {checkpoint_dir}; pass the "
+                "original target explicitly to resume()"
+            )
+        target = stored["target"]
+        for key, value in (stored.get("overrides") or {}).items():
+            overrides.setdefault(key, value)
+    return run(target, cfg, **overrides)
 
 
 def trace(

@@ -66,6 +66,22 @@ CHUNK_RETRIED = "chunk.retry"
 #: The fault-injection harness fired a planned fault
 #: (attrs: fault kind, target worker).
 FAULT_INJECTED = "fault.injected"
+#: A straggler chunk was duplicated onto an idle worker
+#: (attrs: tasks, victim = the slow worker, elapsed, expected).
+CHUNK_SPECULATE = "chunk.speculate"
+#: A completed task's result arrived after another copy already
+#: delivered it; the duplicate was dropped, not double-counted
+#: (attrs: tasks = duplicate count, speculative).
+CHUNK_DUPLICATE_DROPPED = "chunk.duplicate_dropped"
+#: One chunk record appended to the durable journal
+#: (attrs: tasks, synced = whether this append fsynced).
+CHECKPOINT_WRITE = "checkpoint.write"
+#: The journal was replayed at startup (attrs: tasks, chunks, dropped).
+RUN_RESUMED = "run.resumed"
+#: The run was cancelled gracefully — SIGINT/SIGTERM or the wall-clock
+#: limit — after a drain-checkpoint-exit sequence
+#: (attrs: reason, remaining = tasks left undone).
+RUN_CANCELLED = "run.cancelled"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -85,6 +101,11 @@ ALL_KINDS = (
     WORKER_DIED,
     CHUNK_RETRIED,
     FAULT_INJECTED,
+    CHUNK_SPECULATE,
+    CHUNK_DUPLICATE_DROPPED,
+    CHECKPOINT_WRITE,
+    RUN_RESUMED,
+    RUN_CANCELLED,
 )
 
 

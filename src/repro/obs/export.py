@@ -36,6 +36,8 @@ _CATEGORY = {
     "granularity": "decision",
     "op": "op",
     "fault": "fault",
+    "checkpoint": "durability",
+    "run": "durability",
 }
 
 #: Kinds rendered as duration ("X") events on a processor lane.
@@ -191,6 +193,22 @@ def metrics_summary(
                 report.workers_died,
                 report.chunk_retries,
                 report.faults_injected,
+            )
+        )
+    if (
+        report.checkpoint_writes
+        or report.chunks_speculated
+        or report.duplicates_dropped
+        or report.runs_cancelled
+    ):
+        lines.append(
+            "durability          %d checkpoint writes | %d speculated | "
+            "%d duplicates dropped%s"
+            % (
+                report.checkpoint_writes,
+                report.chunks_speculated,
+                report.duplicates_dropped,
+                " | CANCELLED" if report.runs_cancelled else "",
             )
         )
     if report.per_op:

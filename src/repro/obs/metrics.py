@@ -25,14 +25,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .events import (
+    CHECKPOINT_WRITE,
     CHUNK_ACQUIRE,
+    CHUNK_DUPLICATE_DROPPED,
     CHUNK_REASSIGN,
     CHUNK_RETRIED,
+    CHUNK_SPECULATE,
     EPOCH_ADVANCE,
     Event,
     FAULT_INJECTED,
     MSG_RECV,
     MSG_SEND,
+    RUN_CANCELLED,
     TASK_DISPATCH,
     WORKER_DIED,
 )
@@ -122,6 +126,11 @@ class MetricsReport:
     workers_died: int = 0
     chunk_retries: int = 0
     faults_injected: int = 0
+    #: Durability accounting (mp backend with checkpoint/speculation).
+    chunks_speculated: int = 0
+    duplicates_dropped: int = 0
+    checkpoint_writes: int = 0
+    runs_cancelled: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -200,6 +209,10 @@ class MetricsReport:
             "workers_died": self.workers_died,
             "chunk_retries": self.chunk_retries,
             "faults_injected": self.faults_injected,
+            "chunks_speculated": self.chunks_speculated,
+            "duplicates_dropped": self.duplicates_dropped,
+            "checkpoint_writes": self.checkpoint_writes,
+            "runs_cancelled": self.runs_cancelled,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -237,6 +250,10 @@ def aggregate(
     workers_died = 0
     chunk_retries = 0
     faults_injected = 0
+    chunks_speculated = 0
+    duplicates_dropped = 0
+    checkpoint_writes = 0
+    runs_cancelled = 0
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
     # overshoot the real finish); summary-only streams (pipeline stages,
@@ -300,6 +317,14 @@ def aggregate(
             chunk_retries += 1
         elif event.kind == FAULT_INJECTED:
             faults_injected += 1
+        elif event.kind == CHUNK_SPECULATE:
+            chunks_speculated += 1
+        elif event.kind == CHUNK_DUPLICATE_DROPPED:
+            duplicates_dropped += event.attrs.get("tasks", 1)
+        elif event.kind == CHECKPOINT_WRITE:
+            checkpoint_writes += 1
+        elif event.kind == RUN_CANCELLED:
+            runs_cancelled += 1
 
     makespan = lane_makespan if lane_makespan > 0 else any_makespan
     return MetricsReport(
@@ -315,4 +340,8 @@ def aggregate(
         workers_died=workers_died,
         chunk_retries=chunk_retries,
         faults_injected=faults_injected,
+        chunks_speculated=chunks_speculated,
+        duplicates_dropped=duplicates_dropped,
+        checkpoint_writes=checkpoint_writes,
+        runs_cancelled=runs_cancelled,
     )

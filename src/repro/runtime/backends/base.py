@@ -61,6 +61,18 @@ class BackendRunResult:
     #: Fault-recovery accounting (mp backend: always present, empty on
     #: clean runs; ``None`` on the simulator, which cannot fault).
     fault_report: Optional[FaultReport] = None
+    #: The run stopped early but cleanly (SIGINT/SIGTERM or
+    #: ``wall_clock_limit``); totals above cover the completed prefix.
+    cancelled: bool = False
+    #: Why the run was cancelled (``"signal:SIGINT"``,
+    #: ``"wall_clock_limit"``, ...); empty when not cancelled.
+    cancel_reason: str = ""
+    #: The checkpoint directory a cancelled/checkpointed run can be
+    #: resumed from (``None`` when checkpointing was off).
+    resume_dir: Optional[str] = None
+    #: Tasks restored from a replayed journal rather than executed
+    #: (included in ``tasks_total``).
+    tasks_resumed: int = 0
 
     @property
     def speedup(self) -> float:

@@ -50,8 +50,32 @@ cheap — a lost chunk is just re-enqueued.
   chaos tests replay exactly.
 
 ``on_fault="fail"`` restores the all-or-nothing behaviour (any fault
-raises :class:`MpBackendError`).  Coordinator death and corrupted shared
-state are out of scope — see DESIGN.md's fault model.
+raises :class:`MpBackendError`).
+
+**Durability** (``RunConfig.checkpoint_dir``): coordinator death is no
+longer out of scope — every completed chunk is appended to a CRC-checked
+journal (:mod:`repro.runtime.checkpoint`) as it is reported, so a
+coordinator crash loses at most the chunks in flight.  A run restarted
+with ``RunConfig.resume=True`` replays the journal: completed chunks are
+skipped, their per-task durations re-seed the TAPER mean/variance
+sample, and the Eq. 1 ration runs over only the remaining work.  The
+run manifest fingerprints every scheduling-relevant config field plus
+the operation shapes; resuming against a different run is refused with
+:class:`~repro.runtime.checkpoint.CheckpointMismatchError`.
+
+Two relatives of recovery ride on the same completed-set bookkeeping:
+
+* *Straggler speculation* (``RunConfig.speculation_factor``) — when a
+  chunk's elapsed wall-clock time exceeds the factor times its
+  Kruskal–Weiss tail estimate (mean + :func:`lag_term` over the sampled
+  durations), an idle worker is handed a duplicate copy; the first
+  result wins and the loser's tasks are dropped at the journal/dedup
+  level, never double-counted.
+* *Graceful cancellation* — SIGINT/SIGTERM or
+  ``RunConfig.wall_clock_limit`` trigger drain → checkpoint → clean
+  worker shutdown, returning a partial :class:`BackendRunResult`
+  flagged ``cancelled=True`` with a resume hint, instead of a stack
+  trace and orphaned children.
 
 Observability: the coordinator threads the same ``repro.obs`` Tracer the
 simulator uses — CHUNK_ACQUIRE / TASK_DISPATCH / CHUNK_COMPLETE /
@@ -66,6 +90,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -82,24 +108,44 @@ from typing import (
 
 from ...obs.events import (
     ALLOC_DECIDE,
+    CHECKPOINT_WRITE,
     CHUNK_ACQUIRE,
     CHUNK_COMPLETE,
+    CHUNK_DUPLICATE_DROPPED,
     CHUNK_REASSIGN,
     CHUNK_RETRIED,
+    CHUNK_SPECULATE,
     FAULT_INJECTED,
     OP_BEGIN,
     OP_END,
+    RUN_CANCELLED,
+    RUN_RESUMED,
     TASK_DISPATCH,
     Tracer,
     WORKER_DIED,
 )
 from ..allocation import allocate_even, allocate_many, allocate_proportional
+from ..checkpoint import (
+    CheckpointMismatchError,
+    ChunkJournal,
+    ChunkRecord,
+    JournalReplay,
+    RunManifest,
+    init_checkpoint_dir,
+    load_manifest,
+    read_journal,
+)
 from ..config import RunConfig
-from ..cost_model import CostFunction
-from ..estimates import FinishingTimeEstimator, OpProfile
-from ..faults import FaultInjector, FaultReport, InjectedFault
+from ..cost_model import CostFunction, OnlineStats
+from ..estimates import FinishingTimeEstimator, OpProfile, lag_term
+from ..faults import (
+    COORDINATOR_KILL_EXIT,
+    FaultInjector,
+    FaultReport,
+    InjectedFault,
+)
 from ..machine import MachineConfig
-from ..sampling import first_attempt_records, sample_mean_std
+from ..sampling import sample_mean_std
 from ..schedulers import make_policy
 from ..task import RealOp
 from .base import (
@@ -145,16 +191,27 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     ``ops_payload`` is ``[(kernel, payloads), ...]``; all timestamps are
     reported relative to the coordinator's ``t0`` (``perf_counter`` is
     system-wide on every platform we target, so worker and coordinator
-    clocks agree).
+    clocks agree).  Results are per-task ``(index, start, duration,
+    value)`` records — per-task values are what lets the coordinator
+    de-duplicate *partial* overlaps between a speculative copy and its
+    primary without double-counting a reduction.
 
     A kernel exception does *not* kill the worker: the failed chunk is
     reported (``("error", wid, (op_index, indices, traceback))``) and the
     worker keeps serving — retry policy is the coordinator's call.  Fault
     directives attached to a dispatch are obeyed before/around the chunk:
     ``("kill",)`` exits the process abruptly (simulating a crash),
-    ``("raise",)`` raises inside the kernel loop, ``("delay", s)`` holds
-    the reply for ``s`` seconds (simulating a stall).
+    ``("raise",)`` raises inside the kernel loop, ``("slow", s)`` stalls
+    ``s`` seconds *before* computing (a straggler), ``("delay", s)``
+    holds the reply for ``s`` seconds after computing (a slow link).
     """
+    # Cancellation is the coordinator's job: a terminal Ctrl-C signals
+    # the whole foreground process group, and workers dying on it would
+    # turn a graceful drain into a mass casualty event.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     request_q.put(("ready", wid, None))
     while True:
         message = reply_q.get()
@@ -170,9 +227,10 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             request_q.close()
             request_q.join_thread()
             os._exit(17)  # crash hard: no cleanup, no reply
+        if fault is not None and fault[0] == "slow":
+            time.sleep(fault[1])
         kernel, payloads = ops_payload[op_index]
         records = []
-        value_total = 0.0
         try:
             if fault is not None and fault[0] == "raise":
                 raise InjectedFault(
@@ -182,8 +240,7 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
                 start = time.perf_counter() - t0
                 value = kernel(payloads[index])
                 duration = (time.perf_counter() - t0) - start
-                records.append((index, start, duration))
-                value_total += float(value)
+                records.append((index, start, duration, float(value)))
         except BaseException:
             request_q.put(
                 ("error", wid, (op_index, list(indices), traceback.format_exc()))
@@ -191,7 +248,7 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             continue
         if fault is not None and fault[0] == "delay":
             time.sleep(fault[1])
-        request_q.put(("done", wid, (op_index, records, value_total)))
+        request_q.put(("done", wid, (op_index, records)))
 
 
 # ---------------------------------------------------------------------------
@@ -199,9 +256,40 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
 # ---------------------------------------------------------------------------
 
 
+class _CoordinatorKill(BaseException):
+    """Raised at dispatch by a ``coordkill`` fault directive.
+
+    A ``BaseException`` so no recovery path can catch it: it unwinds
+    through ``_run``'s ``finally`` (worker teardown + journal close),
+    then :meth:`_MpSession.run` exits the process with
+    :data:`~repro.runtime.faults.COORDINATOR_KILL_EXIT`.
+    """
+
+
+@dataclass
+class _Flight:
+    """One dispatched chunk copy currently on a worker."""
+
+    op_index: int
+    indices: List[int]
+    started_at: float
+    #: This copy is a speculative duplicate of another worker's chunk.
+    speculative: bool = False
+    #: A speculative duplicate of this (primary) flight was launched.
+    speculated: bool = False
+
+
 @dataclass
 class _OpState:
-    """Coordinator-side bookkeeping for one operation."""
+    """Coordinator-side bookkeeping for one operation.
+
+    The accounting invariant that carries fault tolerance, speculation
+    and resume at once: every task index is in exactly one of
+    ``pending`` / ``inflight`` / ``completed`` / ``quarantined`` — and
+    *speculative duplicate copies never touch these sets*, so a result
+    counts exactly once no matter how many copies were dispatched or
+    how many times the run was restarted.
+    """
 
     op: RealOp
     label: str
@@ -211,16 +299,24 @@ class _OpState:
     policy: object
     cost_fn: CostFunction
     declared: Optional[List[float]] = None
-    outstanding: int = 0
     dispatched: int = 0
-    done_tasks: int = 0
     chunks: int = 0
     measured_work: float = 0.0
     value_total: float = 0.0
     started: bool = False
-    completed: bool = False
+    finished: bool = False
     first_time: float = 0.0
     last_time: float = 0.0
+    #: Task indices currently dispatched as someone's *primary* copy.
+    inflight: Set[int] = field(default_factory=set)
+    #: Task indices whose result has been counted, exactly once.  A set
+    #: rather than a counter: membership is what lets duplicate results
+    #: (speculation losers, replayed journal records) be dropped.
+    completed: Set[int] = field(default_factory=set)
+    #: Wall-clock durations of first-attempt tasks, in *seconds* in both
+    #: cost modes — speculation deadlines are real time even when the
+    #: TAPER sample is declared work units.
+    wall_stats: OnlineStats = field(default_factory=OnlineStats)
     #: Task indices dispatched more than once (reclaimed or retried);
     #: their measured durations are excluded from cost statistics.
     retried: Set[int] = field(default_factory=set)
@@ -237,6 +333,14 @@ class _OpState:
     @property
     def remaining(self) -> int:
         return len(self.pending)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.inflight)
+
+    @property
+    def done_tasks(self) -> int:
+        return len(self.completed)
 
     @property
     def settled_tasks(self) -> int:
@@ -310,8 +414,8 @@ class _MpSession:
         # -- fault-tolerance state ------------------------------------------
         self.alive: List[bool] = [True] * self.p
         self.live_count = self.p
-        #: wid -> (op_index, indices) of the chunk a worker is running.
-        self.in_flight: Dict[int, Tuple[int, List[int]]] = {}
+        #: wid -> the chunk copy a worker is currently running.
+        self.in_flight: Dict[int, _Flight] = {}
         #: Heartbeat timestamps: last message seen per worker.
         self.last_seen: Dict[int, float] = {}
         #: Backoff queue of failed chunks: (ready_time, op_index, indices).
@@ -320,6 +424,13 @@ class _MpSession:
         self.injector: Optional[FaultInjector] = (
             FaultInjector(cfg.fault_plan) if cfg.fault_plan else None
         )
+        # -- durability state -----------------------------------------------
+        self.journal: Optional[ChunkJournal] = None
+        #: Tasks restored from a replayed journal (never re-executed).
+        self.tasks_resumed = 0
+        self.restored_chunks = 0
+        #: Why the run is being cancelled (``None`` = running normally).
+        self.cancel_reason: Optional[str] = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -328,9 +439,9 @@ class _MpSession:
 
     def _runnable(self, state: _OpState) -> bool:
         return (
-            not state.completed
+            not state.finished
             and state.remaining > 0
-            and all(self.ops[d].completed for d in state.deps)
+            and all(self.ops[d].finished for d in state.deps)
         )
 
     def _resolve_instant_ops(self) -> None:
@@ -340,13 +451,13 @@ class _MpSession:
             changed = False
             for state in self.ops:
                 if (
-                    not state.completed
+                    not state.finished
                     and state.settled_tasks >= state.size
                     and state.remaining == 0
                     and state.outstanding == 0
-                    and all(self.ops[d].completed for d in state.deps)
+                    and all(self.ops[d].finished for d in state.deps)
                 ):
-                    state.completed = True
+                    state.finished = True
                     changed = True
 
     def _profile(self, state: _OpState) -> OpProfile:
@@ -443,6 +554,10 @@ class _MpSession:
     def _dispatch(self, wid: int) -> bool:
         if not self.alive[wid]:
             return False
+        if self.cancel_reason is not None:
+            # Draining: no new work; workers park idle until teardown.
+            self.idle.add(wid)
+            return False
         state = self._pick_op(wid)
         if state is None:
             self.idle.add(wid)
@@ -462,7 +577,18 @@ class _MpSession:
         if size <= 0:
             size = 1
         size = min(size, remaining_before)
-        indices = [state.pending.popleft() for _ in range(size)]
+        # Reclaim + speculation can leave already-settled indices in
+        # pending (a speculative copy may finish tasks that were
+        # requeued when their primary died); skip them lazily here.
+        indices: List[int] = []
+        while state.pending and len(indices) < size:
+            index = state.pending.popleft()
+            if index in state.completed or index in state.quarantined:
+                continue
+            indices.append(index)
+        if not indices:
+            self._maybe_complete(state)
+            return self._dispatch(wid)
         if self.declared_mode:
             # Observe the chunk's declared costs at dispatch, matching
             # run_central's observation order for equivalence.  Retried
@@ -471,12 +597,19 @@ class _MpSession:
             for index in indices:
                 if index not in state.retried:
                     state.cost_fn.observe(index, state.declared[index])
-        state.outstanding += size
-        state.dispatched += size
+        state.inflight.update(indices)
+        state.dispatched += len(indices)
         state.chunks += 1
         fault = None
         if self.injector is not None:
             fault = self.injector.on_dispatch(wid)
+        if fault is not None and fault[0] == "coordkill":
+            # Simulated coordinator crash: the exception unwinds through
+            # _run's finally (worker teardown, journal close), then
+            # run() exits the process with COORDINATOR_KILL_EXIT.  The
+            # chunk we were about to send was never dispatched, so the
+            # journal holds only genuinely completed work.
+            raise _CoordinatorKill()
         if tracer is not None:
             now = self._now()
             if not state.started:
@@ -486,7 +619,7 @@ class _MpSession:
                 now,
                 proc=wid,
                 op=state.label,
-                size=size,
+                size=len(indices),
                 remaining=remaining_before,
             )
             if fault is not None:
@@ -503,13 +636,13 @@ class _MpSession:
                     "fault": fault[0],
                     "worker": wid,
                     "op": state.label,
-                    "tasks": size,
+                    "tasks": len(indices),
                 }
             )
         if not state.started:
             state.started = True
             state.first_time = self._now()
-        self.in_flight[wid] = (state.index, indices)
+        self.in_flight[wid] = _Flight(state.index, indices, self._now())
         self.reply_qs[wid].put(("run", state.index, indices, fault))
         return True
 
@@ -520,33 +653,66 @@ class _MpSession:
 
     def _maybe_complete(self, state: _OpState) -> None:
         if (
-            not state.completed
-            and state.settled_tasks >= state.size
-            and state.remaining == 0
-            and state.outstanding == 0
+            state.finished
+            or state.settled_tasks < state.size
+            or not all(self.ops[d].finished for d in state.deps)
         ):
-            state.completed = True
-            if self.tracer is not None:
-                self.tracer.emit(OP_END, state.last_time, op=state.label)
-            self._resolve_instant_ops()
-            # The running set changed: re-ration and wake idle workers.
-            self._reallocate()
-            self._wake_idle()
+            return
+        # Every task is settled; anything still pending or in flight is
+        # a stale duplicate copy whose eventual result (if any) will be
+        # dropped by the completed-set dedup.  Speculation depends on
+        # this: the op must not wait for its overtaken straggler.
+        state.pending.clear()
+        state.finished = True
+        if self.tracer is not None:
+            self.tracer.emit(OP_END, state.last_time, op=state.label)
+        self._resolve_instant_ops()
+        # The running set changed: re-ration and wake idle workers.
+        self._reallocate()
+        self._wake_idle()
 
-    def _handle_report(self, wid: int, report) -> None:
-        op_index, records, value_total = report
+    def _handle_report(
+        self, wid: int, report, flight: Optional[_Flight] = None
+    ) -> None:
+        op_index, records = report
         state = self.ops[op_index]
         tracer = self.tracer
-        chunk_tasks = len(records)
-        # Retried tasks ran under post-fault conditions; keep them out of
-        # the TAPER sample (their results still count below).
-        for index, start, duration in first_attempt_records(
-            records, state.retried
-        ):
-            if not self.declared_mode:
-                state.cost_fn.observe(index, duration)
-        for index, start, duration in records:
+        speculative = flight.speculative if flight is not None else False
+        # First-result-wins dedup: a task already completed (by the
+        # other copy of a speculated chunk, or restored from the
+        # journal) or quarantined is dropped, never counted again.
+        fresh: List[Tuple[int, float, float, float]] = []
+        dups = 0
+        for index, start, duration, value in records:
+            if index in state.completed or index in state.quarantined:
+                dups += 1
+                continue
+            state.completed.add(index)
+            state.inflight.discard(index)
+            fresh.append((index, start, duration, value))
+        if dups:
+            self.fault_report.duplicate_results_dropped += dups
+            if tracer is not None:
+                tracer.emit(
+                    CHUNK_DUPLICATE_DROPPED,
+                    self._now(),
+                    proc=wid,
+                    op=state.label,
+                    tasks=dups,
+                    speculative=speculative,
+                )
+        if not fresh:
+            self._maybe_complete(state)
+            return
+        for index, start, duration, value in fresh:
+            # Retried tasks ran under post-fault conditions; keep them
+            # out of the TAPER sample (their results still count).
+            if index not in state.retried:
+                state.wall_stats.update(duration)
+                if not self.declared_mode:
+                    state.cost_fn.observe(index, duration)
             state.measured_work += duration
+            state.value_total += value
             if tracer is not None:
                 tracer.emit(
                     TASK_DISPATCH,
@@ -556,46 +722,85 @@ class _MpSession:
                     op=state.label,
                     task=index,
                 )
-        if records:
-            first_start = records[0][1]
-            last_end = records[-1][1] + records[-1][2]
-            state.last_time = max(state.last_time, last_end)
+        first_start = fresh[0][1]
+        last_end = fresh[-1][1] + fresh[-1][2]
+        state.last_time = max(state.last_time, last_end)
+        if tracer is not None:
+            tracer.emit(
+                CHUNK_COMPLETE,
+                first_start,
+                dur=last_end - first_start,
+                proc=wid,
+                op=state.label,
+                tasks=len(fresh),
+            )
+        if state.pending and (
+            self.fault_report.tasks_reassigned
+            or self.fault_report.chunks_speculated
+        ):
+            # A speculative winner may have settled indices that a
+            # reclaim put back into pending; purge so `remaining` stays
+            # truthful for the chunk policy and completion checks.
+            state.pending = deque(
+                index
+                for index in state.pending
+                if index not in state.completed
+                and index not in state.quarantined
+            )
+        if self.journal is not None:
+            record = ChunkRecord(
+                op_index=op_index,
+                label=state.label,
+                worker=wid,
+                time=self._now(),
+                tasks=[
+                    (index, duration, value, state.attempts.get(index, 0))
+                    for index, _start, duration, value in fresh
+                ],
+            )
+            synced = self.journal.append(record)
             if tracer is not None:
                 tracer.emit(
-                    CHUNK_COMPLETE,
-                    first_start,
-                    dur=last_end - first_start,
-                    proc=wid,
+                    CHECKPOINT_WRITE,
+                    self._now(),
                     op=state.label,
-                    tasks=chunk_tasks,
+                    tasks=len(fresh),
+                    synced=synced,
                 )
-        state.outstanding -= chunk_tasks
-        state.done_tasks += chunk_tasks
-        state.value_total += value_total
         self._maybe_complete(state)
 
     # -- fault handling ------------------------------------------------------
 
-    def _handle_error(self, wid: int, payload) -> None:
+    def _handle_error(
+        self, wid: int, payload, flight: Optional[_Flight] = None
+    ) -> None:
         """A kernel raised inside a chunk: retry, quarantine, or fail."""
         op_index, indices, tb = payload
         state = self.ops[op_index]
+        if flight is not None and flight.speculative:
+            # A failed speculative copy costs nothing: the primary is
+            # still in flight and owns all retry accounting.
+            return
         if self.cfg.on_fault == "fail":
             raise MpBackendError(f"worker {wid} raised:\n{tb}")
         now = self._now()
         survivors: List[int] = []
         max_attempt = 0
+        quarantined_now = 0
         for index in indices:
+            state.inflight.discard(index)
+            if index in state.completed or index in state.quarantined:
+                continue  # another copy already settled this task
             attempt = state.attempts.get(index, 0) + 1
             state.attempts[index] = attempt
             state.retried.add(index)
             if attempt > self.cfg.max_retries:
                 state.quarantined.add(index)
+                quarantined_now += 1
                 self.fault_report.quarantined.append((state.label, index))
             else:
                 survivors.append(index)
                 max_attempt = max(max_attempt, attempt)
-        state.outstanding -= len(indices)
         backoff = 0.0
         if survivors:
             backoff = self.cfg.retry_backoff * (2 ** (max_attempt - 1))
@@ -610,7 +815,7 @@ class _MpSession:
                 tasks=len(indices),
                 attempt=max_attempt,
                 backoff=backoff,
-                quarantined=len(indices) - len(survivors),
+                quarantined=quarantined_now,
             )
         self._maybe_complete(state)
 
@@ -647,14 +852,27 @@ class _MpSession:
             self.alive[wid] = False
             self.live_count -= 1
             self.idle.discard(wid)
-            chunk = self.in_flight.pop(wid, None)
-            lost_tasks = len(chunk[1]) if chunk else 0
+            flight = self.in_flight.pop(wid, None)
+            if flight is not None and flight.speculative:
+                # A dead speculative copy loses nothing: the primary
+                # flight still owns these indices.
+                flight = None
+            lost: List[int] = []
+            if flight is not None:
+                state = self.ops[flight.op_index]
+                for index in flight.indices:
+                    state.inflight.discard(index)
+                    if (
+                        index not in state.completed
+                        and index not in state.quarantined
+                    ):
+                        lost.append(index)
             if self.tracer is not None:
                 self.tracer.emit(
                     WORKER_DIED,
                     now,
                     proc=wid,
-                    tasks=lost_tasks,
+                    tasks=len(lost),
                     last_seen=self.last_seen.get(wid, 0.0),
                 )
             self.fault_report.workers_died.append(wid)
@@ -664,28 +882,31 @@ class _MpSession:
                     f"(pid {workers[wid].pid}, "
                     f"exitcode {workers[wid].exitcode})"
                 )
-            if chunk is not None:
-                op_index, indices = chunk
-                state = self.ops[op_index]
-                state.outstanding -= len(indices)
-                # A crash mid-chunk loses the whole chunk's results (the
-                # worker reports atomically), so re-running every task is
-                # safe: nothing was double-counted.
-                state.pending.extendleft(reversed(indices))
-                for index in indices:
+            if flight is not None and lost:
+                state = self.ops[flight.op_index]
+                # A crash loses the dead worker's unreported results;
+                # re-running the un-settled tasks is safe — any copy
+                # that *did* report was settled into `completed` and is
+                # excluded from `lost`, so nothing double-counts.
+                state.pending.extendleft(reversed(lost))
+                for index in lost:
                     state.retried.add(index)
                     state.attempts[index] = state.attempts.get(index, 0) + 1
                 self.fault_report.chunks_reassigned += 1
-                self.fault_report.tasks_reassigned += len(indices)
+                self.fault_report.tasks_reassigned += len(lost)
                 if self.tracer is not None:
                     self.tracer.emit(
                         CHUNK_REASSIGN,
                         now,
                         proc=wid,
                         op=state.label,
-                        tasks=len(indices),
+                        tasks=len(lost),
                         victim=wid,
                     )
+            elif flight is not None:
+                # Everything the dead worker held was already settled
+                # (its speculative duplicate won); the op may be done.
+                self._maybe_complete(self.ops[flight.op_index])
             if self.live_count == 0:
                 raise MpBackendError(
                     "every worker process died; nothing left to run on"
@@ -695,12 +916,248 @@ class _MpSession:
             self._reallocate()
             self._wake_idle()
 
+    # -- durability ----------------------------------------------------------
+
+    def _setup_checkpoint(self) -> None:
+        """Open (or replay) the chunk journal in ``cfg.checkpoint_dir``."""
+        cfg = self.cfg
+        directory = cfg.checkpoint_dir
+        manifest = RunManifest.build(cfg, [state.op for state in self.ops])
+        if cfg.resume:
+            stored = load_manifest(directory)
+            if stored.fingerprint != manifest.fingerprint:
+                raise CheckpointMismatchError(
+                    f"checkpoint at {directory} was written by a "
+                    "different run; refusing to replay its journal "
+                    f"({stored.describe_mismatch(manifest)})"
+                )
+            self._apply_replay(read_journal(directory))
+        else:
+            init_checkpoint_dir(directory, manifest)
+        self.journal = ChunkJournal(directory, cfg.checkpoint_interval)
+
+    def _apply_replay(self, replay: JournalReplay) -> None:
+        """Restore journaled chunk results; only the remainder will run.
+
+        Per journaled task: the value and duration fold into the totals
+        exactly as the live report did, and first-attempt tasks
+        (``attempt == 0``) re-seed the TAPER cost sample — declared
+        costs in declared mode (matching dispatch-time observation),
+        measured durations otherwise.  Quarantine is *not* persisted:
+        a task that exhausted its retry budget before the crash gets a
+        fresh budget on resume.
+        """
+        for record in replay.records:
+            if not 0 <= record.op_index < len(self.ops):
+                continue  # fingerprint matched, so only torn data hits this
+            state = self.ops[record.op_index]
+            restored = 0
+            for index, duration, value, attempt in record.tasks:
+                if not 0 <= index < state.size:
+                    continue
+                if index in state.completed:
+                    continue
+                state.completed.add(index)
+                state.value_total += value
+                state.measured_work += duration
+                if attempt > 0:
+                    state.retried.add(index)
+                    state.attempts[index] = max(
+                        state.attempts.get(index, 0), attempt
+                    )
+                else:
+                    state.wall_stats.update(duration)
+                    if self.declared_mode:
+                        if state.declared is not None:
+                            state.cost_fn.observe(
+                                index, state.declared[index]
+                            )
+                    else:
+                        state.cost_fn.observe(index, duration)
+                restored += 1
+            if restored:
+                state.chunks += 1
+                state.dispatched += restored
+                state.started = True
+                self.restored_chunks += 1
+        for state in self.ops:
+            if not state.completed:
+                continue
+            self.tasks_resumed += len(state.completed)
+            state.pending = deque(
+                index
+                for index in range(state.size)
+                if index not in state.completed
+            )
+        # Ops wholly restored are finished (in dependency order).
+        changed = True
+        while changed:
+            changed = False
+            for state in self.ops:
+                if (
+                    not state.finished
+                    and state.settled_tasks >= state.size
+                    and all(self.ops[d].finished for d in state.deps)
+                ):
+                    state.finished = True
+                    changed = True
+        if self.tracer is not None and (
+            self.tasks_resumed or replay.dropped
+        ):
+            self.tracer.emit(
+                RUN_RESUMED,
+                0.0,
+                tasks=self.tasks_resumed,
+                chunks=self.restored_chunks,
+                dropped=replay.dropped,
+                duplicates=replay.duplicates,
+            )
+
+    def _maybe_speculate(self) -> None:
+        """Duplicate overdue chunks onto idle workers (first result wins).
+
+        A primary flight is *overdue* when its elapsed wall-clock time
+        exceeds ``speculation_factor`` times the Kruskal–Weiss finishing
+        estimate for a block of n tasks — ``n·mean + lag_term(...)``
+        over the sampled first-attempt durations.  Only one speculative
+        copy per flight, most-overdue victims first, and the copy
+        bypasses the fault injector: it exists to beat a straggler, not
+        to re-roll its fault.
+        """
+        factor = self.cfg.speculation_factor
+        if factor is None or not self.idle or self.cancel_reason is not None:
+            return
+        now = self._now()
+        candidates: List[Tuple[float, float, float, int, List[int]]] = []
+        for wid, flight in self.in_flight.items():
+            if flight.speculative or flight.speculated:
+                continue
+            if not self.alive[wid]:
+                continue
+            state = self.ops[flight.op_index]
+            stats = state.wall_stats
+            if stats.count < 2 or stats.mean <= 0:
+                continue  # no basis for a tail estimate yet
+            live = [
+                index
+                for index in flight.indices
+                if index not in state.completed
+                and index not in state.quarantined
+            ]
+            if not live:
+                continue
+            n = len(flight.indices)
+            expected = n * stats.mean + lag_term(
+                stats.mean,
+                stats.stddev,
+                n,
+                max(self.live_count, 2),
+                adaptive=False,
+            )
+            elapsed = now - flight.started_at
+            if expected <= 0 or elapsed <= factor * expected:
+                continue
+            candidates.append(
+                (elapsed - factor * expected, elapsed, expected, wid, live)
+            )
+        candidates.sort(key=lambda item: -item[0])
+        for _overdue, elapsed, expected, victim, live in candidates:
+            if not self.idle:
+                return
+            flight = self.in_flight.get(victim)
+            if flight is None or flight.speculated:
+                continue
+            helper = min(self.idle)
+            self.idle.discard(helper)
+            flight.speculated = True
+            state = self.ops[flight.op_index]
+            self.in_flight[helper] = _Flight(
+                flight.op_index, list(live), now, speculative=True
+            )
+            self.reply_qs[helper].put(
+                ("run", flight.op_index, list(live), None)
+            )
+            self.fault_report.chunks_speculated += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    CHUNK_SPECULATE,
+                    now,
+                    proc=helper,
+                    op=state.label,
+                    tasks=len(live),
+                    victim=victim,
+                    elapsed=elapsed,
+                    expected=expected,
+                )
+
+    def _drain(self, request_q, workers) -> None:
+        """Graceful cancellation: harvest in-flight results, journal
+        them, then hand off to the normal teardown.
+
+        Dispatch is suppressed (:meth:`_dispatch` parks workers idle
+        while ``cancel_reason`` is set), so the loop only consumes
+        reports from primaries still alive, bounded by a short deadline
+        so a hung worker cannot turn Ctrl-C into a hang.
+        """
+        deadline = time.perf_counter() + min(5.0, self.cfg.mp_timeout)
+
+        def live_primaries() -> bool:
+            return any(
+                not flight.speculative
+                and self.alive[wid]
+                and workers[wid].is_alive()
+                for wid, flight in self.in_flight.items()
+            )
+
+        while live_primaries() and time.perf_counter() < deadline:
+            try:
+                kind, wid, payload = request_q.get(timeout=0.1)
+            except queue_module.Empty:
+                self._check_liveness(workers)
+                continue
+            self.last_seen[wid] = self._now()
+            flight = self.in_flight.pop(wid, None)
+            if kind == "done":
+                self._handle_report(wid, payload, flight)
+            elif kind == "error":
+                self._handle_error(wid, payload, flight)
+            self.idle.add(wid)
+        if self.journal is not None:
+            self.journal.sync()
+        remaining = sum(
+            state.size - state.settled_tasks for state in self.ops
+        )
+        if self.tracer is not None:
+            self.tracer.emit(
+                RUN_CANCELLED,
+                self._now(),
+                reason=self.cancel_reason,
+                remaining=remaining,
+            )
+
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> BackendRunResult:
+        try:
+            return self._run()
+        except _CoordinatorKill:
+            # Simulated coordinator crash (`coordkill` fault).  _run's
+            # finally already tore the pool down and closed the journal;
+            # exit hard so the caller observes a real crash (no result,
+            # distinctive exit status), minus the orphan processes.
+            os._exit(COORDINATOR_KILL_EXIT)
+
+    def _run(self) -> BackendRunResult:
         cfg = self.cfg
         self._resolve_instant_ops()
-        if all(state.completed for state in self.ops):
+        if cfg.checkpoint_dir:
+            self._setup_checkpoint()
+        if all(state.finished for state in self.ops):
+            # Nothing to execute: zero-size ops, or a resume of a run
+            # that had already finished (totals restored wholly from
+            # the journal, zero chunks dispatched).
+            if self.journal is not None:
+                self.journal.close()
             return self._result(0.0)
         method = cfg.mp_start_method
         if method is None:
@@ -729,8 +1186,33 @@ class _MpSession:
         deadline = time.perf_counter() + cfg.mp_timeout
         next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
+        # Graceful cancellation: flip a flag from the signal handler and
+        # let the main loop notice at its next iteration — only when
+        # this is the process's main thread (signal.signal requires it).
+        installed: Dict[int, object] = {}
+
+        def _request_cancel(signum, frame):
+            self.cancel_reason = f"signal:{signal.Signals(signum).name}"
+
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    installed[signum] = signal.signal(
+                        signum, _request_cancel
+                    )
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
         try:
-            while not all(state.completed for state in self.ops):
+            while not all(state.finished for state in self.ops):
+                if (
+                    self.cancel_reason is None
+                    and cfg.wall_clock_limit is not None
+                    and self._now() >= cfg.wall_clock_limit
+                ):
+                    self.cancel_reason = "wall_clock_limit"
+                if self.cancel_reason is not None:
+                    self._drain(request_q, workers)
+                    break
                 self._release_delayed()
                 now_abs = time.perf_counter()
                 remaining_time = deadline - now_abs
@@ -747,20 +1229,21 @@ class _MpSession:
                     kind, wid, payload = request_q.get(timeout=timeout)
                 except queue_module.Empty:
                     self._check_liveness(workers)
+                    self._maybe_speculate()
                     next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
                     continue
                 self.last_seen[wid] = self._now()
+                flight = self.in_flight.pop(wid, None)
                 if kind == "error":
-                    self.in_flight.pop(wid, None)
-                    self._handle_error(wid, payload)
+                    self._handle_error(wid, payload, flight)
                 elif kind == "done":
-                    self.in_flight.pop(wid, None)
-                    self._handle_report(wid, payload)
+                    self._handle_report(wid, payload, flight)
                 elif kind == "ready":
                     pass
                 self._dispatch(wid)
                 if time.perf_counter() >= next_heartbeat:
                     self._check_liveness(workers)
+                    self._maybe_speculate()
                     next_heartbeat = (
                         time.perf_counter() + cfg.heartbeat_interval
                     )
@@ -768,12 +1251,19 @@ class _MpSession:
                     len(self.idle) == self.live_count
                     and all(s.outstanding == 0 for s in self.ops)
                     and not self.delayed
-                    and not all(s.completed for s in self.ops)
+                    and not all(s.finished for s in self.ops)
                 ):
                     raise MpBackendError(
                         "dependency deadlock: every worker idle with "
                         "operations still incomplete"
                     )
+        except KeyboardInterrupt:
+            # SIGINT landed outside the handler path (handler install
+            # failed, or the default handler was already running): still
+            # cancel gracefully rather than orphaning the pool.
+            if self.cancel_reason is None:
+                self.cancel_reason = "signal:SIGINT"
+            self._drain(request_q, workers)
         finally:
             for wid, reply_q in enumerate(self.reply_qs):
                 # A crashed worker has no reader on its reply queue;
@@ -785,13 +1275,30 @@ class _MpSession:
                 except Exception:
                     pass
             for process in workers:
-                process.join(timeout=2.0)
+                try:
+                    process.join(timeout=2.0)
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
             for process in workers:
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=1.0)
+            for process in workers:
+                # Last resort: a worker that survived terminate() (e.g.
+                # wedged in uninterruptible state) must not outlive the
+                # coordinator as an orphan.
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.kill()
+                    process.join(timeout=1.0)
             request_q.close()
             request_q.cancel_join_thread()
+            if self.journal is not None:
+                self.journal.close()
+            for signum, handler in installed.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
         makespan = max(
             (state.last_time for state in self.ops if state.size), default=0.0
         )
@@ -822,6 +1329,10 @@ class _MpSession:
             per_op=per_op,
             shares=[],
             fault_report=self.fault_report,
+            cancelled=self.cancel_reason is not None,
+            cancel_reason=self.cancel_reason or "",
+            resume_dir=self.cfg.checkpoint_dir,
+            tasks_resumed=self.tasks_resumed,
         )
 
 

@@ -102,6 +102,31 @@ class RunConfig:
     retry_backoff: float = 0.05
     #: Deterministic fault-injection plan (``None`` = no injection).
     fault_plan: Optional[FaultPlan] = None
+    #: Directory for the durable chunk journal + run manifest (``None``
+    #: = no checkpointing).  mp backend only; see
+    #: :mod:`repro.runtime.checkpoint`.
+    checkpoint_dir: Optional[str] = None
+    #: Completed-chunk records between journal fsyncs (every append is
+    #: still flushed, so a coordinator crash loses nothing; a *host*
+    #: crash loses at most this many chunks).
+    checkpoint_interval: int = 1
+    #: Replay ``checkpoint_dir``'s journal before running: completed
+    #: chunks are skipped, TAPER statistics re-seeded from journaled
+    #: samples, and only the remaining work re-rationed.  Refused with
+    #: :class:`~repro.runtime.checkpoint.CheckpointMismatchError` when
+    #: the journal was written under a different scheduling config.
+    resume: bool = False
+    #: Straggler speculation: when a chunk's elapsed wall-clock time
+    #: exceeds ``speculation_factor`` times its Kruskal–Weiss tail
+    #: estimate, an idle worker is handed a duplicate; first result
+    #: wins, the loser is dropped (never double-counted).  ``None``
+    #: disables speculation (the default — duplicates cost real work).
+    speculation_factor: Optional[float] = None
+    #: Graceful wall-clock budget in seconds: when exceeded the mp
+    #: coordinator drains in-flight chunks, flushes the journal, stops
+    #: workers cleanly and returns a partial result flagged
+    #: ``cancelled=True`` (unlike ``mp_timeout``, which raises).
+    wall_clock_limit: Optional[float] = None
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -154,6 +179,23 @@ class RunConfig:
             raise ValueError("RunConfig.heartbeat_interval must be > 0")
         if self.retry_backoff < 0:
             raise ValueError("RunConfig.retry_backoff must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ValueError("RunConfig.checkpoint_interval must be >= 1")
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError(
+                "RunConfig.resume=True requires checkpoint_dir to name "
+                "the journal to replay"
+            )
+        if self.speculation_factor is not None and self.speculation_factor <= 0:
+            raise ValueError(
+                "RunConfig.speculation_factor must be > 0 (or None to "
+                "disable speculation)"
+            )
+        if self.wall_clock_limit is not None and self.wall_clock_limit <= 0:
+            raise ValueError(
+                "RunConfig.wall_clock_limit must be > 0 (or None for "
+                "no graceful limit)"
+            )
         if (
             self.machine is not None
             and self.machine.processors != self.processors

@@ -33,7 +33,23 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Fault kinds a plan can inject.
-FAULT_KINDS = ("kill", "raise", "delay")
+#:
+#: * ``kill`` — the targeted worker process exits abruptly mid-dispatch;
+#: * ``raise`` — the kernel raises inside the chunk loop;
+#: * ``delay`` — the worker holds its reply after computing (a slow
+#:   *link*: results exist but arrive late);
+#: * ``slow``  — the worker stalls *before* computing (a slow *chunk*:
+#:   the straggler shape that exercises speculation);
+#: * ``coordkill`` — the coordinator itself dies at the matching
+#:   dispatch (``os._exit``), simulating coordinator crash for the
+#:   checkpoint/resume path.  The journal keeps only chunks completed
+#:   before the kill.  **Never inject this in-process in a test** — it
+#:   kills the whole interpreter; run the coordinator in a subprocess
+#:   and assert on :data:`COORDINATOR_KILL_EXIT`.
+FAULT_KINDS = ("kill", "raise", "delay", "slow", "coordkill")
+
+#: Exit status of a coordinator killed by a ``coordkill`` fault.
+COORDINATOR_KILL_EXIT = 23
 
 
 class InjectedFault(RuntimeError):
@@ -69,13 +85,16 @@ class FaultSpec:
             raise ValueError("FaultSpec.at_chunk must be >= 0")
         if self.times < 1:
             raise ValueError("FaultSpec.times must be >= 1")
-        if self.kind == "delay" and self.delay <= 0:
-            raise ValueError("delay faults need FaultSpec.delay > 0")
+        if self.kind in ("delay", "slow") and self.delay <= 0:
+            raise ValueError(
+                f"{self.kind} faults need FaultSpec.delay > 0"
+            )
 
     def directive(self) -> Tuple:
-        """The wire form a worker obeys."""
-        if self.kind == "delay":
-            return ("delay", self.delay)
+        """The wire form a worker obeys (``coordkill`` never reaches a
+        worker — the coordinator intercepts it at dispatch)."""
+        if self.kind in ("delay", "slow"):
+            return (self.kind, self.delay)
         return (self.kind,)
 
 
@@ -129,6 +148,36 @@ class FaultPlan:
         )
 
     @classmethod
+    def kill_coordinator(cls, at_chunk: int = 0) -> "FaultPlan":
+        """Kill the *coordinator* at its ``at_chunk``-th global dispatch.
+
+        The process exits with :data:`COORDINATOR_KILL_EXIT` after a
+        best-effort worker teardown (so chaos tests don't leak orphan
+        processes); the chunk journal keeps everything completed before
+        the kill.  Only meaningful when the run executes in a
+        subprocess — injecting this in-process kills the caller.
+        """
+        return cls((FaultSpec("coordkill", worker=-1, at_chunk=at_chunk),))
+
+    @classmethod
+    def slow_chunk(
+        cls, seconds: float, worker: int = -1, at_chunk: int = 0
+    ) -> "FaultPlan":
+        """Stall one chunk for ``seconds`` *before* it computes.
+
+        The canonical straggler: elapsed time balloons past the
+        Kruskal–Weiss tail estimate while the results don't exist yet,
+        which is exactly what ``RunConfig.speculation_factor`` fires on.
+        """
+        return cls(
+            (
+                FaultSpec(
+                    "slow", worker=worker, at_chunk=at_chunk, delay=seconds
+                ),
+            )
+        )
+
+    @classmethod
     def random(
         cls,
         seed: int,
@@ -157,9 +206,12 @@ def parse_fault_spec(text: str) -> FaultSpec:
     """Parse the CLI form ``kind[:worker[:chunk[:arg]]]``.
 
     ``worker`` is an id or ``*`` (any); ``arg`` is ``times`` for
-    ``raise`` faults and ``seconds`` for ``delay`` faults.  Examples:
-    ``kill:1:2`` (kill worker 1 at its 2nd chunk), ``raise:*:3:2``
-    (raise on global dispatches 3 and 4), ``delay:0:1:0.25``.
+    ``raise`` faults and ``seconds`` for ``delay``/``slow`` faults.
+    Examples: ``kill:1:2`` (kill worker 1 at its 2nd chunk),
+    ``raise:*:3:2`` (raise on global dispatches 3 and 4),
+    ``delay:0:1:0.25``, ``slow:*:2:0.5`` (stall the 2nd global chunk
+    half a second before computing), ``coordkill:*:4`` (the coordinator
+    dies at its 4th dispatch — exercise ``--resume``).
     """
     parts = text.split(":")
     kind = parts[0]
@@ -174,11 +226,11 @@ def parse_fault_spec(text: str) -> FaultSpec:
     at_chunk = int(parts[2]) if len(parts) > 2 and parts[2] else 0
     times, delay = 1, 0.0
     if len(parts) > 3 and parts[3]:
-        if kind == "delay":
+        if kind in ("delay", "slow"):
             delay = float(parts[3])
         else:
             times = int(parts[3])
-    if kind == "delay" and delay <= 0:
+    if kind in ("delay", "slow") and delay <= 0:
         delay = 0.1
     return FaultSpec(
         kind=kind, worker=worker, at_chunk=at_chunk, times=times, delay=delay
@@ -245,6 +297,12 @@ class FaultReport:
     #: Last message timestamp per worker (heartbeat bookkeeping),
     #: seconds since run start.
     worker_last_seen: Dict[int, float] = field(default_factory=dict)
+    #: Straggler chunks duplicated onto idle workers (speculation).
+    chunks_speculated: int = 0
+    #: Task results dropped because another copy finished first
+    #: (speculation first-result-wins, or a late report from a worker
+    #: whose chunk had already been reclaimed).
+    duplicate_results_dropped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -258,6 +316,8 @@ class FaultReport:
             or self.retries
             or self.quarantined
             or self.injected
+            or self.chunks_speculated
+            or self.duplicate_results_dropped
         )
 
     def merge(self, other: "FaultReport") -> None:
@@ -269,6 +329,8 @@ class FaultReport:
         self.quarantined.extend(other.quarantined)
         self.injected.extend(other.injected)
         self.worker_last_seen.update(other.worker_last_seen)
+        self.chunks_speculated += other.chunks_speculated
+        self.duplicate_results_dropped += other.duplicate_results_dropped
 
     def summary(self) -> str:
         if not self.any_fault:
@@ -289,6 +351,17 @@ class FaultReport:
             )
         if self.injected:
             parts.append(f"faults injected: {len(self.injected)}")
+        if self.chunks_speculated:
+            parts.append(
+                f"chunks speculated: {self.chunks_speculated} "
+                f"({self.duplicate_results_dropped} duplicate results "
+                "dropped)"
+            )
+        elif self.duplicate_results_dropped:
+            parts.append(
+                f"duplicate results dropped: "
+                f"{self.duplicate_results_dropped}"
+            )
         return "; ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -301,4 +374,6 @@ class FaultReport:
             "quarantined": [list(pair) for pair in self.quarantined],
             "injected": list(self.injected),
             "worker_last_seen": dict(self.worker_last_seen),
+            "chunks_speculated": self.chunks_speculated,
+            "duplicate_results_dropped": self.duplicate_results_dropped,
         }

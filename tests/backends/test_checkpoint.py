@@ -1,0 +1,395 @@
+"""Durability of the mp backend: journal, resume, speculation, cancel.
+
+The acceptance scenario lives here: a run killed at the *coordinator*
+level, resumed from its chunk journal, must produce value totals
+identical to an uninterrupted run — without re-executing any journaled
+chunk (asserted through chunk-dispatch counts in the trace).  The
+directory-wide SIGALRM guard in ``conftest.py`` turns hangs into loud
+failures.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.obs import Tracer
+from repro.obs.events import (
+    CHUNK_ACQUIRE,
+    CHUNK_SPECULATE,
+    RUN_RESUMED,
+    TASK_DISPATCH,
+)
+from repro.runtime.backends import MultiprocessingBackend
+from repro.runtime.backends.mp import _Flight, _MpSession
+from repro.runtime.checkpoint import (
+    CheckpointMismatchError,
+    ChunkJournal,
+    ChunkRecord,
+    RunManifest,
+    journal_path,
+    load_manifest,
+    read_journal,
+    write_manifest,
+)
+from repro.runtime.config import RunConfig
+from repro.runtime.faults import COORDINATOR_KILL_EXIT, FaultPlan
+from repro.runtime.task import RealOp
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Fingerprint-relevant knobs shared by every run of the `reduction`
+#: workload in this file — a kill/resume pair must agree on these.
+REDUCTION_CFG = RunConfig(
+    processors=2,
+    backend="mp",
+    cost_source="declared",
+    mp_timeout=60.0,
+    heartbeat_interval=0.05,
+    retry_backoff=0.01,
+)
+
+PAYLOADS = [float(i) for i in range(60)]
+EXPECTED = sum(PAYLOADS)
+
+
+def identity_kernel(payload):
+    return float(payload)
+
+
+def identity_op(name="ident"):
+    return RealOp(
+        name=name,
+        kernel=identity_kernel,
+        payloads=list(PAYLOADS),
+        costs=[1.0] * len(PAYLOADS),
+    )
+
+
+def spawn_repro(*argv, **popen_kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        **popen_kwargs,
+    )
+
+
+def run_repro(*argv, timeout=90):
+    proc = spawn_repro(*argv)
+    stdout, stderr = proc.communicate(timeout=timeout)
+    return proc.returncode, stdout, stderr
+
+
+# -- config knobs ------------------------------------------------------------
+
+
+def test_durability_knob_validation():
+    with pytest.raises(ValueError):
+        RunConfig(checkpoint_dir="x", checkpoint_interval=0)
+    with pytest.raises(ValueError):
+        RunConfig(resume=True)  # resume needs a checkpoint_dir
+    with pytest.raises(ValueError):
+        RunConfig(speculation_factor=0.0)
+    with pytest.raises(ValueError):
+        RunConfig(wall_clock_limit=-1.0)
+
+
+# -- manifest / fingerprint --------------------------------------------------
+
+
+def test_manifest_roundtrip_and_mismatch(tmp_path):
+    ops = [identity_op()]
+    manifest = RunManifest.build(REDUCTION_CFG, ops)
+    write_manifest(str(tmp_path), manifest)
+    stored = load_manifest(str(tmp_path))
+    assert stored.fingerprint == manifest.fingerprint
+
+    other = RunManifest.build(REDUCTION_CFG.with_(processors=5), ops)
+    assert stored.fingerprint != other.fingerprint
+    assert "processors" in stored.describe_mismatch(other)
+
+
+def test_resume_refuses_mismatched_config(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    result = api.run(
+        "reduction", REDUCTION_CFG.with_(checkpoint_dir=ckpt)
+    )
+    assert result.tasks == 256
+
+    backend = MultiprocessingBackend()
+    mismatched = REDUCTION_CFG.with_(
+        processors=3, checkpoint_dir=ckpt, resume=True
+    )
+    from repro.apps.kernels import reduction_ops
+
+    with pytest.raises(CheckpointMismatchError) as excinfo:
+        backend.run_ops(reduction_ops(seed=mismatched.seed), mismatched)
+    assert "processors" in str(excinfo.value)
+    assert "refusing" in str(excinfo.value)
+
+
+# -- journal robustness ------------------------------------------------------
+
+
+def _record(index, value, op_index=0):
+    return ChunkRecord(
+        op_index=op_index,
+        label="ident",
+        worker=0,
+        time=float(index),
+        tasks=[(index, 0.001, value, 0)],
+    )
+
+
+def test_journal_drops_only_torn_tail(tmp_path):
+    journal = ChunkJournal(str(tmp_path))
+    for i in range(3):
+        journal.append(_record(i, float(i)))
+    journal.close()
+    # Simulate a crash mid-append: a torn, CRC-less final line.
+    with open(journal_path(str(tmp_path)), "a") as handle:
+        handle.write('deadbeef {"op_index": 0, "tasks"')
+
+    replay = read_journal(str(tmp_path))
+    assert replay.dropped == 1
+    assert replay.tasks_restored == 3
+    assert sorted(t[0] for r in replay.records for t in r.tasks) == [0, 1, 2]
+
+
+def test_journal_drops_only_corrupted_middle_record(tmp_path):
+    journal = ChunkJournal(str(tmp_path))
+    for i in range(3):
+        journal.append(_record(i, float(i)))
+    journal.close()
+    path = journal_path(str(tmp_path))
+    lines = Path(path).read_text().splitlines()
+    lines[1] = lines[1][:-5] + "XXXXX"  # corrupt the payload, keep the CRC
+    Path(path).write_text("\n".join(lines) + "\n")
+
+    replay = read_journal(str(tmp_path))
+    assert replay.dropped == 1
+    assert sorted(t[0] for r in replay.records for t in r.tasks) == [0, 2]
+
+
+def test_journal_replay_dedups_task_indices(tmp_path):
+    journal = ChunkJournal(str(tmp_path))
+    journal.append(_record(7, 7.0))
+    journal.append(_record(7, 7.0))  # duplicate (speculation race)
+    journal.close()
+
+    replay = read_journal(str(tmp_path))
+    assert replay.duplicates == 1
+    assert replay.tasks_restored == 1
+
+
+# -- the acceptance scenario: coordinator kill -> resume ---------------------
+
+KILL_SCRIPT = """
+import sys
+from repro import api
+from repro.runtime.config import RunConfig
+from repro.runtime.faults import FaultPlan
+
+cfg = RunConfig(
+    processors=2,
+    backend="mp",
+    cost_source="declared",
+    mp_timeout=60.0,
+    heartbeat_interval=0.05,
+    retry_backoff=0.01,
+    checkpoint_dir=sys.argv[1],
+    fault_plan=FaultPlan.kill_coordinator(at_chunk=4),
+)
+api.run("reduction", cfg)
+"""
+
+
+def test_coordinator_kill_then_resume_matches_uninterrupted(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    rc, stdout, stderr = run_repro("-c", KILL_SCRIPT, ckpt)
+    assert rc == COORDINATOR_KILL_EXIT, stderr
+    replay = read_journal(ckpt)
+    assert replay.tasks_restored > 0, "kill left an empty journal"
+
+    baseline = api.run("reduction", REDUCTION_CFG)
+    tracer = Tracer()
+    resumed = api.run(
+        "reduction",
+        REDUCTION_CFG.with_(
+            checkpoint_dir=ckpt, resume=True, tracer=tracer
+        ),
+    )
+
+    # Byte-identical totals: declared-cost reduction sums exact integers.
+    assert resumed.value_total == baseline.value_total
+    assert resumed.tasks == baseline.tasks == 256
+    assert resumed.tasks_resumed == replay.tasks_restored
+
+    # No journaled chunk is re-executed: the resumed run dispatches
+    # exactly the tasks the journal did NOT restore.
+    acquired = sum(
+        e.attrs["size"]
+        for e in tracer.events
+        if e.kind == CHUNK_ACQUIRE
+    )
+    dispatched = sum(1 for e in tracer.events if e.kind == TASK_DISPATCH)
+    assert acquired == 256 - resumed.tasks_resumed
+    assert dispatched == 256 - resumed.tasks_resumed
+    assert any(e.kind == RUN_RESUMED for e in tracer.events)
+
+
+def test_resume_of_completed_run_executes_nothing(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    first = api.run(
+        "reduction", REDUCTION_CFG.with_(checkpoint_dir=ckpt)
+    )
+    tracer = Tracer()
+    resumed = api.run(
+        "reduction",
+        REDUCTION_CFG.with_(
+            checkpoint_dir=ckpt, resume=True, tracer=tracer
+        ),
+    )
+    assert resumed.tasks_resumed == 256
+    assert resumed.value_total == first.value_total
+    assert not any(e.kind == CHUNK_ACQUIRE for e in tracer.events)
+    assert not any(e.kind == TASK_DISPATCH for e in tracer.events)
+
+
+# -- speculation -------------------------------------------------------------
+
+
+def test_speculation_rescues_straggler_without_double_count():
+    tracer = Tracer()
+    cfg = RunConfig(
+        processors=3,
+        backend="mp",
+        mp_timeout=60.0,
+        heartbeat_interval=0.05,
+        retry_backoff=0.01,
+        speculation_factor=2.0,
+        fault_plan=FaultPlan.slow_chunk(1.0, at_chunk=1),
+        tracer=tracer,
+    )
+    result = MultiprocessingBackend().run_ops([identity_op()], cfg)
+
+    assert result.fault_report.chunks_speculated >= 1
+    assert any(e.kind == CHUNK_SPECULATE for e in tracer.events)
+    # Exactly-once accounting despite the duplicated chunk.
+    assert result.value_total == EXPECTED
+    assert result.tasks_total == len(PAYLOADS)
+
+
+def test_duplicate_report_is_dropped_not_double_counted():
+    cfg = RunConfig(
+        processors=2,
+        backend="mp",
+        heartbeat_interval=0.05,
+        retry_backoff=0.01,
+    )
+    session = _MpSession([identity_op()], [set()], cfg)
+    state = session.ops[0]
+    indices = [0, 1, 2]
+    for index in indices:
+        state.pending.remove(index)
+    state.inflight.update(indices)
+    primary = _Flight(0, list(indices), 0.0)
+    helper = _Flight(0, list(indices), 0.0, speculative=True)
+    records = [(i, 0.0, 0.001, float(i)) for i in indices]
+
+    session._handle_report(1, (0, records), helper)  # helper wins
+    assert state.value_total == sum(float(i) for i in indices)
+    assert state.done_tasks == 3
+
+    session._handle_report(0, (0, records), primary)  # straggler loses
+    assert state.value_total == sum(float(i) for i in indices)
+    assert state.done_tasks == 3
+    assert session.fault_report.duplicate_results_dropped == 3
+
+
+# -- graceful cancellation ---------------------------------------------------
+
+
+def test_wall_clock_cancel_checkpoints_and_resumes(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    cfg = RunConfig(
+        processors=3,
+        backend="mp",
+        heartbeat_interval=0.05,
+        retry_backoff=0.01,
+        checkpoint_dir=ckpt,
+        wall_clock_limit=0.05,
+        # at_chunk=1: the second global dispatch always exists (the
+        # first taper chunk never covers all 60 tasks), so the stall
+        # reliably holds the run open past the wall-clock limit.
+        fault_plan=FaultPlan.slow_chunk(0.4, at_chunk=1),
+    )
+    backend = MultiprocessingBackend()
+    cancelled = backend.run_ops([identity_op()], cfg)
+    assert cancelled.cancelled, cancelled.fault_report.to_dict()
+    assert cancelled.cancel_reason == "wall_clock_limit"
+    assert cancelled.resume_dir == ckpt
+
+    resumed = backend.run_ops(
+        [identity_op()],
+        RunConfig(
+            processors=3,
+            backend="mp",
+            heartbeat_interval=0.05,
+            retry_backoff=0.01,
+            checkpoint_dir=ckpt,
+            resume=True,
+        ),
+    )
+    assert not resumed.cancelled
+    assert resumed.value_total == EXPECTED
+    assert resumed.tasks_total == len(PAYLOADS)
+    assert resumed.tasks_resumed == cancelled.tasks_total
+
+
+def test_cli_sigint_checkpoints_and_resume_exits_clean(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    proc = spawn_repro(
+        "-m",
+        "repro",
+        "run",
+        "reduction",
+        "--backend",
+        "mp",
+        "-p",
+        "2",
+        "--cost-source",
+        "declared",
+        "--checkpoint",
+        ckpt,
+        "--inject-fault",
+        "slow:*:1:3",
+    )
+    # Let the run start and stall in the injected straggler chunk, then
+    # interrupt the coordinator the way a terminal Ctrl-C would.
+    time.sleep(1.0)
+    proc.send_signal(signal.SIGINT)
+    stdout, stderr = proc.communicate(timeout=30)
+    assert proc.returncode == 130, stderr
+    assert "cancelled" in stdout
+    assert read_journal(ckpt).tasks_restored > 0
+
+    rc, stdout, stderr = run_repro(
+        "-m", "repro", "run", "--backend", "mp", "--resume", ckpt,
+        timeout=60,
+    )
+    assert rc == 0, stderr
+    assert "resumed" in stdout
