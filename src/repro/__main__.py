@@ -259,6 +259,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resume=bool(args.resume),
             speculation_factor=args.speculate,
             wall_clock_limit=args.wall_clock_limit,
+            data_plane=args.data_plane,
         )
         if args.resume:
             # Re-apply the manifest's scheduling fields (processors,
@@ -513,6 +514,17 @@ def build_parser() -> argparse.ArgumentParser:
             "duplicate a straggling chunk onto an idle worker when its "
             "elapsed time exceeds FACTOR x the Kruskal-Weiss tail "
             "estimate; first result wins (try 2.0)"
+        ),
+    )
+    run_parser.add_argument(
+        "--data-plane",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help=(
+            "payload movement for mp runs: auto places large "
+            "numpy-compatible payloads in shared memory (zero-copy "
+            "worker views, in-place results), shm forces it for every "
+            "eligible op, pickle disables it (queue/args serialization)"
         ),
     )
     run_parser.add_argument(

@@ -133,6 +133,13 @@ class RunResult:
     resume_dir: Optional[str] = None
     #: Tasks restored from a replayed journal rather than executed.
     tasks_resumed: int = 0
+    #: Per-op payload plane actually used (mp backend): op label ->
+    #: ``"shm"`` or ``"pickle"``.  Empty on the simulator.
+    data_plane: Dict[str, str] = field(default_factory=dict)
+    #: Estimated payload bytes serialized at worker startup.
+    bytes_shipped: int = 0
+    #: Shared-memory bytes mapped (0 when the shm plane was unused).
+    shm_bytes: int = 0
 
     def summary(self) -> str:
         unit = "s" if self.time_unit == "seconds" else " work units"
@@ -147,6 +154,15 @@ class RunResult:
             text += (
                 f"\nresumed: {self.tasks_resumed} tasks restored from "
                 "the journal (not re-executed)"
+            )
+        shm_ops = sum(
+            1 for plane in self.data_plane.values() if plane == "shm"
+        )
+        if shm_ops:
+            text += (
+                f"\ndata plane: {shm_ops}/{len(self.data_plane)} ops in "
+                f"shared memory ({self.shm_bytes} bytes mapped, "
+                f"~{self.bytes_shipped} payload bytes shipped at startup)"
             )
         if self.cancelled:
             text += f"\ncancelled: {self.cancel_reason}"
@@ -222,6 +238,9 @@ def _from_backend(
         cancel_reason=raw.cancel_reason,
         resume_dir=raw.resume_dir,
         tasks_resumed=raw.tasks_resumed,
+        data_plane=dict(raw.data_plane),
+        bytes_shipped=raw.bytes_shipped,
+        shm_bytes=raw.shm_bytes,
     )
 
 

@@ -22,6 +22,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ..runtime.task import RealOp
 
+try:  # numpy is optional: array workloads are gated on it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less hosts
+    _np = None
+
 #: Inner-loop elements per declared work unit: chosen so a "10 unit"
 #: task is a few hundred microseconds of real compute — large enough to
 #: dwarf dispatch overhead, small enough for quick smoke runs.
@@ -73,6 +78,19 @@ def range_sum_kernel(payload: Tuple[int, int]) -> float:
     for index in range(start, start + length):
         acc += (index * index + 1) % 9973
     return float(acc % 10_000_019)
+
+
+def array_sum_kernel(payload) -> float:
+    """Sum one payload row (a 1-D float64 array of small integers).
+
+    The payload-heavy kernel: per-task compute is one vectorized pass
+    over the row, so run time is dominated by how the rows *got to* the
+    worker — exactly what the data-plane benchmark measures.  Rows hold
+    integral values, so the sum is exact and backend-independent.
+    """
+    if _np is None:  # pragma: no cover - numpy-less hosts skip this workload
+        return float(sum(payload))
+    return float(_np.asarray(payload).sum())
 
 
 def psirrfan_reconstruct_kernel(payload: Tuple[int, int]) -> float:
@@ -189,6 +207,40 @@ def psirrfan_ops(
     ]
 
 
+def array_ops(
+    tasks: int = 48,
+    row_elements: int = 65_536,
+    seed: int = 0,
+) -> List[RealOp]:
+    """A payload-heavy data-parallel operation over numpy rows.
+
+    ``tasks`` rows of ``row_elements`` float64 values — integral, seeded,
+    deterministic — summed per task.  The natural subject for the shm
+    data plane: the payload dwarfs the compute, so pickling it into
+    every worker is the dominant cost.  Requires numpy.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "the 'array' workload needs numpy; install it or pick a "
+            "tuple-payload workload (fig1, reduction, psirrfan)"
+        )
+    rng = _np.random.default_rng(seed)
+    payloads = [
+        rng.integers(0, 100, size=row_elements).astype(_np.float64)
+        for _ in range(tasks)
+    ]
+    cost = units_of(row_elements) / 256  # vectorized: ~memory-bound
+    return [
+        RealOp(
+            name="array",
+            kernel=array_sum_kernel,
+            payloads=payloads,
+            bytes_per_task=8.0 * row_elements,
+            costs=[cost] * tasks,
+        )
+    ]
+
+
 #: Real-kernel workloads runnable on either backend by name
 #: (``python -m repro run <name> --backend mp``).
 REAL_WORKLOADS = {
@@ -196,6 +248,8 @@ REAL_WORKLOADS = {
     "reduction": reduction_ops,
     "psirrfan": psirrfan_ops,
 }
+if _np is not None:
+    REAL_WORKLOADS["array"] = array_ops
 
 
 def graph_real_ops(

@@ -82,6 +82,13 @@ RUN_RESUMED = "run.resumed"
 #: limit — after a drain-checkpoint-exit sequence
 #: (attrs: reason, remaining = tasks left undone).
 RUN_CANCELLED = "run.cancelled"
+#: One op's payloads + result buffer were laid out in shared-memory
+#: segments at session setup (attrs: mode = array/scalar/tuple,
+#: payload_bytes, result_bytes, segment).
+SHM_MAP = "shm.map"
+#: A worker attached zero-copy views of an op's shm segments
+#: (attrs: bytes; ``proc`` is the attaching worker).
+SHM_ATTACH = "shm.attach"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -106,6 +113,8 @@ ALL_KINDS = (
     CHECKPOINT_WRITE,
     RUN_RESUMED,
     RUN_CANCELLED,
+    SHM_MAP,
+    SHM_ATTACH,
 )
 
 

@@ -38,6 +38,7 @@ _CATEGORY = {
     "fault": "fault",
     "checkpoint": "durability",
     "run": "durability",
+    "shm": "data-plane",
 }
 
 #: Kinds rendered as duration ("X") events on a processor lane.
@@ -210,6 +211,12 @@ def metrics_summary(
                 report.duplicates_dropped,
                 " | CANCELLED" if report.runs_cancelled else "",
             )
+        )
+    if report.shm_ops_mapped or report.shm_attaches:
+        lines.append(
+            "data plane          %d ops shm-mapped (%.0f bytes) | "
+            "%d worker attaches"
+            % (report.shm_ops_mapped, report.shm_bytes, report.shm_attaches)
         )
     if report.per_op:
         lines.append("operations:")

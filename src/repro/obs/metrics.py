@@ -37,6 +37,8 @@ from .events import (
     MSG_RECV,
     MSG_SEND,
     RUN_CANCELLED,
+    SHM_ATTACH,
+    SHM_MAP,
     TASK_DISPATCH,
     WORKER_DIED,
 )
@@ -131,6 +133,10 @@ class MetricsReport:
     duplicates_dropped: int = 0
     checkpoint_writes: int = 0
     runs_cancelled: int = 0
+    #: Data-plane accounting (mp backend with the shm data plane).
+    shm_ops_mapped: int = 0
+    shm_attaches: int = 0
+    shm_bytes: float = 0.0
 
     # -- derived ------------------------------------------------------------
 
@@ -213,6 +219,9 @@ class MetricsReport:
             "duplicates_dropped": self.duplicates_dropped,
             "checkpoint_writes": self.checkpoint_writes,
             "runs_cancelled": self.runs_cancelled,
+            "shm_ops_mapped": self.shm_ops_mapped,
+            "shm_attaches": self.shm_attaches,
+            "shm_bytes": self.shm_bytes,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -254,6 +263,9 @@ def aggregate(
     duplicates_dropped = 0
     checkpoint_writes = 0
     runs_cancelled = 0
+    shm_ops_mapped = 0
+    shm_attaches = 0
+    shm_bytes = 0.0
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
     # overshoot the real finish); summary-only streams (pipeline stages,
@@ -325,6 +337,12 @@ def aggregate(
             checkpoint_writes += 1
         elif event.kind == RUN_CANCELLED:
             runs_cancelled += 1
+        elif event.kind == SHM_MAP:
+            shm_ops_mapped += 1
+            shm_bytes += event.attrs.get("payload_bytes", 0.0)
+            shm_bytes += event.attrs.get("result_bytes", 0.0)
+        elif event.kind == SHM_ATTACH:
+            shm_attaches += 1
 
     makespan = lane_makespan if lane_makespan > 0 else any_makespan
     return MetricsReport(
@@ -344,4 +362,7 @@ def aggregate(
         duplicates_dropped=duplicates_dropped,
         checkpoint_writes=checkpoint_writes,
         runs_cancelled=runs_cancelled,
+        shm_ops_mapped=shm_ops_mapped,
+        shm_attaches=shm_attaches,
+        shm_bytes=shm_bytes,
     )

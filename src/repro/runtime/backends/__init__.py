@@ -19,11 +19,18 @@ from .base import (
     as_parallel_op,
     as_real_op,
     backend_for,
+    check_graph_attachment,
     get_backend,
     register_backend,
 )
 from ..faults import FaultPlan, FaultReport, FaultSpec
-from .mp import MpBackendError, MultiprocessingBackend, real_machine_config
+from .mp import (
+    MpBackendError,
+    MultiprocessingBackend,
+    default_start_method,
+    real_machine_config,
+)
+from .shm import DATA_PLANES, shm_available
 from .sim import SimBackend
 
 __all__ = [
@@ -33,11 +40,15 @@ __all__ = [
     "AnyOp",
     "Backend",
     "BackendRunResult",
+    "DATA_PLANES",
     "OpOutcome",
     "SimBackend",
     "MultiprocessingBackend",
     "MpBackendError",
+    "check_graph_attachment",
+    "default_start_method",
     "real_machine_config",
+    "shm_available",
     "as_parallel_op",
     "as_real_op",
     "backend_for",

@@ -73,6 +73,16 @@ class BackendRunResult:
     #: Tasks restored from a replayed journal rather than executed
     #: (included in ``tasks_total``).
     tasks_resumed: int = 0
+    #: Per-op data plane actually used (mp backend): op label ->
+    #: ``"shm"`` or ``"pickle"``.  Empty on the simulator.
+    data_plane: Dict[str, str] = field(default_factory=dict)
+    #: Payload bytes serialized at worker startup (estimate): pickle-plane
+    #: ops cost their payload bytes *per worker*; shm-plane ops cost
+    #: their stacked payload bytes exactly once.
+    bytes_shipped: int = 0
+    #: Total shared-memory segment bytes mapped (payloads + result
+    #: buffers); 0 when the shm plane was not used.
+    shm_bytes: int = 0
 
     @property
     def speedup(self) -> float:
@@ -112,11 +122,47 @@ class Backend(Protocol):
         ...
 
     def run_graph(
-        self, graph, op_tasks: Dict[int, AnyOp], cfg: RunConfig
+        self,
+        graph,
+        op_tasks: Dict[int, AnyOp],
+        cfg: RunConfig,
+        allow_placeholder: bool = False,
     ) -> BackendRunResult:
         """Execute a Delirium dataflow graph, re-allocating whenever the
-        running set changes."""
+        running set changes.
+
+        Every non-pipeline-mirror node must have an attached operation
+        in ``op_tasks`` unless ``allow_placeholder=True`` (structure-only
+        runs); an unattached node otherwise raises ``ValueError`` instead
+        of silently executing as a zero-task no-op.
+        """
         ...
+
+
+def check_graph_attachment(
+    graph, op_tasks: Dict[int, AnyOp], allow_placeholder: bool
+) -> None:
+    """Refuse to run a graph whose nodes silently compute nothing.
+
+    Pipeline-mirror nodes (``pipeline_role`` set) are structural by
+    design — their work is carried by the ops they mirror — and are
+    always exempt.  Any other unattached node is a mis-wired graph:
+    raise naming it, unless the caller explicitly asked for a
+    structure-only run with ``allow_placeholder=True``.
+    """
+    if allow_placeholder:
+        return
+    for node in graph.nodes:
+        if node.id in op_tasks:
+            continue
+        if getattr(node, "pipeline_role", None) is not None:
+            continue
+        raise ValueError(
+            f"graph node {node.name!r} (id {node.id}) has no attached "
+            "operation; it would run as a zero-task placeholder and "
+            "compute nothing.  Attach an op in op_tasks, or pass "
+            "allow_placeholder=True for a structure-only run."
+        )
 
 
 _REGISTRY: Dict[str, type] = {}

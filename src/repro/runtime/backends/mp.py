@@ -77,6 +77,21 @@ Two relatives of recovery ride on the same completed-set bookkeeping:
   flagged ``cancelled=True`` with a resume hint, instead of a stack
   trace and orphaned children.
 
+**Data plane** (``RunConfig.data_plane``): payload movement is its own
+axis.  The classic path pickles every op's payload list into every
+worker's ``Process`` args — O(P x total payload bytes) at startup — and
+ships every task's value back through the queue.  With the shared-memory
+plane (:mod:`repro.runtime.backends.shm`; ``"auto"`` by default, forced
+with ``"shm"``, disabled with ``"pickle"``), numpy-compatible payloads
+are laid out once in ``multiprocessing.shared_memory`` segments, workers
+attach zero-copy views, dispatch messages stay index-only, and chunk
+values are written in place into a shared per-op result buffer — only
+timing records cross the queue.  Eligibility is per op; ineligible
+payloads (and numpy-less hosts) fall back to pickle transparently.
+Segments are created and unlinked by the coordinator only, in ``_run``'s
+outermost ``finally``, so injected worker/coordinator kills cannot leak
+``/dev/shm`` entries.
+
 Observability: the coordinator threads the same ``repro.obs`` Tracer the
 simulator uses — CHUNK_ACQUIRE / TASK_DISPATCH / CHUNK_COMPLETE /
 OP_BEGIN / OP_END / ALLOC_DECIDE / TAPER_DECISION events, plus the fault
@@ -89,6 +104,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
 import signal
 import threading
@@ -120,6 +136,8 @@ from ...obs.events import (
     OP_END,
     RUN_CANCELLED,
     RUN_RESUMED,
+    SHM_ATTACH,
+    SHM_MAP,
     TASK_DISPATCH,
     Tracer,
     WORKER_DIED,
@@ -148,17 +166,35 @@ from ..machine import MachineConfig
 from ..sampling import sample_mean_std
 from ..schedulers import make_policy
 from ..task import RealOp
+from . import shm
 from .base import (
     AnyOp,
     BackendRunResult,
     OpOutcome,
     as_real_op,
+    check_graph_attachment,
     register_backend,
 )
 
 
 class MpBackendError(RuntimeError):
     """An unrecoverable pool failure (or any fault under ``on_fault="fail"``)."""
+
+
+def default_start_method() -> str:
+    """The start method ``RunConfig.mp_start_method=None`` resolves to.
+
+    ``fork`` wherever the platform offers it — workers inherit the ops
+    payload copy-on-write instead of re-pickling it, and the coordinator
+    forks before starting any helper thread, so the fork+threads hazard
+    does not apply — else ``spawn`` (macOS/Windows).  Kept explicit
+    because Python 3.14 changes the stdlib default away from ``fork``,
+    which would silently change both performance and picklability
+    requirements mid-reproduction.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
 
 
 def real_machine_config(p: int) -> MachineConfig:
@@ -188,13 +224,20 @@ def real_machine_config(p: int) -> MachineConfig:
 def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     """Chunk self-scheduling loop of one worker process.
 
-    ``ops_payload`` is ``[(kernel, payloads), ...]``; all timestamps are
-    reported relative to the coordinator's ``t0`` (``perf_counter`` is
-    system-wide on every platform we target, so worker and coordinator
-    clocks agree).  Results are per-task ``(index, start, duration,
-    value)`` records — per-task values are what lets the coordinator
-    de-duplicate *partial* overlaps between a speculative copy and its
-    primary without double-counting a reduction.
+    ``ops_payload`` is one entry per op, ``("pickle", kernel, payloads)``
+    or ``("shm", kernel, descriptor)``.  Pickle-plane payloads arrived
+    serialized in the process args; shm-plane ops are attached lazily on
+    first dispatch (zero-copy views over the coordinator's segments,
+    announced with a one-shot ``("attached", wid, (op_index, bytes))``
+    message).  All timestamps are reported relative to the coordinator's
+    ``t0`` (``perf_counter`` is system-wide on every platform we target,
+    so worker and coordinator clocks agree).  Results are per-task
+    ``(index, start, duration, value)`` records — per-task values are
+    what lets the coordinator de-duplicate *partial* overlaps between a
+    speculative copy and its primary without double-counting a
+    reduction.  For shm ops the value is written in place into the
+    shared result buffer and the record carries ``None``; the
+    coordinator reads the slot when the report arrives.
 
     A kernel exception does *not* kill the worker: the failed chunk is
     reported (``("error", wid, (op_index, indices, traceback))``) and the
@@ -212,10 +255,32 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    attachments = {}
+
+    def _resolve_op(op_index):
+        """The op's (kernel, get_payload, result_view), attaching shm
+        segments on first use."""
+        entry = attachments.get(op_index)
+        if entry is None:
+            plane, kernel, data = ops_payload[op_index]
+            if plane == "shm":
+                attachment = shm.attach_op(data)
+                entry = (kernel, attachment.get_payload, attachment)
+                request_q.put(
+                    ("attached", wid, (op_index, attachment.nbytes))
+                )
+            else:
+                entry = (kernel, data.__getitem__, None)
+            attachments[op_index] = entry
+        return entry
+
     request_q.put(("ready", wid, None))
     while True:
         message = reply_q.get()
         if message[0] == "stop":
+            for _kernel, _get, attachment in attachments.values():
+                if attachment is not None:
+                    attachment.close()
             return
         _, op_index, indices, fault = message
         if fault is not None and fault[0] == "kill":
@@ -229,18 +294,30 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             os._exit(17)  # crash hard: no cleanup, no reply
         if fault is not None and fault[0] == "slow":
             time.sleep(fault[1])
-        kernel, payloads = ops_payload[op_index]
         records = []
         try:
+            kernel, get_payload, attachment = _resolve_op(op_index)
             if fault is not None and fault[0] == "raise":
                 raise InjectedFault(
                     f"injected kernel fault on worker {wid}"
                 )
-            for index in indices:
-                start = time.perf_counter() - t0
-                value = kernel(payloads[index])
-                duration = (time.perf_counter() - t0) - start
-                records.append((index, start, duration, float(value)))
+            if attachment is not None:
+                result = attachment.result
+                for index in indices:
+                    start = time.perf_counter() - t0
+                    value = kernel(get_payload(index))
+                    duration = (time.perf_counter() - t0) - start
+                    # In-place result delivery: only timings cross the
+                    # queue.  Duplicate copies of a task write the same
+                    # deterministic value, so write order is immaterial.
+                    result[index] = value
+                    records.append((index, start, duration, None))
+            else:
+                for index in indices:
+                    start = time.perf_counter() - t0
+                    value = kernel(get_payload(index))
+                    duration = (time.perf_counter() - t0) - start
+                    records.append((index, start, duration, float(value)))
         except BaseException:
             request_q.put(
                 ("error", wid, (op_index, list(indices), traceback.format_exc()))
@@ -431,6 +508,14 @@ class _MpSession:
         self.restored_chunks = 0
         #: Why the run is being cancelled (``None`` = running normally).
         self.cancel_reason: Optional[str] = None
+        # -- data-plane state -----------------------------------------------
+        #: Shared-memory segments (``None`` until _setup_data_plane maps
+        #: at least one op; stays ``None`` on the pure-pickle path).
+        self.plane: Optional[shm.ShmDataPlane] = None
+        #: Per-op plane actually chosen ("shm" | "pickle"), by op index.
+        self.plane_of: List[str] = ["pickle"] * len(self.ops)
+        #: Estimated payload bytes serialized at worker startup.
+        self.bytes_shipped = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -671,12 +756,93 @@ class _MpSession:
         self._reallocate()
         self._wake_idle()
 
+    # -- data plane ----------------------------------------------------------
+
+    def _setup_data_plane(self) -> None:
+        """Decide, per op, whether payloads live in shared memory.
+
+        ``"pickle"`` disables the plane; ``"auto"`` maps eligible ops at
+        or above :data:`shm.AUTO_MIN_BYTES`; ``"shm"`` maps every
+        eligible op.  Ineligible payloads — and numpy-less hosts — stay
+        on the pickle plane silently: fallback is the contract, not an
+        error.  Runs before checkpoint replay so restored values can be
+        re-materialized into the result buffers.
+        """
+        if self.cfg.data_plane == "pickle" or not shm.shm_available():
+            return
+        plane = shm.ShmDataPlane()
+        for state in self.ops:
+            planned = shm.plan_payloads(state.op.payloads)
+            if planned is None:
+                continue
+            mode, stacked = planned
+            if (
+                self.cfg.data_plane == "auto"
+                and stacked.nbytes < shm.AUTO_MIN_BYTES
+            ):
+                continue
+            try:
+                descriptor = plane.add_op(state.index, mode, stacked)
+            except OSError:
+                continue  # /dev/shm full or absent: keep this op on pickle
+            self.plane_of[state.index] = "shm"
+            if self.tracer is not None:
+                self.tracer.emit(
+                    SHM_MAP,
+                    0.0,
+                    op=state.label,
+                    mode=mode,
+                    payload_bytes=int(stacked.nbytes),
+                    result_bytes=descriptor.size * 8,
+                    segment=descriptor.payload_name,
+                )
+        if len(plane):
+            self.plane = plane
+        else:
+            plane.close(unlink=True)
+
+    def _worker_ops_payload(self) -> List[tuple]:
+        """Per-op worker entries, and the startup bytes-shipped estimate."""
+        entries = []
+        pickle_bytes = 0
+        for state in self.ops:
+            if self.plane_of[state.index] == "shm":
+                entries.append(
+                    ("shm", state.op.kernel, self.plane.descriptor(state.index))
+                )
+            else:
+                entries.append(("pickle", state.op.kernel, state.op.payloads))
+                pickle_bytes += shm.estimate_payload_nbytes(state.op.payloads)
+        # Pickle payloads are serialized into every worker's args under
+        # spawn (and copied lazily under fork); shm payloads are laid
+        # out exactly once however many workers attach.
+        self.bytes_shipped = pickle_bytes * self.p + (
+            self.plane.payload_bytes if self.plane is not None else 0
+        )
+        return entries
+
     def _handle_report(
         self, wid: int, report, flight: Optional[_Flight] = None
     ) -> None:
         op_index, records = report
         state = self.ops[op_index]
         tracer = self.tracer
+        if self.plane is not None and self.plane_of[op_index] == "shm":
+            # shm-plane records carry None values; read the slots the
+            # worker wrote in place.  Reading before the dedup below is
+            # fine: a duplicate's slot holds the same deterministic
+            # value, and the read is dropped with the record.
+            records = [
+                (
+                    index,
+                    start,
+                    duration,
+                    self.plane.result_value(op_index, index)
+                    if value is None
+                    else value,
+                )
+                for index, start, duration, value in records
+            ]
         speculative = flight.speculative if flight is not None else False
         # First-result-wins dedup: a task already completed (by the
         # other copy of a speculated chunk, or restored from the
@@ -960,6 +1126,12 @@ class _MpSession:
                 state.completed.add(index)
                 state.value_total += value
                 state.measured_work += duration
+                if self.plane is not None and self.plane.has_op(
+                    record.op_index
+                ):
+                    # Keep the shared result buffer a complete
+                    # materialization of the op across restarts.
+                    self.plane.write_result(record.op_index, index, value)
                 if attempt > 0:
                     state.retried.add(index)
                     state.attempts[index] = max(
@@ -1064,31 +1236,65 @@ class _MpSession:
         for _overdue, elapsed, expected, victim, live in candidates:
             if not self.idle:
                 return
-            flight = self.in_flight.get(victim)
-            if flight is None or flight.speculated:
-                continue
-            helper = min(self.idle)
-            self.idle.discard(helper)
-            flight.speculated = True
-            state = self.ops[flight.op_index]
-            self.in_flight[helper] = _Flight(
-                flight.op_index, list(live), now, speculative=True
+            self._dispatch_speculative(victim, live, elapsed, expected)
+
+    def _dispatch_speculative(
+        self,
+        victim: int,
+        live: List[int],
+        elapsed: float = 0.0,
+        expected: float = 0.0,
+    ) -> bool:
+        """Hand a duplicate of ``victim``'s chunk to an idle helper.
+
+        ``live`` was computed at candidate-collection time; reports
+        processed between collection and this dispatch (an earlier
+        candidate's helper finishing, the victim's own report racing in)
+        may have settled some — or all — of it.  Re-filter against the
+        authoritative ``completed``/``quarantined`` sets *now*: a stale
+        list would put a helper to work on tasks whose results are
+        guaranteed to be dropped, and an empty one would burn the helper
+        for nothing.  Returns whether a duplicate was dispatched.
+        """
+        flight = self.in_flight.get(victim)
+        if flight is None or flight.speculated:
+            return False
+        state = self.ops[flight.op_index]
+        live = [
+            index
+            for index in live
+            if index not in state.completed
+            and index not in state.quarantined
+        ]
+        if not live:
+            # The victim settled in the meantime; the helper stays idle
+            # for real work (or the next overdue victim).
+            return False
+        if not self.idle:
+            return False
+        now = self._now()
+        helper = min(self.idle)
+        self.idle.discard(helper)
+        flight.speculated = True
+        self.in_flight[helper] = _Flight(
+            flight.op_index, list(live), now, speculative=True
+        )
+        self.reply_qs[helper].put(
+            ("run", flight.op_index, list(live), None)
+        )
+        self.fault_report.chunks_speculated += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CHUNK_SPECULATE,
+                now,
+                proc=helper,
+                op=state.label,
+                tasks=len(live),
+                victim=victim,
+                elapsed=elapsed,
+                expected=expected,
             )
-            self.reply_qs[helper].put(
-                ("run", flight.op_index, list(live), None)
-            )
-            self.fault_report.chunks_speculated += 1
-            if self.tracer is not None:
-                self.tracer.emit(
-                    CHUNK_SPECULATE,
-                    now,
-                    proc=helper,
-                    op=state.label,
-                    tasks=len(live),
-                    victim=victim,
-                    elapsed=elapsed,
-                    expected=expected,
-                )
+        return True
 
     def _drain(self, request_q, workers) -> None:
         """Graceful cancellation: harvest in-flight results, journal
@@ -1116,6 +1322,8 @@ class _MpSession:
                 self._check_liveness(workers)
                 continue
             self.last_seen[wid] = self._now()
+            if kind == "attached":
+                continue  # not a scheduling event; no flight to pop
             flight = self.in_flight.pop(wid, None)
             if kind == "done":
                 self._handle_report(wid, payload, flight)
@@ -1148,8 +1356,51 @@ class _MpSession:
             os._exit(COORDINATOR_KILL_EXIT)
 
     def _run(self) -> BackendRunResult:
-        cfg = self.cfg
+        """Map the data plane, run the pool, and *always* unlink.
+
+        The ``finally`` here is the crash-cleanup protocol: it runs
+        after worker teardown on every exit path — normal completion,
+        backend errors, graceful cancellation, and the simulated
+        coordinator kill (:class:`_CoordinatorKill` unwinds through it
+        before ``run()`` calls ``os._exit``) — so injected kills never
+        leak ``/dev/shm`` segments.
+        """
         self._resolve_instant_ops()
+        self._setup_data_plane()
+        try:
+            return self._run_pool()
+        finally:
+            if self.plane is not None:
+                self.plane.close(unlink=True)
+
+    def _validate_picklable(self, method: str) -> None:
+        """Fail naming the op, not with a raw ``PicklingError`` out of
+        ``Process.start()``, when ``spawn``/``forkserver`` must
+        serialize kernels and payloads.  Samples each op's kernel plus
+        its first pickle-plane payload — pickling whole payload lists
+        here would pay the startup serialization cost twice."""
+        for state in self.ops:
+            try:
+                pickle.dumps(state.op.kernel)
+            except Exception as error:
+                raise MpBackendError(
+                    f"op {state.label!r}: kernel is not picklable, as "
+                    f"required by mp_start_method={method!r} — use a "
+                    f"module-level function, or run under 'fork' "
+                    f"({error})"
+                ) from None
+            if self.plane_of[state.index] != "shm" and state.op.payloads:
+                try:
+                    pickle.dumps(state.op.payloads[0])
+                except Exception as error:
+                    raise MpBackendError(
+                        f"op {state.label!r}: payloads are not "
+                        f"picklable, as required by mp_start_method="
+                        f"{method!r} for pickle-plane ops ({error})"
+                    ) from None
+
+    def _run_pool(self) -> BackendRunResult:
+        cfg = self.cfg
         if cfg.checkpoint_dir:
             self._setup_checkpoint()
         if all(state.finished for state in self.ops):
@@ -1159,19 +1410,16 @@ class _MpSession:
             if self.journal is not None:
                 self.journal.close()
             return self._result(0.0)
-        method = cfg.mp_start_method
-        if method is None:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
+        method = cfg.mp_start_method or default_start_method()
+        if method != "fork":
+            # spawn/forkserver re-pickle everything in Process args; a
+            # bad kernel would otherwise die deep inside Process.start()
+            # with a PicklingError that names nothing useful.
+            self._validate_picklable(method)
         ctx = multiprocessing.get_context(method)
         request_q = ctx.Queue()
         self.reply_qs = [ctx.SimpleQueue() for _ in range(self.p)]
-        ops_payload = [
-            (state.op.kernel, state.op.payloads) for state in self.ops
-        ]
+        ops_payload = self._worker_ops_payload()
         self.t0 = time.perf_counter()
         workers = [
             ctx.Process(
@@ -1181,8 +1429,19 @@ class _MpSession:
             )
             for wid in range(self.p)
         ]
-        for process in workers:
-            process.start()
+        started: List = []
+        try:
+            for process in workers:
+                process.start()
+                started.append(process)
+        except Exception as error:
+            for process in started:
+                process.terminate()
+                process.join(timeout=1.0)
+            raise MpBackendError(
+                f"could not start the worker pool under start method "
+                f"{method!r}: {error}"
+            ) from error
         deadline = time.perf_counter() + cfg.mp_timeout
         next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
@@ -1233,6 +1492,19 @@ class _MpSession:
                     next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
                     continue
                 self.last_seen[wid] = self._now()
+                if kind == "attached":
+                    # One-shot shm attach notification — not a scheduling
+                    # event: the worker's flight stays in place and no
+                    # dispatch is owed (the chunk reply is still coming).
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            SHM_ATTACH,
+                            self._now(),
+                            proc=wid,
+                            op=self.ops[payload[0]].label,
+                            bytes=payload[1],
+                        )
+                    continue
                 flight = self.in_flight.pop(wid, None)
                 if kind == "error":
                     self._handle_error(wid, payload, flight)
@@ -1333,6 +1605,12 @@ class _MpSession:
             cancel_reason=self.cancel_reason or "",
             resume_dir=self.cfg.checkpoint_dir,
             tasks_resumed=self.tasks_resumed,
+            data_plane={
+                state.label: self.plane_of[state.index]
+                for state in self.ops
+            },
+            bytes_shipped=self.bytes_shipped,
+            shm_bytes=self.plane.shm_bytes if self.plane is not None else 0,
         )
 
 
@@ -1420,10 +1698,17 @@ class MultiprocessingBackend:
         return self._session(ops, deps, cfg)
 
     def run_graph(
-        self, graph, op_tasks: Dict[int, AnyOp], cfg: RunConfig
+        self,
+        graph,
+        op_tasks: Dict[int, AnyOp],
+        cfg: RunConfig,
+        allow_placeholder: bool = False,
     ) -> BackendRunResult:
-        """Every graph node becomes a session op (nodes without attached
-        tasks are zero-task pass-throughs); edges become dependences."""
+        """Every graph node becomes a session op; edges become
+        dependences.  Unattached non-mirror nodes are refused unless
+        ``allow_placeholder=True``, in which case they run as zero-task
+        pass-throughs (structure only)."""
+        check_graph_attachment(graph, op_tasks, allow_placeholder)
         nodes = list(graph.nodes)
         index_of = {node.id: index for index, node in enumerate(nodes)}
         ops: List[AnyOp] = []

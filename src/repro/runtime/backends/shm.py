@@ -1,0 +1,363 @@
+"""Zero-copy shared-memory data plane for the mp backend.
+
+The pickle data plane ships every op's full payload list into every
+worker's ``Process`` args, so startup serialization is O(P x total
+payload bytes) and results flow back as per-record pickles.  This module
+is the alternative the paper's data-movement argument calls for (and
+Palkar & Zaharia's *Split Annotations* measure): payloads are laid out
+**once** in ``multiprocessing.shared_memory`` segments, workers attach
+numpy views zero-copy, dispatch messages carry only task indices, and
+each chunk's values are written in place into a shared per-op result
+buffer — only ``(index, start, duration)`` timing records cross the
+queue.
+
+Layout per shm-planned op (two segments, created by the coordinator):
+
+* **payload segment** — the op's payloads stacked into one contiguous
+  ndarray.  Three plans cover the kernels we ship:
+
+  - ``"array"``  — every payload is an ndarray of identical shape/dtype;
+    stacked along a new leading axis, task k's payload is row k (a
+    read-only view).
+  - ``"scalar"`` — every payload is an ``int`` (or every one a
+    ``float``); a 1-D ``int64``/``float64`` array, task k's payload is
+    ``view[k].item()`` (the exact Python type restored).
+  - ``"tuple"``  — every payload is a same-length tuple of all-``int``
+    (or all-``float``) scalars; a 2-D array, task k's payload is
+    ``tuple(view[k].tolist())``.
+
+  Anything else (mixed types, object dtypes, ragged shapes, ints
+  overflowing int64) is ineligible and stays on the pickle plane —
+  eligibility is decided **per op** at session setup.
+
+* **result segment** — ``float64[size]``, zero-initialised.  Workers
+  write ``result[index] = kernel(payload)`` in place; the coordinator
+  reads the slot when the chunk's timing report arrives.  Duplicate
+  writers (speculation, retries after a partial report) are harmless:
+  the coordinator's completed-set dedup counts the first *report* of a
+  task exactly once, and with deterministic kernels every copy writes
+  the identical value, so the buffer's final content is well defined
+  either way.
+
+Crash-safe cleanup: the coordinator is the only creator and the only
+unlinker.  ``ShmDataPlane.close(unlink=True)`` runs in ``_run``'s outer
+``finally`` — after worker teardown, on every exit path including
+injected coordinator kills (``_CoordinatorKill`` unwinds through the
+``finally`` before ``os._exit``) — so injected worker/coordinator kills
+never leak ``/dev/shm`` entries.  The stdlib ``resource_tracker`` is a
+backstop, not a participant: workers share the coordinator's tracker
+process (its pipe is inherited under both fork and spawn), so their
+attach-time re-registrations collapse into the coordinator's single
+entry, which its ``unlink()`` clears.
+
+Everything degrades gracefully without numpy: :func:`shm_available`
+gates the whole plane, and :func:`plan_payloads` returns ``None`` so
+every op falls back to pickle.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is optional: without it every op uses the pickle plane.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm
+    _shared_memory = None
+
+#: ``RunConfig.data_plane`` values.
+DATA_PLANES = ("auto", "shm", "pickle")
+
+#: Segment-name prefix: distinctive for the leak checks, short enough
+#: that the full name stays under macOS's ~31-char shm name limit.
+SEGMENT_PREFIX = "repro"
+
+#: Under ``data_plane="auto"`` an op is shm-planned only when its stacked
+#: payloads reach this size — two segment creations plus per-worker
+#: attaches are not worth it for a few kilobytes.  ``data_plane="shm"``
+#: maps every eligible op regardless.
+AUTO_MIN_BYTES = 64 * 1024
+
+
+def shm_available() -> bool:
+    """Can this host run the shm plane at all (numpy + shared_memory)?"""
+    return _np is not None and _shared_memory is not None
+
+
+# ---------------------------------------------------------------------------
+# Payload planning
+# ---------------------------------------------------------------------------
+
+
+def _plan_scalars(values: Sequence[Any]):
+    """A homogeneous int64 or float64 array for all-int / all-float
+    scalars, or ``None``.  ``bool`` is excluded (it is an ``int``
+    subclass but kernels may rely on its type)."""
+    if all(type(v) is int for v in values):
+        dtype = _np.int64
+    elif all(type(v) is float for v in values):
+        dtype = _np.float64
+    else:
+        return None
+    try:
+        return _np.asarray(values, dtype=dtype)
+    except (OverflowError, ValueError):  # e.g. ints beyond int64
+        return None
+
+
+def plan_payloads(payloads: Sequence[Any]):
+    """Decide whether ``payloads`` can live in shared memory.
+
+    Returns ``(mode, stacked_array)`` — mode one of ``"array"``,
+    ``"scalar"``, ``"tuple"`` — or ``None`` when the op must stay on the
+    pickle plane (including when numpy is absent).
+    """
+    if _np is None or not payloads:
+        return None
+    first = payloads[0]
+    if isinstance(first, _np.ndarray):
+        if first.dtype.hasobject or first.nbytes == 0:
+            return None
+        if not all(
+            isinstance(p, _np.ndarray)
+            and p.dtype == first.dtype
+            and p.shape == first.shape
+            for p in payloads
+        ):
+            return None
+        return ("array", _np.stack(payloads))
+    if type(first) in (int, float):
+        stacked = _plan_scalars(payloads)
+        if stacked is None:
+            return None
+        return ("scalar", stacked)
+    if type(first) is tuple:
+        width = len(first)
+        if width == 0:
+            return None
+        if not all(type(p) is tuple and len(p) == width for p in payloads):
+            return None
+        flat = [v for p in payloads for v in p]
+        stacked = _plan_scalars(flat)
+        if stacked is None:
+            return None
+        return ("tuple", stacked.reshape(len(payloads), width))
+    return None
+
+
+def estimate_payload_nbytes(payload: Any) -> int:
+    """A serialization-cost estimate of one payload (or payload list).
+
+    Used for the bytes-shipped counters: measuring ``pickle.dumps``
+    exactly would double the very serialization cost the counters
+    exist to expose, so this is a structural estimate — ndarray buffer
+    bytes, 8 per numeric scalar, recursive over tuples/lists, byte/str
+    lengths, a flat 64 for anything opaque.
+    """
+    if _np is not None and isinstance(payload, _np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8", "replace"))
+    if isinstance(payload, (tuple, list)):
+        return sum(estimate_payload_nbytes(item) for item in payload)
+    return 64
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmOpDescriptor:
+    """What a worker needs to attach one op's segments (picklable, tiny)."""
+
+    op_index: int
+    mode: str  # "array" | "scalar" | "tuple"
+    payload_name: str
+    payload_shape: Tuple[int, ...]
+    payload_dtype: str
+    result_name: str
+    size: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for extent in self.payload_shape:
+            count *= extent
+        return count * _np.dtype(self.payload_dtype).itemsize + self.size * 8
+
+
+class ShmDataPlane:
+    """The coordinator's ledger of every segment it created.
+
+    Owns creation and unlinking; :meth:`close` is idempotent and safe on
+    every exit path (teardown, errors, simulated coordinator kills).
+    """
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[int, ShmOpDescriptor] = {}
+        self._segments: List[Any] = []
+        self._result_views: Dict[int, Any] = {}
+        #: Stacked payload bytes laid out, across ops (shipped once,
+        #: however many workers attach).
+        self.payload_bytes = 0
+        #: Total segment bytes (payloads + result buffers).
+        self.shm_bytes = 0
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def _new_segment(self, suffix: str, nbytes: int):
+        for _ in range(8):
+            name = f"{SEGMENT_PREFIX}_{secrets.token_hex(4)}_{suffix}"
+            try:
+                return _shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+            except FileExistsError:  # pragma: no cover - 1-in-2^32 race
+                continue
+        raise OSError("could not allocate a unique shared-memory name")
+
+    def add_op(self, op_index: int, mode: str, stacked) -> ShmOpDescriptor:
+        """Lay out one op: copy ``stacked`` payloads in, zero the results."""
+        if self.closed:
+            raise RuntimeError("data plane already closed")
+        payload_seg = self._new_segment(f"{op_index}p", stacked.nbytes)
+        size = stacked.shape[0]
+        try:
+            result_seg = self._new_segment(f"{op_index}r", size * 8)
+        except BaseException:
+            payload_seg.close()
+            payload_seg.unlink()
+            raise
+        self._segments += [payload_seg, result_seg]
+        payload_view = _np.ndarray(
+            stacked.shape, dtype=stacked.dtype, buffer=payload_seg.buf
+        )
+        payload_view[...] = stacked
+        result_view = _np.ndarray(
+            (size,), dtype=_np.float64, buffer=result_seg.buf
+        )
+        result_view[:] = 0.0
+        self._result_views[op_index] = result_view
+        descriptor = ShmOpDescriptor(
+            op_index=op_index,
+            mode=mode,
+            payload_name=payload_seg.name,
+            payload_shape=tuple(stacked.shape),
+            payload_dtype=stacked.dtype.str,
+            result_name=result_seg.name,
+            size=size,
+        )
+        self._descriptors[op_index] = descriptor
+        self.payload_bytes += int(stacked.nbytes)
+        self.shm_bytes += int(stacked.nbytes) + size * 8
+        return descriptor
+
+    def descriptor(self, op_index: int) -> ShmOpDescriptor:
+        return self._descriptors[op_index]
+
+    def has_op(self, op_index: int) -> bool:
+        return op_index in self._descriptors
+
+    def result_value(self, op_index: int, index: int) -> float:
+        return float(self._result_views[op_index][index])
+
+    def write_result(self, op_index: int, index: int, value: float) -> None:
+        """Re-materialize a value (journal replay of a restored chunk)."""
+        self._result_views[op_index][index] = value
+
+    def close(self, unlink: bool = True) -> None:
+        """Detach and (by default) unlink every segment.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        # numpy views hold exported buffers; drop them before close()
+        # or SharedMemory raises BufferError.
+        self._result_views.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+            if unlink:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._segments = []
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerAttachment:
+    """One worker's zero-copy view of one op's segments."""
+
+    def __init__(self, descriptor: ShmOpDescriptor):
+        self._payload_seg = _attach_segment(descriptor.payload_name)
+        try:
+            self._result_seg = _attach_segment(descriptor.result_name)
+        except BaseException:
+            self._payload_seg.close()
+            raise
+        payloads = _np.ndarray(
+            descriptor.payload_shape,
+            dtype=_np.dtype(descriptor.payload_dtype),
+            buffer=self._payload_seg.buf,
+        )
+        # Payloads are inputs; a kernel scribbling on them would race
+        # every other worker's reads.
+        payloads.flags.writeable = False
+        self.result = _np.ndarray(
+            (descriptor.size,), dtype=_np.float64, buffer=self._result_seg.buf
+        )
+        self.nbytes = descriptor.nbytes
+        self.get_payload: Callable[[int], Any]
+        if descriptor.mode == "array":
+            self.get_payload = payloads.__getitem__
+        elif descriptor.mode == "scalar":
+            self.get_payload = lambda index: payloads[index].item()
+        else:  # "tuple"
+            self.get_payload = lambda index: tuple(payloads[index].tolist())
+        self._payloads = payloads
+
+    def close(self) -> None:
+        """Detach (never unlink — segments are the coordinator's)."""
+        self._payloads = None
+        self.result = None
+        for segment in (self._payload_seg, self._result_seg):
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+
+def _attach_segment(name: str):
+    # Attaching re-registers the name with the resource_tracker (Python
+    # <= 3.12 has no track=False).  That is harmless here: workers
+    # inherit the coordinator's tracker process under both fork and
+    # spawn, so the registration is an idempotent set-add and the
+    # coordinator's unlink() clears the single shared entry.  Do NOT
+    # unregister from the worker — that would steal the coordinator's
+    # entry and make its unlink complain about an unknown name.
+    return _shared_memory.SharedMemory(name=name)
+
+
+def attach_op(descriptor: ShmOpDescriptor) -> WorkerAttachment:
+    """Worker-side entry: attach both of an op's segments zero-copy."""
+    return WorkerAttachment(descriptor)

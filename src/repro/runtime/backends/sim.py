@@ -22,6 +22,7 @@ from .base import (
     BackendRunResult,
     OpOutcome,
     as_parallel_op,
+    check_graph_attachment,
     register_backend,
 )
 
@@ -165,8 +166,13 @@ class SimBackend:
     # -- whole graphs --------------------------------------------------------
 
     def run_graph(
-        self, graph, op_tasks: Dict[int, AnyOp], cfg: RunConfig
+        self,
+        graph,
+        op_tasks: Dict[int, AnyOp],
+        cfg: RunConfig,
+        allow_placeholder: bool = False,
     ) -> BackendRunResult:
+        check_graph_attachment(graph, op_tasks, allow_placeholder)
         sim_tasks = {
             node_id: as_parallel_op(op, cfg)
             for node_id, op in op_tasks.items()

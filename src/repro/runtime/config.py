@@ -31,6 +31,7 @@ SIM_MODELS = ("distributed", "central")
 COST_SOURCES = ("measured", "declared")
 MP_START_METHODS = (None, "fork", "spawn", "forkserver")
 ON_FAULT = ("retry", "fail")
+DATA_PLANES = ("auto", "shm", "pickle")
 
 
 @dataclass(frozen=True)
@@ -78,8 +79,31 @@ class RunConfig:
     #: Seconds of real busy-work per declared work unit when the mp
     #: backend executes a simulated :class:`ParallelOp`.
     time_scale: float = 2e-4
-    #: ``multiprocessing`` start method; ``None`` picks ``fork`` where
-    #: available (fast) falling back to ``spawn``.
+    #: How the mp backend moves payloads and results between the
+    #: coordinator and its workers:
+    #:
+    #: * ``"auto"`` (default) — numpy-compatible payloads above a size
+    #:   floor are laid out in ``multiprocessing.shared_memory`` segments
+    #:   that workers attach zero-copy; everything else is pickled into
+    #:   the worker args (the classic path).
+    #: * ``"shm"`` — shared memory for *every* eligible op regardless of
+    #:   size (small ops too); ineligible payloads still fall back to
+    #:   pickle per op, as does everything when numpy is absent.
+    #: * ``"pickle"`` — never use shared memory.
+    #:
+    #: See :mod:`repro.runtime.backends.shm` for eligibility rules.
+    data_plane: str = "auto"
+    #: ``multiprocessing`` start method; ``None`` picks the explicit
+    #: platform default from
+    #: :func:`repro.runtime.backends.mp.default_start_method`: ``fork``
+    #: where the platform offers it, else ``spawn``.  ``fork`` is the
+    #: deliberate choice on Linux — workers inherit payloads
+    #: copy-on-write, and the coordinator forks before starting its
+    #: tracer/queue threads so the classic fork+threads hazard does not
+    #: apply.  Python 3.14 flips the stdlib default away from ``fork``;
+    #: pinning it here keeps runs reproducible across interpreter
+    #: upgrades.  Note that under ``spawn``/``forkserver`` every kernel
+    #: and payload must pickle (validated per op at session setup).
     mp_start_method: Optional[str] = None
     #: Watchdog: seconds the mp coordinator waits for worker progress
     #: before terminating the pool and raising.
@@ -155,6 +179,11 @@ class RunConfig:
             raise ValueError(
                 f"unknown cost_source {self.cost_source!r}; "
                 f"pick from {COST_SOURCES}"
+            )
+        if self.data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"unknown data_plane {self.data_plane!r}; "
+                f"pick from {DATA_PLANES}"
             )
         if self.mp_start_method not in MP_START_METHODS:
             raise ValueError(

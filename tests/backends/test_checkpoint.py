@@ -293,6 +293,56 @@ def test_speculation_rescues_straggler_without_double_count():
     assert result.tasks_total == len(PAYLOADS)
 
 
+def test_speculative_dispatch_refilters_stale_live_set():
+    # _maybe_speculate collects candidate (victim, live) pairs, then
+    # dispatches after sorting; a report handled between collection and
+    # dispatch can settle the victim's tasks.  The dispatch must
+    # re-filter against completed/quarantined and keep the helper idle
+    # when nothing is left — not ship a chunk of guaranteed-duplicate
+    # work.
+    class _RecordingQueue:
+        def __init__(self):
+            self.puts = []
+
+        def put(self, message):
+            self.puts.append(message)
+
+    cfg = RunConfig(
+        processors=2,
+        backend="mp",
+        heartbeat_interval=0.05,
+        retry_backoff=0.01,
+        speculation_factor=2.0,
+    )
+    session = _MpSession([identity_op()], [set()], cfg)
+    session.reply_qs = [_RecordingQueue(), _RecordingQueue()]
+    state = session.ops[0]
+    indices = [0, 1, 2]
+    for index in indices:
+        state.pending.remove(index)
+    state.inflight.update(indices)
+    victim_flight = _Flight(0, list(indices), 0.0)
+    session.in_flight[0] = victim_flight
+    session.idle = {1}
+
+    # Stale case: every index settled after the live list was computed.
+    state.completed.update(indices)
+    assert not session._dispatch_speculative(0, list(indices))
+    assert session.idle == {1}  # helper untouched
+    assert not session.reply_qs[1].puts
+    assert not victim_flight.speculated
+    assert session.fault_report.chunks_speculated == 0
+
+    # Partially stale: only the still-live suffix is duplicated.
+    state.completed.clear()
+    state.completed.add(0)
+    assert session._dispatch_speculative(0, list(indices))
+    assert session.idle == set()
+    assert session.reply_qs[1].puts == [("run", 0, [1, 2], None)]
+    assert victim_flight.speculated
+    assert session.fault_report.chunks_speculated == 1
+
+
 def test_duplicate_report_is_dropped_not_double_counted():
     cfg = RunConfig(
         processors=2,

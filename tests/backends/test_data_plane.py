@@ -1,0 +1,411 @@
+"""The shared-memory data plane: planning, equivalence, crash hygiene.
+
+Three layers of coverage:
+
+* **planning units** — which payload shapes are shm-eligible, the
+  ``auto`` size threshold, and the pickle fallback (including a
+  simulated numpy-less host);
+* **end-to-end equivalence** — identical value totals across
+  sim / mp+pickle / mp+shm, and across fork/spawn;
+* **crash hygiene** — worker kills and coordinator kills under both
+  planes must preserve totals, resume cleanly, and leave zero
+  ``/dev/shm`` segments behind (the leak scan keys on the distinctive
+  ``repro_`` prefix).
+
+The directory-wide SIGALRM guard in ``conftest.py`` bounds every run.
+"""
+
+import os
+
+import pytest
+
+from repro import api
+from repro.obs import Tracer, aggregate
+from repro.obs.events import SHM_ATTACH, SHM_MAP
+from repro.runtime.backends import MultiprocessingBackend, get_backend
+from repro.runtime.backends import shm
+from repro.runtime.checkpoint import read_journal
+from repro.runtime.config import RunConfig
+from repro.runtime.faults import COORDINATOR_KILL_EXIT, FaultPlan
+from repro.runtime.task import RealOp
+
+from .test_checkpoint import run_repro
+
+np = pytest.importorskip("numpy")
+
+MP_CFG = RunConfig(
+    processors=2, backend="mp", cost_source="declared", mp_timeout=90.0
+)
+SIM_CFG = RunConfig(
+    processors=2, backend="sim", sim_model="central", cost_source="declared"
+)
+
+FAULT_CFG = RunConfig(
+    processors=3,
+    backend="mp",
+    mp_timeout=60.0,
+    heartbeat_interval=0.05,
+    retry_backoff=0.01,
+)
+
+
+def identity_kernel(payload):
+    return float(payload)
+
+
+def tuple_sum_kernel(payload):
+    return float(sum(payload))
+
+
+def slow_tuple_sum_kernel(payload):
+    import time
+
+    time.sleep(0.001)
+    return float(sum(payload))
+
+
+def _leaked_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith(shm.SEGMENT_PREFIX + "_")
+    ]
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    before = set(_leaked_segments())
+    yield
+    leaked = [name for name in _leaked_segments() if name not in before]
+    assert not leaked, f"leaked /dev/shm segments: {leaked}"
+
+
+# ---------------------------------------------------------------------------
+# Payload planning
+# ---------------------------------------------------------------------------
+
+
+def test_plan_array_payloads():
+    payloads = [np.ones(8) * i for i in range(4)]
+    mode, stacked = shm.plan_payloads(payloads)
+    assert mode == "array"
+    assert stacked.shape == (4, 8)
+    assert stacked[2][0] == 2.0
+
+
+def test_plan_scalar_payloads_preserve_python_types():
+    mode, stacked = shm.plan_payloads([1, 2, 3])
+    assert mode == "scalar"
+    assert stacked.dtype == np.int64
+    mode, stacked = shm.plan_payloads([1.0, 2.0])
+    assert stacked.dtype == np.float64
+
+
+def test_plan_tuple_payloads():
+    mode, stacked = shm.plan_payloads([(0, 700), (700, 700)])
+    assert mode == "tuple"
+    assert stacked.shape == (2, 2)
+
+
+@pytest.mark.parametrize(
+    "payloads",
+    [
+        [],  # empty
+        [1, 2.0],  # mixed scalar types
+        [(1, 2), (1, 2, 3)],  # ragged tuples
+        [(1, 2.0)],  # mixed types inside a tuple
+        [True, False],  # bool is not int for kernels
+        ["a", "b"],  # strings
+        [2**80],  # beyond int64
+        [np.ones(3), np.ones(4)],  # ragged arrays
+        [np.array([], dtype=np.float64)],  # zero-byte arrays
+        [np.array([object()], dtype=object)],  # object dtype
+    ],
+)
+def test_ineligible_payloads_stay_on_pickle(payloads):
+    assert shm.plan_payloads(payloads) is None
+
+
+def test_plan_returns_none_without_numpy(monkeypatch):
+    monkeypatch.setattr(shm, "_np", None)
+    assert not shm.shm_available()
+    assert shm.plan_payloads([1, 2, 3]) is None
+
+
+def test_estimate_payload_nbytes():
+    assert shm.estimate_payload_nbytes(np.zeros(10)) == 80
+    assert shm.estimate_payload_nbytes((1, 2.0)) == 16
+    assert shm.estimate_payload_nbytes([(1, 2)] * 3) == 48
+    assert shm.estimate_payload_nbytes(b"abcd") == 4
+    assert shm.estimate_payload_nbytes(object()) == 64
+
+
+def test_plane_roundtrip_and_idempotent_close():
+    plane = shm.ShmDataPlane()
+    mode, stacked = shm.plan_payloads([(i, i * 2) for i in range(6)])
+    descriptor = plane.add_op(0, mode, stacked)
+    attachment = shm.attach_op(descriptor)
+    assert attachment.get_payload(3) == (3, 6)
+    attachment.result[3] = 9.0
+    assert plane.result_value(0, 3) == 9.0
+    plane.write_result(0, 4, 8.0)  # journal-replay path
+    assert plane.result_value(0, 4) == 8.0
+    attachment.close()
+    plane.close(unlink=True)
+    plane.close(unlink=True)  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Plane selection: auto threshold, forcing, fallback
+# ---------------------------------------------------------------------------
+
+
+def small_tuple_op(name="tup", kernel=tuple_sum_kernel):
+    payloads = [(i, i + 1) for i in range(40)]
+    return RealOp(
+        name=name,
+        kernel=kernel,
+        payloads=payloads,
+        costs=[1.0] * len(payloads),
+    )
+
+
+def test_auto_skips_small_ops_shm_forces_them():
+    op = small_tuple_op()  # 40 tuples << AUTO_MIN_BYTES
+    auto = MultiprocessingBackend().run_op(op, MP_CFG.with_(data_plane="auto"))
+    assert auto.data_plane == {"tup": "pickle"}
+    assert auto.shm_bytes == 0
+    forced = MultiprocessingBackend().run_op(op, MP_CFG.with_(data_plane="shm"))
+    assert forced.data_plane == {"tup": "shm"}
+    assert forced.shm_bytes > 0
+    assert auto.value_total == forced.value_total
+
+
+def array_first_kernel(payload):
+    return float(payload[0])
+
+
+def test_auto_maps_large_arrays():
+    rows = [np.full(16_384, float(i)) for i in range(8)]  # 128 KiB stacked
+    op = RealOp(
+        name="big",
+        kernel=array_first_kernel,
+        payloads=rows,
+        costs=[1.0] * len(rows),
+    )
+    result = MultiprocessingBackend().run_op(op, MP_CFG.with_(data_plane="auto"))
+    assert result.data_plane == {"big": "shm"}
+    assert result.value_total == sum(range(8))
+
+
+def test_pickle_plane_never_maps():
+    result = MultiprocessingBackend().run_op(
+        small_tuple_op(), MP_CFG.with_(data_plane="pickle")
+    )
+    assert result.data_plane == {"tup": "pickle"}
+    assert result.shm_bytes == 0
+
+
+def test_numpy_absent_falls_back_to_pickle(monkeypatch):
+    monkeypatch.setattr(shm, "_np", None)
+    result = MultiprocessingBackend().run_op(
+        small_tuple_op(), MP_CFG.with_(data_plane="shm")
+    )
+    assert result.data_plane == {"tup": "pickle"}
+    assert result.value_total == sum(i + i + 1 for i in range(40))
+
+
+def test_bytes_shipped_scales_with_workers_only_on_pickle():
+    op = small_tuple_op()
+    pickle_run = MultiprocessingBackend().run_op(
+        op, MP_CFG.with_(data_plane="pickle")
+    )
+    shm_run = MultiprocessingBackend().run_op(
+        op, MP_CFG.with_(data_plane="shm")
+    )
+    # Pickle ships the payload estimate per worker; shm lays it out once.
+    assert pickle_run.bytes_shipped == 2 * 40 * 16
+    assert shm_run.bytes_shipped == 40 * 16
+
+
+def test_config_rejects_unknown_data_plane():
+    with pytest.raises(ValueError, match="data_plane"):
+        RunConfig(data_plane="carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: sim == mp+pickle == mp+shm, fork and spawn
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plane", ["shm", "pickle"])
+def test_reduction_totals_match_sim(plane):
+    sim = api.run("reduction", SIM_CFG)
+    mp = api.run("reduction", MP_CFG.with_(data_plane=plane))
+    assert mp.data_plane == {"reduce": plane}
+    assert mp.tasks == sim.tasks
+    assert mp.value_total == sim.value_total
+
+
+def test_fig1_shm_equals_pickle():
+    shm_run = api.run("fig1", MP_CFG.with_(data_plane="shm"))
+    pickle_run = api.run("fig1", MP_CFG.with_(data_plane="pickle"))
+    assert set(shm_run.data_plane.values()) == {"shm"}
+    assert shm_run.value_total == pickle_run.value_total
+    assert shm_run.tasks == pickle_run.tasks
+
+
+def test_array_workload_matches_under_spawn():
+    # spawn is where the plane pays: Process args are re-pickled, so the
+    # shm run must ship P times fewer payload bytes — and still agree.
+    from repro.apps.kernels import array_ops
+
+    cfg = MP_CFG.with_(mp_start_method="spawn", mp_timeout=120.0)
+    ops = array_ops(tasks=8, row_elements=4096)
+    shm_run = MultiprocessingBackend().run_ops(ops, cfg.with_(data_plane="shm"))
+    pickle_run = MultiprocessingBackend().run_ops(
+        array_ops(tasks=8, row_elements=4096), cfg.with_(data_plane="pickle")
+    )
+    assert shm_run.value_total == pickle_run.value_total
+    assert shm_run.bytes_shipped * 2 == pickle_run.bytes_shipped
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_shm_events_and_metrics():
+    tracer = Tracer()
+    result = MultiprocessingBackend().run_op(
+        small_tuple_op(), MP_CFG.with_(data_plane="shm", tracer=tracer)
+    )
+    maps = [e for e in tracer.events if e.kind == SHM_MAP]
+    attaches = [e for e in tracer.events if e.kind == SHM_ATTACH]
+    assert len(maps) == 1 and maps[0].attrs["mode"] == "tuple"
+    assert 1 <= len(attaches) <= MP_CFG.processors
+    report = aggregate(tracer.events, processors=MP_CFG.processors)
+    assert report.shm_ops_mapped == 1
+    assert report.shm_attaches == len(attaches)
+    assert report.shm_bytes == result.shm_bytes
+    from repro.obs import metrics_summary
+
+    assert "data plane" in metrics_summary(report)
+
+
+def test_api_summary_mentions_data_plane():
+    result = api.run(
+        small_tuple_op(), MP_CFG.with_(data_plane="shm")
+    )
+    assert "shared memory" in result.summary()
+    pickle_result = api.run(
+        small_tuple_op(), MP_CFG.with_(data_plane="pickle")
+    )
+    assert "shared memory" not in pickle_result.summary()
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance under both planes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plane", ["shm", "pickle"])
+def test_worker_kill_mid_chunk_preserves_totals(plane):
+    op = small_tuple_op(kernel=slow_tuple_sum_kernel)
+    expected = sum(i + i + 1 for i in range(40))
+    cfg = FAULT_CFG.with_(
+        data_plane=plane, fault_plan=FaultPlan.kill_worker(-1, at_chunk=1)
+    )
+    result = MultiprocessingBackend().run_op(op, cfg)
+    assert result.value_total == expected
+    assert len(result.fault_report.workers_died) == 1
+    assert result.data_plane == {"tup": plane}
+
+
+@pytest.mark.parametrize("plane", ["shm", "pickle"])
+def test_speculation_exact_once_under_plane(plane):
+    op = small_tuple_op(kernel=slow_tuple_sum_kernel)
+    expected = sum(i + i + 1 for i in range(40))
+    cfg = FAULT_CFG.with_(
+        data_plane=plane,
+        speculation_factor=2.0,
+        fault_plan=FaultPlan.slow_chunk(1.0, at_chunk=1),
+    )
+    result = MultiprocessingBackend().run_op(op, cfg)
+    assert result.fault_report.chunks_speculated >= 1
+    assert result.value_total == expected
+    assert result.tasks_total == 40
+
+
+# ---------------------------------------------------------------------------
+# Coordinator kill -> resume, per plane (subprocess: real os._exit)
+# ---------------------------------------------------------------------------
+
+KILL_SCRIPT = """
+import sys
+from repro import api
+from repro.runtime.config import RunConfig
+from repro.runtime.faults import FaultPlan
+
+cfg = RunConfig(
+    processors=2,
+    backend="mp",
+    cost_source="declared",
+    mp_timeout=60.0,
+    heartbeat_interval=0.05,
+    retry_backoff=0.01,
+    checkpoint_dir=sys.argv[1],
+    data_plane=sys.argv[2],
+    fault_plan=FaultPlan.kill_coordinator(at_chunk=4),
+)
+api.run("reduction", cfg)
+"""
+
+
+@pytest.mark.parametrize("plane", ["shm", "pickle"])
+def test_coordinator_kill_resume_and_no_segment_leak(tmp_path, plane):
+    ckpt = str(tmp_path / f"ckpt-{plane}")
+    rc, stdout, stderr = run_repro("-c", KILL_SCRIPT, ckpt, plane)
+    assert rc == COORDINATOR_KILL_EXIT, stderr
+    # The crashed coordinator's finally must have unlinked its segments
+    # (the autouse fixture re-checks after the resume below).
+    assert not _leaked_segments()
+    replay = read_journal(ckpt)
+    assert replay.tasks_restored > 0
+
+    baseline = api.run("reduction", MP_CFG.with_(data_plane=plane))
+    resumed = api.run(
+        "reduction",
+        MP_CFG.with_(data_plane=plane, checkpoint_dir=ckpt, resume=True),
+    )
+    assert resumed.value_total == baseline.value_total
+    assert resumed.tasks == baseline.tasks == 256
+    assert resumed.tasks_resumed == replay.tasks_restored
+
+
+def test_resume_journal_values_rematerialized_into_result_buffer(tmp_path):
+    # After a partial run is resumed under shm, the restored values are
+    # written back into the result buffer — the buffer stays a complete
+    # materialization of the op across restarts.
+    ckpt = str(tmp_path / "ckpt")
+    rc, stdout, stderr = run_repro("-c", KILL_SCRIPT, ckpt, "shm")
+    assert rc == COORDINATOR_KILL_EXIT, stderr
+    from repro.apps.kernels import reduction_ops
+    from repro.runtime.backends.mp import _MpSession
+
+    cfg = MP_CFG.with_(data_plane="shm", checkpoint_dir=ckpt, resume=True)
+    ops = reduction_ops(seed=cfg.seed)
+    session = _MpSession(ops, [set()], cfg)
+    session._setup_data_plane()
+    assert session.plane is not None
+    try:
+        session._setup_checkpoint()
+        restored = next(iter(session.ops[0].completed))
+        kernel, payload = ops[0].kernel, ops[0].payloads[restored]
+        assert session.plane.result_value(0, restored) == kernel(payload)
+    finally:
+        if session.journal is not None:
+            session.journal.close()
+        session.plane.close(unlink=True)

@@ -129,3 +129,91 @@ def test_real_machine_config_scaled_to_seconds():
     machine = real_machine_config(2)
     assert machine.processors == 2
     assert machine.sched_overhead < 0.01  # seconds, not work units
+
+
+# -- graph attachment guard (both backends share check_graph_attachment) -----
+
+
+def _fig1_graph_and_ops():
+    import repro.api as api
+    from repro.apps.kernels import graph_real_ops
+
+    program = api.compile(open("examples/fig1.f").read())
+    op_map = graph_real_ops(program.graph, tasks=8, elements=50)
+    return program.graph, op_map
+
+
+@pytest.mark.parametrize("backend_name", ["sim", "mp"])
+def test_unattached_graph_node_raises_naming_it(backend_name):
+    from repro.runtime.backends import get_backend
+
+    graph, op_map = _fig1_graph_and_ops()
+    dropped = next(iter(sorted(op_map)))
+    name = next(n.name for n in graph.nodes if n.id == dropped)
+    del op_map[dropped]
+    cfg = CFG.with_(backend=backend_name, cost_source="declared")
+    with pytest.raises(ValueError, match=name):
+        get_backend(backend_name).run_graph(graph, op_map, cfg)
+
+
+def test_allow_placeholder_restores_structure_only_runs():
+    from repro.runtime.backends import get_backend
+
+    graph, op_map = _fig1_graph_and_ops()
+    dropped = next(iter(sorted(op_map)))
+    del op_map[dropped]
+    cfg = CFG.with_(cost_source="declared")
+    result = get_backend("mp").run_graph(
+        graph, op_map, cfg, allow_placeholder=True
+    )
+    # Remaining ops ran; the placeholder contributed zero tasks.
+    assert result.tasks_total == sum(op.size for op in op_map.values())
+
+
+def test_pipeline_mirror_nodes_exempt_from_attachment_check():
+    # graph_real_ops skips pipeline-role nodes by design; the attachment
+    # check must accept that without allow_placeholder.
+    graph, op_map = _fig1_graph_and_ops()
+    from repro.runtime.backends import check_graph_attachment
+
+    check_graph_attachment(graph, op_map, allow_placeholder=False)
+
+
+# -- start method and picklability -------------------------------------------
+
+
+def test_default_start_method_prefers_fork():
+    import multiprocessing
+
+    from repro.runtime.backends import default_start_method
+
+    method = default_start_method()
+    assert method in multiprocessing.get_all_start_methods()
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert method == "fork"
+
+
+def test_unpicklable_kernel_under_spawn_names_the_op():
+    cfg = CFG.with_(mp_start_method="spawn")
+    bad = RealOp(
+        name="closure",
+        kernel=lambda payload: float(payload),  # unpicklable local
+        payloads=[1.0] * 4,
+    )
+    with pytest.raises(MpBackendError, match="closure.*not picklable"):
+        MultiprocessingBackend().run_op(bad, cfg)
+
+
+def test_unpicklable_kernel_runs_fine_under_fork():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no fork")
+    cfg = CFG.with_(mp_start_method="fork")
+    op = RealOp(
+        name="closure",
+        kernel=lambda payload: float(payload),
+        payloads=[1.0] * 4,
+    )
+    result = MultiprocessingBackend().run_op(op, cfg)
+    assert result.value_total == 4.0
