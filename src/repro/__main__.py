@@ -27,7 +27,13 @@ Commands:
   restarts from where it stopped with ``--resume DIR``; ``--speculate``
   duplicates straggler chunks onto idle workers; ``--wall-clock-limit``
   stops gracefully with a resumable partial result (see README
-  "Resumable runs").
+  "Resumable runs");
+* ``serve``              — run the resident job daemon: one warm mp
+  worker pool on a Unix socket, multiplexing submitted jobs with Eq. 1
+  cross-job worker rationing (see README "Running as a service");
+* ``submit TARGET``     — send a job to a running daemon
+  (``--priority``, ``--wait``);
+* ``status [JOB]``      — query a running daemon.
 """
 
 from __future__ import annotations
@@ -311,6 +317,141 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_socket(state_dir: str) -> str:
+    import os
+
+    return os.path.join(state_dir, "serve.sock")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve.server import JobServer
+
+    socket_path = args.socket or _default_socket(args.state_dir)
+    try:
+        server = JobServer(
+            processors=args.procs,
+            socket_path=socket_path,
+            state_dir=args.state_dir,
+            queue_limit=args.queue_limit,
+            max_running=args.max_running,
+            start_method=args.start_method,
+        )
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    reason = {"value": "shutdown"}
+
+    def _request_stop(signum, frame):
+        reason["value"] = f"signal:{signal.Signals(signum).name}"
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_stop)
+    print(
+        f"repro serve: pid={__import__('os').getpid()} "
+        f"pool={args.procs} workers, socket={socket_path}, "
+        f"state={args.state_dir}",
+        flush=True,
+    )
+    while not stop.is_set():
+        # The daemon also exits once a client shutdown request drains it.
+        if server.draining:
+            break
+        stop.wait(0.2)
+    status = server.drain(reason["value"])
+    jobs = status.get("jobs", [])
+    print(
+        f"repro serve: drained ({reason['value']}): "
+        f"{len(jobs)} job(s) tracked, "
+        f"{sum(1 for j in jobs if j['state'] == 'done')} done, "
+        f"{sum(1 for j in jobs if j['state'] == 'cancelled')} cancelled",
+        flush=True,
+    )
+    for job in jobs:
+        if job.get("resume_dir"):
+            print(
+                f"  {job['id']}: resume with `python -m repro run "
+                f"--backend mp --resume {job['resume_dir']}`",
+                flush=True,
+            )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.tasks is not None:
+        overrides["tasks"] = args.tasks
+    if args.policy is not None:
+        overrides["policy"] = args.policy
+    client = ServeClient(args.socket)
+    try:
+        job = client.submit(
+            args.target, priority=args.priority, overrides=overrides
+        )
+        print(
+            f"{job['id']}: {job['state']} "
+            f"(target={job['target']}, priority={job['priority']})"
+        )
+        if args.wait:
+            job = client.wait(job["id"], timeout=args.wait_timeout)
+            print(_job_line(job))
+            if job["state"] != "done":
+                return 1
+    except ServeError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _job_line(job: dict) -> str:
+    line = f"{job['id']}: {job['state']} target={job['target']}"
+    result = job.get("result")
+    if result:
+        line += (
+            f" value_total={result['value_total']:.0f}"
+            f" makespan={result['makespan']:.3f}s"
+            f" tasks={result['tasks']} chunks={result['chunks']}"
+        )
+    if job.get("error"):
+        line += f" error={job['error']}"
+    if job.get("resume_dir"):
+        line += f" resume_dir={job['resume_dir']}"
+    return line
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.socket)
+    try:
+        if args.job:
+            response = client.status(args.job)
+            print(_job_line(response["job"]))
+        else:
+            response = client.status()
+            print(
+                f"serve: {response['live_workers']}/"
+                f"{response['processors']} workers live, "
+                f"{response['running']} running, "
+                f"{response['queued']} queued"
+                + (" (draining)" if response.get("draining") else "")
+            )
+            for job in response["jobs"]:
+                print(_job_line(job))
+    except ServeError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -543,6 +684,101 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, help="metrics JSON output path"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help=(
+            "run the resident job daemon: a warm mp worker pool on a "
+            "Unix socket with Eq. 1 cross-job worker rationing"
+        ),
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        default=".repro-serve",
+        help=(
+            "daemon state directory: per-job checkpoint journals, the "
+            "default socket, and the shutdown dump (jobs.json, "
+            "events.jsonl)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--socket",
+        default=None,
+        help="Unix socket path (default: STATE_DIR/serve.sock)",
+    )
+    serve_parser.add_argument(
+        "--procs", "-p", type=int, default=4,
+        help="resident worker processes (shared by all jobs)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="admission control: queued jobs beyond this are rejected",
+    )
+    serve_parser.add_argument(
+        "--max-running", type=int, default=4,
+        help="concurrent job sessions sharing the pool",
+    )
+    serve_parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the pool",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit", help="submit a job to a running serve daemon"
+    )
+    submit_parser.add_argument(
+        "target",
+        help=(
+            "a real-kernel workload (fig1, reduction, psirrfan) or a "
+            "MiniF source file"
+        ),
+    )
+    submit_parser.add_argument(
+        "--socket",
+        default=_default_socket(".repro-serve"),
+        help="daemon socket path",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first (FIFO within a priority band)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    submit_parser.add_argument(
+        "--wait-timeout", type=float, default=300.0,
+        help="seconds --wait is willing to block",
+    )
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument(
+        "--tasks", type=int, default=None,
+        help="tasks per parallel op for source-file targets",
+    )
+    submit_parser.add_argument(
+        "--policy",
+        choices=("taper", "taper-nocost", "self", "gss", "factoring",
+                 "static"),
+        default=None,
+        help="chunk self-scheduling policy for this job",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    status_parser = commands.add_parser(
+        "status", help="query a running serve daemon"
+    )
+    status_parser.add_argument(
+        "job", nargs="?", default=None, help="a job id (all jobs if omitted)"
+    )
+    status_parser.add_argument(
+        "--socket",
+        default=_default_socket(".repro-serve"),
+        help="daemon socket path",
+    )
+    status_parser.set_defaults(func=_cmd_status)
     return parser
 
 

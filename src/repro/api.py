@@ -36,9 +36,10 @@ Accepted ``run`` targets:
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .compiler import CompiledProgram, compile_source
 from .obs import (
@@ -51,6 +52,12 @@ from .obs import (
     write_metrics_json,
 )
 from .runtime.backends import BackendRunResult, backend_for
+from .runtime.backends.base import (
+    graph_ops_and_deps,
+    name_deps,
+    prepare_backend,
+    release_backend,
+)
 from .runtime.checkpoint import (
     CheckpointError,
     CheckpointMismatchError,
@@ -70,6 +77,8 @@ __all__ = [
     "RunResult",
     "TraceReport",
     "compile",
+    "prepared",
+    "resolve_ops",
     "resume",
     "resume_config",
     "run",
@@ -140,6 +149,9 @@ class RunResult:
     bytes_shipped: int = 0
     #: Shared-memory bytes mapped (0 when the shm plane was unused).
     shm_bytes: int = 0
+    #: Payload bytes served from a warm pool's segment cache instead of
+    #: being laid out again (0 on cold runs).
+    shm_reused_bytes: int = 0
 
     def summary(self) -> str:
         unit = "s" if self.time_unit == "seconds" else " work units"
@@ -164,6 +176,11 @@ class RunResult:
                 f"shared memory ({self.shm_bytes} bytes mapped, "
                 f"~{self.bytes_shipped} payload bytes shipped at startup)"
             )
+            if self.shm_reused_bytes:
+                text += (
+                    f"\nwarm pool: {self.shm_reused_bytes} payload bytes "
+                    "reused from the segment cache"
+                )
         if self.cancelled:
             text += f"\ncancelled: {self.cancel_reason}"
             if self.resume_dir:
@@ -241,10 +258,16 @@ def _from_backend(
         data_plane=dict(raw.data_plane),
         bytes_shipped=raw.bytes_shipped,
         shm_bytes=raw.shm_bytes,
+        shm_reused_bytes=raw.shm_reused_bytes,
     )
 
 
-def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
+def _run_app_workload(
+    name: str,
+    cfg: RunConfig,
+    overrides: dict,
+    executor=None,
+) -> RunResult:
     """A Section 5 synthetic workload (sim modes, or spun-up on mp)."""
     from .apps import ALL_WORKLOADS
 
@@ -279,7 +302,7 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
     # the steps end to end on the shared tracer timeline.
     import random as random_module
 
-    backend = backend_for(cfg)
+    backend = executor if executor is not None else backend_for(cfg)
     rng = random_module.Random(workload.seed)
     makespan = 0.0
     total_work = 0.0
@@ -332,6 +355,7 @@ def _run_app_workload(name: str, cfg: RunConfig, overrides: dict) -> RunResult:
 def run(
     target: RunTarget,
     config: Optional[RunConfig] = None,
+    executor=None,
     **overrides,
 ) -> RunResult:
     """Execute ``target`` under ``config`` (see module docstring for the
@@ -340,6 +364,11 @@ def run(
     Keyword ``overrides`` are applied to the config
     (``run(x, processors=4, backend="mp")``); workload targets also
     accept ``mode=``/``steps=``, graph targets ``tasks=``/``elements=``.
+
+    ``executor`` optionally supplies a backend *instance* instead of the
+    fresh one ``cfg.backend`` would name — the warm-pool hook: a
+    :func:`prepared` backend passed here reuses its resident worker pool
+    across calls.  Direct callers can keep ignoring it.
     """
     cfg = config or RunConfig()
     # Target-specific overrides are popped before RunConfig.with_.
@@ -350,7 +379,7 @@ def run(
     }
     if overrides:
         cfg = cfg.with_(**overrides)
-    backend = backend_for(cfg)
+    backend = executor if executor is not None else backend_for(cfg)
     if isinstance(target, str) and cfg.checkpoint_dir and not cfg.resume:
         # Sidecar the CLI-reconstructible target next to the journal so
         # `python -m repro run --resume DIR` needs no target argument.
@@ -366,7 +395,9 @@ def run(
             raw = backend.run_ops(ops, cfg)
             return _from_backend(raw, target)
         if target in ALL_WORKLOADS:
-            return _run_app_workload(target, cfg, workload_overrides)
+            return _run_app_workload(
+                target, cfg, workload_overrides, executor=executor
+            )
         if os.path.exists(target):
             with open(target) as handle:
                 program = compile(handle.read())
@@ -390,6 +421,84 @@ def run(
         raise ValueError("empty operation list")
     label = "+".join(op.name for op in ops)
     return _from_backend(backend.run_ops(ops, cfg), label)
+
+
+@contextlib.contextmanager
+def prepared(config: Optional[RunConfig] = None, **overrides):
+    """A backend with its warm state held for the block's duration::
+
+        with api.prepared(cfg) as backend:
+            api.run("fig1", cfg, executor=backend)   # pays spawn cost
+            api.run("fig1", cfg, executor=backend)   # reuses the pool
+
+    For the mp backend this keeps one resident worker pool (and shm
+    segment cache) alive across runs; the sim backend — and any backend
+    without the prepare/release split — passes through unaffected.
+    """
+    cfg = config or RunConfig()
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    backend = backend_for(cfg)
+    prepare_backend(backend, cfg)
+    try:
+        yield backend
+    finally:
+        release_backend(backend)
+
+
+def resolve_ops(
+    target: RunTarget,
+    cfg: RunConfig,
+    overrides: Optional[dict] = None,
+) -> Tuple[List[RealOp], List[Set[int]], str]:
+    """Flatten any single-session :func:`run` target to
+    ``(ops, dependency_sets, label)``.
+
+    The serve daemon's submit path: jobs are validated and shaped at
+    admission (bad targets are rejected at the socket, not inside a
+    running session), then executed as one backend session against the
+    shared pool.  Multi-session targets (the Section 5 app workloads)
+    are refused — the chunk journal and the cross-job ration both cover
+    exactly one session per job.
+    """
+    overrides = dict(overrides or {})
+    from .apps.kernels import REAL_WORKLOADS
+
+    if isinstance(target, str):
+        if target in REAL_WORKLOADS:
+            ops = REAL_WORKLOADS[target](seed=cfg.seed)
+            return list(ops), name_deps(ops), target
+        from .apps import ALL_WORKLOADS
+
+        if target in ALL_WORKLOADS:
+            raise ValueError(
+                f"workload {target!r} executes as many independent "
+                "backend sessions and cannot run as a single job; "
+                "submit a real-kernel workload (fig1, reduction, "
+                "psirrfan), a source file, or explicit operations"
+            )
+        if os.path.exists(target):
+            with open(target) as handle:
+                program = compile(handle.read())
+            op_map = graph_real_ops_cached(program, cfg, overrides)
+            ops, deps = graph_ops_and_deps(program.graph, op_map)
+            return ops, deps, os.path.basename(target)
+        raise ValueError(
+            f"unknown run target {target!r}: not a real-kernel workload "
+            f"({', '.join(sorted(REAL_WORKLOADS))}) or a source file"
+        )
+    if isinstance(target, CompiledProgram):
+        op_map = graph_real_ops_cached(target, cfg, overrides)
+        ops, deps = graph_ops_and_deps(target.graph, op_map)
+        return ops, deps, target.unit.name
+    if isinstance(target, (ParallelOp, RealOp)):
+        ops = [target]
+    else:
+        ops = list(target)
+        if not ops:
+            raise ValueError("empty operation list")
+    label = "+".join(op.name for op in ops)
+    return ops, name_deps(ops), label
 
 
 def _run_program(
@@ -444,6 +553,7 @@ def resume(
     checkpoint_dir: str,
     target: Optional[RunTarget] = None,
     config: Optional[RunConfig] = None,
+    executor=None,
     **overrides,
 ) -> RunResult:
     """Resume a checkpointed run: replay the journal, run the remainder.
@@ -464,12 +574,13 @@ def resume(
         target = stored["target"]
         for key, value in (stored.get("overrides") or {}).items():
             overrides.setdefault(key, value)
-    return run(target, cfg, **overrides)
+    return run(target, cfg, executor=executor, **overrides)
 
 
 def trace(
     target: RunTarget,
     config: Optional[RunConfig] = None,
+    executor=None,
     **overrides,
 ) -> Tuple[RunResult, TraceReport]:
     """:func:`run` with a fresh Tracer attached; returns the run result
@@ -478,7 +589,7 @@ def trace(
     # Preserve explicit tracer if the caller provided one.
     if config is not None and config.tracer is not None:
         cfg = cfg.with_(tracer=config.tracer)
-    result = run(target, cfg, **overrides)
+    result = run(target, cfg, executor=executor, **overrides)
     tracer = cfg.tracer
     # Wall-clock worker reports can interleave: keep the exported stream
     # chronological for the timeline renderer.

@@ -89,6 +89,22 @@ SHM_MAP = "shm.map"
 #: A worker attached zero-copy views of an op's shm segments
 #: (attrs: bytes; ``proc`` is the attaching worker).
 SHM_ATTACH = "shm.attach"
+#: -- job lifecycle lane (the `repro serve` daemon) ------------------------
+#: A job arrived over the socket (attrs: job, target, priority).
+JOB_SUBMITTED = "job.submitted"
+#: Admission control accepted the job into the bounded queue
+#: (attrs: job, queued = jobs ahead of it).
+JOB_ADMITTED = "job.admitted"
+#: The job left the queue and its session began executing
+#: (attrs: job, workers = its initial grant).
+JOB_STARTED = "job.started"
+#: The job finished cleanly (attrs: job, value_total, makespan).
+JOB_DONE = "job.done"
+#: The job's session raised (attrs: job, error).
+JOB_FAILED = "job.failed"
+#: The job was cancelled — client request or daemon drain — through the
+#: graceful cancel path (attrs: job, reason, resume_dir).
+JOB_CANCELLED = "job.cancelled"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -115,6 +131,12 @@ ALL_KINDS = (
     RUN_CANCELLED,
     SHM_MAP,
     SHM_ATTACH,
+    JOB_SUBMITTED,
+    JOB_ADMITTED,
+    JOB_STARTED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_CANCELLED,
 )
 
 

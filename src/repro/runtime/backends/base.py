@@ -83,6 +83,9 @@ class BackendRunResult:
     #: Total shared-memory segment bytes mapped (payloads + result
     #: buffers); 0 when the shm plane was not used.
     shm_bytes: int = 0
+    #: Payload bytes served from a resident pool's segment cache instead
+    #: of being laid out again (warm runs with identical payloads).
+    shm_reused_bytes: int = 0
 
     @property
     def speedup(self) -> float:
@@ -98,9 +101,25 @@ class BackendRunResult:
 
 
 class Backend(Protocol):
-    """Anything that can execute parallel operations under a RunConfig."""
+    """Anything that can execute parallel operations under a RunConfig.
+
+    ``prepare``/``release`` bracket optional *warm* state (the mp
+    backend's resident worker pool).  They are deliberately not abstract
+    requirements on implementations: a backend without them is treated
+    as always-cold by :func:`prepare_backend`/:func:`release_backend`,
+    and direct ``run_*`` callers never need to call either.
+    """
 
     name: str
+
+    def prepare(self, cfg: RunConfig) -> "Backend":
+        """Acquire reusable execution state (e.g. spawn a resident
+        worker pool) so subsequent runs skip per-run startup."""
+        ...
+
+    def release(self) -> None:
+        """Drop state acquired by :meth:`prepare`; idempotent."""
+        ...
 
     def run_op(self, op: AnyOp, cfg: RunConfig) -> BackendRunResult:
         """Execute one parallel operation on the whole machine."""
@@ -185,6 +204,79 @@ def get_backend(name: str) -> Backend:
 
 def backend_for(cfg: RunConfig) -> Backend:
     return get_backend(cfg.backend)
+
+
+def prepare_backend(backend: Backend, cfg: RunConfig) -> Backend:
+    """``backend.prepare(cfg)`` when offered; a no-op otherwise.
+
+    The deprecation-free fallback: third-party or older backends without
+    the prepare/release split keep working, they are simply always cold.
+    """
+    prepare = getattr(backend, "prepare", None)
+    if callable(prepare):
+        prepare(cfg)
+    return backend
+
+
+def release_backend(backend: Backend) -> None:
+    """``backend.release()`` when offered; a no-op otherwise."""
+    release = getattr(backend, "release", None)
+    if callable(release):
+        release()
+
+
+def name_deps(ops: Sequence[AnyOp]) -> List[set]:
+    """Dependency sets from declared op-name deps (list-of-ops runs).
+
+    Names missing from the list are ignored — a graph fragment flattened
+    to a list keeps only the dependences it can see.
+    """
+    name_to_index = {op.name: index for index, op in enumerate(ops)}
+    deps: List[set] = []
+    for op in ops:
+        dep_names = getattr(op, "deps", ()) or ()
+        deps.append(
+            {
+                name_to_index[name]
+                for name in dep_names
+                if name in name_to_index
+            }
+        )
+    return deps
+
+
+def _noop_kernel(payload) -> float:  # pragma: no cover - placeholder ops
+    return 0.0
+
+
+def graph_ops_and_deps(
+    graph,
+    op_tasks: Dict[int, AnyOp],
+    allow_placeholder: bool = False,
+):
+    """Flatten a Delirium graph to ``(ops, dependency_sets)``.
+
+    Every node becomes one op (unattached nodes become zero-task
+    placeholders, subject to :func:`check_graph_attachment`); edges
+    become index-dependences in node order.
+    """
+    check_graph_attachment(graph, op_tasks, allow_placeholder)
+    nodes = list(graph.nodes)
+    index_of = {node.id: index for index, node in enumerate(nodes)}
+    ops: List[AnyOp] = []
+    deps: List[set] = []
+    for node in nodes:
+        attached = op_tasks.get(node.id)
+        if attached is None:
+            ops.append(
+                RealOp(name=node.name, kernel=_noop_kernel, payloads=[])
+            )
+        else:
+            ops.append(attached)
+        deps.append(
+            {index_of[pred.id] for pred in graph.predecessors(node)}
+        )
+    return ops, deps
 
 
 def as_real_op(op: AnyOp, cfg: RunConfig) -> RealOp:

@@ -102,6 +102,7 @@ lanes, so Chrome traces and metrics reports show recovery in place.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
@@ -172,7 +173,8 @@ from .base import (
     BackendRunResult,
     OpOutcome,
     as_real_op,
-    check_graph_attachment,
+    graph_ops_and_deps,
+    name_deps,
     register_backend,
 )
 
@@ -224,14 +226,22 @@ def real_machine_config(p: int) -> MachineConfig:
 def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     """Chunk self-scheduling loop of one worker process.
 
-    ``ops_payload`` is one entry per op, ``("pickle", kernel, payloads)``
-    or ``("shm", kernel, descriptor)``.  Pickle-plane payloads arrived
-    serialized in the process args; shm-plane ops are attached lazily on
-    first dispatch (zero-copy views over the coordinator's segments,
-    announced with a one-shot ``("attached", wid, (op_index, bytes))``
-    message).  All timestamps are reported relative to the coordinator's
-    ``t0`` (``perf_counter`` is system-wide on every platform we target,
-    so worker and coordinator clocks agree).  Results are per-task
+    ``ops_payload`` maps an *op key* to one entry per op,
+    ``("pickle", kernel, payloads)`` or ``("shm", kernel, descriptor)``
+    (a plain list is accepted and treated as keys ``0..n-1`` — the
+    per-run session's startup shape).  Pickle-plane payloads arrive
+    serialized in the process args; a resident-pool coordinator instead
+    starts the worker with an *empty* table and installs entries
+    dynamically with ``("load", key, entry)`` messages — op keys are a
+    pool-wide monotonic namespace, so entries of different sessions
+    (jobs) sharing the pool never collide — and drops them again with
+    ``("unload", key)`` when their session ends.  shm-plane ops are
+    attached lazily on first dispatch (zero-copy views over the
+    coordinator's segments, announced with a one-shot
+    ``("attached", wid, (key, bytes))`` message).  All timestamps are
+    reported relative to the coordinator's ``t0`` (``perf_counter`` is
+    system-wide on every platform we target, so worker and coordinator
+    clocks agree).  Results are per-task
     ``(index, start, duration, value)`` records — per-task values are
     what lets the coordinator de-duplicate *partial* overlaps between a
     speculative copy and its primary without double-counting a
@@ -240,7 +250,7 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     coordinator reads the slot when the report arrives.
 
     A kernel exception does *not* kill the worker: the failed chunk is
-    reported (``("error", wid, (op_index, indices, traceback))``) and the
+    reported (``("error", wid, (key, indices, traceback))``) and the
     worker keeps serving — retry policy is the coordinator's call.  Fault
     directives attached to a dispatch are obeyed before/around the chunk:
     ``("kill",)`` exits the process abruptly (simulating a crash),
@@ -255,23 +265,28 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    ops = (
+        dict(ops_payload)
+        if isinstance(ops_payload, dict)
+        else dict(enumerate(ops_payload))
+    )
     attachments = {}
 
-    def _resolve_op(op_index):
+    def _resolve_op(key):
         """The op's (kernel, get_payload, result_view), attaching shm
         segments on first use."""
-        entry = attachments.get(op_index)
+        entry = attachments.get(key)
         if entry is None:
-            plane, kernel, data = ops_payload[op_index]
+            plane, kernel, data = ops[key]
             if plane == "shm":
                 attachment = shm.attach_op(data)
                 entry = (kernel, attachment.get_payload, attachment)
                 request_q.put(
-                    ("attached", wid, (op_index, attachment.nbytes))
+                    ("attached", wid, (key, attachment.nbytes))
                 )
             else:
                 entry = (kernel, data.__getitem__, None)
-            attachments[op_index] = entry
+            attachments[key] = entry
         return entry
 
     request_q.put(("ready", wid, None))
@@ -282,6 +297,15 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
                 if attachment is not None:
                     attachment.close()
             return
+        if message[0] == "load":
+            ops[message[1]] = message[2]
+            continue
+        if message[0] == "unload":
+            ops.pop(message[1], None)
+            entry = attachments.pop(message[1], None)
+            if entry is not None and entry[2] is not None:
+                entry[2].close()
+            continue
         _, op_index, indices, fault = message
         if fault is not None and fault[0] == "kill":
             # Detach from the shared queue before dying: Queue writes go
@@ -326,6 +350,174 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         if fault is not None and fault[0] == "delay":
             time.sleep(fault[1])
         request_q.put(("done", wid, (op_index, records)))
+
+
+# ---------------------------------------------------------------------------
+# Resident worker pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent set of worker processes shared across sessions.
+
+    :meth:`MultiprocessingBackend.prepare` creates one; every subsequent
+    run — and every job of a ``repro serve`` daemon — then reuses the
+    same child processes instead of paying spawn cost per run.  Workers
+    start with an *empty* op table; sessions install their ops with
+    ``("load", key, entry)`` messages under a pool-wide monotonic key
+    namespace (:meth:`allocate_keys`), so concurrent jobs sharing the
+    pool never collide and a stale report from a finished session is
+    recognizable by its out-of-range key.
+
+    The pool owns the shared ``request_q`` (all worker-to-coordinator
+    traffic) and one reply queue per worker.  A serve-mode router thread
+    demultiplexes ``request_q`` by current worker ownership; an
+    exclusive warm run (single tenant, guarded by :meth:`try_acquire`)
+    reads it directly.  A :class:`shm.SegmentCache` rides along so
+    identical payloads reuse their shared-memory segments across runs.
+
+    Dead workers are not respawned: the pool degrades exactly like an
+    in-run worker death (the Eq. 1 ration re-runs over the survivors)
+    and :meth:`live_workers` reports what is left.
+    """
+
+    def __init__(
+        self, processors: int, start_method: Optional[str] = None
+    ):
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        self.p = processors
+        self.method = start_method or default_start_method()
+        self.ctx = multiprocessing.get_context(self.method)
+        self.request_q = self.ctx.Queue()
+        self.reply_qs = [self.ctx.SimpleQueue() for _ in range(processors)]
+        self.processes: List = []
+        self.alive: List[bool] = [False] * processors
+        self.t0 = 0.0
+        #: Worker processes ever started (a reuse metric: stays at ``p``
+        #: however many runs the pool serves).
+        self.total_spawns = 0
+        self.segment_cache = (
+            shm.SegmentCache() if shm.shm_available() else None
+        )
+        self._next_key = 0
+        self._key_lock = threading.Lock()
+        self._use_lock = threading.Lock()
+        self.started = False
+        self.stopped = False
+
+    @property
+    def running(self) -> bool:
+        return self.started and not self.stopped
+
+    def start(self, ready_timeout: float = 30.0) -> None:
+        """Spawn the workers and wait for every ready handshake.
+
+        Consuming the handshakes here (rather than leaving them for the
+        first session) is what lets sessions treat membership as purely
+        grant-driven: a pool worker never announces itself, it is handed
+        over.
+        """
+        if self.started:
+            return
+        self.t0 = time.perf_counter()
+        self.processes = [
+            self.ctx.Process(
+                target=_worker_main,
+                args=(wid, {}, self.request_q, self.reply_qs[wid], self.t0),
+                daemon=True,
+            )
+            for wid in range(self.p)
+        ]
+        launched: List = []
+        try:
+            for process in self.processes:
+                process.start()
+                launched.append(process)
+        except Exception as error:
+            for process in launched:
+                process.terminate()
+                process.join(timeout=1.0)
+            raise MpBackendError(
+                f"could not start the resident pool under start method "
+                f"{self.method!r}: {error}"
+            ) from error
+        self.started = True
+        deadline = time.perf_counter() + ready_timeout
+        pending = self.p
+        while pending:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                self.stop()
+                raise MpBackendError(
+                    f"resident pool: {pending} of {self.p} workers never "
+                    f"reported ready within {ready_timeout:.0f}s"
+                )
+            try:
+                kind, wid, _payload = self.request_q.get(timeout=remaining)
+            except queue_module.Empty:
+                continue
+            if kind == "ready":
+                self.alive[wid] = True
+                pending -= 1
+        self.total_spawns += self.p
+
+    def allocate_keys(self, count: int) -> int:
+        """Reserve ``count`` consecutive op keys; returns the base."""
+        with self._key_lock:
+            base = self._next_key
+            self._next_key += count
+            return base
+
+    def live_workers(self) -> List[int]:
+        return [
+            wid
+            for wid in range(self.p)
+            if self.alive[wid] and self.processes[wid].is_alive()
+        ]
+
+    def mark_dead(self, wid: int) -> None:
+        self.alive[wid] = False
+
+    def try_acquire(self) -> bool:
+        """Claim exclusive direct use of ``request_q`` (a warm
+        non-serve run); non-blocking, so an already-claimed pool makes
+        the caller fall back to a cold run instead of queueing."""
+        return self._use_lock.acquire(blocking=False)
+
+    def release_use(self) -> None:
+        self._use_lock.release()
+
+    def stop(self) -> None:
+        """Stop every worker and drop the queues; idempotent."""
+        if self.stopped:
+            return
+        self.stopped = True
+        for wid, reply_q in enumerate(self.reply_qs):
+            if not self.alive[wid] or not self.processes[wid].is_alive():
+                continue
+            try:
+                reply_q.put(("stop",))
+            except Exception:
+                pass
+        for process in self.processes:
+            try:
+                process.join(timeout=2.0)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=1.0)
+        self.request_q.close()
+        self.request_q.cancel_join_thread()
+        if self.segment_cache is not None:
+            self.segment_cache.close()
+        self.alive = [False] * self.p
 
 
 # ---------------------------------------------------------------------------
@@ -432,13 +624,33 @@ class _OpState:
 
 
 class _MpSession:
-    """One dependency-aware run of a set of operations on a worker pool."""
+    """One dependency-aware run of a set of operations on a worker pool.
+
+    Two pool shapes, one scheduling loop:
+
+    * **private** (``pool=None``, the default) — spawn ``cfg.processors``
+      workers, run, tear them down;
+    * **resident** (``pool=`` a started :class:`WorkerPool`) — borrow
+      the pool's long-lived workers.  With ``inbox=None`` the session
+      claims every live worker up front (an exclusive warm run); with an
+      ``inbox`` queue the session is one *tenant* of a serve daemon —
+      workers join and leave mid-run via ``("grant", wid, None)`` /
+      ``("revoke", wid, None)`` control messages injected by the
+      server's cross-job balancer, and ``released`` is called back as
+      each worker is handed back (``status`` ``"free"``/``"busy"``/
+      ``"dead"``).  Either way op payloads ship lazily per worker
+      (``load``/``unload``) under pool-unique keys, and report
+      timestamps are de-skewed from the pool's epoch to the session's.
+    """
 
     def __init__(
         self,
         real_ops: Sequence[RealOp],
         deps: Sequence[Set[int]],
         cfg: RunConfig,
+        pool: Optional[WorkerPool] = None,
+        inbox=None,
+        released=None,
     ):
         self.cfg = cfg
         self.tracer: Optional[Tracer] = cfg.tracer
@@ -516,6 +728,38 @@ class _MpSession:
         self.plane_of: List[str] = ["pickle"] * len(self.ops)
         #: Estimated payload bytes serialized at worker startup.
         self.bytes_shipped = 0
+        # -- resident-pool state --------------------------------------------
+        self.pool = pool
+        self.inbox = inbox
+        self.released_cb = released
+        #: Detaching from the pool: park reports, dispatch nothing new.
+        self.detaching = False
+        #: Workers the server asked back; released after their current
+        #: chunk reports (a revoke never preempts a running kernel).
+        self.revoked: Set[int] = set()
+        #: This session's slice of the pool-wide op-key namespace.
+        self.key_base = 0
+        #: Worker record timestamps are relative to the pool's epoch;
+        #: subtract this to land on the session's.
+        self._skew = 0.0
+        #: (wid, op_index) pairs whose "load" message has been sent.
+        self._loaded: Set[Tuple[int, int]] = set()
+        #: Cached worker entries per op (built once, sent per worker).
+        self._entries: Dict[int, tuple] = {}
+        self.workers: List = []
+        self.request_q = None
+        if pool is not None:
+            if cfg.processors != pool.p:
+                raise MpBackendError(
+                    f"config wants {cfg.processors} processors but the "
+                    f"resident pool holds {pool.p}"
+                )
+            self.key_base = pool.allocate_keys(len(self.ops))
+            # Membership is grant-driven: nobody is ours until granted
+            # (exclusive warm runs self-grant every live worker at
+            # startup).
+            self.alive = [False] * self.p
+            self.live_count = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -564,6 +808,161 @@ class _MpSession:
 
     def _live_workers(self) -> List[int]:
         return [wid for wid in range(self.p) if self.alive[wid]]
+
+    # -- transport (private pool vs resident pool) ---------------------------
+
+    def _send(self, wid: int, message: tuple) -> None:
+        queues = (
+            self.pool.reply_qs if self.pool is not None else self.reply_qs
+        )
+        queues[wid].put(message)
+
+    def _recv(self, timeout: float):
+        """The next ``(kind, wid, payload)`` event for this session.
+
+        Serve-mode tenants read their private inbox (the server's router
+        thread demultiplexes the pool's shared ``request_q`` by worker
+        ownership and injects grant/revoke control messages); everyone
+        else reads the worker queue directly.  Raises ``queue.Empty`` on
+        timeout either way.
+        """
+        if self.inbox is not None:
+            return self.inbox.get(timeout=timeout)
+        return self.request_q.get(timeout=timeout)
+
+    # -- resident-pool membership --------------------------------------------
+
+    def _grant(self, wid: int) -> None:
+        """A pool worker joins this session's ration."""
+        if self.alive[wid]:
+            return
+        self.alive[wid] = True
+        self.live_count += 1
+        self.revoked.discard(wid)
+        self._reallocate()
+        self._dispatch(wid)
+
+    def _release_worker(self, wid: int, status: str = "free") -> None:
+        """Hand a worker back to the pool and re-ration the remainder."""
+        if not self.alive[wid]:
+            return
+        self.alive[wid] = False
+        self.live_count -= 1
+        self.idle.discard(wid)
+        self.revoked.discard(wid)
+        self.assignment[wid] = -1
+        if self.released_cb is not None:
+            self.released_cb(wid, status)
+        self._reallocate()
+
+    def _on_message(self, kind: str, wid: int, payload) -> bool:
+        """Apply one transport event; returns whether ``wid`` now owes a
+        dispatch decision (report consumed / handshake seen).
+
+        Report keys are translated back to session op indices here; a
+        key outside this session's range is a stale report from a chunk
+        dispatched by a *previous* tenant of the same pool worker
+        (released ``"busy"``) and is dropped — its task results belong
+        to a session that already ended.
+        """
+        self.last_seen[wid] = self._now()
+        if kind == "grant":
+            self._grant(wid)
+            return False
+        if kind == "revoke":
+            if not self.alive[wid]:
+                return False
+            if wid in self.idle:
+                self._release_worker(wid)
+            else:
+                self.revoked.add(wid)
+            return False
+        if kind == "ready":
+            return True
+        if kind == "attached":
+            # One-shot shm attach notification — not a scheduling event:
+            # the worker's flight stays in place and no dispatch is owed
+            # (the chunk reply is still coming).
+            op_index = payload[0] - self.key_base
+            if self.tracer is not None and 0 <= op_index < len(self.ops):
+                self.tracer.emit(
+                    SHM_ATTACH,
+                    self._now(),
+                    proc=wid,
+                    op=self.ops[op_index].label,
+                    bytes=payload[1],
+                )
+            return False
+        op_index = payload[0] - self.key_base
+        if not 0 <= op_index < len(self.ops):
+            return False  # stale report from a prior pool session
+        flight = self.in_flight.pop(wid, None)
+        if kind == "error":
+            self._handle_error(
+                wid, (op_index, payload[1], payload[2]), flight
+            )
+        elif kind == "done":
+            records = payload[1]
+            if self._skew:
+                records = [
+                    (index, start - self._skew, duration, value)
+                    for index, start, duration, value in records
+                ]
+            self._handle_report(wid, (op_index, records), flight)
+        return True
+
+    def _load_op(self, wid: int, op_index: int) -> None:
+        """Install one op's payload entry on one pool worker (lazily,
+        first dispatch of that op to that worker)."""
+        state = self.ops[op_index]
+        entry = self._entries.get(op_index)
+        if entry is None:
+            if self.plane_of[op_index] == "shm":
+                entry = (
+                    "shm", state.op.kernel, self.plane.descriptor(op_index)
+                )
+            else:
+                entry = ("pickle", state.op.kernel, state.op.payloads)
+            self._entries[op_index] = entry
+        if entry[0] == "pickle":
+            self.bytes_shipped += shm.estimate_payload_nbytes(
+                state.op.payloads
+            )
+        self._loaded.add((wid, op_index))
+        self._send(wid, ("load", self.key_base + op_index, entry))
+
+    def job_profile(self) -> OpProfile:
+        """This session's *remaining* work as one aggregate op profile.
+
+        The serve daemon's cross-job Eq. 1 balancer treats every running
+        job as a single op and rations pool workers by equalized
+        finishing times — the paper's allocator lifted one level.  Reads
+        scheduling state owned by the session thread without locking;
+        the races are benign (a slightly stale estimate re-rations at
+        the next scheduling event anyway).
+        """
+        remaining = 0
+        weighted_mean = 0.0
+        weighted_var = 0.0
+        for state in self.ops:
+            if state.finished:
+                continue
+            profile = self._profile(state)
+            tasks = state.remaining + state.outstanding
+            if tasks == 0 and not state.started:
+                tasks = state.size
+            if tasks <= 0:
+                continue
+            remaining += tasks
+            weighted_mean += tasks * profile.mean
+            weighted_var += tasks * profile.stddev**2
+        if remaining == 0:
+            return OpProfile(tasks=1, mean=0.0, stddev=0.0)
+        return OpProfile(
+            tasks=remaining,
+            mean=weighted_mean / remaining,
+            stddev=math.sqrt(weighted_var / remaining),
+        )
 
     def _reallocate(self) -> None:
         """Eq. 1 processor rationing -> worker-subset assignment.
@@ -639,8 +1038,9 @@ class _MpSession:
     def _dispatch(self, wid: int) -> bool:
         if not self.alive[wid]:
             return False
-        if self.cancel_reason is not None:
-            # Draining: no new work; workers park idle until teardown.
+        if self.cancel_reason is not None or self.detaching:
+            # Draining (or detaching from a resident pool): no new work;
+            # workers park idle until teardown/handback.
             self.idle.add(wid)
             return False
         state = self._pick_op(wid)
@@ -728,7 +1128,11 @@ class _MpSession:
             state.started = True
             state.first_time = self._now()
         self.in_flight[wid] = _Flight(state.index, indices, self._now())
-        self.reply_qs[wid].put(("run", state.index, indices, fault))
+        if self.pool is not None and (wid, state.index) not in self._loaded:
+            self._load_op(wid, state.index)
+        self._send(
+            wid, ("run", self.key_base + state.index, indices, fault)
+        )
         return True
 
     def _wake_idle(self) -> None:
@@ -770,7 +1174,9 @@ class _MpSession:
         """
         if self.cfg.data_plane == "pickle" or not shm.shm_available():
             return
-        plane = shm.ShmDataPlane()
+        plane = shm.ShmDataPlane(
+            cache=self.pool.segment_cache if self.pool is not None else None
+        )
         for state in self.ops:
             planned = shm.plan_payloads(state.op.payloads)
             if planned is None:
@@ -1004,7 +1410,7 @@ class _MpSession:
             return None
         return min(entry[0] for entry in self.delayed)
 
-    def _check_liveness(self, workers) -> None:
+    def _check_liveness(self) -> None:
         """The heartbeat sweep: reclaim chunks of dead workers.
 
         ``Process.is_alive()`` is authoritative on a single host; the
@@ -1012,12 +1418,18 @@ class _MpSession:
         fault report for post-mortems.
         """
         now = self._now()
+        workers = self.workers
         for wid in range(self.p):
             if not self.alive[wid] or workers[wid].is_alive():
                 continue
             self.alive[wid] = False
             self.live_count -= 1
             self.idle.discard(wid)
+            self.revoked.discard(wid)
+            if self.pool is not None:
+                self.pool.mark_dead(wid)
+                if self.released_cb is not None:
+                    self.released_cb(wid, "dead")
             flight = self.in_flight.pop(wid, None)
             if flight is not None and flight.speculative:
                 # A dead speculative copy loses nothing: the primary
@@ -1073,7 +1485,12 @@ class _MpSession:
                 # Everything the dead worker held was already settled
                 # (its speculative duplicate won); the op may be done.
                 self._maybe_complete(self.ops[flight.op_index])
-            if self.live_count == 0:
+            if self.live_count == 0 and (
+                self.pool is None or not self.pool.live_workers()
+            ):
+                # A serve tenant with zero granted-but-live workers just
+                # waits for the balancer's next grant — only a pool with
+                # nobody left alive is unrecoverable.
                 raise MpBackendError(
                     "every worker process died; nothing left to run on"
                 )
@@ -1279,8 +1696,14 @@ class _MpSession:
         self.in_flight[helper] = _Flight(
             flight.op_index, list(live), now, speculative=True
         )
-        self.reply_qs[helper].put(
-            ("run", flight.op_index, list(live), None)
+        if (
+            self.pool is not None
+            and (helper, flight.op_index) not in self._loaded
+        ):
+            self._load_op(helper, flight.op_index)
+        self._send(
+            helper,
+            ("run", self.key_base + flight.op_index, list(live), None),
         )
         self.fault_report.chunks_speculated += 1
         if self.tracer is not None:
@@ -1296,40 +1719,39 @@ class _MpSession:
             )
         return True
 
-    def _drain(self, request_q, workers) -> None:
+    def _drain(self) -> None:
         """Graceful cancellation: harvest in-flight results, journal
         them, then hand off to the normal teardown.
 
         Dispatch is suppressed (:meth:`_dispatch` parks workers idle
         while ``cancel_reason`` is set), so the loop only consumes
-        reports from primaries still alive, bounded by a short deadline
-        so a hung worker cannot turn Ctrl-C into a hang.
+        reports from primaries still alive, bounded by
+        ``cfg.drain_grace`` so a hung worker cannot turn Ctrl-C into a
+        hang.
         """
-        deadline = time.perf_counter() + min(5.0, self.cfg.mp_timeout)
+        deadline = time.perf_counter() + min(
+            self.cfg.drain_grace, self.cfg.mp_timeout
+        )
 
         def live_primaries() -> bool:
             return any(
                 not flight.speculative
                 and self.alive[wid]
-                and workers[wid].is_alive()
+                and self.workers[wid].is_alive()
                 for wid, flight in self.in_flight.items()
             )
 
         while live_primaries() and time.perf_counter() < deadline:
             try:
-                kind, wid, payload = request_q.get(timeout=0.1)
+                kind, wid, payload = self._recv(0.1)
             except queue_module.Empty:
-                self._check_liveness(workers)
+                self._check_liveness()
                 continue
-            self.last_seen[wid] = self._now()
-            if kind == "attached":
-                continue  # not a scheduling event; no flight to pop
-            flight = self.in_flight.pop(wid, None)
-            if kind == "done":
-                self._handle_report(wid, payload, flight)
-            elif kind == "error":
-                self._handle_error(wid, payload, flight)
-            self.idle.add(wid)
+            if self._on_message(kind, wid, payload):
+                if wid in self.revoked:
+                    self._release_worker(wid)
+                else:
+                    self.idle.add(wid)
         if self.journal is not None:
             self.journal.sync()
         remaining = sum(
@@ -1342,6 +1764,34 @@ class _MpSession:
                 reason=self.cancel_reason,
                 remaining=remaining,
             )
+
+    def _leave_pool(self) -> None:
+        """Hand every borrowed worker back to the resident pool.
+
+        Runs in ``_run_pool``'s ``finally`` on every exit path — normal
+        completion, drain, backend error.  Ops are unloaded from the
+        workers that loaded them (best-effort; the messages queue behind
+        any chunk still running, so a straggler finishes its chunk
+        before the entry disappears), then each granted worker is
+        released: ``"free"`` if idle, ``"busy"`` if a chunk of ours is
+        still on it — the server's router re-frees a busy worker when
+        its stale report surfaces, and an exclusive warm run's next
+        session drops the stale report by its out-of-range key.
+        """
+        self.detaching = True
+        for wid, op_index in sorted(self._loaded):
+            if not self.pool.alive[wid] or not self.workers[wid].is_alive():
+                continue
+            try:
+                self._send(wid, ("unload", self.key_base + op_index))
+            except Exception:  # pragma: no cover - handback best effort
+                pass
+        for wid in range(self.p):
+            if not self.alive[wid]:
+                continue
+            status = "busy" if wid in self.in_flight else "free"
+            self.in_flight.pop(wid, None)
+            self._release_worker(wid, status)
 
     # -- main loop -----------------------------------------------------------
 
@@ -1410,41 +1860,80 @@ class _MpSession:
             if self.journal is not None:
                 self.journal.close()
             return self._result(0.0)
-        method = cfg.mp_start_method or default_start_method()
-        if method != "fork":
-            # spawn/forkserver re-pickle everything in Process args; a
-            # bad kernel would otherwise die deep inside Process.start()
-            # with a PicklingError that names nothing useful.
-            self._validate_picklable(method)
-        ctx = multiprocessing.get_context(method)
-        request_q = ctx.Queue()
-        self.reply_qs = [ctx.SimpleQueue() for _ in range(self.p)]
-        ops_payload = self._worker_ops_payload()
-        self.t0 = time.perf_counter()
-        workers = [
-            ctx.Process(
-                target=_worker_main,
-                args=(wid, ops_payload, request_q, self.reply_qs[wid], self.t0),
-                daemon=True,
+        pool = self.pool
+        if pool is None:
+            method = cfg.mp_start_method or default_start_method()
+            if method != "fork":
+                # spawn/forkserver re-pickle everything in Process args;
+                # a bad kernel would otherwise die deep inside
+                # Process.start() with a PicklingError that names
+                # nothing useful.
+                self._validate_picklable(method)
+            ctx = multiprocessing.get_context(method)
+            self.request_q = ctx.Queue()
+            self.reply_qs = [ctx.SimpleQueue() for _ in range(self.p)]
+            ops_payload = self._worker_ops_payload()
+            self.t0 = time.perf_counter()
+            self.workers = [
+                ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        wid,
+                        ops_payload,
+                        self.request_q,
+                        self.reply_qs[wid],
+                        self.t0,
+                    ),
+                    daemon=True,
+                )
+                for wid in range(self.p)
+            ]
+            started: List = []
+            try:
+                for process in self.workers:
+                    process.start()
+                    started.append(process)
+            except Exception as error:
+                for process in started:
+                    process.terminate()
+                    process.join(timeout=1.0)
+                raise MpBackendError(
+                    f"could not start the worker pool under start method "
+                    f"{method!r}: {error}"
+                ) from error
+        else:
+            if not pool.running:
+                raise MpBackendError(
+                    "the resident worker pool is not running"
+                )
+            self.workers = pool.processes
+            self.request_q = pool.request_q
+            self.t0 = time.perf_counter()
+            self._skew = self.t0 - pool.t0
+            # shm segments were laid out by _setup_data_plane; pickle
+            # entries ship lazily per load, so the estimate starts at
+            # the plane's footprint and grows per _load_op.
+            self.bytes_shipped = (
+                self.plane.payload_bytes if self.plane is not None else 0
             )
-            for wid in range(self.p)
-        ]
-        started: List = []
-        try:
-            for process in workers:
-                process.start()
-                started.append(process)
-        except Exception as error:
-            for process in started:
-                process.terminate()
-                process.join(timeout=1.0)
-            raise MpBackendError(
-                f"could not start the worker pool under start method "
-                f"{method!r}: {error}"
-            ) from error
+            if self.inbox is None:
+                # Exclusive warm run: claim every live pool worker up
+                # front (serve tenants instead wait for grants).
+                for wid in pool.live_workers():
+                    self.alive[wid] = True
+                    self.live_count += 1
+                if self.live_count == 0:
+                    raise MpBackendError(
+                        "no live workers left in the resident pool"
+                    )
         deadline = time.perf_counter() + cfg.mp_timeout
         next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
+        if pool is not None and self.inbox is None:
+            # No "ready" handshakes are coming (the pool consumed them
+            # at start); put the adopted workers to work immediately.
+            for wid in self._live_workers():
+                self._dispatch(wid)
         # Graceful cancellation: flip a flag from the signal handler and
         # let the main loop notice at its next iteration — only when
         # this is the process's main thread (signal.signal requires it).
@@ -1470,7 +1959,7 @@ class _MpSession:
                 ):
                     self.cancel_reason = "wall_clock_limit"
                 if self.cancel_reason is not None:
-                    self._drain(request_q, workers)
+                    self._drain()
                     break
                 self._release_delayed()
                 now_abs = time.perf_counter()
@@ -1485,46 +1974,39 @@ class _MpSession:
                 if due is not None:
                     timeout = min(timeout, max(due - self._now(), 0.001))
                 try:
-                    kind, wid, payload = request_q.get(timeout=timeout)
+                    kind, wid, payload = self._recv(timeout)
                 except queue_module.Empty:
-                    self._check_liveness(workers)
+                    self._check_liveness()
                     self._maybe_speculate()
                     next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
                     continue
-                self.last_seen[wid] = self._now()
-                if kind == "attached":
-                    # One-shot shm attach notification — not a scheduling
-                    # event: the worker's flight stays in place and no
-                    # dispatch is owed (the chunk reply is still coming).
-                    if self.tracer is not None:
-                        self.tracer.emit(
-                            SHM_ATTACH,
-                            self._now(),
-                            proc=wid,
-                            op=self.ops[payload[0]].label,
-                            bytes=payload[1],
-                        )
-                    continue
-                flight = self.in_flight.pop(wid, None)
-                if kind == "error":
-                    self._handle_error(wid, payload, flight)
-                elif kind == "done":
-                    self._handle_report(wid, payload, flight)
-                elif kind == "ready":
-                    pass
-                self._dispatch(wid)
+                if self._on_message(kind, wid, payload):
+                    if wid in self.revoked:
+                        # The balancer's revoke waited for this report;
+                        # hand the worker back instead of re-dispatching.
+                        self._release_worker(wid)
+                    else:
+                        self._dispatch(wid)
                 if time.perf_counter() >= next_heartbeat:
-                    self._check_liveness(workers)
+                    self._check_liveness()
                     self._maybe_speculate()
                     next_heartbeat = (
                         time.perf_counter() + cfg.heartbeat_interval
                     )
                 if (
-                    len(self.idle) == self.live_count
+                    self.cancel_reason is None
+                    # A cancelled run parks workers idle on purpose; the
+                    # loop top notices cancel_reason next iteration and
+                    # drains instead of misreading the idle as deadlock.
+                    and self.live_count > 0
+                    and len(self.idle) == self.live_count
                     and all(s.outstanding == 0 for s in self.ops)
                     and not self.delayed
                     and not all(s.finished for s in self.ops)
                 ):
+                    # A serve tenant at live_count == 0 is not
+                    # deadlocked — it is waiting for the balancer's next
+                    # grant (bounded by the watchdog above).
                     raise MpBackendError(
                         "dependency deadlock: every worker idle with "
                         "operations still incomplete"
@@ -1535,35 +2017,38 @@ class _MpSession:
             # cancel gracefully rather than orphaning the pool.
             if self.cancel_reason is None:
                 self.cancel_reason = "signal:SIGINT"
-            self._drain(request_q, workers)
+            self._drain()
         finally:
-            for wid, reply_q in enumerate(self.reply_qs):
-                # A crashed worker has no reader on its reply queue;
-                # skip the stop message so shutdown can't wedge on it.
-                if not self.alive[wid] or not workers[wid].is_alive():
-                    continue
-                try:
-                    reply_q.put(("stop",))
-                except Exception:
-                    pass
-            for process in workers:
-                try:
-                    process.join(timeout=2.0)
-                except Exception:  # pragma: no cover - teardown best effort
-                    pass
-            for process in workers:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=1.0)
-            for process in workers:
-                # Last resort: a worker that survived terminate() (e.g.
-                # wedged in uninterruptible state) must not outlive the
-                # coordinator as an orphan.
-                if process.is_alive():  # pragma: no cover - defensive
-                    process.kill()
-                    process.join(timeout=1.0)
-            request_q.close()
-            request_q.cancel_join_thread()
+            if pool is not None:
+                self._leave_pool()
+            else:
+                for wid, reply_q in enumerate(self.reply_qs):
+                    # A crashed worker has no reader on its reply queue;
+                    # skip the stop message so shutdown can't wedge.
+                    if not self.alive[wid] or not self.workers[wid].is_alive():
+                        continue
+                    try:
+                        reply_q.put(("stop",))
+                    except Exception:
+                        pass
+                for process in self.workers:
+                    try:
+                        process.join(timeout=2.0)
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                for process in self.workers:
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=1.0)
+                for process in self.workers:
+                    # Last resort: a worker that survived terminate()
+                    # (e.g. wedged in uninterruptible state) must not
+                    # outlive the coordinator as an orphan.
+                    if process.is_alive():  # pragma: no cover - defensive
+                        process.kill()
+                        process.join(timeout=1.0)
+                self.request_q.close()
+                self.request_q.cancel_join_thread()
             if self.journal is not None:
                 self.journal.close()
             for signum, handler in installed.items():
@@ -1611,6 +2096,9 @@ class _MpSession:
             },
             bytes_shipped=self.bytes_shipped,
             shm_bytes=self.plane.shm_bytes if self.plane is not None else 0,
+            shm_reused_bytes=(
+                self.plane.reused_bytes if self.plane is not None else 0
+            ),
         )
 
 
@@ -1620,9 +2108,56 @@ class _MpSession:
 
 
 class MultiprocessingBackend:
-    """Real execution on ``RunConfig.processors`` child processes."""
+    """Real execution on ``RunConfig.processors`` child processes.
+
+    Stateless by default: every ``run_*`` call spawns a private pool and
+    tears it down.  An explicit :meth:`prepare` call switches the
+    instance to *warm* mode — a resident :class:`WorkerPool` that
+    subsequent runs reuse, skipping both worker spawn and (via the
+    segment cache) shm payload layout — until :meth:`release`.  Direct
+    ``run_*`` callers need no code change either way: a config that does
+    not match the prepared pool (processor count, start method) falls
+    back to a cold run transparently.
+    """
 
     name = "mp"
+
+    def __init__(self):
+        self._pool: Optional[WorkerPool] = None
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The resident pool while prepared, else ``None``."""
+        return self._pool
+
+    def prepare(self, cfg: RunConfig) -> "MultiprocessingBackend":
+        """Spawn the resident pool once; subsequent runs reuse it."""
+        if self._pool is None or not self._pool.running:
+            pool = WorkerPool(
+                cfg.processors, start_method=cfg.mp_start_method
+            )
+            pool.start()
+            self._pool = pool
+        return self
+
+    def release(self) -> None:
+        """Stop the resident pool (no-op when not prepared)."""
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+
+    def _pool_for(self, cfg: RunConfig) -> Optional[WorkerPool]:
+        """The resident pool iff this config can actually use it."""
+        pool = self._pool
+        if pool is None or not pool.running:
+            return None
+        if cfg.processors != pool.p:
+            return None
+        if (cfg.mp_start_method or default_start_method()) != pool.method:
+            return None
+        if not pool.live_workers():
+            return None
+        return pool
 
     def _session(
         self,
@@ -1631,6 +2166,12 @@ class MultiprocessingBackend:
         cfg: RunConfig,
     ) -> BackendRunResult:
         real_ops = [as_real_op(op, cfg) for op in ops]
+        pool = self._pool_for(cfg)
+        if pool is not None and pool.try_acquire():
+            try:
+                return _MpSession(real_ops, deps, cfg, pool=pool).run()
+            finally:
+                pool.release_use()
         return _MpSession(real_ops, deps, cfg).run()
 
     def run_op(self, op: AnyOp, cfg: RunConfig) -> BackendRunResult:
@@ -1641,20 +2182,7 @@ class MultiprocessingBackend:
     ) -> BackendRunResult:
         # Honour declared name-dependencies among RealOps (graph fragments
         # flattened to a list); plain ParallelOps are all concurrent.
-        name_to_index = {
-            op.name: index for index, op in enumerate(ops)
-        }
-        deps: List[Set[int]] = []
-        for op in ops:
-            dep_names = getattr(op, "deps", ()) or ()
-            deps.append(
-                {
-                    name_to_index[name]
-                    for name in dep_names
-                    if name in name_to_index
-                }
-            )
-        return self._session(ops, deps, cfg)
+        return self._session(ops, name_deps(ops), cfg)
 
     def run_pipeline(
         self, iterations: Sequence, cfg: RunConfig
@@ -1708,30 +2236,8 @@ class MultiprocessingBackend:
         dependences.  Unattached non-mirror nodes are refused unless
         ``allow_placeholder=True``, in which case they run as zero-task
         pass-throughs (structure only)."""
-        check_graph_attachment(graph, op_tasks, allow_placeholder)
-        nodes = list(graph.nodes)
-        index_of = {node.id: index for index, node in enumerate(nodes)}
-        ops: List[AnyOp] = []
-        deps: List[Set[int]] = []
-        for node in nodes:
-            attached = op_tasks.get(node.id)
-            if attached is None:
-                ops.append(
-                    RealOp(name=node.name, kernel=_noop_kernel, payloads=[])
-                )
-            else:
-                ops.append(attached)
-            deps.append(
-                {
-                    index_of[pred.id]
-                    for pred in graph.predecessors(node)
-                }
-            )
+        ops, deps = graph_ops_and_deps(graph, op_tasks, allow_placeholder)
         return self._session(ops, deps, cfg)
-
-
-def _noop_kernel(payload) -> float:  # pragma: no cover - placeholder ops
-    return 0.0
 
 
 register_backend("mp", MultiprocessingBackend)

@@ -57,7 +57,9 @@ every op falls back to pickle.
 
 from __future__ import annotations
 
+import hashlib
 import secrets
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -198,20 +200,105 @@ class ShmOpDescriptor:
         return count * _np.dtype(self.payload_dtype).itemsize + self.size * 8
 
 
-class ShmDataPlane:
-    """The coordinator's ledger of every segment it created.
+class SegmentCache:
+    """Content-addressed payload segments shared across pool sessions.
 
-    Owns creation and unlinking; :meth:`close` is idempotent and safe on
-    every exit path (teardown, errors, simulated coordinator kills).
+    A resident :class:`~repro.runtime.backends.mp.WorkerPool` carries
+    one of these so warm runs with identical payloads skip the
+    second-biggest startup cost after worker spawn: re-creating and
+    re-filling the payload segments.  Keys are sha256 fingerprints of
+    ``mode | shape | dtype | bytes``, so a hit guarantees identical
+    content; the cache owns every segment it holds (created segments
+    are *adopted* via :meth:`put`) and unlinks them all at
+    :meth:`close` — per-run :meth:`ShmDataPlane.close` never touches
+    cached payloads, which is what keeps them warm.  Result segments
+    are never cached: they are per-run output state.
+
+    Thread-safe: serve-mode jobs set up their planes on concurrent
+    server threads.
     """
 
     def __init__(self) -> None:
+        self._segments: Dict[str, Tuple[Any, int]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.closed = False
+
+    @staticmethod
+    def fingerprint(mode: str, stacked) -> str:
+        digest = hashlib.sha256()
+        digest.update(
+            f"{mode}|{stacked.shape}|{stacked.dtype.str}|".encode("ascii")
+        )
+        digest.update(_np.ascontiguousarray(stacked).data)
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[Tuple[Any, int]]:
+        """The cached ``(segment, nbytes)`` for ``key``, or ``None``."""
+        with self._lock:
+            if self.closed:
+                return None
+            entry = self._segments.get(key)
+            if entry is not None:
+                self.hits += 1
+            return entry
+
+    def put(self, key: str, segment, nbytes: int) -> bool:
+        """Adopt a freshly laid-out segment under ``key``.
+
+        On ``True`` the cache now owns the segment (and will unlink it
+        at :meth:`close`); on ``False`` (cache closed, or the key raced
+        in from another thread) ownership stays with the caller.
+        """
+        with self._lock:
+            if self.closed or key in self._segments:
+                return False
+            self.misses += 1
+            self._segments[key] = (segment, nbytes)
+            return True
+
+    def close(self) -> None:
+        """Unlink every cached segment.  Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            entries = list(self._segments.values())
+            self._segments = {}
+        for segment, _nbytes in entries:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+class ShmDataPlane:
+    """The coordinator's ledger of every segment it created.
+
+    Owns creation and unlinking of its per-run segments; :meth:`close`
+    is idempotent and safe on every exit path (teardown, errors,
+    simulated coordinator kills).  With a :class:`SegmentCache` (warm
+    resident-pool runs), payload segments are borrowed from — or laid
+    out once and adopted by — the cache instead, surviving this run for
+    the next one; only result segments stay run-owned.
+    """
+
+    def __init__(self, cache: Optional[SegmentCache] = None) -> None:
         self._descriptors: Dict[int, ShmOpDescriptor] = {}
         self._segments: List[Any] = []
         self._result_views: Dict[int, Any] = {}
+        self._cache = cache
         #: Stacked payload bytes laid out, across ops (shipped once,
         #: however many workers attach).
         self.payload_bytes = 0
+        #: Payload bytes served from the segment cache instead of being
+        #: laid out again (zero without a cache or on first runs).
+        self.reused_bytes = 0
         #: Total segment bytes (payloads + result buffers).
         self.shm_bytes = 0
         self.closed = False
@@ -231,22 +318,49 @@ class ShmDataPlane:
         raise OSError("could not allocate a unique shared-memory name")
 
     def add_op(self, op_index: int, mode: str, stacked) -> ShmOpDescriptor:
-        """Lay out one op: copy ``stacked`` payloads in, zero the results."""
+        """Lay out one op: copy ``stacked`` payloads in, zero the results.
+
+        Cache-aware: under a :class:`SegmentCache`, a payload segment
+        holding identical content (same fingerprint) is reused as-is —
+        no creation, no copy — and counted in ``reused_bytes``; a miss
+        is laid out normally and adopted by the cache for the next run.
+        """
         if self.closed:
             raise RuntimeError("data plane already closed")
-        payload_seg = self._new_segment(f"{op_index}p", stacked.nbytes)
         size = stacked.shape[0]
+        key: Optional[str] = None
+        payload_seg = None
+        borrowed = False
+        if self._cache is not None:
+            key = self._cache.fingerprint(mode, stacked)
+            cached = self._cache.get(key)
+            if cached is not None:
+                payload_seg = cached[0]
+                borrowed = True
+                self.reused_bytes += int(stacked.nbytes)
+        if payload_seg is None:
+            payload_seg = self._new_segment(f"{op_index}p", stacked.nbytes)
         try:
             result_seg = self._new_segment(f"{op_index}r", size * 8)
         except BaseException:
-            payload_seg.close()
-            payload_seg.unlink()
+            if not borrowed:
+                payload_seg.close()
+                payload_seg.unlink()
             raise
-        self._segments += [payload_seg, result_seg]
-        payload_view = _np.ndarray(
-            stacked.shape, dtype=stacked.dtype, buffer=payload_seg.buf
-        )
-        payload_view[...] = stacked
+        self._segments.append(result_seg)
+        if not borrowed:
+            payload_view = _np.ndarray(
+                stacked.shape, dtype=stacked.dtype, buffer=payload_seg.buf
+            )
+            payload_view[...] = stacked
+            del payload_view
+            self.payload_bytes += int(stacked.nbytes)
+            if key is not None and self._cache.put(
+                key, payload_seg, int(stacked.nbytes)
+            ):
+                pass  # the cache owns it now; it outlives this run
+            else:
+                self._segments.append(payload_seg)
         result_view = _np.ndarray(
             (size,), dtype=_np.float64, buffer=result_seg.buf
         )
@@ -262,7 +376,6 @@ class ShmDataPlane:
             size=size,
         )
         self._descriptors[op_index] = descriptor
-        self.payload_bytes += int(stacked.nbytes)
         self.shm_bytes += int(stacked.nbytes) + size * 8
         return descriptor
 

@@ -44,6 +44,15 @@ class SimBackend:
 
     name = "sim"
 
+    # -- warm-state protocol (nothing to keep warm here) ---------------------
+
+    def prepare(self, cfg: RunConfig) -> "SimBackend":
+        """No resident state: simulation has no startup cost to skip."""
+        return self
+
+    def release(self) -> None:
+        return None
+
     # -- single operation ---------------------------------------------------
 
     def run_op(self, op: AnyOp, cfg: RunConfig) -> BackendRunResult:

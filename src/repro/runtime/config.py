@@ -151,6 +151,10 @@ class RunConfig:
     #: workers cleanly and returns a partial result flagged
     #: ``cancelled=True`` (unlike ``mp_timeout``, which raises).
     wall_clock_limit: Optional[float] = None
+    #: Seconds a cancelled run waits for in-flight chunks to report
+    #: before giving up on them (they are journaled if they make it; a
+    #: hung worker cannot turn Ctrl-C — or a serve drain — into a hang).
+    drain_grace: float = 5.0
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -225,6 +229,8 @@ class RunConfig:
                 "RunConfig.wall_clock_limit must be > 0 (or None for "
                 "no graceful limit)"
             )
+        if self.drain_grace <= 0:
+            raise ValueError("RunConfig.drain_grace must be > 0")
         if (
             self.machine is not None
             and self.machine.processors != self.processors

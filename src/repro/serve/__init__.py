@@ -1,0 +1,31 @@
+"""repro.serve — a resident multi-tenant job service.
+
+``python -m repro serve`` keeps one warm :class:`WorkerPool` alive on a
+local socket and multiplexes submitted jobs onto it: every running job
+is one :class:`_MpSession` tenant, and the pool's workers are rationed
+*across jobs* by the same Eq. 1 finishing-time balancer the paper uses
+across operations — each job's remaining TAPER cost estimate is treated
+as a single aggregate op and the split re-computed on every job arrival
+and completion.
+
+Modules:
+
+* :mod:`repro.serve.jobs`     — the job state machine and bounded
+  priority queue (admission control);
+* :mod:`repro.serve.protocol` — the JSON-line wire protocol;
+* :mod:`repro.serve.server`   — the daemon (:class:`JobServer`);
+* :mod:`repro.serve.client`   — the client (:class:`ServeClient`).
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import Job, JobQueue, JobState
+from .server import JobServer
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobServer",
+    "JobState",
+    "ServeClient",
+    "ServeError",
+]

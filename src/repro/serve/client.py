@@ -1,0 +1,116 @@
+"""Client side of the serve protocol (one request per connection)."""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from .protocol import ProtocolError, recv_message, send_message
+
+
+class ServeError(Exception):
+    """The daemon rejected a request or the socket is unreachable."""
+
+
+class ServeClient:
+    """Talks JSON-lines to a :class:`~repro.serve.server.JobServer`.
+
+    Connection-per-request keeps the client stateless: a daemon restart
+    between calls is indistinguishable from a slow one.
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 10.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def request(
+        self,
+        message: Dict[str, Any],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            try:
+                sock.connect(self.socket_path)
+            except OSError as error:
+                raise ServeError(
+                    f"cannot reach serve daemon at {self.socket_path}: "
+                    f"{error}"
+                ) from error
+            try:
+                send_message(sock, message)
+                response = recv_message(sock)
+            except (ProtocolError, OSError) as error:
+                raise ServeError(f"protocol failure: {error}") from error
+            if response is None:
+                raise ServeError("daemon closed the connection")
+            return response
+        finally:
+            sock.close()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Poll until the daemon answers a ping (startup handshake)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.ping()
+                return
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def submit(
+        self,
+        target: str,
+        priority: int = 0,
+        overrides: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        response = self.request(
+            {
+                "op": "submit",
+                "target": target,
+                "priority": priority,
+                "overrides": overrides or {},
+            }
+        )
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "submit rejected"))
+        return response["job"]
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            request["job"] = job_id
+        response = self.request(request)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "status failed"))
+        return response
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        response = self.request(
+            {"op": "wait", "job": job_id, "timeout": timeout},
+            # The socket read must outlive the server-side wait.
+            timeout=(timeout + 5.0) if timeout is not None else 3600.0,
+        )
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "wait failed"))
+        return response["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        response = self.request({"op": "cancel", "job": job_id})
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "cancel failed"))
+        return response["job"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

@@ -1,0 +1,54 @@
+"""The serve wire protocol: one JSON object per line over a local socket.
+
+Deliberately boring — newline-delimited JSON is debuggable with ``nc -U``
+and needs no framing state beyond "read a line".  Requests are dicts with
+an ``"op"`` key; responses are dicts with an ``"ok"`` key (``False``
+carries ``"error"``).  One request/response pair per connection keeps the
+server's per-connection state machine trivial.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+#: Cap on one message line (a submit carries a target path and an
+#: overrides dict, never bulk data — payloads stay server-side).
+MAX_LINE = 1 << 20
+
+
+class ProtocolError(Exception):
+    """Malformed frame on the wire (not JSON, too long, truncated)."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE:
+        raise ProtocolError(f"message too large ({len(data)} bytes)")
+    sock.sendall(data)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one newline-terminated JSON object; ``None`` on clean EOF."""
+    chunks = []
+    total = 0
+    while True:
+        byte = sock.recv(1)
+        if not byte:
+            if not chunks:
+                return None
+            raise ProtocolError("connection closed mid-message")
+        if byte == b"\n":
+            break
+        chunks.append(byte)
+        total += 1
+        if total > MAX_LINE:
+            raise ProtocolError("message exceeds MAX_LINE")
+    try:
+        message = json.loads(b"".join(chunks).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"bad JSON frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message

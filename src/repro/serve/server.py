@@ -1,0 +1,663 @@
+"""The serve daemon: one warm worker pool, many tenant jobs.
+
+:class:`JobServer` owns a started :class:`~repro.runtime.backends.mp.
+WorkerPool` and multiplexes submitted jobs onto it.  Each running job is
+one :class:`~repro.runtime.backends.mp._MpSession` tenant driving its own
+private inbox; the server contributes three threads:
+
+* the **router** — drains the pool's shared ``request_q`` and forwards
+  each worker report to the session that currently owns the worker
+  (reports from just-released workers mark them free instead);
+* the **listener** — accepts JSON-line requests on a Unix socket
+  (optional: tests drive :meth:`submit`/:meth:`drain` in process);
+* one **job thread** per running session.
+
+Worker rationing is the paper's Eq. 1 lifted one level: every running
+job's remaining work (its session's :meth:`job_profile`) is treated as a
+single aggregate operation and :func:`allocate_many` equalises predicted
+finishing times across jobs.  The split is recomputed on every job
+arrival, completion, and worker hand-back; over-granted jobs get
+``revoke`` control messages (honoured after the current chunk — a revoke
+never preempts a running kernel) and freed workers are granted to the
+under-granted.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import queue as queue_module
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.events import (
+    ALLOC_DECIDE,
+    JOB_ADMITTED,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_STARTED,
+    JOB_SUBMITTED,
+    Tracer,
+    events_to_jsonl,
+)
+from ..runtime.allocation import allocate_even, allocate_many
+from ..runtime.backends.mp import (
+    WorkerPool,
+    _MpSession,
+    real_machine_config,
+)
+from ..runtime.checkpoint import save_run_target
+from ..runtime.config import RunConfig
+from ..runtime.estimates import FinishingTimeEstimator
+from .jobs import Job, JobQueue, JobState
+from .protocol import ProtocolError, recv_message, send_message
+
+#: Config fields a submission may not override (they are properties of
+#: the shared pool, not of one job).
+_POOL_FIELDS = ("backend", "processors", "mp_start_method", "tracer")
+#: Target-shaping overrides routed to op construction, not RunConfig.
+_WORKLOAD_FIELDS = ("tasks", "elements")
+
+
+class JobServer:
+    """A resident multi-tenant job service over one warm worker pool."""
+
+    def __init__(
+        self,
+        processors: int = 4,
+        socket_path: Optional[str] = None,
+        state_dir: Optional[str] = None,
+        queue_limit: int = 8,
+        max_running: int = 4,
+        start_method: Optional[str] = None,
+        base_config: Optional[RunConfig] = None,
+    ):
+        if max_running < 1:
+            raise ValueError("JobServer.max_running must be >= 1")
+        self.state_dir = state_dir
+        if state_dir:
+            os.makedirs(state_dir, exist_ok=True)
+        self.socket_path = socket_path
+        base = base_config or RunConfig()
+        self.base_config = base.with_(
+            backend="mp",
+            processors=processors,
+            mp_start_method=start_method,
+            tracer=None,
+        )
+        self.queue = JobQueue(queue_limit)
+        self.max_running = max_running
+        self.tracer = Tracer()
+        self.t0 = time.time()
+        self.draining = False
+        self.drain_reason = ""
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._next_job = 0
+        #: Every job ever seen, by id (status survives completion).
+        self.jobs: Dict[str, Job] = {}
+        #: Jobs whose session thread is live, by id.
+        self.running: Dict[str, Job] = {}
+        #: wid -> id of the job whose session owns the worker.
+        self.owner: Dict[int, str] = {}
+        #: Workers not granted to any job.
+        self.free: set = set()
+        #: Resolved (ops, deps) per admitted job, consumed at start.
+        self._work: Dict[str, Tuple[list, list]] = {}
+        self._configs: Dict[str, RunConfig] = {}
+        # The pool forks its workers *before* any server thread starts
+        # (the classic fork+threads hazard); sessions borrowing the pool
+        # never fork.
+        self.pool = WorkerPool(processors, start_method=start_method)
+        self.pool.start()
+        self.free = set(self.pool.live_workers())
+        self._router = threading.Thread(
+            target=self._route, name="serve-router", daemon=True
+        )
+        self._router.start()
+        self._listener: Optional[threading.Thread] = None
+        self._server_sock: Optional[socket.socket] = None
+        if socket_path is not None:
+            self._open_socket(socket_path)
+
+    # -- time / events -------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.time() - self.t0
+
+    def _emit(self, kind: str, job: Job, **attrs) -> None:
+        self.tracer.emit(kind, self._now(), op=job.target, job=job.id, **attrs)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        target: str,
+        priority: int = 0,
+        overrides: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[bool, Any]:
+        """Admit one job.  Returns ``(True, job)`` or ``(False, reason)``.
+
+        The target is resolved to concrete operations *here*, so a bad
+        target (unknown name, multi-session workload, invalid override)
+        is rejected at the socket instead of failing inside a running
+        session.
+        """
+        overrides = dict(overrides or {})
+        with self._lock:
+            job_id = f"job-{self._next_job + 1:04d}"
+            job = Job(id=job_id, target=str(target), priority=priority)
+            self._emit(
+                JOB_SUBMITTED, job, target=job.target, priority=priority
+            )
+            try:
+                cfg, ops, deps = self._admit_config(job, target, overrides)
+            except Exception as error:
+                return False, str(error)
+            ok, reason = self.queue.offer(job)
+            if not ok:
+                return False, reason
+            self._next_job += 1
+            job.overrides = overrides
+            job.advance(JobState.ADMITTED)
+            self.jobs[job_id] = job
+            self._work[job_id] = (ops, deps)
+            self._configs[job_id] = cfg
+            if (
+                isinstance(target, str)
+                and cfg.checkpoint_dir
+                and not cfg.resume
+            ):
+                workload = {
+                    key: overrides[key]
+                    for key in _WORKLOAD_FIELDS
+                    if key in overrides
+                }
+                save_run_target(cfg.checkpoint_dir, target, workload)
+            self._emit(JOB_ADMITTED, job, queued=len(self.queue))
+        self._schedule()
+        return True, job
+
+    def _admit_config(
+        self, job: Job, target, overrides: Dict[str, Any]
+    ) -> Tuple[RunConfig, list, list]:
+        from .. import api
+
+        for key in _POOL_FIELDS:
+            value = overrides.pop(key, None)
+            if value is None:
+                continue
+            current = getattr(self.base_config, key)
+            if value != current:
+                raise ValueError(
+                    f"override {key}={value!r} conflicts with the shared "
+                    f"pool ({key}={current!r}); per-job overrides cannot "
+                    "reshape the pool"
+                )
+        workload = {
+            key: overrides[key]
+            for key in _WORKLOAD_FIELDS
+            if key in overrides
+        }
+        cfg_overrides = {
+            key: value
+            for key, value in overrides.items()
+            if key not in _WORKLOAD_FIELDS
+        }
+        cfg = self.base_config.with_(tracer=Tracer(), **cfg_overrides)
+        if self.state_dir and cfg.checkpoint_dir is None:
+            cfg = cfg.with_(
+                checkpoint_dir=os.path.join(self.state_dir, "jobs", job.id)
+            )
+        job.checkpoint_dir = cfg.checkpoint_dir
+        ops, deps, label = api.resolve_ops(target, cfg, workload)
+        return cfg, ops, deps
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self) -> None:
+        """Admit queued jobs up to ``max_running``, then re-ration."""
+        started: List[Job] = []
+        with self._lock:
+            if not self.draining:
+                while len(self.running) < self.max_running:
+                    job = self.queue.pop()
+                    if job is None:
+                        break
+                    if job.state is not JobState.ADMITTED:
+                        continue  # cancelled while queued
+                    self._start_job(job)
+                    started.append(job)
+            self._rebalance()
+            for job in started:
+                self._emit(JOB_STARTED, job, workers=len(job.granted))
+
+    def _start_job(self, job: Job) -> None:
+        ops, deps = self._work.pop(job.id)
+        cfg = self._configs.pop(job.id)
+        try:
+            job.session = _MpSession(
+                ops,
+                deps,
+                cfg,
+                pool=self.pool,
+                inbox=job.inbox,
+                released=functools.partial(self._released, job),
+            )
+        except Exception as error:
+            job.error = str(error)
+            job.advance(JobState.RUNNING)
+            job.advance(JobState.FAILED)
+            self._emit(JOB_FAILED, job, error=job.error)
+            return
+        job.advance(JobState.RUNNING)
+        self.running[job.id] = job
+        job.thread = threading.Thread(
+            target=self._run_job,
+            args=(job,),
+            name=f"serve-{job.id}",
+            daemon=True,
+        )
+        job.thread.start()
+
+    def _rebalance(self) -> None:
+        """Eq. 1 across jobs: equalise predicted finishing times.
+
+        Each running job's remaining work is one aggregate op profile
+        (its session's live TAPER statistics); the same allocator that
+        rations processors among concurrent operations inside a session
+        rations pool workers among sessions.
+        """
+        running = [
+            job
+            for job in self.running.values()
+            if job.session is not None and not job.done.is_set()
+        ]
+        width = len(self.pool.live_workers())
+        if not running or width == 0:
+            return
+        if len(running) == 1:
+            shares = [width]
+        elif width < 2 * len(running):
+            shares = allocate_even(width, len(running))
+        else:
+            machine = real_machine_config(self.pool.p)
+            estimators = [
+                FinishingTimeEstimator(job.session.job_profile(), machine)
+                for job in running
+            ]
+            shares = allocate_many(width, [e.finish for e in estimators])
+        self.tracer.emit(
+            ALLOC_DECIDE,
+            self._now(),
+            op="+".join(job.id for job in running),
+            shares=list(shares),
+            labels=[job.id for job in running],
+        )
+        # Revokes first: they free nothing immediately (the session hands
+        # the worker back after its current chunk), but they stop the
+        # over-granted job from being considered under target below.
+        for job, share in zip(running, shares):
+            current = len(job.granted) - len(job.pending_revoke)
+            for wid in sorted(job.granted - job.pending_revoke):
+                if current <= share:
+                    break
+                job.pending_revoke.add(wid)
+                job.inbox.put(("revoke", wid, None))
+                current -= 1
+        for job, share in zip(running, shares):
+            current = len(job.granted) - len(job.pending_revoke)
+            while current < share and self.free:
+                wid = self.free.pop()
+                if not self.pool.alive[wid]:
+                    continue
+                self.owner[wid] = job.id
+                job.granted.add(wid)
+                job.inbox.put(("grant", wid, None))
+                current += 1
+
+    def _released(self, job: Job, wid: int, status: str) -> None:
+        """Session callback: worker ``wid`` was handed back.
+
+        ``"free"`` — idle, immediately grantable; ``"busy"`` — its last
+        chunk is still running, the router reclaims it when the orphan
+        report arrives; ``"dead"`` — gone (the session already marked
+        the pool).  Runs on the job's session thread.
+        """
+        with self._lock:
+            job.granted.discard(wid)
+            job.pending_revoke.discard(wid)
+            if self.owner.get(wid) == job.id:
+                del self.owner[wid]
+            if status == "free":
+                self.free.add(wid)
+        if status == "free":
+            self._schedule()
+
+    # -- the router ----------------------------------------------------------
+
+    def _route(self) -> None:
+        """Forward pool reports to the owning session's inbox.
+
+        A report from an unowned worker means the worker was released
+        ``"busy"`` and has now finished that chunk: only ``done``/
+        ``error`` free it (``attached`` notifications are progress, not
+        completion, and are dropped).
+        """
+        while not self._stop.is_set():
+            try:
+                kind, wid, payload = self.pool.request_q.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError):  # pool torn down under us
+                break
+            freed = False
+            with self._lock:
+                job = self.jobs.get(self.owner.get(wid, ""))
+                if job is not None and job.session is not None:
+                    job.inbox.put((kind, wid, payload))
+                elif kind in ("done", "error"):
+                    if (
+                        self.pool.alive[wid]
+                        and self.pool.processes[wid].is_alive()
+                    ):
+                        self.free.add(wid)
+                        freed = True
+            if freed:
+                self._schedule()
+
+    # -- job execution -------------------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        session = job.session
+        try:
+            raw = session.run()
+        except Exception:
+            error = traceback.format_exc()
+            with self._lock:
+                self._reclaim_inbox(job)
+                job.error = error.strip().splitlines()[-1]
+                job.advance(JobState.FAILED)
+                self.running.pop(job.id, None)
+                self._emit(JOB_FAILED, job, error=job.error)
+        else:
+            with self._lock:
+                self._reclaim_inbox(job)
+                job.result = {
+                    "value_total": raw.value_total,
+                    "makespan": raw.makespan,
+                    "total_work": raw.total_work,
+                    "tasks": raw.tasks_total,
+                    "chunks": raw.chunks,
+                    "cancelled": raw.cancelled,
+                }
+                self.running.pop(job.id, None)
+                if raw.cancelled:
+                    job.resume_dir = raw.resume_dir
+                    job.advance(JobState.CANCELLED)
+                    self._emit(
+                        JOB_CANCELLED,
+                        job,
+                        reason=raw.cancel_reason,
+                        resume_dir=job.resume_dir or "",
+                    )
+                else:
+                    job.advance(JobState.DONE)
+                    self._emit(
+                        JOB_DONE,
+                        job,
+                        value_total=raw.value_total,
+                        makespan=raw.makespan,
+                    )
+        self._schedule()
+
+    def _reclaim_inbox(self, job: Job) -> None:
+        """Recover workers referenced by messages the session never
+        processed (grants that raced its exit, reports it had no time to
+        dispatch) — without this a racing grant would leak the worker."""
+        while True:
+            try:
+                message = job.inbox.get_nowait()
+            except queue_module.Empty:
+                break
+            kind, wid = message[0], message[1]
+            if kind in ("grant", "done", "error"):
+                job.granted.discard(wid)
+                job.pending_revoke.discard(wid)
+                if self.owner.get(wid) == job.id:
+                    del self.owner[wid]
+                if (
+                    wid not in self.owner  # not re-granted meanwhile
+                    and self.pool.alive[wid]
+                    and self.pool.processes[wid].is_alive()
+                ):
+                    self.free.add(wid)
+
+    # -- queries / control ---------------------------------------------------
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        with self._lock:
+            if job_id is not None:
+                job = self.jobs.get(job_id)
+                if job is None:
+                    return {"ok": False, "error": f"unknown job {job_id!r}"}
+                return {"ok": True, "job": job.info()}
+            return {
+                "ok": True,
+                "draining": self.draining,
+                "processors": self.pool.p,
+                "live_workers": len(self.pool.live_workers()),
+                "queued": len(self.queue),
+                "running": len(self.running),
+                "jobs": [
+                    job.info()
+                    for job in sorted(
+                        self.jobs.values(), key=lambda j: j.id
+                    )
+                ],
+            }
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        with self._lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        if not job.done.wait(timeout):
+            return {"ok": False, "error": f"timeout waiting for {job_id}"}
+        with self._lock:
+            return {"ok": True, "job": job.info()}
+
+    def cancel(self, job_id: str, reason: str = "client cancel") -> Dict:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            if job.state.terminal:
+                return {"ok": True, "job": job.info()}
+            if job.state is JobState.ADMITTED:
+                job.advance(JobState.CANCELLED)
+                if job.checkpoint_dir:
+                    job.resume_dir = job.checkpoint_dir
+                self._emit(
+                    JOB_CANCELLED,
+                    job,
+                    reason=reason,
+                    resume_dir=job.resume_dir or "",
+                )
+                return {"ok": True, "job": job.info()}
+            # RUNNING: flag the session; its drain path journals
+            # in-flight chunks and reports a resumable partial result.
+            if job.session is not None:
+                job.session.cancel_reason = reason
+            return {"ok": True, "job": job.info()}
+
+    def drain(self, reason: str = "shutdown") -> Dict[str, Any]:
+        """Graceful shutdown: cancel everything, sync journals, stop.
+
+        Queued jobs are cancelled in place (their sidecar makes them
+        resumable as fresh runs); running sessions take the PR4 cancel
+        path — stop dispatching, harvest in-flight chunks within
+        ``drain_grace``, sync the journal — so every interrupted job
+        reports a ``resume_dir``.  Idempotent.
+        """
+        with self._lock:
+            if self.draining:
+                return self.status()
+            self.draining = True
+            self.drain_reason = reason
+            for job in self.queue.drain():
+                job.advance(JobState.CANCELLED)
+                if job.checkpoint_dir:
+                    job.resume_dir = job.checkpoint_dir
+                self._work.pop(job.id, None)
+                self._configs.pop(job.id, None)
+                self._emit(
+                    JOB_CANCELLED,
+                    job,
+                    reason=reason,
+                    resume_dir=job.resume_dir or "",
+                )
+            running = list(self.running.values())
+            for job in running:
+                if job.session is not None:
+                    job.session.cancel_reason = reason
+        # Join outside the lock: session threads need it to release
+        # workers and report states.
+        grace = self.base_config.drain_grace
+        for job in running:
+            if job.thread is not None:
+                job.thread.join(timeout=grace + 10.0)
+        self._stop.set()
+        self._router.join(timeout=2.0)
+        self._close_socket()
+        self.pool.stop()
+        status = self.status()
+        self._dump_state(status)
+        return status
+
+    def _dump_state(self, status: Dict[str, Any]) -> None:
+        if not self.state_dir:
+            return
+        try:
+            with open(
+                os.path.join(self.state_dir, "jobs.json"), "w"
+            ) as handle:
+                json.dump(status, handle, indent=2, sort_keys=True)
+            with open(
+                os.path.join(self.state_dir, "events.jsonl"), "w"
+            ) as handle:
+                handle.write(events_to_jsonl(self.tracer.events))
+        except OSError:  # pragma: no cover - best-effort dump
+            pass
+
+    # -- the socket front end ------------------------------------------------
+
+    def _open_socket(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(path):
+            os.unlink(path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._server_sock = sock
+        self._listener = threading.Thread(
+            target=self._listen, name="serve-listener", daemon=True
+        )
+        self._listener.start()
+
+    def _close_socket(self) -> None:
+        if self._server_sock is not None:
+            try:
+                self._server_sock.close()
+            except OSError:
+                pass
+            self._server_sock = None
+        if self._listener is not None:
+            self._listener.join(timeout=2.0)
+            self._listener = None
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def _listen(self) -> None:
+        while not self._stop.is_set():
+            sock = self._server_sock
+            if sock is None:
+                break
+            try:
+                conn, _ = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._handle_conn, args=(conn,), daemon=True
+            ).start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            try:
+                request = recv_message(conn)
+            except ProtocolError as error:
+                send_message(conn, {"ok": False, "error": str(error)})
+                return
+            if request is None:
+                return
+            response = self._handle_request(request)
+            send_message(conn, response)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if op == "submit":
+            target = request.get("target")
+            if not target:
+                return {"ok": False, "error": "submit needs a target"}
+            ok, result = self.submit(
+                target,
+                priority=int(request.get("priority", 0)),
+                overrides=request.get("overrides") or {},
+            )
+            if not ok:
+                return {"ok": False, "error": result}
+            return {"ok": True, "job": result.info()}
+        if op == "status":
+            return self.status(request.get("job"))
+        if op == "wait":
+            job_id = request.get("job")
+            if not job_id:
+                return {"ok": False, "error": "wait needs a job id"}
+            return self.wait(job_id, timeout=request.get("timeout"))
+        if op == "cancel":
+            job_id = request.get("job")
+            if not job_id:
+                return {"ok": False, "error": "cancel needs a job id"}
+            return self.cancel(job_id)
+        if op == "shutdown":
+            threading.Thread(
+                target=self.drain,
+                kwargs={"reason": "client shutdown"},
+                daemon=True,
+            ).start()
+            return {"ok": True, "draining": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}

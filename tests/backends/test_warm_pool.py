@@ -1,0 +1,123 @@
+"""The warm-pool protocol: prepare()/release(), reuse, segment cache.
+
+Satellite guarantees of the serve PR, testable without a daemon:
+
+* a prepared mp backend runs identical results to a cold one;
+* worker processes are spawned once per prepare, not once per run;
+* identical-shape shm payloads are served from the pool's segment
+  cache on repeat runs (no re-creation, no re-copy);
+* callers that ignore the protocol entirely (plain ``run()``) and
+  configs the pool cannot serve fall back to cold runs — no errors,
+  no deprecation.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.runtime.backends import backend_for
+from repro.runtime.backends.base import prepare_backend, release_backend
+from repro.runtime.backends.mp import MultiprocessingBackend, WorkerPool
+from repro.runtime.config import RunConfig
+
+P = 2
+
+
+def mp_config(**overrides):
+    return api.RunConfig(backend="mp", processors=P, **overrides)
+
+
+def test_prepared_totals_match_cold_run():
+    cfg = mp_config()
+    cold = api.run("fig1", cfg)
+    with api.prepared(cfg) as backend:
+        warm1 = api.run("fig1", cfg, executor=backend)
+        warm2 = api.run("fig1", cfg, executor=backend)
+    for warm in (warm1, warm2):
+        assert warm.value_total == cold.value_total
+        assert warm.tasks == cold.tasks
+        assert warm.backend == "mp"
+
+
+def test_pool_spawns_once_across_runs():
+    cfg = mp_config()
+    with api.prepared(cfg) as backend:
+        pool = backend.pool
+        assert isinstance(pool, WorkerPool)
+        api.run("fig1", cfg, executor=backend)
+        api.run("reduction", cfg, executor=backend)
+        api.run("fig1", cfg, executor=backend)
+        assert pool.total_spawns == P  # one spawn per worker, ever
+        assert pool.running
+    assert not pool.running  # release() stopped it
+
+
+def test_release_is_idempotent_and_reentrant():
+    backend = MultiprocessingBackend()
+    backend.release()  # nothing prepared: no-op
+    cfg = mp_config()
+    prepare_backend(backend, cfg)
+    first = backend.pool
+    prepare_backend(backend, cfg)  # second prepare keeps the same pool
+    assert backend.pool is first
+    release_backend(backend)
+    assert backend.pool is None
+    release_backend(backend)  # double release: no-op
+
+
+def test_segment_cache_reuses_identical_payloads():
+    pytest.importorskip("numpy")
+    cfg = mp_config(data_plane="shm")
+    with api.prepared(cfg) as backend:
+        first = api.run("fig1", cfg, executor=backend)
+        second = api.run("fig1", cfg, executor=backend)
+        cache = backend.pool.segment_cache
+        assert cache is not None
+        assert cache.misses > 0  # first run populated it
+        assert cache.hits > 0  # second run hit it
+    assert first.shm_reused_bytes == 0
+    assert second.shm_reused_bytes > 0
+    assert second.value_total == first.value_total
+
+
+def test_mismatched_config_falls_back_to_cold():
+    cfg = mp_config()
+    with api.prepared(cfg) as backend:
+        pool = backend.pool
+        other = api.RunConfig(backend="mp", processors=P + 1)
+        result = api.run("fig1", other, executor=backend)
+        assert result.value_total > 0
+        assert result.processors == P + 1
+        # The resident pool was not consumed nor resized by the
+        # mismatched run.
+        assert pool.total_spawns == P
+        assert backend.pool is pool
+
+
+def test_plain_run_needs_no_protocol():
+    """Direct callers that never heard of prepare()/release() keep
+    working — the protocol is opt-in, not a new requirement."""
+    backend = MultiprocessingBackend()
+    raw = backend.run_ops(
+        api.resolve_ops("fig1", mp_config())[0], mp_config()
+    )
+    assert raw.value_total > 0
+
+
+def test_sim_backend_protocol_is_a_no_op():
+    cfg = RunConfig(backend="sim", processors=4)
+    backend = backend_for(cfg)
+    assert prepare_backend(backend, cfg) is backend
+    release_backend(backend)
+    with api.prepared(cfg) as prepared_backend:
+        result = api.run("fig1", cfg, executor=prepared_backend)
+    assert result.backend == "sim"
+
+
+def test_prepared_context_releases_on_error():
+    cfg = mp_config()
+    with pytest.raises(RuntimeError, match="boom"):
+        with api.prepared(cfg) as backend:
+            pool = backend.pool
+            assert pool.running
+            raise RuntimeError("boom")
+    assert not pool.running

@@ -1,0 +1,33 @@
+"""Serve-suite fixtures: a hard wall-clock guard for daemon tests.
+
+The serve daemon multiplexes real worker processes and threads; a
+routing or drain bug could hang the parent past every internal timeout.
+The alarm makes every test in this directory fail loudly instead of
+wedging CI.
+"""
+
+import signal
+
+import pytest
+
+HARD_LIMIT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def wallclock_guard():
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: rely on mp_timeout
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"serve test exceeded {HARD_LIMIT_SECONDS}s wall clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_LIMIT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,123 @@
+"""The job state machine and the bounded priority queue."""
+
+import pytest
+
+from repro.serve.jobs import (
+    InvalidTransition,
+    Job,
+    JobQueue,
+    JobState,
+    TRANSITIONS,
+)
+
+
+def make_job(job_id="job-0001", priority=0):
+    return Job(id=job_id, target="fig1", priority=priority)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = make_job()
+        assert job.state is JobState.SUBMITTED
+        job.advance(JobState.ADMITTED)
+        job.advance(JobState.RUNNING)
+        assert job.started_at is not None
+        assert not job.done.is_set()
+        job.advance(JobState.DONE)
+        assert job.finished_at is not None
+        assert job.done.is_set()
+
+    @pytest.mark.parametrize(
+        "terminal", [JobState.DONE, JobState.FAILED, JobState.CANCELLED]
+    )
+    def test_running_reaches_every_terminal(self, terminal):
+        job = make_job()
+        job.advance(JobState.ADMITTED)
+        job.advance(JobState.RUNNING)
+        job.advance(terminal)
+        assert job.state.terminal
+        assert job.done.is_set()
+
+    def test_queued_job_can_be_cancelled(self):
+        job = make_job()
+        job.advance(JobState.ADMITTED)
+        job.advance(JobState.CANCELLED)
+        assert job.state is JobState.CANCELLED
+
+    def test_illegal_edges_raise(self):
+        job = make_job()
+        with pytest.raises(InvalidTransition):
+            job.advance(JobState.RUNNING)  # must be admitted first
+        job.advance(JobState.ADMITTED)
+        with pytest.raises(InvalidTransition):
+            job.advance(JobState.DONE)  # never ran
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.DONE)
+        with pytest.raises(InvalidTransition):
+            job.advance(JobState.RUNNING)  # terminal states are final
+
+    def test_transition_table_is_closed(self):
+        for state, nexts in TRANSITIONS.items():
+            assert state.terminal == (len(nexts) == 0)
+            for new in nexts:
+                assert new in TRANSITIONS
+
+    def test_info_is_json_safe(self):
+        import json
+
+        job = make_job()
+        job.advance(JobState.ADMITTED)
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.FAILED)
+        job.error = "boom"
+        job.resume_dir = "/tmp/x"
+        info = json.loads(json.dumps(job.info()))
+        assert info["state"] == "failed"
+        assert info["error"] == "boom"
+        assert info["resume_dir"] == "/tmp/x"
+
+
+class TestJobQueue:
+    def test_fifo_within_priority_band(self):
+        queue = JobQueue(limit=4)
+        jobs = [make_job(f"job-{i:04d}") for i in range(1, 4)]
+        for job in jobs:
+            ok, reason = queue.offer(job)
+            assert ok, reason
+        assert [queue.pop().id for _ in range(3)] == [
+            "job-0001",
+            "job-0002",
+            "job-0003",
+        ]
+        assert queue.pop() is None
+
+    def test_higher_priority_leaves_first(self):
+        queue = JobQueue(limit=4)
+        queue.offer(make_job("job-0001", priority=0))
+        queue.offer(make_job("job-0002", priority=5))
+        queue.offer(make_job("job-0003", priority=5))
+        assert queue.pop().id == "job-0002"  # high priority, FIFO within
+        assert queue.pop().id == "job-0003"
+        assert queue.pop().id == "job-0001"
+
+    def test_rejects_when_full_with_reason(self):
+        queue = JobQueue(limit=2)
+        assert queue.offer(make_job("job-0001"))[0]
+        assert queue.offer(make_job("job-0002"))[0]
+        ok, reason = queue.offer(make_job("job-0003"))
+        assert not ok
+        assert reason == "queue full (limit 2)"
+
+    def test_rejects_while_draining(self):
+        queue = JobQueue(limit=2)
+        queue.offer(make_job("job-0001"))
+        drained = queue.drain()
+        assert [job.id for job in drained] == ["job-0001"]
+        ok, reason = queue.offer(make_job("job-0002"))
+        assert not ok
+        assert reason == "draining"
+        assert len(queue) == 0
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(limit=0)

@@ -1,0 +1,237 @@
+"""In-process JobServer tests: tenancy, admission, priority, drain.
+
+These drive :class:`JobServer` directly (no socket) so failures point at
+the scheduler, not the wire.  Every server is built on a tiny pool and
+torn down via :meth:`drain` — the same path the daemon's SIGTERM takes.
+"""
+
+import os
+
+import pytest
+
+import repro.api as api
+from repro.serve.jobs import JobState
+from repro.serve.server import JobServer
+
+POOL = 2
+FIG1_TOTAL = None  # lazily computed sequential baseline
+
+#: A multi-second graph job: examples/fig1.f scaled up so two of them
+#: genuinely overlap on the shared pool.
+SLOW_TARGET = os.path.join("examples", "fig1.f")
+SLOW_OVERRIDES = {"tasks": 192, "elements": 3000}
+
+
+def fig1_baseline():
+    global FIG1_TOTAL
+    if FIG1_TOTAL is None:
+        result = api.run(
+            "fig1", api.RunConfig(backend="mp", processors=POOL)
+        )
+        FIG1_TOTAL = (result.value_total, result.tasks)
+    return FIG1_TOTAL
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = JobServer(
+        processors=POOL,
+        state_dir=str(tmp_path / "state"),
+        queue_limit=4,
+        max_running=2,
+    )
+    try:
+        yield instance
+    finally:
+        instance.drain("test teardown")
+
+
+def test_two_concurrent_jobs_match_sequential_totals(server):
+    """Multi-tenant isolation: two jobs sharing the pool produce exactly
+    the totals two sequential runs would."""
+    ok1, job1 = server.submit("fig1")
+    ok2, job2 = server.submit("fig1")
+    assert ok1 and ok2
+    done1 = server.wait(job1.id, timeout=60)
+    done2 = server.wait(job2.id, timeout=60)
+    assert done1["job"]["state"] == "done"
+    assert done2["job"]["state"] == "done"
+    value, tasks = fig1_baseline()
+    assert done1["job"]["result"]["value_total"] == value
+    assert done2["job"]["result"]["value_total"] == value
+    assert done1["job"]["result"]["tasks"] == tasks
+    assert done2["job"]["result"]["tasks"] == tasks
+
+
+def test_job_lifecycle_events_and_states(server):
+    ok, job = server.submit("fig1")
+    assert ok
+    server.wait(job.id, timeout=60)
+    assert job.state is JobState.DONE
+    kinds = [event.kind for event in server.tracer.events
+             if event.attrs.get("job") == job.id]
+    assert kinds[:3] == ["job.submitted", "job.admitted", "job.started"]
+    assert kinds[-1] == "job.done"
+    # All workers came back to the free set.
+    assert not job.granted
+    assert len(server.free) == POOL
+
+
+def test_bad_target_rejected_at_submit(server):
+    ok, reason = server.submit("no-such-workload")
+    assert not ok
+    assert "unknown run target" in reason
+    # Multi-session app workloads cannot run as one job.
+    ok, reason = server.submit("climate")
+    assert not ok
+    assert "cannot run as a single job" in reason
+    # Pool-shape overrides are refused, not silently ignored.
+    ok, reason = server.submit("fig1", overrides={"processors": 8})
+    assert not ok
+    assert "conflicts with the shared pool" in reason
+
+
+def test_queue_full_rejection(tmp_path):
+    server = JobServer(
+        processors=POOL,
+        state_dir=str(tmp_path / "state"),
+        queue_limit=1,
+        max_running=1,
+    )
+    try:
+        ok, running = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+        assert ok
+        ok, queued = server.submit("fig1")
+        assert ok
+        ok, reason = server.submit("fig1")
+        assert not ok
+        assert reason == "queue full (limit 1)"
+        server.wait(running.id, timeout=60)
+        server.wait(queued.id, timeout=60)
+        assert queued.state is JobState.DONE
+    finally:
+        server.drain("test teardown")
+
+
+def test_priority_orders_the_queue(tmp_path):
+    """With one running slot, a later high-priority job overtakes an
+    earlier low-priority one."""
+    server = JobServer(
+        processors=POOL,
+        state_dir=str(tmp_path / "state"),
+        queue_limit=4,
+        max_running=1,
+    )
+    try:
+        ok, blocker = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+        assert ok
+        ok, low = server.submit("fig1", priority=0)
+        assert ok
+        ok, high = server.submit("fig1", priority=5)
+        assert ok
+        for job in (blocker, low, high):
+            server.wait(job.id, timeout=90)
+        assert high.started_at < low.started_at
+        assert low.state is JobState.DONE
+        assert high.state is JobState.DONE
+    finally:
+        server.drain("test teardown")
+
+
+def test_cross_job_rationing_emits_alloc_decisions(server):
+    """While two jobs overlap, the balancer splits the pool between
+    them and records the decision."""
+    ok1, job1 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+    ok2, job2 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+    assert ok1 and ok2
+    server.wait(job1.id, timeout=90)
+    server.wait(job2.id, timeout=90)
+    assert job1.state is JobState.DONE
+    assert job2.state is JobState.DONE
+    decisions = [
+        event
+        for event in server.tracer.events
+        if event.kind == "alloc.decide" and len(event.attrs["labels"]) == 2
+    ]
+    assert decisions, "no two-job allocation decision was recorded"
+    for event in decisions:
+        assert sum(event.attrs["shares"]) == POOL
+        assert all(share >= 0 for share in event.attrs["shares"])
+
+
+def test_cancel_queued_job(tmp_path):
+    server = JobServer(
+        processors=POOL,
+        state_dir=str(tmp_path / "state"),
+        queue_limit=4,
+        max_running=1,
+    )
+    try:
+        ok, blocker = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+        assert ok
+        ok, queued = server.submit("fig1")
+        assert ok
+        response = server.cancel(queued.id)
+        assert response["ok"]
+        assert queued.state is JobState.CANCELLED
+        server.wait(blocker.id, timeout=90)
+        assert blocker.state is JobState.DONE
+    finally:
+        server.drain("test teardown")
+
+
+def test_drain_mid_flight_cancels_and_resumes_cleanly(tmp_path):
+    """The tentpole drain guarantee: SIGTERM with two jobs in flight
+    journals both, reports both resume_dirs, and resuming each run
+    reproduces the uninterrupted totals exactly."""
+    import time
+
+    baseline = api.run(
+        SLOW_TARGET,
+        api.RunConfig(backend="mp", processors=POOL),
+        **SLOW_OVERRIDES,
+    )
+    server = JobServer(
+        processors=POOL,
+        state_dir=str(tmp_path / "state"),
+        queue_limit=4,
+        max_running=2,
+    )
+    ok1, job1 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+    ok2, job2 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+    assert ok1 and ok2
+    # Let both sessions genuinely start executing chunks.
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if all(
+            job.state is JobState.RUNNING
+            and job.session is not None
+            and any(s.completed for s in job.session.ops)
+            for job in (job1, job2)
+        ):
+            break
+        time.sleep(0.02)
+    status = server.drain("signal:SIGTERM")
+    assert status["draining"]
+    for job in (job1, job2):
+        assert job.state is JobState.CANCELLED
+        assert job.resume_dir, f"{job.id} reported no resume_dir"
+        assert os.path.isdir(job.resume_dir)
+        assert os.path.exists(os.path.join(job.resume_dir, "journal.jsonl"))
+        partial = job.result["value_total"]
+        assert partial < baseline.value_total  # genuinely interrupted
+        resumed = api.resume(job.resume_dir)
+        assert not resumed.cancelled
+        assert resumed.value_total == baseline.value_total
+        assert resumed.tasks == baseline.tasks
+        assert resumed.tasks_resumed > 0  # the journal carried progress
+    # The shutdown dump landed in the state dir.
+    assert os.path.exists(str(tmp_path / "state" / "jobs.json"))
+    assert os.path.exists(str(tmp_path / "state" / "events.jsonl"))
+
+
+def test_submit_rejected_while_draining(server):
+    server.drain("test drain")
+    ok, reason = server.submit("fig1")
+    assert not ok
+    assert reason == "draining"
