@@ -1,0 +1,91 @@
+"""Where batching pays: per-task vs batched dispatch across task sizes.
+
+The batched protocol has two wins over per-task dispatch — it amortizes
+per-task dispatch/bookkeeping overhead over a whole TAPER chunk, and the
+app kernels' ``batch_fn`` replaces a per-element Python loop with one
+numpy pass.  They pull in opposite directions along the task-size axis:
+vectorization's win is *per element*, so it grows with task size, while
+at tiny tasks both paths are dominated by fixed per-task costs the batch
+cannot remove (record synthesis, result accounting) and the ratio
+compresses toward parity — the crossover region.  This benchmark sweeps
+the reduction workload's task size at roughly constant total work and
+reports the batched-over-per-task wall-clock ratio per size; the
+walkthrough in EXPERIMENTS.md reads this table.
+
+``BENCH_batch_crossover.json`` is the artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.apps.kernels import reduction_ops
+from repro.runtime.backends import MultiprocessingBackend
+from repro.runtime.config import RunConfig
+
+from conftest import print_table
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+#: Per-task element counts swept at ~constant total work.
+TASK_SIZES = [50, 200, 800, 3200, 12800]
+TOTAL_ELEMENTS = 128 * 3200
+
+
+def _build(length):
+    leaves = max(8, TOTAL_ELEMENTS // length)
+    return reduction_ops(leaves=leaves, length=length)
+
+
+def _timed(backend, ops, cfg):
+    start = time.perf_counter()
+    result = backend.run_ops(ops, cfg)
+    return time.perf_counter() - start, result
+
+
+def test_batch_crossover_sweep():
+    backend = MultiprocessingBackend()
+    base = RunConfig(processors=WORKERS, backend="mp", mp_timeout=300.0)
+    rows = []
+    ratios = []
+    for length in TASK_SIZES:
+        off_s, off = _timed(backend, _build(length), base.with_(batching="off"))
+        on_s, on = _timed(backend, _build(length), base.with_(batching="on"))
+        assert on.value_total == off.value_total  # same computation
+        assert on.batched_chunks > 0 and off.batched_chunks == 0
+        ratio = off_s / on_s if on_s > 0 else 0.0
+        ratios.append((length, ratio))
+        rows.append(
+            [
+                length,
+                on.tasks_total,
+                on.batched_chunks,
+                f"{off_s:.3f}",
+                f"{on_s:.3f}",
+                f"{ratio:.2f}",
+            ]
+        )
+    print_table(
+        f"Batched vs per-task dispatch across task sizes "
+        f"({WORKERS} workers, ~{TOTAL_ELEMENTS} total elements)",
+        [
+            "elements_per_task",
+            "tasks",
+            "batched_chunks",
+            "per_task_s",
+            "batched_s",
+            "batched_advantage",
+        ],
+        rows,
+        name="batch_crossover",
+    )
+    # Small tasks are where the protocol must pay: at the smallest size
+    # the batched run amortizes per-task overhead AND vectorizes, so
+    # anything below parity means the batch plumbing itself regressed.
+    smallest = ratios[0]
+    assert smallest[1] >= 1.0, (
+        f"batching lost to per-task dispatch at {smallest[0]} "
+        f"elements/task: {smallest[1]:.2f}x "
+        f"(sweep: {[(l, f'{r:.2f}') for l, r in ratios]})"
+    )

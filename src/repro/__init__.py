@@ -14,6 +14,15 @@ The package is organised exactly as the paper is:
   distributed-memory machine,
 * :mod:`repro.apps` — synthetic versions of the paper's applications,
 * :mod:`repro.compiler` — the end-to-end driver.
+
+Convenience re-exports: :class:`repro.Kernel` (the unified kernel
+declaration — per-task fn, optional vectorized batch fn, cost
+declaration) and :class:`repro.RunConfig`.
 """
+
+from .runtime.config import RunConfig
+from .runtime.kernel import Kernel, as_kernel
+
+__all__ = ["Kernel", "RunConfig", "as_kernel"]
 
 __version__ = "1.0.0"

@@ -266,6 +266,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             speculation_factor=args.speculate,
             wall_clock_limit=args.wall_clock_limit,
             data_plane=args.data_plane,
+            batching=args.batching,
         )
         if args.resume:
             # Re-apply the manifest's scheduling fields (processors,
@@ -666,6 +667,17 @@ def build_parser() -> argparse.ArgumentParser:
             "numpy-compatible payloads in shared memory (zero-copy "
             "worker views, in-place results), shm forces it for every "
             "eligible op, pickle disables it (queue/args serialization)"
+        ),
+    )
+    run_parser.add_argument(
+        "--batching",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "batched chunk execution for kernels declaring a batch_fn: "
+            "auto batches chunks large enough to amortize the view "
+            "plumbing, on batches every chunk, off forces per-task "
+            "dispatch (retries are always per-task)"
         ),
     )
     run_parser.add_argument(

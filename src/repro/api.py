@@ -20,7 +20,8 @@ Three verbs cover the whole toolchain::
 Examples, ``python -m repro``, and the benchmark harness all route
 through these instead of importing ``run_concurrent_ops`` /
 ``run_pipelined`` / ``GraphExecutor`` / ``run_distributed`` directly
-(those names are deprecated in ``repro.runtime``'s namespace).
+(those live only in their home submodules now — ``repro.runtime``
+no longer re-exports them).
 
 Accepted ``run`` targets:
 
@@ -66,6 +67,7 @@ from .runtime.checkpoint import (
 )
 from .runtime.config import RunConfig
 from .runtime.faults import FaultPlan, FaultReport
+from .runtime.kernel import Kernel, as_kernel
 from .runtime.task import ParallelOp, RealOp
 
 __all__ = [
@@ -73,6 +75,8 @@ __all__ = [
     "CheckpointMismatchError",
     "FaultPlan",
     "FaultReport",
+    "Kernel",
+    "as_kernel",
     "RunConfig",
     "RunResult",
     "TraceReport",
@@ -152,6 +156,11 @@ class RunResult:
     #: Payload bytes served from a warm pool's segment cache instead of
     #: being laid out again (0 on cold runs).
     shm_reused_bytes: int = 0
+    #: Chunks executed as one vectorized ``Kernel.batch_fn`` call, and
+    #: the fresh task results they delivered (mp backend with
+    #: ``RunConfig.batching`` enabled; 0 elsewhere).
+    batched_chunks: int = 0
+    batched_tasks: int = 0
 
     def summary(self) -> str:
         unit = "s" if self.time_unit == "seconds" else " work units"
@@ -181,6 +190,13 @@ class RunResult:
                     f"\nwarm pool: {self.shm_reused_bytes} payload bytes "
                     "reused from the segment cache"
                 )
+        if self.batched_chunks:
+            per_call = self.batched_tasks / self.batched_chunks
+            text += (
+                f"\nbatched: {self.batched_chunks} chunks in one "
+                f"vectorized call each ({self.batched_tasks} tasks, "
+                f"~{per_call:.1f} tasks/call)"
+            )
         if self.cancelled:
             text += f"\ncancelled: {self.cancel_reason}"
             if self.resume_dir:
@@ -259,6 +275,8 @@ def _from_backend(
         bytes_shipped=raw.bytes_shipped,
         shm_bytes=raw.shm_bytes,
         shm_reused_bytes=raw.shm_reused_bytes,
+        batched_chunks=raw.batched_chunks,
+        batched_tasks=raw.batched_tasks,
     )
 
 

@@ -4,15 +4,20 @@ The simulator abstracts a task to a cost; the mp backend needs the task
 itself.  This module provides deterministic, pure-Python kernels with the
 *shape* of the paper's computations — Figure 1's masked column
 reconstruction and post-processing pass, a parallel reduction, and the
-Psirrfan tomography sweep — as module-level callables (picklable under
-every ``multiprocessing`` start method) plus builders that attach
-declared per-task cost estimates so the same operation runs on either
-backend.
+Psirrfan tomography sweep — each declared once as a
+:class:`repro.Kernel`: the module-level per-task callable (picklable
+under every ``multiprocessing`` start method), a vectorized ``batch_fn``
+that executes a whole TAPER chunk in one numpy pass (gated on numpy),
+and a ``cost_fn`` from which the builders' declared per-task costs are
+derived — no more re-threading ``costs=[...]`` through every call site.
 
 Every kernel returns an *integral* float, so value totals are exact
-under any summation order: a sim run and an mp run of the same workload
-report identical task and value totals, which the equivalence suite (and
-the ``python -m repro run`` acceptance check) relies on.
+under any summation order: a sim run, an mp run, and a *batched* mp run
+of the same workload report identical task and value totals, which the
+equivalence suites rely on.  The batch variants reproduce the per-task
+integer arithmetic exactly (same moduli, same order) — they are the
+same function evaluated ``chunk`` tasks at a time, not an
+approximation.
 """
 
 from __future__ import annotations
@@ -20,9 +25,10 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from ..runtime.kernel import Kernel
 from ..runtime.task import RealOp
 
-try:  # numpy is optional: array workloads are gated on it
+try:  # numpy is optional: array workloads and batch fns are gated on it
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised on numpy-less hosts
     _np = None
@@ -36,6 +42,11 @@ ELEMENTS_PER_UNIT = 50
 def units_of(elements: int) -> float:
     """Declared cost (work units) of a kernel with ``elements`` inner steps."""
     return elements / ELEMENTS_PER_UNIT
+
+
+def pair_elements_cost(payload: Tuple[int, int]) -> float:
+    """Declared cost of a ``(id, elements)`` payload: its inner-loop depth."""
+    return units_of(payload[1])
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +116,124 @@ def psirrfan_reconstruct_kernel(payload: Tuple[int, int]) -> float:
 
 
 # ---------------------------------------------------------------------------
-# Workload builders (RealOps with declared costs)
+# Batch variants: one vectorized call per TAPER chunk
+# ---------------------------------------------------------------------------
+#
+# Each ``*_batch(payloads, out)`` receives a whole chunk — under the shm
+# data plane a zero-copy 2-D int64 view of the payload region, under
+# pickle a list of payload tuples — and writes ``out[k] =
+# kernel(payloads[k])`` for every row.  ``elements`` varies per task, so
+# the inner loop is vectorized per row over one shared ``arange``
+# scratch; the per-chunk win is trading ``elements`` interpreted
+# iterations per task for one numpy pass.  All arithmetic stays in
+# int64: the largest intermediate (reduction's ``index * index``) is
+# ~6e11 for the default workloads, far below the 9.2e18 overflow line.
+
+
+def column_sum_batch(payloads, out) -> None:
+    """Vectorized :func:`column_sum_kernel` over a whole chunk."""
+    block = _np.asarray(payloads)
+    if len(block) == 0:
+        return
+    k31 = _np.arange(int(block[:, 1].max()), dtype=_np.int64) * 31
+    for row in range(len(block)):
+        col, elements = int(block[row, 0]), int(block[row, 1])
+        acc = int(((k31[:elements] + col * 7) % 97).sum())
+        out[row] = float(acc % 1_000_003)
+
+
+def post_process_batch(payloads, out) -> None:
+    """Vectorized :func:`post_process_kernel` over a whole chunk."""
+    block = _np.asarray(payloads)
+    if len(block) == 0:
+        return
+    j17 = _np.arange(int(block[:, 1].max()), dtype=_np.int64) * 17
+    for row in range(len(block)):
+        i, elements = int(block[row, 0]), int(block[row, 1])
+        q = (j17[:elements] + i * 13) % 89
+        acc = int(((q * q + 3 * q + 7) % 101).sum())
+        out[row] = float(acc % 1_000_003)
+
+
+def range_sum_batch(payloads, out) -> None:
+    """Vectorized :func:`range_sum_kernel` over a whole chunk."""
+    block = _np.asarray(payloads)
+    if len(block) == 0:
+        return
+    offsets = _np.arange(int(block[:, 1].max()), dtype=_np.int64)
+    for row in range(len(block)):
+        start, length = int(block[row, 0]), int(block[row, 1])
+        index = offsets[:length] + start
+        acc = int(((index * index + 1) % 9973).sum())
+        out[row] = float(acc % 10_000_019)
+
+
+def psirrfan_reconstruct_batch(payloads, out) -> None:
+    """Vectorized :func:`psirrfan_reconstruct_kernel` over a whole chunk."""
+    block = _np.asarray(payloads)
+    if len(block) == 0:
+        return
+    rays = _np.arange(int(block[:, 1].max()), dtype=_np.int64)
+    for row in range(len(block)):
+        col, elements = int(block[row, 0]), int(block[row, 1])
+        angle = col * 29
+        ray = rays[:elements]
+        acc = int(((ray * angle + ray * ray) % 193).sum()) + elements
+        out[row] = float(acc % 1_000_033)
+
+
+def array_sum_batch(payloads, out) -> None:
+    """Vectorized :func:`array_sum_kernel`: one ``sum(axis=1)`` per chunk."""
+    out[:] = _np.asarray(payloads).sum(axis=1)
+
+
+def array_row_cost(payload) -> float:
+    """Declared cost of one array row (vectorized: ~memory-bound)."""
+    return units_of(len(payload)) / 256
+
+
+# ---------------------------------------------------------------------------
+# Unified kernel declarations
+# ---------------------------------------------------------------------------
+#
+# One :class:`repro.Kernel` per computation: the per-task fn, its batch
+# variant (absent on numpy-less hosts — the runtime falls back to
+# per-task dispatch), and the cost declaration the builders derive their
+# ``RealOp.costs`` from.
+
+COLUMN_SUM = Kernel(
+    fn=column_sum_kernel,
+    batch_fn=column_sum_batch if _np is not None else None,
+    cost_fn=pair_elements_cost,
+)
+
+POST_PROCESS = Kernel(
+    fn=post_process_kernel,
+    batch_fn=post_process_batch if _np is not None else None,
+    cost_fn=pair_elements_cost,
+)
+
+RANGE_SUM = Kernel(
+    fn=range_sum_kernel,
+    batch_fn=range_sum_batch if _np is not None else None,
+    cost_fn=pair_elements_cost,
+)
+
+PSIRRFAN_RECONSTRUCT = Kernel(
+    fn=psirrfan_reconstruct_kernel,
+    batch_fn=psirrfan_reconstruct_batch if _np is not None else None,
+    cost_fn=pair_elements_cost,
+)
+
+ARRAY_SUM = Kernel(
+    fn=array_sum_kernel,
+    batch_fn=array_sum_batch if _np is not None else None,
+    cost_fn=array_row_cost,
+)
+
+
+# ---------------------------------------------------------------------------
+# Workload builders (RealOps; costs derived from each Kernel's cost_fn)
 # ---------------------------------------------------------------------------
 
 
@@ -129,17 +257,15 @@ def fig1_ops(
     return [
         RealOp(
             name="A",
-            kernel=column_sum_kernel,
+            kernel=COLUMN_SUM,
             payloads=a_payloads,
             bytes_per_task=8.0 * 64,
-            costs=[units_of(p[1]) for p in a_payloads],
         ),
         RealOp(
             name="B",
-            kernel=post_process_kernel,
+            kernel=POST_PROCESS,
             payloads=b_payloads,
             bytes_per_task=8.0 * 32,
-            costs=[units_of(p[1]) for p in b_payloads],
         ),
     ]
 
@@ -153,10 +279,9 @@ def reduction_ops(
     return [
         RealOp(
             name="reduce",
-            kernel=range_sum_kernel,
+            kernel=RANGE_SUM,
             payloads=payloads,
             bytes_per_task=8.0 * 16,
-            costs=[units_of(length)] * leaves,
         )
     ]
 
@@ -184,24 +309,21 @@ def psirrfan_ops(
     return [
         RealOp(
             name="A",
-            kernel=psirrfan_reconstruct_kernel,
+            kernel=PSIRRFAN_RECONSTRUCT,
             payloads=a_payloads,
             bytes_per_task=8.0 * 64,
-            costs=[units_of(p[1]) for p in a_payloads],
         ),
         RealOp(
             name="BI",
-            kernel=post_process_kernel,
+            kernel=POST_PROCESS,
             payloads=bi_payloads,
             bytes_per_task=8.0 * 32,
-            costs=[units_of(post_elements)] * len(bi_payloads),
         ),
         RealOp(
             name="BD",
-            kernel=post_process_kernel,
+            kernel=POST_PROCESS,
             payloads=bd_payloads,
             bytes_per_task=8.0 * 32,
-            costs=[units_of(post_elements)] * len(bd_payloads),
             deps=("A",),
         ),
     ]
@@ -229,14 +351,12 @@ def array_ops(
         rng.integers(0, 100, size=row_elements).astype(_np.float64)
         for _ in range(tasks)
     ]
-    cost = units_of(row_elements) / 256  # vectorized: ~memory-bound
     return [
         RealOp(
             name="array",
-            kernel=array_sum_kernel,
+            kernel=ARRAY_SUM,
             payloads=payloads,
             bytes_per_task=8.0 * row_elements,
-            costs=[cost] * tasks,
         )
     ]
 
@@ -277,14 +397,13 @@ def graph_real_ops(
                 (index, elements * rng.randrange(1, 5))
                 for index in range(n_tasks)
             ]
-            kernel = column_sum_kernel
+            kernel = COLUMN_SUM
         else:
             payloads = [(index, elements) for index in range(n_tasks)]
-            kernel = post_process_kernel
+            kernel = POST_PROCESS
         op_map[node.id] = RealOp(
             name=node.name,
             kernel=kernel,
             payloads=payloads,
-            costs=[units_of(p[1]) for p in payloads],
         )
     return op_map

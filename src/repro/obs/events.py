@@ -73,6 +73,11 @@ CHUNK_SPECULATE = "chunk.speculate"
 #: delivered it; the duplicate was dropped, not double-counted
 #: (attrs: tasks = duplicate count, speculative).
 CHUNK_DUPLICATE_DROPPED = "chunk.duplicate_dropped"
+#: A whole TAPER chunk executed as one vectorized ``Kernel.batch_fn``
+#: call instead of per-task Python calls (attrs: tasks_per_call = tasks
+#: delivered by the one call, zero_copy = results written in place in
+#: the shm result buffer).  ``dur`` is the chunk's measured wall time.
+CHUNK_BATCHED = "chunk.batched"
 #: One chunk record appended to the durable journal
 #: (attrs: tasks, synced = whether this append fsynced).
 CHECKPOINT_WRITE = "checkpoint.write"
@@ -126,6 +131,7 @@ ALL_KINDS = (
     FAULT_INJECTED,
     CHUNK_SPECULATE,
     CHUNK_DUPLICATE_DROPPED,
+    CHUNK_BATCHED,
     CHECKPOINT_WRITE,
     RUN_RESUMED,
     RUN_CANCELLED,

@@ -27,6 +27,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from .events import (
     CHECKPOINT_WRITE,
     CHUNK_ACQUIRE,
+    CHUNK_BATCHED,
     CHUNK_DUPLICATE_DROPPED,
     CHUNK_REASSIGN,
     CHUNK_RETRIED,
@@ -137,6 +138,9 @@ class MetricsReport:
     shm_ops_mapped: int = 0
     shm_attaches: int = 0
     shm_bytes: float = 0.0
+    #: Batched-kernel accounting (mp backend with ``batching`` enabled).
+    batched_chunks: int = 0
+    batched_tasks: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -222,6 +226,8 @@ class MetricsReport:
             "shm_ops_mapped": self.shm_ops_mapped,
             "shm_attaches": self.shm_attaches,
             "shm_bytes": self.shm_bytes,
+            "batched_chunks": self.batched_chunks,
+            "batched_tasks": self.batched_tasks,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -266,6 +272,8 @@ def aggregate(
     shm_ops_mapped = 0
     shm_attaches = 0
     shm_bytes = 0.0
+    batched_chunks = 0
+    batched_tasks = 0
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
     # overshoot the real finish); summary-only streams (pipeline stages,
@@ -343,6 +351,9 @@ def aggregate(
             shm_bytes += event.attrs.get("result_bytes", 0.0)
         elif event.kind == SHM_ATTACH:
             shm_attaches += 1
+        elif event.kind == CHUNK_BATCHED:
+            batched_chunks += 1
+            batched_tasks += event.attrs.get("tasks_per_call", 0)
 
     makespan = lane_makespan if lane_makespan > 0 else any_makespan
     return MetricsReport(
@@ -365,4 +376,6 @@ def aggregate(
         shm_ops_mapped=shm_ops_mapped,
         shm_attaches=shm_attaches,
         shm_bytes=shm_bytes,
+        batched_chunks=batched_chunks,
+        batched_tasks=batched_tasks,
     )

@@ -1,6 +1,8 @@
 """The adaptive runtime system (Section 4 of the paper).
 
 * :class:`RunConfig` — the unified, frozen run configuration,
+* :class:`Kernel` — the unified kernel declaration (per-task fn +
+  optional vectorized batch fn + cost declaration),
 * :mod:`.backends` — the Backend protocol: :class:`SimBackend`
   (discrete-event simulation) and :class:`MultiprocessingBackend`
   (real parallel execution on worker processes),
@@ -14,18 +16,14 @@
   allocation algorithm,
 * :func:`choose_granularity` — communication granularity for pipelines.
 
-.. deprecated::
-   Importing :func:`run_distributed`, :func:`run_concurrent_ops`,
-   :func:`run_pipelined` or :class:`GraphExecutor` from this package is
-   deprecated: their overlapping positional/keyword knobs are replaced by
-   :class:`RunConfig` + :func:`repro.api.run`.  The names keep working
-   for one release (with a :class:`DeprecationWarning`); the underlying
-   functions remain available undeprecated in their home submodules for
-   backend-internal use.
+The pre-``RunConfig`` entry points (``run_distributed``,
+``run_concurrent_ops``, ``run_pipelined``, ``GraphExecutor``) are no
+longer re-exported here — their package-level deprecation shims served
+their one release and are gone.  The functions themselves remain
+available, undeprecated, in their home submodules
+(:mod:`repro.runtime.distributed`, :mod:`repro.runtime.executor`) for
+backend-internal use.
 """
-
-import importlib
-import warnings
 
 from .allocation import (
     AllocationResult,
@@ -54,6 +52,7 @@ from .executor import (
     profile_of,
 )
 from .granularity import GranularityModel, choose_granularity
+from .kernel import BATCH_AUTO_MIN_TASKS, Kernel, as_kernel
 from .machine import MachineConfig, ProcessorState, RunResult, fresh_processors
 from .sampling import profile_from_costs, sample_mean_std, stats_from_costs
 from .schedulers import (
@@ -66,41 +65,19 @@ from .schedulers import (
     run_central,
 )
 from .taper import TaperPolicy
-from .task import ParallelOp, RealOp, real_op_from_parallel, spin_task
-
-#: Old entry points -> (home module, replacement hint).  Resolved lazily
-#: through ``__getattr__`` (PEP 562) so importing them from this package
-#: warns once while backend-internal imports from the submodules stay
-#: silent.
-_DEPRECATED = {
-    "run_distributed": ("repro.runtime.distributed", "backend.run_op"),
-    "run_concurrent_ops": ("repro.runtime.executor", "backend.run_ops"),
-    "run_pipelined": ("repro.runtime.executor", "backend.run_pipeline"),
-    "GraphExecutor": ("repro.runtime.executor", "backend.run_graph"),
-}
-
-
-def __getattr__(name):
-    if name in _DEPRECATED:
-        home, replacement = _DEPRECATED[name]
-        warnings.warn(
-            f"importing {name} from repro.runtime is deprecated; use "
-            f"repro.api.run with a RunConfig (or {replacement} on a "
-            f"repro.runtime.backends backend). {name} itself stays "
-            f"available in {home}.",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(importlib.import_module(home), name)
-    raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(list(globals()) + list(_DEPRECATED))
-
+from .task import (
+    ParallelOp,
+    RealOp,
+    SPIN_KERNEL,
+    real_op_from_parallel,
+    spin_task,
+)
 
 __all__ = [
     "RunConfig",
+    "Kernel",
+    "as_kernel",
+    "BATCH_AUTO_MIN_TASKS",
     "FaultPlan",
     "FaultSpec",
     "FaultReport",
@@ -114,6 +91,7 @@ __all__ = [
     "RealOp",
     "real_op_from_parallel",
     "spin_task",
+    "SPIN_KERNEL",
     "OnlineStats",
     "CostFunction",
     "TaperPolicy",
@@ -124,7 +102,6 @@ __all__ = [
     "ChunkPolicy",
     "make_policy",
     "run_central",
-    "run_distributed",
     "DistributedRunResult",
     "block_distribution",
     "FinishingTimeEstimator",
@@ -142,12 +119,9 @@ __all__ = [
     "FlatCommModel",
     "GranularityModel",
     "choose_granularity",
-    "run_concurrent_ops",
-    "run_pipelined",
     "ConcurrentRunResult",
     "PipelineIteration",
     "PipelineRunResult",
-    "GraphExecutor",
     "GraphRunResult",
     "profile_of",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Union
 
 from ..config import RunConfig
 from ..faults import FaultReport
+from ..kernel import Kernel
 from ..task import ParallelOp, RealOp
 
 #: What backends accept: simulated ops, real-kernel ops, or a mix.
@@ -86,6 +87,12 @@ class BackendRunResult:
     #: Payload bytes served from a resident pool's segment cache instead
     #: of being laid out again (warm runs with identical payloads).
     shm_reused_bytes: int = 0
+    #: Chunks executed as one vectorized ``Kernel.batch_fn`` call (mp
+    #: backend with ``RunConfig.batching`` enabled); 0 on the simulator,
+    #: on ``batching="off"`` runs, and for kernels without a batch fn.
+    batched_chunks: int = 0
+    #: Fresh (deduplicated) task results those batched calls delivered.
+    batched_tasks: int = 0
 
     @property
     def speedup(self) -> float:
@@ -245,8 +252,13 @@ def name_deps(ops: Sequence[AnyOp]) -> List[set]:
     return deps
 
 
-def _noop_kernel(payload) -> float:  # pragma: no cover - placeholder ops
+def _noop_fn(payload) -> float:  # pragma: no cover - placeholder ops
     return 0.0
+
+
+#: Wrapped once at module level so zero-task placeholder ops never
+#: trip the bare-callable deprecation adapter.
+_noop_kernel = Kernel(fn=_noop_fn, name="noop")
 
 
 def graph_ops_and_deps(

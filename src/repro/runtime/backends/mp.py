@@ -127,6 +127,7 @@ from ...obs.events import (
     ALLOC_DECIDE,
     CHECKPOINT_WRITE,
     CHUNK_ACQUIRE,
+    CHUNK_BATCHED,
     CHUNK_COMPLETE,
     CHUNK_DUPLICATE_DROPPED,
     CHUNK_REASSIGN,
@@ -163,6 +164,7 @@ from ..faults import (
     FaultReport,
     InjectedFault,
 )
+from ..kernel import BATCH_AUTO_MIN_TASKS, Kernel
 from ..machine import MachineConfig
 from ..sampling import sample_mean_std
 from ..schedulers import make_policy
@@ -249,9 +251,25 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     shared result buffer and the record carries ``None``; the
     coordinator reads the slot when the report arrives.
 
-    A kernel exception does *not* kill the worker: the failed chunk is
-    reported (``("error", wid, (key, indices, traceback))``) and the
-    worker keeps serving — retry policy is the coordinator's call.  Fault
+    Dispatch messages are ``("run", key, indices, fault, batch)``.  With
+    ``batch`` set and the op's :class:`~repro.runtime.kernel.Kernel`
+    declaring a ``batch_fn``, the whole chunk executes as **one**
+    vectorized call — over zero-copy views of the shm payload/result
+    slices when the op is shm-planned (results land in place), over a
+    payload list and a local out buffer on the pickle plane.  One chunk
+    wall time is measured and normalized per task into the same record
+    shape, so the coordinator's dedup, journal, and TAPER cost sampling
+    are batched/per-task agnostic; the done reply carries a
+    ``(tasks, duration, zero_copy)`` batch descriptor for the obs lane.
+    A raising batch reports the normal chunk error — the coordinator's
+    retry path re-dispatches per task, keeping quarantine per-task.
+
+    A kernel exception does *not* kill the worker, and on the per-task
+    path it does not poison its chunk-mates either: the loop catches per
+    task and reports ``("error", wid, (key, failed_indices, traceback,
+    completed_records))`` — only the raising tasks enter the
+    coordinator's retry accounting, the rest of the chunk's work rides
+    along settled.  Retry policy is the coordinator's call.  Fault
     directives attached to a dispatch are obeyed before/around the chunk:
     ``("kill",)`` exits the process abruptly (simulating a crash),
     ``("raise",)`` raises inside the kernel loop, ``("slow", s)`` stalls
@@ -273,19 +291,26 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     attachments = {}
 
     def _resolve_op(key):
-        """The op's (kernel, get_payload, result_view), attaching shm
-        segments on first use."""
+        """The op's (fn, batch_fn, get_payload, attachment), attaching
+        shm segments on first use.  The per-task callable is unwrapped
+        from the :class:`Kernel` once here so the hot loop pays no
+        ``__call__`` indirection; bare callables (deprecated) still
+        resolve with ``batch_fn=None``."""
         entry = attachments.get(key)
         if entry is None:
             plane, kernel, data = ops[key]
+            if isinstance(kernel, Kernel):
+                fn, batch_fn = kernel.fn, kernel.batch_fn
+            else:
+                fn, batch_fn = kernel, None
             if plane == "shm":
                 attachment = shm.attach_op(data)
-                entry = (kernel, attachment.get_payload, attachment)
+                entry = (fn, batch_fn, attachment.get_payload, attachment)
                 request_q.put(
                     ("attached", wid, (key, attachment.nbytes))
                 )
             else:
-                entry = (kernel, data.__getitem__, None)
+                entry = (fn, batch_fn, data.__getitem__, None)
             attachments[key] = entry
         return entry
 
@@ -293,7 +318,7 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
     while True:
         message = reply_q.get()
         if message[0] == "stop":
-            for _kernel, _get, attachment in attachments.values():
+            for _fn, _batch_fn, _get, attachment in attachments.values():
                 if attachment is not None:
                     attachment.close()
             return
@@ -303,10 +328,10 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         if message[0] == "unload":
             ops.pop(message[1], None)
             entry = attachments.pop(message[1], None)
-            if entry is not None and entry[2] is not None:
-                entry[2].close()
+            if entry is not None and entry[3] is not None:
+                entry[3].close()
             continue
-        _, op_index, indices, fault = message
+        _, op_index, indices, fault, batch = message
         if fault is not None and fault[0] == "kill":
             # Detach from the shared queue before dying: Queue writes go
             # through a feeder thread holding a cross-process lock, and
@@ -319,17 +344,61 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         if fault is not None and fault[0] == "slow":
             time.sleep(fault[1])
         records = []
+        failed = []
+        failure_tb = ""
+        batch_meta = None
         try:
-            kernel, get_payload, attachment = _resolve_op(op_index)
+            fn, batch_fn, get_payload, attachment = _resolve_op(op_index)
             if fault is not None and fault[0] == "raise":
                 raise InjectedFault(
                     f"injected kernel fault on worker {wid}"
                 )
-            if attachment is not None:
+            if batch and batch_fn is not None and indices:
+                # Batched path: one vectorized call over the chunk.  One
+                # wall time is measured for the call and normalized per
+                # task, so the TAPER cost sample (and the journal) stay
+                # in per-task units — Eq. 1 rationing and granularity
+                # ablations see the same shape either way.
+                chunk_start = time.perf_counter() - t0
+                if attachment is not None:
+                    payloads, out, writeback, zero_copy = (
+                        attachment.batch_views(indices)
+                    )
+                    batch_fn(payloads, out)
+                    if writeback is not None:
+                        writeback()
+                    values = None
+                else:
+                    payloads = [get_payload(index) for index in indices]
+                    if shm._np is not None:
+                        out = shm._np.zeros(len(indices))
+                    else:
+                        out = [0.0] * len(indices)
+                    batch_fn(payloads, out)
+                    values = [float(v) for v in out]
+                    zero_copy = False
+                duration = (time.perf_counter() - t0) - chunk_start
+                per_task = duration / len(indices)
+                records = [
+                    (
+                        index,
+                        chunk_start + k * per_task,
+                        per_task,
+                        None if values is None else values[k],
+                    )
+                    for k, index in enumerate(indices)
+                ]
+                batch_meta = (len(indices), duration, zero_copy)
+            elif attachment is not None:
                 result = attachment.result
                 for index in indices:
                     start = time.perf_counter() - t0
-                    value = kernel(get_payload(index))
+                    try:
+                        value = fn(get_payload(index))
+                    except Exception:
+                        failed.append(index)
+                        failure_tb = traceback.format_exc()
+                        continue
                     duration = (time.perf_counter() - t0) - start
                     # In-place result delivery: only timings cross the
                     # queue.  Duplicate copies of a task write the same
@@ -339,7 +408,12 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             else:
                 for index in indices:
                     start = time.perf_counter() - t0
-                    value = kernel(get_payload(index))
+                    try:
+                        value = fn(get_payload(index))
+                    except Exception:
+                        failed.append(index)
+                        failure_tb = traceback.format_exc()
+                        continue
                     duration = (time.perf_counter() - t0) - start
                     records.append((index, start, duration, float(value)))
         except BaseException:
@@ -349,7 +423,15 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             continue
         if fault is not None and fault[0] == "delay":
             time.sleep(fault[1])
-        request_q.put(("done", wid, (op_index, records)))
+        if failed:
+            # Per-task isolation: only the raising tasks are reported
+            # failed; the chunk's completed records ride along so their
+            # work is never lost to a chunk-mate's exception.
+            request_q.put(
+                ("error", wid, (op_index, failed, failure_tb, records))
+            )
+        else:
+            request_q.put(("done", wid, (op_index, records, batch_meta)))
 
 
 # ---------------------------------------------------------------------------
@@ -728,6 +810,10 @@ class _MpSession:
         self.plane_of: List[str] = ["pickle"] * len(self.ops)
         #: Estimated payload bytes serialized at worker startup.
         self.bytes_shipped = 0
+        #: Chunks / fresh tasks delivered by one vectorized
+        #: ``Kernel.batch_fn`` call instead of per-task Python calls.
+        self.batched_chunks = 0
+        self.batched_tasks = 0
         # -- resident-pool state --------------------------------------------
         self.pool = pool
         self.inbox = inbox
@@ -898,17 +984,23 @@ class _MpSession:
             return False  # stale report from a prior pool session
         flight = self.in_flight.pop(wid, None)
         if kind == "error":
+            if len(payload) > 3 and payload[3]:
+                # The chunk's successfully-computed records ride along
+                # with the failure: settle them first so only the
+                # genuinely raising tasks enter retry accounting.
+                self._handle_report(wid, (op_index, payload[3]), flight)
             self._handle_error(
                 wid, (op_index, payload[1], payload[2]), flight
             )
         elif kind == "done":
             records = payload[1]
+            batch_meta = payload[2] if len(payload) > 2 else None
             if self._skew:
                 records = [
                     (index, start - self._skew, duration, value)
                     for index, start, duration, value in records
                 ]
-            self._handle_report(wid, (op_index, records), flight)
+            self._handle_report(wid, (op_index, records), flight, batch_meta)
         return True
 
     def _load_op(self, wid: int, op_index: int) -> None:
@@ -1035,6 +1127,32 @@ class _MpSession:
         )
         return max(width, 1)
 
+    def _batch_chunk(self, state: _OpState, indices: Sequence[int]) -> bool:
+        """Should this chunk go out as one batched call?
+
+        ``batching="off"`` and batch-less kernels never batch; a chunk
+        touching any *retried* task always re-runs per task, so a
+        raising batch degrades to per-task retries and quarantine
+        isolates the one poisoned payload instead of its whole chunk;
+        ``"auto"`` additionally skips chunks too small to amortize the
+        view plumbing (``"on"`` batches them anyway).
+        """
+        if self.cfg.batching == "off":
+            return False
+        kernel = state.op.kernel
+        if not isinstance(kernel, Kernel) or not kernel.batchable:
+            return False
+        if state.retried and any(
+            index in state.retried for index in indices
+        ):
+            return False
+        if (
+            self.cfg.batching == "auto"
+            and len(indices) < BATCH_AUTO_MIN_TASKS
+        ):
+            return False
+        return True
+
     def _dispatch(self, wid: int) -> bool:
         if not self.alive[wid]:
             return False
@@ -1131,7 +1249,14 @@ class _MpSession:
         if self.pool is not None and (wid, state.index) not in self._loaded:
             self._load_op(wid, state.index)
         self._send(
-            wid, ("run", self.key_base + state.index, indices, fault)
+            wid,
+            (
+                "run",
+                self.key_base + state.index,
+                indices,
+                fault,
+                self._batch_chunk(state, indices),
+            ),
         )
         return True
 
@@ -1228,7 +1353,11 @@ class _MpSession:
         return entries
 
     def _handle_report(
-        self, wid: int, report, flight: Optional[_Flight] = None
+        self,
+        wid: int,
+        report,
+        flight: Optional[_Flight] = None,
+        batch_meta: Optional[Tuple[int, float, bool]] = None,
     ) -> None:
         op_index, records = report
         state = self.ops[op_index]
@@ -1297,6 +1426,25 @@ class _MpSession:
         first_start = fresh[0][1]
         last_end = fresh[-1][1] + fresh[-1][2]
         state.last_time = max(state.last_time, last_end)
+        if batch_meta is not None:
+            # Counted over *fresh* records only: a speculation loser's
+            # whole batched chunk deduplicates to nothing above and its
+            # batch never shows up here (first result wins for batched
+            # chunk results exactly as for per-task values).
+            tasks_per_call, chunk_duration, zero_copy = batch_meta
+            self.batched_chunks += 1
+            self.batched_tasks += len(fresh)
+            if tracer is not None:
+                tracer.emit(
+                    CHUNK_BATCHED,
+                    first_start,
+                    dur=chunk_duration,
+                    proc=wid,
+                    op=state.label,
+                    tasks_per_call=tasks_per_call,
+                    fresh=len(fresh),
+                    zero_copy=zero_copy,
+                )
         if tracer is not None:
             tracer.emit(
                 CHUNK_COMPLETE,
@@ -1703,7 +1851,13 @@ class _MpSession:
             self._load_op(helper, flight.op_index)
         self._send(
             helper,
-            ("run", self.key_base + flight.op_index, list(live), None),
+            (
+                "run",
+                self.key_base + flight.op_index,
+                list(live),
+                None,
+                self._batch_chunk(state, live),
+            ),
         )
         self.fault_report.chunks_speculated += 1
         if self.tracer is not None:
@@ -2099,6 +2253,8 @@ class _MpSession:
             shm_reused_bytes=(
                 self.plane.reused_bytes if self.plane is not None else 0
             ),
+            batched_chunks=self.batched_chunks,
+            batched_tasks=self.batched_tasks,
         )
 
 

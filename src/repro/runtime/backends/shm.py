@@ -153,6 +153,23 @@ def plan_payloads(payloads: Sequence[Any]):
     return None
 
 
+def contiguous_span(indices: Sequence[int]) -> Optional[Tuple[int, int]]:
+    """``(lo, hi)`` such that ``indices == range(lo, hi)``, else ``None``.
+
+    TAPER chunks are contiguous runs of the index space by construction,
+    so the batched path almost always gets a zero-copy slice; retries
+    and speculative re-dispatches can carry gaps (already-completed
+    tasks filtered out) and fall back to a gather.
+    """
+    if not indices:
+        return None
+    lo = indices[0]
+    for offset, index in enumerate(indices):
+        if index != lo + offset:
+            return None
+    return (lo, lo + len(indices))
+
+
 def estimate_payload_nbytes(payload: Any) -> int:
     """A serialization-cost estimate of one payload (or payload list).
 
@@ -448,6 +465,34 @@ class WorkerAttachment:
         else:  # "tuple"
             self.get_payload = lambda index: tuple(payloads[index].tolist())
         self._payloads = payloads
+
+    def batch_views(self, indices: Sequence[int]):
+        """Chunk-shaped views for one batched ``Kernel.batch_fn`` call.
+
+        Returns ``(payloads, out, writeback, zero_copy)``.  For a
+        contiguous ascending chunk — the common TAPER case —
+        ``payloads`` and ``out`` are zero-copy slices of the shm
+        segments, so the batch call reads payloads and lands results in
+        place without a single copy (``writeback`` is ``None``).  A
+        gapped chunk (retry/speculation re-dispatch with completed tasks
+        filtered out) is gathered into fresh arrays; call ``writeback()``
+        after the batch call to scatter ``out`` into the shared result
+        buffer.
+        """
+        span = contiguous_span(indices)
+        if span is not None:
+            lo, hi = span
+            return self._payloads[lo:hi], self.result[lo:hi], None, True
+        index_array = _np.asarray(indices, dtype=_np.intp)
+        payloads = self._payloads[index_array]
+        payloads.flags.writeable = False
+        out = _np.zeros(len(indices), dtype=_np.float64)
+        result = self.result
+
+        def writeback() -> None:
+            result[index_array] = out
+
+        return payloads, out, writeback, False
 
     def close(self) -> None:
         """Detach (never unlink — segments are the coordinator's)."""

@@ -64,6 +64,7 @@ FINGERPRINT_FIELDS = (
     "sample_tasks",
     "cost_source",
     "time_scale",
+    "batching",
     "seed",
 )
 

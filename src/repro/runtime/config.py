@@ -32,6 +32,7 @@ COST_SOURCES = ("measured", "declared")
 MP_START_METHODS = (None, "fork", "spawn", "forkserver")
 ON_FAULT = ("retry", "fail")
 DATA_PLANES = ("auto", "shm", "pickle")
+BATCHINGS = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,19 @@ class RunConfig:
     #:
     #: See :mod:`repro.runtime.backends.shm` for eligibility rules.
     data_plane: str = "auto"
+    #: Whether mp workers execute a whole TAPER chunk in one vectorized
+    #: ``Kernel.batch_fn`` call over its payload slice (zero-copy on the
+    #: shm plane) instead of one Python call per task:
+    #:
+    #: * ``"auto"`` (default) — batch chunks of batch-declaring kernels
+    #:   when the chunk has at least
+    #:   :data:`~repro.runtime.kernel.BATCH_AUTO_MIN_TASKS` tasks;
+    #: * ``"on"`` — batch every chunk of a batch-declaring kernel;
+    #: * ``"off"`` — always per-task.
+    #:
+    #: Kernels without a ``batch_fn``, retried chunks, and quarantine
+    #: always use the per-task path regardless of this setting.
+    batching: str = "auto"
     #: ``multiprocessing`` start method; ``None`` picks the explicit
     #: platform default from
     #: :func:`repro.runtime.backends.mp.default_start_method`: ``fork``
@@ -188,6 +202,11 @@ class RunConfig:
             raise ValueError(
                 f"unknown data_plane {self.data_plane!r}; "
                 f"pick from {DATA_PLANES}"
+            )
+        if self.batching not in BATCHINGS:
+            raise ValueError(
+                f"unknown batching {self.batching!r}; "
+                f"pick from {BATCHINGS}"
             )
         if self.mp_start_method not in MP_START_METHODS:
             raise ValueError(

@@ -17,7 +17,9 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from .kernel import Kernel, as_kernel
 
 
 @dataclass
@@ -88,16 +90,24 @@ class RealOp:
 
     Task ``k`` executes ``kernel(payloads[k])`` and yields a numeric
     value; the runtime treats the call as the indivisible scheduling unit.
-    For ``multiprocessing`` dispatch the kernel must be a *module-level*
-    callable and each payload picklable.
+    ``kernel`` is a :class:`~repro.runtime.kernel.Kernel` declaration —
+    per-task fn, optional vectorized ``batch_fn`` over a whole chunk,
+    optional ``cost_fn`` — and is normalised to one at construction: a
+    bare callable still works via the deprecation adapter
+    (:func:`~repro.runtime.kernel.as_kernel`).  For ``multiprocessing``
+    dispatch every declared callable must be *module-level* and each
+    payload picklable.
 
     ``costs`` optionally declares per-task cost estimates (work units) so
     the simulator — and the mp backend in ``cost_source="declared"`` mode
-    — can schedule the operation without timing it first.
+    — can schedule the operation without timing it first.  When omitted,
+    they are derived from the kernel's ``cost_fn`` over the payloads, so
+    cost declarations live on the :class:`Kernel` once instead of being
+    re-threaded through every builder.
     """
 
     name: str
-    kernel: Callable[[Any], float]
+    kernel: Union[Kernel, Callable[[Any], float]]
     payloads: List[Any]
     bytes_per_task: float = 256.0
     costs: Optional[List[float]] = None
@@ -105,6 +115,10 @@ class RealOp:
     deps: Tuple[str, ...] = ()
 
     def __post_init__(self):
+        if not isinstance(self.kernel, Kernel):
+            self.kernel = as_kernel(self.kernel)
+        if self.costs is None:
+            self.costs = self.kernel.costs_for(self.payloads)
         if self.costs is not None and len(self.costs) != len(self.payloads):
             raise ValueError(
                 f"RealOp {self.name!r}: {len(self.costs)} declared costs "
@@ -160,11 +174,17 @@ def spin_task(seconds: float) -> float:
     return 1.0
 
 
+#: The calibrated-burn kernel, declared once so wrapped simulated ops
+#: never trip the bare-callable deprecation adapter.  No ``batch_fn``:
+#: a burn is pure per-task wall time, there is nothing to vectorize.
+SPIN_KERNEL = Kernel(fn=spin_task, name="spin")
+
+
 def real_op_from_parallel(op: ParallelOp, time_scale: float) -> RealOp:
     """Wrap a simulated operation as real busy-work (see :func:`spin_task`)."""
     return RealOp(
         name=op.name,
-        kernel=spin_task,
+        kernel=SPIN_KERNEL,
         payloads=[cost * time_scale for cost in op.costs],
         bytes_per_task=op.bytes_per_task,
         costs=list(op.costs),

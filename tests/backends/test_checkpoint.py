@@ -338,7 +338,7 @@ def test_speculative_dispatch_refilters_stale_live_set():
     state.completed.add(0)
     assert session._dispatch_speculative(0, list(indices))
     assert session.idle == set()
-    assert session.reply_qs[1].puts == [("run", 0, [1, 2], None)]
+    assert session.reply_qs[1].puts == [("run", 0, [1, 2], None, False)]
     assert victim_flight.speculated
     assert session.fault_report.chunks_speculated == 1
 

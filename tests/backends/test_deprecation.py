@@ -1,5 +1,11 @@
-"""The old entry points warn once at the package boundary and keep
-working; the same names imported from their home submodules stay silent.
+"""Deprecation surface after the Kernel API redesign.
+
+The PEP 562 package-level shims for the pre-``RunConfig`` entry points
+served their one release and are gone: the old names now raise
+``AttributeError`` at the package boundary while remaining importable,
+undeprecated, from their home submodules.  The one *live* deprecation is
+the bare-callable kernel adapter — ``RealOp(kernel=some_function)``
+warns once and wraps the callable in a :class:`repro.Kernel`.
 """
 
 import warnings
@@ -7,25 +13,24 @@ import warnings
 import pytest
 
 import repro.runtime
+from repro import Kernel
+from repro.runtime.task import RealOp
+
+
+def _double(payload):
+    return float(payload * 2)
 
 
 @pytest.mark.parametrize(
     "name",
     ["run_distributed", "run_concurrent_ops", "run_pipelined", "GraphExecutor"],
 )
-def test_package_level_access_warns(name):
-    with pytest.warns(DeprecationWarning, match=name):
+def test_package_level_shims_are_gone(name):
+    with pytest.raises(AttributeError):
         getattr(repro.runtime, name)
 
 
-def test_deprecated_name_still_functional():
-    with pytest.warns(DeprecationWarning):
-        run_distributed = repro.runtime.run_distributed
-    result = run_distributed([5.0] * 32, 4)
-    assert result.makespan > 0
-
-
-def test_submodule_import_is_silent():
+def test_home_submodule_import_is_silent():
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         from repro.runtime.distributed import run_distributed  # noqa: F401
@@ -36,17 +41,42 @@ def test_submodule_import_is_silent():
         )
 
 
+def test_home_submodule_entry_point_still_functional():
+    from repro.runtime.distributed import run_distributed
+
+    result = run_distributed([5.0] * 32, 4)
+    assert result.makespan > 0
+
+
+def test_bare_callable_kernel_warns_and_still_works():
+    with pytest.warns(DeprecationWarning, match="bare-callable"):
+        op = RealOp(name="legacy", kernel=_double, payloads=[1, 2, 3])
+    assert isinstance(op.kernel, Kernel)
+    assert op.kernel(3) == 6.0
+
+
+def test_kernel_declaration_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        op = RealOp(
+            name="new", kernel=Kernel(fn=_double), payloads=[1, 2, 3]
+        )
+    assert op.kernel.name == "_double"
+
+
 def test_new_names_do_not_warn():
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         assert repro.runtime.RunConfig is not None
         assert repro.runtime.MachineConfig is not None
+        assert repro.runtime.Kernel is Kernel
 
 
-def test_dir_lists_deprecated_names():
+def test_dir_no_longer_lists_dropped_names():
     listing = dir(repro.runtime)
-    assert "run_distributed" in listing
-    assert "GraphExecutor" in listing
+    assert "run_distributed" not in listing
+    assert "GraphExecutor" not in listing
+    assert "Kernel" in listing
 
 
 def test_unknown_attribute_raises():

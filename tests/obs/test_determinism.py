@@ -4,7 +4,8 @@ import random
 
 from repro.apps import ALL_WORKLOADS
 from repro.obs import Tracer
-from repro.runtime import MachineConfig, run_distributed
+from repro.runtime import MachineConfig
+from repro.runtime.distributed import run_distributed
 
 
 def _distributed_stream(seed):

@@ -21,9 +21,9 @@ from repro.runtime import (
     ParallelOp,
     make_policy,
     run_central,
-    run_concurrent_ops,
-    run_distributed,
 )
+from repro.runtime.distributed import run_distributed
+from repro.runtime.executor import run_concurrent_ops
 
 
 @pytest.fixture()

@@ -13,7 +13,7 @@ from repro.obs import (
     write_chrome_trace,
     write_metrics_json,
 )
-from repro.runtime import run_distributed
+from repro.runtime.distributed import run_distributed
 
 VALID_PHASES = {"X", "i", "M"}
 

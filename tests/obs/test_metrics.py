@@ -6,7 +6,7 @@ import random
 import pytest
 
 from repro.obs import Tracer, aggregate
-from repro.runtime import run_distributed
+from repro.runtime.distributed import run_distributed
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 import random
 
 from repro.obs import Tracer, render_timeline
-from repro.runtime import run_distributed
+from repro.runtime.distributed import run_distributed
 
 
 def _traced(p=8, n=200):

@@ -19,8 +19,8 @@ from repro.runtime import (
     block_distribution,
     choose_granularity,
     lag_term,
-    run_distributed,
 )
+from repro.runtime.distributed import run_distributed
 
 CONFIG = MachineConfig(processors=32)
 

@@ -6,11 +6,13 @@ import pytest
 
 from repro.delirium import DataflowGraph, PARALLEL
 from repro.runtime import (
-    GraphExecutor,
     MachineConfig,
     ParallelOp,
     PipelineIteration,
     profile_of,
+)
+from repro.runtime.executor import (
+    GraphExecutor,
     run_concurrent_ops,
     run_pipelined,
 )
@@ -90,7 +92,7 @@ def test_regular_op_smooths_irregular_partner():
     )
     regular = regular_op(n=2048, cost=5.0)
     together = run_concurrent_ops([sparse_irregular, regular], 64, CONFIG)
-    from repro.runtime import run_distributed
+    from repro.runtime.distributed import run_distributed
 
     serial = (
         run_distributed(sparse_irregular.costs, 64, config=CONFIG).makespan

@@ -11,8 +11,8 @@ from repro.runtime import (
     MachineConfig,
     TaperPolicy,
     make_policy,
-    run_distributed,
 )
+from repro.runtime.distributed import run_distributed
 
 
 def trained_cost_function(costs):
