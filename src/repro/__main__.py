@@ -27,7 +27,10 @@ Commands:
   restarts from where it stopped with ``--resume DIR``; ``--speculate``
   duplicates straggler chunks onto idle workers; ``--wall-clock-limit``
   stops gracefully with a resumable partial result (see README
-  "Resumable runs");
+  "Resumable runs").  ``run stream --backend mp`` ingests a paginated
+  record stream under a bounded in-flight window with watermark
+  backpressure (``--window``, ``--high-watermark``; see README
+  "Streaming ingestion");
 * ``serve``              — run the resident job daemon: one warm mp
   worker pool on a Unix socket, multiplexing submitted jobs with Eq. 1
   cross-job worker rationing (see README "Running as a service");
@@ -239,6 +242,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["steps"] = args.steps
     if args.tasks is not None:
         overrides["tasks"] = args.tasks
+    if args.stream:
+        overrides["stream"] = True
+    if args.stream_records is not None:
+        overrides["stream_records"] = args.stream_records
+    if args.records_per_task is not None:
+        overrides["records_per_task"] = args.records_per_task
+    if args.page_records is not None:
+        overrides["page_records"] = args.page_records
+    if args.page_tasks is not None:
+        overrides["page_tasks"] = args.page_tasks
     fault_plan = None
     if args.inject_fault:
         try:
@@ -267,6 +280,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             wall_clock_limit=args.wall_clock_limit,
             data_plane=args.data_plane,
             batching=args.batching,
+            stream_window=args.window,
+            stream_high_watermark=args.high_watermark,
+            stream_low_watermark=args.low_watermark,
         )
         if args.resume:
             # Re-apply the manifest's scheduling fields (processors,
@@ -554,7 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "a MiniF source file, a real-kernel workload "
-            "(fig1, reduction, psirrfan), or an application workload "
+            "(fig1, reduction, psirrfan), an application workload, or a "
+            "streaming source (the built-in `stream`, or a JSON-lines "
+            "file with --stream) "
             "(optional with --resume: the checkpointed target is reused)"
         ),
     )
@@ -678,6 +696,54 @@ def build_parser() -> argparse.ArgumentParser:
             "auto batches chunks large enough to amortize the view "
             "plumbing, on batches every chunk, off forces per-task "
             "dispatch (retries are always per-task)"
+        ),
+    )
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "treat TARGET as a streaming source (mp backend): the "
+            "built-in synthetic paged source (`stream`, implied) or a "
+            "JSON-lines records file read page by page instead of "
+            "compiled as MiniF; see README 'Streaming ingestion'"
+        ),
+    )
+    run_parser.add_argument(
+        "--stream-records", type=int, default=None, metavar="N",
+        help="synthetic stream length in records (default 200000)",
+    )
+    run_parser.add_argument(
+        "--records-per-task", type=int, default=None, metavar="N",
+        help="records packed into one stream task (default 200)",
+    )
+    run_parser.add_argument(
+        "--page-records", type=int, default=None, metavar="N",
+        help="records per admitted page of the synthetic stream "
+        "(default 20000)",
+    )
+    run_parser.add_argument(
+        "--page-tasks", type=int, default=None, metavar="N",
+        help="tasks per page for JSON-lines stream targets (default 256)",
+    )
+    run_parser.add_argument(
+        "--window", type=int, default=4, metavar="PAGES",
+        help=(
+            "bounded in-flight window: unsettled pages a stream may "
+            "hold admitted at once (default 4)"
+        ),
+    )
+    run_parser.add_argument(
+        "--high-watermark", type=int, default=None, metavar="TASKS",
+        help=(
+            "pause stream admission once this many admitted tasks wait "
+            "unfinished (default: adaptive, 8x the mean page)"
+        ),
+    )
+    run_parser.add_argument(
+        "--low-watermark", type=int, default=None, metavar="TASKS",
+        help=(
+            "resume stream admission once waiting tasks drain below "
+            "this (default: half the high watermark)"
         ),
     )
     run_parser.add_argument(

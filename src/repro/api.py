@@ -32,7 +32,14 @@ Accepted ``run`` targets:
   ``reduction``, ``psirrfan``) — real-kernel operations;
 * a name in :data:`repro.apps.ALL_WORKLOADS` — the Section 5 synthetic
   workloads (``mode``/``steps`` via keyword overrides);
-* a :class:`ParallelOp` / :class:`RealOp` or a sequence of them.
+* a name in :data:`repro.apps.streams.STREAM_WORKLOADS` (``stream``) —
+  streaming ingestion on the mp backend, with pages admitted under the
+  bounded in-flight window (``stream_records``/``records_per_task``/
+  ``page_records`` via keyword overrides); pass ``stream=True`` to read
+  a JSON-lines file path as a paged record stream instead of compiling
+  it (``page_tasks`` sets the page size);
+* a :class:`ParallelOp` / :class:`RealOp` / :class:`StreamOp` or a
+  sequence of them.
 """
 
 from __future__ import annotations
@@ -68,7 +75,13 @@ from .runtime.checkpoint import (
 from .runtime.config import RunConfig
 from .runtime.faults import FaultPlan, FaultReport
 from .runtime.kernel import Kernel, as_kernel
-from .runtime.task import ParallelOp, RealOp
+from .runtime.task import (
+    PageResult,
+    ParallelOp,
+    RealOp,
+    StreamOp,
+    StreamPage,
+)
 
 __all__ = [
     "CheckpointError",
@@ -76,6 +89,9 @@ __all__ = [
     "FaultPlan",
     "FaultReport",
     "Kernel",
+    "PageResult",
+    "StreamOp",
+    "StreamPage",
     "as_kernel",
     "RunConfig",
     "RunResult",
@@ -156,6 +172,11 @@ class RunResult:
     #: Payload bytes served from a warm pool's segment cache instead of
     #: being laid out again (0 on cold runs).
     shm_reused_bytes: int = 0
+    #: Per-stream-op ingestion summary (mp backend, :class:`StreamOp`
+    #: targets only): op label -> dict with ``pages``, ``tasks``,
+    #: ``backpressure_events``, ``plane``, ``page_latency_p50``,
+    #: ``page_latency_p99``.  Empty when the run had no streams.
+    stream: Dict[str, dict] = field(default_factory=dict)
     #: Chunks executed as one vectorized ``Kernel.batch_fn`` call, and
     #: the fresh task results they delivered (mp backend with
     #: ``RunConfig.batching`` enabled; 0 elsewhere).
@@ -163,6 +184,9 @@ class RunResult:
     batched_tasks: int = 0
 
     def summary(self) -> str:
+        """One human-readable block: headline totals plus a line per
+        engaged subsystem (resume, data plane, streams, batching,
+        cancellation, faults) — what ``python -m repro run`` prints."""
         unit = "s" if self.time_unit == "seconds" else " work units"
         text = (
             f"{self.target}: backend={self.backend} p={self.processors} "
@@ -190,6 +214,17 @@ class RunResult:
                     f"\nwarm pool: {self.shm_reused_bytes} payload bytes "
                     "reused from the segment cache"
                 )
+        for label, info in sorted(self.stream.items()):
+            rate = (
+                info["tasks"] / self.makespan if self.makespan > 0 else 0.0
+            )
+            text += (
+                f"\nstream {label}: {info['pages']} pages, "
+                f"{info['tasks']} tasks ({rate:.0f} tasks/s sustained), "
+                f"plane={info['plane']}, "
+                f"p99 page latency {info['page_latency_p99']:.3f}s, "
+                f"backpressure events={info['backpressure_events']}"
+            )
         if self.batched_chunks:
             per_call = self.batched_tasks / self.batched_chunks
             text += (
@@ -221,9 +256,13 @@ class TraceReport:
 
     @property
     def events(self):
+        """The traced event stream (chronological after :func:`trace`)."""
         return self.tracer.events
 
     def write_chrome_trace(self, path: str) -> str:
+        """Export the event stream as Chrome ``trace_event`` JSON (load
+        in ``chrome://tracing`` or https://ui.perfetto.dev); returns
+        ``path``."""
         # Map one wall-clock second to one viewer second; one simulated
         # work unit to one viewer millisecond (the sim default).
         seconds = self.time_unit == "seconds"
@@ -237,14 +276,19 @@ class TraceReport:
         return path
 
     def write_metrics(self, path: str) -> str:
+        """Write the aggregated :class:`MetricsReport` as JSON; returns
+        ``path``."""
         write_metrics_json(self.metrics, path)
         return path
 
     def summary(self) -> str:
+        """The metrics report rendered as text: per-processor
+        utilization, overhead breakdown, load imbalance."""
         unit = "seconds" if self.time_unit == "seconds" else "work units"
         return metrics_summary(self.metrics, time_unit=unit)
 
     def timeline(self, width: int = 72) -> str:
+        """An ASCII per-processor timeline of the traced run."""
         return render_timeline(
             self.events, processors=self.processors, width=width
         )
@@ -275,6 +319,10 @@ def _from_backend(
         bytes_shipped=raw.bytes_shipped,
         shm_bytes=raw.shm_bytes,
         shm_reused_bytes=raw.shm_reused_bytes,
+        stream={
+            label: dict(info)
+            for label, info in getattr(raw, "stream", {}).items()
+        },
         batched_chunks=raw.batched_chunks,
         batched_tasks=raw.batched_tasks,
     )
@@ -381,7 +429,9 @@ def run(
 
     Keyword ``overrides`` are applied to the config
     (``run(x, processors=4, backend="mp")``); workload targets also
-    accept ``mode=``/``steps=``, graph targets ``tasks=``/``elements=``.
+    accept ``mode=``/``steps=``, graph targets ``tasks=``/``elements=``,
+    and streaming targets ``stream=``/``stream_records=``/
+    ``records_per_task=``/``page_records=``/``page_tasks=``.
 
     ``executor`` optionally supplies a backend *instance* instead of the
     fresh one ``cfg.backend`` would name — the warm-pool hook: a
@@ -392,7 +442,17 @@ def run(
     # Target-specific overrides are popped before RunConfig.with_.
     workload_overrides = {
         key: overrides.pop(key)
-        for key in ("mode", "steps", "tasks", "elements")
+        for key in (
+            "mode",
+            "steps",
+            "tasks",
+            "elements",
+            "stream",
+            "stream_records",
+            "records_per_task",
+            "page_records",
+            "page_tasks",
+        )
         if key in overrides
     }
     if overrides:
@@ -407,7 +467,14 @@ def run(
 
     if isinstance(target, str):
         from .apps import ALL_WORKLOADS
+        from .apps.streams import STREAM_WORKLOADS, resolve_stream_ops
 
+        if target in STREAM_WORKLOADS or workload_overrides.get("stream"):
+            ops = resolve_stream_ops(
+                target, workload_overrides, seed=cfg.seed
+            )
+            raw = backend.run_ops(ops, cfg)
+            return _from_backend(raw, target)
         if target in REAL_WORKLOADS:
             ops = REAL_WORKLOADS[target](seed=cfg.seed)
             raw = backend.run_ops(ops, cfg)
@@ -426,7 +493,8 @@ def run(
         raise ValueError(
             f"unknown run target {target!r}: not a real-kernel workload "
             f"({', '.join(sorted(REAL_WORKLOADS))}), an app workload "
-            f"({', '.join(sorted(ALL_WORKLOADS))}), or a source file"
+            f"({', '.join(sorted(ALL_WORKLOADS))}), a streaming workload "
+            f"({', '.join(sorted(STREAM_WORKLOADS))}), or a source file"
         )
     if isinstance(target, CompiledProgram):
         return _run_program(
@@ -487,6 +555,15 @@ def resolve_ops(
             ops = REAL_WORKLOADS[target](seed=cfg.seed)
             return list(ops), name_deps(ops), target
         from .apps import ALL_WORKLOADS
+        from .apps.streams import STREAM_WORKLOADS
+
+        if target in STREAM_WORKLOADS:
+            raise ValueError(
+                f"streaming workload {target!r} paces its own admission "
+                "against the coordinator loop and cannot share the serve "
+                "pool as a job; run it directly with `python -m repro "
+                "run stream --backend mp`"
+            )
 
         if target in ALL_WORKLOADS:
             raise ValueError(

@@ -9,6 +9,13 @@ table).
 from .climate import ClimateWorkload
 from .emu import EmuWorkload
 from .psirrfan import PsirrfanWorkload
+from .streams import (
+    STREAM_WORKLOADS,
+    stream_json_ops,
+    stream_ops,
+    synthetic_total,
+    write_json_records,
+)
 from .vortex import VortexWorkload
 from .workloads import (
     AppRunResult,
@@ -40,6 +47,11 @@ __all__ = [
     "Phase",
     "MODES",
     "ALL_WORKLOADS",
+    "STREAM_WORKLOADS",
+    "stream_ops",
+    "stream_json_ops",
+    "synthetic_total",
+    "write_json_records",
     "regular_costs",
     "uniform_costs",
     "lognormal_costs",

@@ -38,6 +38,8 @@ from .events import (
     OP_BEGIN,
     OP_END,
     PIPELINE_STAGE,
+    STREAM_BACKPRESSURE,
+    STREAM_PAGE,
     TAPER_DECISION,
     TASK_DISPATCH,
     TOKEN_ROUND,
@@ -76,6 +78,8 @@ __all__ = [
     "WORKER_DIED",
     "CHUNK_RETRIED",
     "FAULT_INJECTED",
+    "STREAM_PAGE",
+    "STREAM_BACKPRESSURE",
     "events_to_jsonl",
     "events_from_jsonl",
     "aggregate",

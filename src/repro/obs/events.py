@@ -94,6 +94,15 @@ SHM_MAP = "shm.map"
 #: A worker attached zero-copy views of an op's shm segments
 #: (attrs: bytes; ``proc`` is the attaching worker).
 SHM_ATTACH = "shm.attach"
+#: -- streaming lane (StreamOp ingestion) ----------------------------------
+#: One stream page admitted or settled (attrs: page = sequence number,
+#: base = first global task index, tasks; settle events additionally
+#: carry ``dur`` = admission-to-settle latency and ``value``).
+STREAM_PAGE = "stream.page"
+#: Stream admission paused or resumed (attrs: state = "pause"/"resume",
+#: reason = "window"/"watermark", waiting = tasks pending + in flight,
+#: pages = unsettled pages).  Edge-triggered: one event per transition.
+STREAM_BACKPRESSURE = "stream.backpressure"
 #: -- job lifecycle lane (the `repro serve` daemon) ------------------------
 #: A job arrived over the socket (attrs: job, target, priority).
 JOB_SUBMITTED = "job.submitted"
@@ -137,6 +146,8 @@ ALL_KINDS = (
     RUN_CANCELLED,
     SHM_MAP,
     SHM_ATTACH,
+    STREAM_PAGE,
+    STREAM_BACKPRESSURE,
     JOB_SUBMITTED,
     JOB_ADMITTED,
     JOB_STARTED,

@@ -40,6 +40,8 @@ from .events import (
     RUN_CANCELLED,
     SHM_ATTACH,
     SHM_MAP,
+    STREAM_BACKPRESSURE,
+    STREAM_PAGE,
     TASK_DISPATCH,
     WORKER_DIED,
 )
@@ -141,8 +143,22 @@ class MetricsReport:
     #: Batched-kernel accounting (mp backend with ``batching`` enabled).
     batched_chunks: int = 0
     batched_tasks: int = 0
+    #: Streaming-ingestion accounting (mp backend with StreamOps).
+    stream_pages_admitted: int = 0
+    stream_pages_settled: int = 0
+    stream_tasks: int = 0
+    stream_backpressure_events: int = 0
+    #: p99 admission-to-settle page latency (0 when no pages settled).
+    stream_page_latency_p99: float = 0.0
 
     # -- derived ------------------------------------------------------------
+
+    @property
+    def stream_tasks_per_second(self) -> float:
+        """Sustained streaming throughput over the run's makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.stream_tasks / self.makespan
 
     @property
     def total_compute(self) -> float:
@@ -228,6 +244,12 @@ class MetricsReport:
             "shm_bytes": self.shm_bytes,
             "batched_chunks": self.batched_chunks,
             "batched_tasks": self.batched_tasks,
+            "stream_pages_admitted": self.stream_pages_admitted,
+            "stream_pages_settled": self.stream_pages_settled,
+            "stream_tasks": self.stream_tasks,
+            "stream_backpressure_events": self.stream_backpressure_events,
+            "stream_page_latency_p99": self.stream_page_latency_p99,
+            "stream_tasks_per_second": self.stream_tasks_per_second,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -274,6 +296,11 @@ def aggregate(
     shm_bytes = 0.0
     batched_chunks = 0
     batched_tasks = 0
+    stream_pages_admitted = 0
+    stream_pages_settled = 0
+    stream_tasks = 0
+    stream_backpressure_events = 0
+    stream_settle_latencies: List[float] = []
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
     # overshoot the real finish); summary-only streams (pipeline stages,
@@ -354,7 +381,23 @@ def aggregate(
         elif event.kind == CHUNK_BATCHED:
             batched_chunks += 1
             batched_tasks += event.attrs.get("tasks_per_call", 0)
+        elif event.kind == STREAM_PAGE:
+            if event.attrs.get("state") == "settle":
+                stream_pages_settled += 1
+                stream_tasks += event.attrs.get("tasks", 0)
+                stream_settle_latencies.append(event.dur)
+            else:
+                stream_pages_admitted += 1
+        elif event.kind == STREAM_BACKPRESSURE:
+            if event.attrs.get("state") == "pause":
+                stream_backpressure_events += 1
 
+    p99 = 0.0
+    if stream_settle_latencies:
+        ordered = sorted(stream_settle_latencies)
+        p99 = ordered[
+            min(len(ordered) - 1, int(math.ceil(0.99 * len(ordered))) - 1)
+        ]
     makespan = lane_makespan if lane_makespan > 0 else any_makespan
     return MetricsReport(
         makespan=makespan,
@@ -378,4 +421,9 @@ def aggregate(
         shm_bytes=shm_bytes,
         batched_chunks=batched_chunks,
         batched_tasks=batched_tasks,
+        stream_pages_admitted=stream_pages_admitted,
+        stream_pages_settled=stream_pages_settled,
+        stream_tasks=stream_tasks,
+        stream_backpressure_events=stream_backpressure_events,
+        stream_page_latency_p99=p99,
     )

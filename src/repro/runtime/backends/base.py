@@ -17,7 +17,7 @@ suite checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Union
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Union
 
 from ..config import RunConfig
 from ..faults import FaultReport
@@ -87,6 +87,11 @@ class BackendRunResult:
     #: Payload bytes served from a resident pool's segment cache instead
     #: of being laid out again (warm runs with identical payloads).
     shm_reused_bytes: int = 0
+    #: Per-stream-op ingestion summary (mp backend, StreamOp only): op
+    #: label -> dict with ``pages``, ``tasks``, ``backpressure_events``,
+    #: ``plane``, ``page_latency_p50``, ``page_latency_p99``.  Empty
+    #: when the run had no streaming ops.
+    stream: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Chunks executed as one vectorized ``Kernel.batch_fn`` call (mp
     #: backend with ``RunConfig.batching`` enabled); 0 on the simulator,
     #: on ``batching="off"`` runs, and for kernels without a batch fn.
@@ -304,6 +309,12 @@ def as_parallel_op(op: AnyOp, cfg: RunConfig) -> ParallelOp:
     """Normalise to the simulator's view (real ops need declared costs)."""
     if isinstance(op, ParallelOp):
         return op
+    if getattr(op, "is_stream", False):
+        raise ValueError(
+            f"StreamOp {op.name!r} cannot run on the sim backend: a "
+            "stream's tasks arrive at wall-clock pace from its source; "
+            "use the mp backend"
+        )
     if op.costs is None:
         raise ValueError(
             f"RealOp {op.name!r} has no declared costs; the sim backend "

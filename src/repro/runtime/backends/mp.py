@@ -102,6 +102,7 @@ lanes, so Chrome traces and metrics reports show recovery in place.
 
 from __future__ import annotations
 
+import bisect
 import math
 import multiprocessing
 import os
@@ -140,6 +141,8 @@ from ...obs.events import (
     RUN_RESUMED,
     SHM_ATTACH,
     SHM_MAP,
+    STREAM_BACKPRESSURE,
+    STREAM_PAGE,
     TASK_DISPATCH,
     Tracer,
     WORKER_DIED,
@@ -150,6 +153,7 @@ from ..checkpoint import (
     ChunkJournal,
     ChunkRecord,
     JournalReplay,
+    PageMark,
     RunManifest,
     init_checkpoint_dir,
     load_manifest,
@@ -168,7 +172,7 @@ from ..kernel import BATCH_AUTO_MIN_TASKS, Kernel
 from ..machine import MachineConfig
 from ..sampling import sample_mean_std
 from ..schedulers import make_policy
-from ..task import RealOp
+from ..task import PageResult, RealOp, StreamPage, as_stream_page
 from . import shm
 from .base import (
     AnyOp,
@@ -223,6 +227,65 @@ def real_machine_config(p: int) -> MachineConfig:
 # ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
+
+
+class _PageTable:
+    """One stream op's worker-side payload store.
+
+    Pages install via ``("page", key, entry)`` messages — entries are
+    ``("pickle", seq, base, payloads)`` or ``("shm", seq, base,
+    descriptor)`` — resolve by *global* task index (bisect over page
+    bases), and drop again on ``("page_drop", key, seq)`` when the
+    coordinator settles the page, so a worker holds at most the
+    admission window's worth of payloads however long the stream runs.
+    """
+
+    def __init__(self):
+        self._bases = []
+        self._seqs = []
+        self._getters = []
+        self._attachments = {}
+
+    def add(self, entry) -> int:
+        """Install one page entry; returns attached shm bytes (0 for
+        pickle pages)."""
+        kind, seq, base, data = entry
+        nbytes = 0
+        if kind == "shm":
+            attachment = shm.attach_page(data)
+            self._attachments[seq] = attachment
+            getter = attachment.get_payload
+            nbytes = attachment.nbytes
+        else:
+            getter = data.__getitem__
+        position = bisect.bisect_left(self._bases, base)
+        self._bases.insert(position, base)
+        self._seqs.insert(position, seq)
+        self._getters.insert(position, getter)
+        return nbytes
+
+    def drop(self, seq: int) -> None:
+        try:
+            position = self._seqs.index(seq)
+        except ValueError:
+            return
+        del self._bases[position]
+        del self._seqs[position]
+        del self._getters[position]
+        attachment = self._attachments.pop(seq, None)
+        if attachment is not None:
+            attachment.close()
+
+    def __getitem__(self, index: int):
+        position = bisect.bisect_right(self._bases, index) - 1
+        if position < 0:
+            raise KeyError(f"task {index} is not on any installed page")
+        return self._getters[position](index - self._bases[position])
+
+    def close(self) -> None:
+        for attachment in self._attachments.values():
+            attachment.close()
+        self._attachments = {}
 
 
 def _worker_main(wid, ops_payload, request_q, reply_q, t0):
@@ -289,6 +352,13 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
         else dict(enumerate(ops_payload))
     )
     attachments = {}
+    # Stream ops ship ("stream", kernel, None) entries: payloads arrive
+    # later, page by page, and live in a _PageTable keyed by op.
+    page_tables = {
+        key: _PageTable()
+        for key, entry in ops.items()
+        if entry[0] == "stream"
+    }
 
     def _resolve_op(key):
         """The op's (fn, batch_fn, get_payload, attachment), attaching
@@ -309,6 +379,11 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
                 request_q.put(
                     ("attached", wid, (key, attachment.nbytes))
                 )
+            elif plane == "stream":
+                # Payloads resolve through the op's page table; stream
+                # chunks never batch (pages re-chunk continuously), and
+                # values always ride the report records.
+                entry = (fn, None, page_tables[key].__getitem__, None)
             else:
                 entry = (fn, batch_fn, data.__getitem__, None)
             attachments[key] = entry
@@ -321,15 +396,32 @@ def _worker_main(wid, ops_payload, request_q, reply_q, t0):
             for _fn, _batch_fn, _get, attachment in attachments.values():
                 if attachment is not None:
                     attachment.close()
+            for table in page_tables.values():
+                table.close()
             return
         if message[0] == "load":
             ops[message[1]] = message[2]
+            if message[2][0] == "stream":
+                page_tables[message[1]] = _PageTable()
             continue
         if message[0] == "unload":
             ops.pop(message[1], None)
             entry = attachments.pop(message[1], None)
             if entry is not None and entry[3] is not None:
                 entry[3].close()
+            table = page_tables.pop(message[1], None)
+            if table is not None:
+                table.close()
+            continue
+        if message[0] == "page":
+            nbytes = page_tables[message[1]].add(message[2])
+            if nbytes:
+                request_q.put(("attached", wid, (message[1], nbytes)))
+            continue
+        if message[0] == "page_drop":
+            table = page_tables.get(message[1])
+            if table is not None:
+                table.drop(message[2])
             continue
         _, op_index, indices, fault, batch = message
         if fault is not None and fault[0] == "kill":
@@ -502,6 +594,9 @@ class WorkerPool:
         """
         if self.started:
             return
+        # Sessions may lay out shm segments (ops or stream pages) after
+        # this fork; the workers must inherit the coordinator's tracker.
+        shm.ensure_tracker_running()
         self.t0 = time.perf_counter()
         self.processes = [
             self.ctx.Process(
@@ -631,6 +726,70 @@ class _Flight:
 
 
 @dataclass
+class _PageInfo:
+    """Coordinator-side accounting for one admitted stream page."""
+
+    seq: int
+    base: int
+    tasks: int
+    #: Tasks settled (completed or quarantined) so far on this page.
+    settled: int = 0
+    #: Sum of settled task values (restored + live).
+    value: float = 0.0
+    admitted_at: float = 0.0
+    done: bool = False
+    #: Every task was restored from the journal: the page settles
+    #: silently and skips the sink (it was delivered before the crash).
+    restored_full: bool = False
+
+
+@dataclass
+class _StreamFeed:
+    """Admission-side state of one streaming op.
+
+    The coordinator pulls pages from the op's source between scheduling
+    events, *gated* by two backpressure conditions (window of unsettled
+    pages; high/low watermark on waiting tasks) — the journal writer is
+    the third gate implicitly, because every admission fsyncs a
+    :class:`PageMark` before the page ships.  Pages settle when all
+    their tasks settle, deliver to the sink strictly in admission
+    order, and are dropped from workers (and the shm plane) the moment
+    they settle, bounding memory to the admission window.
+    """
+
+    op_index: int
+    iterator: Optional[object] = None
+    exhausted: bool = False
+    pages: List[_PageInfo] = field(default_factory=list)
+    #: Page base indices, ascending — bisect key for settling reports.
+    bases: List[int] = field(default_factory=list)
+    #: Pages admitted but not yet fully settled.
+    unsettled: int = 0
+    throttled: bool = False
+    blocked_reason: str = ""
+    backpressure_events: int = 0
+    #: Admission-to-settle wall seconds per settled page.
+    latencies: List[float] = field(default_factory=list)
+    #: seq -> worker page entry, kept until the page settles.
+    page_entries: Dict[int, tuple] = field(default_factory=dict)
+    #: wid -> seqs shipped to that worker (drop targets).
+    shipped: Dict[int, Set[int]] = field(default_factory=dict)
+    #: Next page seq owed to the sink (in-order delivery).
+    next_deliver: int = 0
+    #: PageMarks replayed from the journal (contiguous seq prefix).
+    restored_marks: List[PageMark] = field(default_factory=list)
+    #: Bisect key over restored_marks' bases.
+    restored_bases: List[int] = field(default_factory=list)
+    #: seq -> (restored task count, restored value sum).
+    restored_tasks: Dict[int, Tuple[int, float]] = field(
+        default_factory=dict
+    )
+    #: Data plane of the first shipped page ("shm" | "pickle");
+    #: ``None`` until a page ships.
+    plane: Optional[str] = None
+
+
+@dataclass
 class _OpState:
     """Coordinator-side bookkeeping for one operation.
 
@@ -676,6 +835,16 @@ class _OpState:
     #: Task indices whose retry budget ran out; they count as "done"
     #: for completion purposes but contribute no value.
     quarantined: Set[int] = field(default_factory=set)
+    #: Streaming admission state (``None`` for fixed-size ops).
+    feed: Optional[_StreamFeed] = None
+
+    @property
+    def stream_done(self) -> bool:
+        """Admission is over: not a stream, or the source is exhausted.
+        Completion checks must not finish an op whose source can still
+        grow it — ``size`` starts at 0 for streams, so the plain
+        ``settled >= size`` test is trivially true before admission."""
+        return self.feed is None or self.feed.exhausted
 
     @property
     def size(self) -> int:
@@ -762,6 +931,16 @@ class _MpSession:
                     f"cost_source='declared' but op {op.name!r} declares "
                     "no costs"
                 )
+            if getattr(op, "is_stream", False):
+                # Streams have no final size to bucket by, and their
+                # cost profile can drift over a long run: use a fixed
+                # bucket and an exponentially-decaying sample so TAPER
+                # re-chunks each page against *recent* costs.
+                cost_fn = CostFunction(
+                    bucket_size=64, decay=cfg.stream_decay
+                )
+            else:
+                cost_fn = CostFunction(bucket_size=max(1, op.size // 16))
             self.ops.append(
                 _OpState(
                     op=op,
@@ -770,14 +949,17 @@ class _MpSession:
                     deps=set(dep_set),
                     pending=deque(range(op.size)),
                     policy=make_policy(cfg.policy, min_chunk=cfg.min_chunk),
-                    cost_fn=CostFunction(
-                        bucket_size=max(1, op.size // 16)
-                    ),
+                    cost_fn=cost_fn,
                     declared=(
                         list(op.costs) if op.costs is not None else None
                     ),
                 )
             )
+        self.streams: List[_StreamFeed] = []
+        for state in self.ops:
+            if getattr(state.op, "is_stream", False):
+                state.feed = _StreamFeed(op_index=state.index)
+                self.streams.append(state.feed)
         # Worker-subset assignment: worker w prefers self.assignment[w].
         self.assignment: List[int] = [-1] * self.p
         self.idle: Set[int] = set()
@@ -867,6 +1049,7 @@ class _MpSession:
             for state in self.ops:
                 if (
                     not state.finished
+                    and state.stream_done
                     and state.settled_tasks >= state.size
                     and state.remaining == 0
                     and state.outstanding == 0
@@ -1009,7 +1192,9 @@ class _MpSession:
         state = self.ops[op_index]
         entry = self._entries.get(op_index)
         if entry is None:
-            if self.plane_of[op_index] == "shm":
+            if state.feed is not None:
+                entry = ("stream", state.op.kernel, None)
+            elif self.plane_of[op_index] == "shm":
                 entry = (
                     "shm", state.op.kernel, self.plane.descriptor(op_index)
                 )
@@ -1022,6 +1207,10 @@ class _MpSession:
             )
         self._loaded.add((wid, op_index))
         self._send(wid, ("load", self.key_base + op_index, entry))
+        if state.feed is not None:
+            # A late-joining pool worker needs every still-live page.
+            for seq in sorted(state.feed.page_entries):
+                self._ship_page(wid, state.feed, seq)
 
     def job_profile(self) -> OpProfile:
         """This session's *remaining* work as one aggregate op profile.
@@ -1138,6 +1327,11 @@ class _MpSession:
         view plumbing (``"on"`` batches them anyway).
         """
         if self.cfg.batching == "off":
+            return False
+        if getattr(state, "feed", None) is not None:
+            # Stream chunks resolve payloads through the worker's page
+            # table (pages come and go mid-run); the batched fast path
+            # assumes a fixed payload universe, so streams run per task.
             return False
         kernel = state.op.kernel
         if not isinstance(kernel, Kernel) or not kernel.batchable:
@@ -1268,6 +1462,7 @@ class _MpSession:
     def _maybe_complete(self, state: _OpState) -> None:
         if (
             state.finished
+            or not state.stream_done
             or state.settled_tasks < state.size
             or not all(self.ops[d].finished for d in state.deps)
         ):
@@ -1284,6 +1479,354 @@ class _MpSession:
         # The running set changed: re-ration and wake idle workers.
         self._reallocate()
         self._wake_idle()
+
+    # -- streaming admission -------------------------------------------------
+
+    def _advance_streams(self) -> None:
+        """Pull pages from every stream source whose gates are open.
+
+        Called between scheduling events (main-loop top), so admission
+        interleaves with execution: TAPER re-chunks each new page with
+        the cost stats observed so far and Eq. 1 re-rations as the
+        remaining-cost estimate evolves.
+        """
+        if not self.streams:
+            return
+        admitted = False
+        for feed in self.streams:
+            if self._advance_stream(feed):
+                admitted = True
+        if admitted:
+            self._reallocate()
+            self._wake_idle()
+
+    def _advance_stream(self, feed: _StreamFeed) -> bool:
+        """Admit pages from one source until a gate closes or it ends;
+        returns whether anything was admitted."""
+        state = self.ops[feed.op_index]
+        if (
+            feed.exhausted
+            or self.cancel_reason is not None
+            or self.detaching
+        ):
+            return False
+        if not all(self.ops[d].finished for d in state.deps):
+            return False
+        if feed.iterator is None:
+            feed.iterator = state.op.open_source()
+        admitted = False
+        while True:
+            reason = self._stream_gate(feed, state)
+            if reason:
+                if not feed.throttled or feed.blocked_reason != reason:
+                    feed.throttled = True
+                    feed.blocked_reason = reason
+                    feed.backpressure_events += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            STREAM_BACKPRESSURE,
+                            self._now(),
+                            op=state.label,
+                            state="pause",
+                            reason=reason,
+                            waiting=state.remaining + state.outstanding,
+                            pages=feed.unsettled,
+                        )
+                break
+            if feed.throttled:
+                feed.throttled = False
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        STREAM_BACKPRESSURE,
+                        self._now(),
+                        op=state.label,
+                        state="resume",
+                        reason=feed.blocked_reason,
+                        waiting=state.remaining + state.outstanding,
+                        pages=feed.unsettled,
+                    )
+                feed.blocked_reason = ""
+            try:
+                raw = next(feed.iterator)
+            except StopIteration:
+                feed.exhausted = True
+                if len(feed.pages) < len(feed.restored_marks):
+                    raise CheckpointMismatchError(
+                        f"stream source for op {state.label!r} ended "
+                        f"after {len(feed.pages)} pages but the journal "
+                        f"recorded {len(feed.restored_marks)}; refusing "
+                        "to resume against a different source"
+                    )
+                self._maybe_complete(state)
+                break
+            self._admit_page(feed, state, as_stream_page(raw))
+            admitted = True
+        return admitted
+
+    def _stream_gate(self, feed: _StreamFeed, state: _OpState) -> str:
+        """Why admission is blocked right now ("" = open).
+
+        Two explicit gates: the bounded *window* of unsettled pages
+        (in-flight chunks, the sink, and in-order delivery all hang off
+        page settlement, so a slow consumer backs this up), and a
+        high/low *watermark* with hysteresis on waiting tasks — once
+        paused at ``high``, admission stays paused until the backlog
+        drains to ``low``.  The default high watermark derives from the
+        observed mean page size; the first page always admits.
+        """
+        if feed.unsettled >= self.cfg.stream_window:
+            return "window"
+        if not feed.pages:
+            return ""
+        waiting = state.remaining + state.outstanding
+        high = self.cfg.stream_high_watermark
+        if high is None:
+            mean_page = sum(info.tasks for info in feed.pages) / len(
+                feed.pages
+            )
+            high = max(1, int(8 * mean_page))
+        low = self.cfg.stream_low_watermark
+        if low is None:
+            low = high // 2
+        if feed.throttled and feed.blocked_reason == "watermark":
+            return "watermark" if waiting > low else ""
+        return "watermark" if waiting >= high else ""
+
+    def _admit_page(
+        self, feed: _StreamFeed, state: _OpState, page: StreamPage
+    ) -> None:
+        """One page enters the run: grow the op, journal the admission
+        barrier, enqueue the fresh tasks, ship payloads to workers."""
+        seq = len(feed.pages)
+        restored = (
+            feed.restored_marks[seq]
+            if seq < len(feed.restored_marks)
+            else None
+        )
+        base = state.op.admit(page)
+        if self.declared_mode:
+            if page.costs is None:
+                raise MpBackendError(
+                    f"cost_source='declared' but stream op "
+                    f"{state.label!r} produced page {seq} without costs"
+                )
+            if state.declared is None:
+                state.declared = []
+            state.declared.extend(page.costs)
+        if restored is not None and (
+            restored.base != base or restored.tasks != page.size
+        ):
+            raise CheckpointMismatchError(
+                f"stream page {seq} of op {state.label!r} has base "
+                f"{base} and {page.size} tasks but the journal recorded "
+                f"base {restored.base} with {restored.tasks} tasks; the "
+                "source does not match the checkpointed run"
+            )
+        restored_count, restored_value = feed.restored_tasks.get(
+            seq, (0, 0.0)
+        )
+        info = _PageInfo(
+            seq=seq,
+            base=base,
+            tasks=page.size,
+            settled=restored_count,
+            value=restored_value,
+            admitted_at=self._now(),
+            restored_full=restored_count >= page.size,
+        )
+        feed.pages.append(info)
+        feed.bases.append(base)
+        feed.unsettled += 1
+        fresh = [
+            index
+            for index in range(base, base + page.size)
+            if index not in state.completed
+        ]
+        state.pending.extend(fresh)
+        if self.journal is not None and restored is None:
+            # The durable admission barrier: fsynced *before* the page
+            # ships, so a resumed run re-admits exactly the pages whose
+            # task results may exist in the journal.  The synchronous
+            # fsync is also the implicit journal-writer gate — a slow
+            # checkpoint disk slows admission, not memory growth.
+            self.journal.append_mark(
+                PageMark(
+                    op_index=state.index,
+                    seq=seq,
+                    base=base,
+                    tasks=page.size,
+                )
+            )
+        if self.tracer is not None:
+            self.tracer.emit(
+                STREAM_PAGE,
+                self._now(),
+                op=state.label,
+                state="admit",
+                page=seq,
+                base=base,
+                tasks=page.size,
+            )
+        if fresh:
+            feed.page_entries[seq] = self._page_entry(
+                feed, state, page, seq, base
+            )
+            for wid in self._page_targets(state):
+                self._ship_page(wid, feed, seq)
+        self._maybe_settle_page(feed, state, info)
+
+    def _page_entry(
+        self,
+        feed: _StreamFeed,
+        state: _OpState,
+        page: StreamPage,
+        seq: int,
+        base: int,
+    ) -> tuple:
+        """Build the worker entry for one page — a zero-copy shm
+        segment when the payloads stack and clear the size bar, pickled
+        payloads otherwise (per page: a ragged page falls back without
+        demoting the stream)."""
+        if self.cfg.data_plane != "pickle" and shm.shm_available():
+            planned = shm.plan_payloads(page.payloads)
+            if planned is not None:
+                mode, stacked = planned
+                if (
+                    self.cfg.data_plane == "shm"
+                    or stacked.nbytes >= shm.AUTO_MIN_BYTES
+                ):
+                    try:
+                        descriptor = self._ensure_plane().add_stream_page(
+                            state.index, seq, base, mode, stacked
+                        )
+                    except OSError:
+                        pass  # /dev/shm full: this page rides pickle
+                    else:
+                        if feed.plane is None:
+                            feed.plane = "shm"
+                        return ("shm", seq, base, descriptor)
+        self.bytes_shipped += shm.estimate_payload_nbytes(page.payloads)
+        if feed.plane is None:
+            feed.plane = "pickle"
+        return ("pickle", seq, base, list(page.payloads))
+
+    def _ensure_plane(self) -> shm.ShmDataPlane:
+        """The shm plane, created lazily for the first stream page
+        (fixed-size ops map theirs up front in _setup_data_plane)."""
+        if self.plane is None:
+            self.plane = shm.ShmDataPlane(
+                cache=(
+                    self.pool.segment_cache
+                    if self.pool is not None
+                    else None
+                )
+            )
+        return self.plane
+
+    def _page_targets(self, state: _OpState) -> List[int]:
+        """Workers owed this op's new pages: everyone alive on a
+        private pool, only load-ed workers on a resident one (late
+        joiners catch up in _load_op)."""
+        if self.pool is not None:
+            return [
+                wid
+                for wid in self._live_workers()
+                if (wid, state.index) in self._loaded
+            ]
+        return self._live_workers()
+
+    def _ship_page(self, wid: int, feed: _StreamFeed, seq: int) -> None:
+        shipped = feed.shipped.setdefault(wid, set())
+        if seq in shipped:
+            return
+        entry = feed.page_entries.get(seq)
+        if entry is None:
+            return
+        shipped.add(seq)
+        self._send(wid, ("page", self.key_base + feed.op_index, entry))
+
+    def _stream_account(
+        self, state: _OpState, settled: List[Tuple[int, float]]
+    ) -> None:
+        """Fold newly settled (index, value) pairs into their pages."""
+        feed = state.feed
+        touched: Dict[int, _PageInfo] = {}
+        for index, value in settled:
+            position = bisect.bisect_right(feed.bases, index) - 1
+            if position < 0:
+                continue
+            info = feed.pages[position]
+            if not info.base <= index < info.base + info.tasks:
+                continue
+            info.settled += 1
+            info.value += value
+            touched[position] = info
+        for info in touched.values():
+            self._maybe_settle_page(feed, state, info)
+
+    def _maybe_settle_page(
+        self, feed: _StreamFeed, state: _OpState, info: _PageInfo
+    ) -> None:
+        """A fully-settled page leaves the window: record its latency,
+        drop its payloads everywhere, and deliver what is deliverable."""
+        if info.done or info.settled < info.tasks:
+            return
+        info.done = True
+        feed.unsettled -= 1
+        now = self._now()
+        latency = max(now - info.admitted_at, 0.0)
+        feed.latencies.append(latency)
+        if self.tracer is not None:
+            self.tracer.emit(
+                STREAM_PAGE,
+                now,
+                dur=latency,
+                op=state.label,
+                state="settle",
+                page=info.seq,
+                base=info.base,
+                tasks=info.tasks,
+                value=info.value,
+            )
+        entry = feed.page_entries.pop(info.seq, None)
+        if entry is not None:
+            key = self.key_base + state.index
+            for wid, seqs in feed.shipped.items():
+                if info.seq in seqs:
+                    seqs.discard(info.seq)
+                    if self.alive[wid]:
+                        # FIFO per-worker queues order the drop after
+                        # any still-queued run touching this page, and
+                        # a worker finishes a chunk before reading the
+                        # next message — so the drop can never yank
+                        # payloads out from under a running kernel.
+                        try:
+                            self._send(wid, ("page_drop", key, info.seq))
+                        except Exception:  # pragma: no cover
+                            pass  # dying worker: reclaim handles it
+            if self.plane is not None:
+                self.plane.drop_stream_page(state.index, info.seq)
+        self._deliver_pages(feed, state)
+
+    def _deliver_pages(self, feed: _StreamFeed, state: _OpState) -> None:
+        """Hand settled pages to the op's sink strictly in admission
+        order; a slow sink stalls this (coordinator-thread) call and
+        therefore admission itself — sink lag is backpressure."""
+        sink = state.op.sink
+        while feed.next_deliver < len(feed.pages):
+            info = feed.pages[feed.next_deliver]
+            if not info.done:
+                break
+            if sink is not None and not info.restored_full:
+                sink(
+                    PageResult(
+                        seq=info.seq,
+                        base=info.base,
+                        tasks=info.tasks,
+                        value=info.value,
+                    )
+                )
+            feed.next_deliver += 1
 
     # -- data plane ----------------------------------------------------------
 
@@ -1337,7 +1880,10 @@ class _MpSession:
         entries = []
         pickle_bytes = 0
         for state in self.ops:
-            if self.plane_of[state.index] == "shm":
+            if state.feed is not None:
+                # Stream payloads arrive later, page by page.
+                entries.append(("stream", state.op.kernel, None))
+            elif self.plane_of[state.index] == "shm":
                 entries.append(
                     ("shm", state.op.kernel, self.plane.descriptor(state.index))
                 )
@@ -1487,6 +2033,16 @@ class _MpSession:
                     tasks=len(fresh),
                     synced=synced,
                 )
+        if state.feed is not None:
+            # After the journal write: a settled page's sink delivery
+            # must never precede the durability of its task results.
+            self._stream_account(
+                state,
+                [
+                    (index, value)
+                    for index, _start, _duration, value in fresh
+                ],
+            )
         self._maybe_complete(state)
 
     # -- fault handling ------------------------------------------------------
@@ -1505,6 +2061,7 @@ class _MpSession:
             raise MpBackendError(f"worker {wid} raised:\n{tb}")
         now = self._now()
         survivors: List[int] = []
+        quarantined_indices: List[int] = []
         max_attempt = 0
         quarantined_now = 0
         for index in indices:
@@ -1517,6 +2074,7 @@ class _MpSession:
             if attempt > self.cfg.max_retries:
                 state.quarantined.add(index)
                 quarantined_now += 1
+                quarantined_indices.append(index)
                 self.fault_report.quarantined.append((state.label, index))
             else:
                 survivors.append(index)
@@ -1536,6 +2094,12 @@ class _MpSession:
                 attempt=max_attempt,
                 backoff=backoff,
                 quarantined=quarantined_now,
+            )
+        if state.feed is not None and quarantined_indices:
+            # Poisoned tasks settle their page with zero value so a
+            # quarantine cannot wedge the admission window.
+            self._stream_account(
+                state, [(index, 0.0) for index in quarantined_indices]
             )
         self._maybe_complete(state)
 
@@ -1678,16 +2242,50 @@ class _MpSession:
         a task that exhausted its retry budget before the crash gets a
         fresh budget on resume.
         """
+        for mark in sorted(replay.marks, key=lambda m: (m.op_index, m.seq)):
+            if not 0 <= mark.op_index < len(self.ops):
+                continue
+            feed = self.ops[mark.op_index].feed
+            if feed is None:
+                continue
+            # Only the contiguous seq prefix is trustworthy: marks are
+            # fsynced in admission order, so a gap means torn data and
+            # everything past it is discarded with the torn records.
+            if mark.seq == len(feed.restored_marks):
+                feed.restored_marks.append(mark)
+                feed.restored_bases.append(mark.base)
         for record in replay.records:
             if not 0 <= record.op_index < len(self.ops):
                 continue  # fingerprint matched, so only torn data hits this
             state = self.ops[record.op_index]
+            feed = state.feed
             restored = 0
             for index, duration, value, attempt in record.tasks:
-                if not 0 <= index < state.size:
+                if feed is not None:
+                    # A stream has no size yet; a task is admissible iff
+                    # a restored PageMark covers it (the mark was
+                    # durable before the page could ship, so an
+                    # uncovered index is torn data).
+                    position = (
+                        bisect.bisect_right(feed.restored_bases, index) - 1
+                    )
+                    if position < 0:
+                        continue
+                    mark = feed.restored_marks[position]
+                    if index >= mark.base + mark.tasks:
+                        continue
+                elif not 0 <= index < state.size:
                     continue
                 if index in state.completed:
                     continue
+                if feed is not None:
+                    count, total = feed.restored_tasks.get(
+                        mark.seq, (0, 0.0)
+                    )
+                    feed.restored_tasks[mark.seq] = (
+                        count + 1,
+                        total + value,
+                    )
                 state.completed.add(index)
                 state.value_total += value
                 state.measured_work += duration
@@ -1733,6 +2331,7 @@ class _MpSession:
             for state in self.ops:
                 if (
                     not state.finished
+                    and state.stream_done
                     and state.settled_tasks >= state.size
                     and all(self.ops[d].finished for d in state.deps)
                 ):
@@ -2015,6 +2614,10 @@ class _MpSession:
                 self.journal.close()
             return self._result(0.0)
         pool = self.pool
+        if self.streams and cfg.data_plane != "pickle":
+            # Stream pages are laid out after the workers exist; make
+            # sure they inherit the coordinator's resource tracker.
+            shm.ensure_tracker_running()
         if pool is None:
             method = cfg.mp_start_method or default_start_method()
             if method != "fork":
@@ -2083,6 +2686,8 @@ class _MpSession:
         deadline = time.perf_counter() + cfg.mp_timeout
         next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
+        # Prime the stream windows before anyone asks for work.
+        self._advance_streams()
         if pool is not None and self.inbox is None:
             # No "ready" handshakes are coming (the pool consumed them
             # at start); put the adopted workers to work immediately.
@@ -2116,6 +2721,10 @@ class _MpSession:
                     self._drain()
                     break
                 self._release_delayed()
+                # Admission interleaves with scheduling: gates re-check
+                # here every iteration (reports just settled pages, the
+                # sink just drained, a watermark just cleared).
+                self._advance_streams()
                 now_abs = time.perf_counter()
                 remaining_time = deadline - now_abs
                 if remaining_time <= 0:
@@ -2156,6 +2765,9 @@ class _MpSession:
                     and len(self.idle) == self.live_count
                     and all(s.outstanding == 0 for s in self.ops)
                     and not self.delayed
+                    # An idle fleet with a live stream source is not
+                    # deadlock — it is waiting for the next page.
+                    and all(s.stream_done for s in self.ops)
                     and not all(s.finished for s in self.ops)
                 ):
                     # A serve tenant at live_count == 0 is not
@@ -2215,6 +2827,14 @@ class _MpSession:
         )
         return self._result(makespan)
 
+    @staticmethod
+    def _latency_percentile(values: List[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
     def _result(self, makespan: float) -> BackendRunResult:
         per_op = {
             state.label: OpOutcome(
@@ -2228,6 +2848,30 @@ class _MpSession:
             for state in self.ops
         }
         self.fault_report.worker_last_seen = dict(self.last_seen)
+        stream = {
+            state.label: {
+                "pages": len(state.feed.pages),
+                "tasks": state.size,
+                "backpressure_events": state.feed.backpressure_events,
+                "plane": state.feed.plane or "pickle",
+                "page_latency_p50": self._latency_percentile(
+                    state.feed.latencies, 0.50
+                ),
+                "page_latency_p99": self._latency_percentile(
+                    state.feed.latencies, 0.99
+                ),
+            }
+            for state in self.ops
+            if state.feed is not None
+        }
+        data_plane = {}
+        for state in self.ops:
+            if state.feed is not None:
+                # A stream's plane is decided page by page; report the
+                # plane its shipped pages actually rode.
+                data_plane[state.label] = state.feed.plane or "pickle"
+            else:
+                data_plane[state.label] = self.plane_of[state.index]
         return BackendRunResult(
             backend="mp",
             makespan=makespan,
@@ -2244,10 +2888,8 @@ class _MpSession:
             cancel_reason=self.cancel_reason or "",
             resume_dir=self.cfg.checkpoint_dir,
             tasks_resumed=self.tasks_resumed,
-            data_plane={
-                state.label: self.plane_of[state.index]
-                for state in self.ops
-            },
+            data_plane=data_plane,
+            stream=stream,
             bytes_shipped=self.bytes_shipped,
             shm_bytes=self.plane.shm_bytes if self.plane is not None else 0,
             shm_reused_bytes=(

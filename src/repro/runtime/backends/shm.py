@@ -217,6 +217,36 @@ class ShmOpDescriptor:
         return count * _np.dtype(self.payload_dtype).itemsize + self.size * 8
 
 
+@dataclass(frozen=True)
+class ShmPageDescriptor:
+    """What a worker needs to attach one stream page (picklable, tiny).
+
+    Stream pages are payload-only: values ride back in the ordinary
+    report records (a page's lifetime is one admission window, far too
+    short to amortise a per-page result buffer, and replay restores
+    values from the journal anyway).
+    """
+
+    op_index: int
+    seq: int
+    base: int
+    mode: str  # "array" | "scalar" | "tuple"
+    payload_name: str
+    payload_shape: Tuple[int, ...]
+    payload_dtype: str
+
+    @property
+    def size(self) -> int:
+        return self.payload_shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for extent in self.payload_shape:
+            count *= extent
+        return count * _np.dtype(self.payload_dtype).itemsize
+
+
 class SegmentCache:
     """Content-addressed payload segments shared across pool sessions.
 
@@ -309,6 +339,9 @@ class ShmDataPlane:
         self._descriptors: Dict[int, ShmOpDescriptor] = {}
         self._segments: List[Any] = []
         self._result_views: Dict[int, Any] = {}
+        #: Live stream-page payload segments, keyed by (op_index, seq);
+        #: dropped eagerly as pages settle, swept by :meth:`close`.
+        self._page_segments: Dict[Tuple[int, int], Any] = {}
         self._cache = cache
         #: Stacked payload bytes laid out, across ops (shipped once,
         #: however many workers attach).
@@ -396,6 +429,49 @@ class ShmDataPlane:
         self.shm_bytes += int(stacked.nbytes) + size * 8
         return descriptor
 
+    def add_stream_page(
+        self, op_index: int, seq: int, base: int, mode: str, stacked
+    ) -> ShmPageDescriptor:
+        """Lay out one stream page's payloads (no result buffer).
+
+        Never cache-backed: a page is one-shot by definition, unlinked
+        the moment it settles (:meth:`drop_stream_page`).
+        """
+        if self.closed:
+            raise RuntimeError("data plane already closed")
+        segment = self._new_segment(f"{op_index}s{seq}", stacked.nbytes)
+        view = _np.ndarray(
+            stacked.shape, dtype=stacked.dtype, buffer=segment.buf
+        )
+        view[...] = stacked
+        del view
+        self._page_segments[(op_index, seq)] = segment
+        self.payload_bytes += int(stacked.nbytes)
+        self.shm_bytes += int(stacked.nbytes)
+        return ShmPageDescriptor(
+            op_index=op_index,
+            seq=seq,
+            base=base,
+            mode=mode,
+            payload_name=segment.name,
+            payload_shape=tuple(stacked.shape),
+            payload_dtype=stacked.dtype.str,
+        )
+
+    def drop_stream_page(self, op_index: int, seq: int) -> None:
+        """Unlink a settled page's segment (idempotent)."""
+        segment = self._page_segments.pop((op_index, seq), None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - lingering view
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
     def descriptor(self, op_index: int) -> ShmOpDescriptor:
         return self._descriptors[op_index]
 
@@ -417,6 +493,8 @@ class ShmDataPlane:
         # numpy views hold exported buffers; drop them before close()
         # or SharedMemory raises BufferError.
         self._result_views.clear()
+        self._segments.extend(self._page_segments.values())
+        self._page_segments = {}
         for segment in self._segments:
             try:
                 segment.close()
@@ -505,6 +583,59 @@ class WorkerAttachment:
                 pass
 
 
+class PageAttachment:
+    """One worker's zero-copy view of one stream page's payloads."""
+
+    def __init__(self, descriptor: ShmPageDescriptor):
+        self._segment = _attach_segment(descriptor.payload_name)
+        payloads = _np.ndarray(
+            descriptor.payload_shape,
+            dtype=_np.dtype(descriptor.payload_dtype),
+            buffer=self._segment.buf,
+        )
+        payloads.flags.writeable = False
+        self.nbytes = descriptor.nbytes
+        self.get_payload: Callable[[int], Any]
+        if descriptor.mode == "array":
+            self.get_payload = payloads.__getitem__
+        elif descriptor.mode == "scalar":
+            self.get_payload = lambda index: payloads[index].item()
+        else:  # "tuple"
+            self.get_payload = lambda index: tuple(payloads[index].tolist())
+        self._payloads = payloads
+
+    def close(self) -> None:
+        """Detach (never unlink — segments are the coordinator's)."""
+        self._payloads = None
+        self.get_payload = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover
+            pass
+
+
+def ensure_tracker_running() -> None:
+    """Spawn the stdlib ``resource_tracker`` *before* workers fork.
+
+    Fixed-size ops lay their segments out pre-fork, which starts the
+    tracker as a side effect; stream pages are laid out only *after*
+    the pool is up.  A fork-started worker attaching a page would then
+    lazily spawn its own private tracker, which at worker exit mistakes
+    the (already coordinator-unlinked) page segments for leaks and
+    warns.  Starting the tracker up front means every child inherits
+    the coordinator's tracker fd, keeping registration a shared,
+    idempotent set-add that the coordinator's ``unlink()`` clears.
+    """
+    if not shm_available():
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - exotic platforms
+        pass
+
+
 def _attach_segment(name: str):
     # Attaching re-registers the name with the resource_tracker (Python
     # <= 3.12 has no track=False).  That is harmless here: workers
@@ -519,3 +650,8 @@ def _attach_segment(name: str):
 def attach_op(descriptor: ShmOpDescriptor) -> WorkerAttachment:
     """Worker-side entry: attach both of an op's segments zero-copy."""
     return WorkerAttachment(descriptor)
+
+
+def attach_page(descriptor: ShmPageDescriptor) -> PageAttachment:
+    """Worker-side entry: attach one stream page's payload segment."""
+    return PageAttachment(descriptor)

@@ -99,6 +99,17 @@ def op_shape(op: Any) -> Dict[str, Any]:
     hashable); the name, size, declared costs, and byte weight pin the
     schedule.  Regenerate ops deterministically (same seed) to resume.
     """
+    if getattr(op, "is_stream", False):
+        # A stream's size and costs grow as pages are admitted, so they
+        # cannot pin its identity; the shape is stable by construction
+        # and per-page identity is checked against journaled PageMarks
+        # at re-admission instead.
+        return {
+            "name": op.name,
+            "size": "stream",
+            "bytes_per_task": getattr(op, "bytes_per_task", 0.0),
+            "costs": None,
+        }
     costs = getattr(op, "costs", None)
     costs_digest = None
     if costs is not None:
@@ -310,17 +321,61 @@ class ChunkRecord:
         return sum(task[2] for task in self.tasks)
 
 
-def encode_record(record: ChunkRecord) -> str:
-    """``<crc32-hex> <canonical-json>`` — one journal line."""
-    body = json.dumps(
-        record.to_dict(), sort_keys=True, separators=(",", ":")
-    )
+@dataclass
+class PageMark:
+    """One stream page's durable admission watermark.
+
+    Appended (and fsynced) the moment a :class:`StreamOp` page is
+    admitted, *before* any of its chunks dispatch.  On resume the marks
+    say which pages the killed run had pulled from the source — the
+    coordinator re-admits exactly those pages (verifying ``seq`` /
+    ``base`` / ``tasks`` against what the regenerated source yields) and
+    accepts journaled task results only inside marked page bounds, so a
+    torn record can never smuggle results past the last durable page.
+    """
+
+    op_index: int
+    seq: int
+    base: int
+    tasks: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "page": self.seq,
+            "op": self.op_index,
+            "base": self.base,
+            "tasks": self.tasks,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "PageMark":
+        return cls(
+            op_index=int(raw["op"]),
+            seq=int(raw["page"]),
+            base=int(raw["base"]),
+            tasks=int(raw["tasks"]),
+        )
+
+
+def _encode_body(payload: Dict[str, Any]) -> str:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
     return f"{crc:08x} {body}"
 
 
-def decode_record(line: str) -> Optional[ChunkRecord]:
-    """Parse one journal line; ``None`` for corrupt/truncated lines."""
+def encode_record(record: ChunkRecord) -> str:
+    """``<crc32-hex> <canonical-json>`` — one journal line."""
+    return _encode_body(record.to_dict())
+
+
+def encode_mark(mark: PageMark) -> str:
+    """A :class:`PageMark` as one journal line (same framing)."""
+    return _encode_body(mark.to_dict())
+
+
+def decode_line(line: str):
+    """Parse one journal line into a :class:`ChunkRecord` or
+    :class:`PageMark`; ``None`` for corrupt/truncated lines."""
     line = line.rstrip("\n")
     if not line.strip():
         return None
@@ -334,9 +389,18 @@ def decode_record(line: str) -> Optional[ChunkRecord]:
     if (zlib.crc32(body.encode()) & 0xFFFFFFFF) != expected:
         return None
     try:
-        return ChunkRecord.from_dict(json.loads(body))
+        raw = json.loads(body)
+        if "page" in raw:
+            return PageMark.from_dict(raw)
+        return ChunkRecord.from_dict(raw)
     except (ValueError, KeyError, TypeError, IndexError):
         return None
+
+
+def decode_record(line: str) -> Optional[ChunkRecord]:
+    """Parse one journal line; ``None`` for corrupt lines and marks."""
+    decoded = decode_line(line)
+    return decoded if isinstance(decoded, ChunkRecord) else None
 
 
 class ChunkJournal:
@@ -371,6 +435,23 @@ class ChunkJournal:
             synced = True
         return synced
 
+    def append_mark(self, mark: PageMark) -> None:
+        """Write one page mark and fsync immediately.
+
+        A mark is a durable *admission barrier*: results for its page
+        may enter the journal only after the mark itself is on disk, so
+        every append_mark pays the fsync regardless of the configured
+        sync interval.  That cost is the journal-writer half of stream
+        backpressure — a slow disk slows admission, by design.
+        """
+        line = encode_mark(mark) + "\n"
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_written += 1
+        self.bytes_written += len(line)
+        self._since_sync = 0
+
     def sync(self) -> None:
         if self._handle.closed:
             return
@@ -392,6 +473,8 @@ class JournalReplay:
     """Everything a resumed coordinator learns from the journal."""
 
     records: List[ChunkRecord] = field(default_factory=list)
+    #: Stream page marks, in admission order per op (first write wins).
+    marks: List[PageMark] = field(default_factory=list)
     #: Corrupt/truncated lines skipped during the scan.
     dropped: int = 0
     #: Duplicate (op, task) completions ignored (speculation dedup).
@@ -421,13 +504,19 @@ def read_journal(directory: str) -> JournalReplay:
     if not os.path.exists(path):
         return replay
     seen: Dict[int, set] = {}
+    seen_marks: set = set()
     with open(path) as handle:
         for line in handle:
             if not line.strip():
                 continue
-            record = decode_record(line)
+            record = decode_line(line)
             if record is None:
                 replay.dropped += 1
+                continue
+            if isinstance(record, PageMark):
+                if (record.op_index, record.seq) not in seen_marks:
+                    seen_marks.add((record.op_index, record.seq))
+                    replay.marks.append(record)
                 continue
             seen_op = seen.setdefault(record.op_index, set())
             fresh = []

@@ -169,6 +169,26 @@ class RunConfig:
     #: before giving up on them (they are journaled if they make it; a
     #: hung worker cannot turn Ctrl-C — or a serve drain — into a hang).
     drain_grace: float = 5.0
+    #: Streaming (``StreamOp``) admission window: at most this many
+    #: *unsettled* pages may be admitted at once; admission of the next
+    #: page blocks until the oldest outstanding page fully settles.
+    stream_window: int = 4
+    #: Streaming backpressure high watermark, in *tasks* waiting
+    #: (pending + in flight) across all stream ops: admission pauses at
+    #: or above this many and resumes at ``stream_low_watermark``.
+    #: ``None`` derives it from the window (``8 ×`` the mean page size
+    #: seen so far, recomputed per page).
+    stream_high_watermark: Optional[int] = None
+    #: Streaming backpressure low watermark (hysteresis release point);
+    #: ``None`` derives ``stream_high_watermark // 2``.  Must be below
+    #: the high watermark when both are given.
+    stream_low_watermark: Optional[int] = None
+    #: Exponential-decay factor for streaming TAPER cost statistics:
+    #: each observation carries weight ``stream_decay`` against the
+    #: running moments, so chunk sizing tracks cost drift across the
+    #: stream instead of averaging over its whole history.  ``1.0``
+    #: would weight every sample equally (plain online moments).
+    stream_decay: float = 0.05
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -250,6 +270,33 @@ class RunConfig:
             )
         if self.drain_grace <= 0:
             raise ValueError("RunConfig.drain_grace must be > 0")
+        if self.stream_window < 1:
+            raise ValueError("RunConfig.stream_window must be >= 1")
+        if (
+            self.stream_high_watermark is not None
+            and self.stream_high_watermark < 1
+        ):
+            raise ValueError(
+                "RunConfig.stream_high_watermark must be >= 1 (or None "
+                "to derive it from the page size)"
+            )
+        if self.stream_low_watermark is not None:
+            if self.stream_low_watermark < 0:
+                raise ValueError(
+                    "RunConfig.stream_low_watermark must be >= 0"
+                )
+            if (
+                self.stream_high_watermark is not None
+                and self.stream_low_watermark >= self.stream_high_watermark
+            ):
+                raise ValueError(
+                    "RunConfig.stream_low_watermark must be below "
+                    "stream_high_watermark (hysteresis needs a gap)"
+                )
+        if not 0 < self.stream_decay <= 1:
+            raise ValueError(
+                "RunConfig.stream_decay must be in (0, 1]"
+            )
         if (
             self.machine is not None
             and self.machine.processors != self.processors

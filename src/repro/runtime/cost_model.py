@@ -47,18 +47,80 @@ class OnlineStats:
 
 
 @dataclass
+class DecayingStats:
+    """Exponentially-weighted mean/variance of observed task costs.
+
+    The streaming counterpart of :class:`OnlineStats`: each observation
+    carries weight ``alpha`` against the running moments, so the
+    estimate tracks cost *drift* along an unbounded stream instead of
+    averaging over its whole history.  The update is the standard
+    EWMA/EWMV recurrence (West 1979); at ``alpha=1`` the estimate is
+    just the latest sample.  Exposes the same ``count`` / ``mean`` /
+    ``variance`` / ``stddev`` / ``cv`` surface as :class:`OnlineStats`
+    so the TAPER chunk recurrence and Eq. 1 profiles consume either
+    interchangeably.
+    """
+
+    alpha: float = 0.05
+    count: int = 0
+    mean: float = 0.0
+    _var: float = 0.0
+
+    def update(self, cost: float) -> None:
+        self.count += 1
+        if self.count == 1:
+            # Seed from the first sample rather than decaying toward it
+            # from zero — a cold stream should not look artificially
+            # cheap for its first 1/alpha tasks.
+            self.mean = cost
+            self._var = 0.0
+            return
+        delta = cost - self.mean
+        incr = self.alpha * delta
+        self.mean += incr
+        self._var = (1.0 - self.alpha) * (self._var + delta * incr)
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._var
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.stddev / self.mean
+
+
+@dataclass
 class CostFunction:
     """Estimates task cost as a function of iteration number.
 
     Built online by bucketing observed (iteration, cost) samples; a query
     for a not-yet-observed region falls back to the nearest observed
     bucket, then to the global mean.
+
+    ``decay`` selects the flavour of the global moments: ``None`` (the
+    default) keeps the equally-weighted :class:`OnlineStats` of a
+    fixed-size operation; a value in ``(0, 1]`` switches ``stats`` to
+    :class:`DecayingStats` with that alpha, which streaming ops use so
+    chunk sizing follows the cost level of *recent* pages.
     """
 
     bucket_size: int = 64
+    decay: Optional[float] = None
     _sums: Dict[int, float] = field(default_factory=dict)
     _counts: Dict[int, int] = field(default_factory=dict)
     stats: OnlineStats = field(default_factory=OnlineStats)
+
+    def __post_init__(self) -> None:
+        if self.decay is not None:
+            self.stats = DecayingStats(alpha=self.decay)
 
     def observe(self, iteration: int, cost: float) -> None:
         bucket = iteration // self.bucket_size

@@ -311,6 +311,7 @@ class FaultReport:
 
     @property
     def any_fault(self) -> bool:
+        """Whether the run saw any fault-recovery activity at all."""
         return bool(
             self.workers_died
             or self.retries
@@ -333,6 +334,7 @@ class FaultReport:
         self.duplicate_results_dropped += other.duplicate_results_dropped
 
     def summary(self) -> str:
+        """One line per fault category ("no faults" on a clean run)."""
         if not self.any_fault:
             return "no faults"
         parts = []
@@ -365,6 +367,7 @@ class FaultReport:
         return "; ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The report as plain JSON-serializable data."""
         return {
             "ok": self.ok,
             "workers_died": list(self.workers_died),

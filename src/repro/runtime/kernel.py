@@ -100,6 +100,7 @@ class Kernel:
 
     @property
     def batchable(self) -> bool:
+        """Whether a vectorized ``batch_fn`` was declared."""
         return self.batch_fn is not None
 
     # -- cost declaration ----------------------------------------------------

@@ -17,7 +17,18 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .kernel import Kernel, as_kernel
 
@@ -113,6 +124,8 @@ class RealOp:
     costs: Optional[List[float]] = None
     #: Op names this operation depends on (graph/pipeline execution).
     deps: Tuple[str, ...] = ()
+    #: Fixed task list; :class:`StreamOp` flips this to ``True``.
+    is_stream: ClassVar[bool] = False
 
     def __post_init__(self):
         if not isinstance(self.kernel, Kernel):
@@ -127,6 +140,7 @@ class RealOp:
 
     @property
     def size(self) -> int:
+        """Task count (for a stream: tasks admitted so far)."""
         return len(self.payloads)
 
     def to_parallel_op(self, default_cost: float = 10.0) -> ParallelOp:
@@ -156,6 +170,122 @@ class RealOp:
             measured.append(time.perf_counter() - start)
             total += float(value)
         return measured, total
+
+
+@dataclass
+class StreamPage:
+    """One paginated batch of stream tasks.
+
+    ``payloads[k]`` is the argument of the page's ``k``-th task;
+    ``costs`` optionally declares the matching per-task cost estimates
+    (required when the run uses ``cost_source="declared"``).
+    """
+
+    payloads: List[Any]
+    costs: Optional[List[float]] = None
+
+    def __post_init__(self):
+        if self.costs is not None and len(self.costs) != len(self.payloads):
+            raise ValueError(
+                f"StreamPage: {len(self.costs)} declared costs for "
+                f"{len(self.payloads)} payloads"
+            )
+
+    @property
+    def size(self) -> int:
+        """Task count of this page."""
+        return len(self.payloads)
+
+
+def as_stream_page(obj: Any) -> StreamPage:
+    """Normalise a source item to a :class:`StreamPage`.
+
+    Sources may yield :class:`StreamPage` objects directly or bare
+    payload sequences (lists, tuples, numpy arrays); anything else is a
+    :class:`TypeError`.
+    """
+    if isinstance(obj, StreamPage):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return StreamPage(payloads=list(obj))
+    if hasattr(obj, "__len__") and hasattr(obj, "__getitem__"):
+        # numpy arrays and other sequence-likes: one payload per row.
+        return StreamPage(payloads=list(obj))
+    raise TypeError(
+        f"stream source yielded {type(obj).__name__}; expected a "
+        "StreamPage or a payload sequence"
+    )
+
+
+@dataclass(frozen=True)
+class PageResult:
+    """One settled page, delivered to a :class:`StreamOp` sink in order.
+
+    ``seq`` is the page's arrival number (0-based), ``base`` its first
+    global task index, ``tasks`` its task count, and ``value`` the sum
+    of its task results (quarantined tasks contribute nothing).
+    """
+
+    seq: int
+    base: int
+    tasks: int
+    value: float
+
+
+@dataclass
+class StreamOp(RealOp):
+    """A parallel operation whose tasks arrive in paginated batches.
+
+    Instead of materialising ``payloads`` up front, a ``StreamOp``
+    carries a coordinator-side ``source``: a zero-argument callable
+    returning an iterator of pages (:class:`StreamPage` objects or bare
+    payload sequences).  The mp backend admits pages under a bounded
+    in-flight window with high/low-watermark backpressure, re-chunks
+    each page with the cost statistics observed so far in the stream,
+    and re-rations workers as the remaining-cost estimate evolves; see
+    ``docs/ARCHITECTURE.md``.
+
+    ``source`` runs only in the coordinator process and need not be
+    picklable (the kernel and payloads still must be, exactly as for
+    :class:`RealOp`).  An optional ``sink`` receives one
+    :class:`PageResult` per fully-settled page, in page order; a slow
+    sink exerts backpressure on admission.  ``payloads``/``costs`` grow
+    as pages are admitted, so ``size`` reflects admitted tasks only.
+
+    Only the mp backend executes streams; the simulator refuses them.
+    """
+
+    payloads: List[Any] = field(default_factory=list)
+    #: Coordinator-side page fetcher: ``source()`` -> iterator of pages.
+    source: Optional[Callable[[], Iterable[Any]]] = None
+    #: Optional per-page result consumer, called in page order.
+    sink: Optional[Callable[[PageResult], None]] = None
+    is_stream: ClassVar[bool] = True
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.source is None:
+            raise ValueError(
+                f"StreamOp {self.name!r} requires a source callable"
+            )
+        if self.costs is None:
+            # Declared costs accumulate page by page (admit()); a page
+            # arriving without costs poisons the list back to None.
+            self.costs = [] if not self.payloads else self.costs
+
+    def open_source(self) -> Iterator[Any]:
+        """Start the page iterator (coordinator side only)."""
+        return iter(self.source())
+
+    def admit(self, page: StreamPage) -> int:
+        """Fold one page into the op; returns its base task index."""
+        base = len(self.payloads)
+        self.payloads.extend(page.payloads)
+        if page.costs is not None and self.costs is not None:
+            self.costs.extend(page.costs)
+        elif page.costs is None:
+            self.costs = None
+        return base
 
 
 def spin_task(seconds: float) -> float:

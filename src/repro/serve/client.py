@@ -29,6 +29,14 @@ class ServeClient:
         message: Dict[str, Any],
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
+        """Send one raw protocol message and return the raw reply dict.
+
+        The building block under every verb below; use it directly only
+        for protocol experiments.  Raises :class:`ServeError` when the
+        socket is unreachable or the frame exchange fails (including the
+        daemon's structured ``code="line_too_long"`` rejection of lines
+        over ``MAX_LINE``, see DESIGN.md §8).
+        """
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(timeout if timeout is not None else self.timeout)
         try:
@@ -53,6 +61,7 @@ class ServeClient:
     # -- verbs ---------------------------------------------------------------
 
     def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns ``{"ok": True, "pid": <daemon pid>}``."""
         return self.request({"op": "ping"})
 
     def wait_ready(self, timeout: float = 10.0) -> None:
@@ -73,6 +82,15 @@ class ServeClient:
         priority: int = 0,
         overrides: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
+        """Submit a job (a workload name or source-file path); returns
+        its job dict (``id``, ``state``, ``target``, ``priority``).
+
+        Jobs are validated at admission: an unknown target, a full
+        queue, or a draining daemon raises :class:`ServeError` here, not
+        inside a running session.  ``overrides`` may carry per-job
+        config fields (``seed``, ``policy``, ...) and op-shaping knobs
+        (``tasks``, ``elements``); pool-level fields are rejected.
+        """
         response = self.request(
             {
                 "op": "submit",
@@ -86,6 +104,7 @@ class ServeClient:
         return response["job"]
 
     def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        """Daemon status (all jobs), or one job's dict with ``job_id``."""
         request: Dict[str, Any] = {"op": "status"}
         if job_id is not None:
             request["job"] = job_id
@@ -97,6 +116,8 @@ class ServeClient:
     def wait(
         self, job_id: str, timeout: Optional[float] = None
     ) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state (or ``timeout``
+        seconds pass server-side); returns its final job dict."""
         response = self.request(
             {"op": "wait", "job": job_id, "timeout": timeout},
             # The socket read must outlive the server-side wait.
@@ -107,10 +128,15 @@ class ServeClient:
         return response["job"]
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job; returns its job dict.  A
+        running job drains its in-flight chunks and checkpoints first
+        (its ``resume_dir``, when set, can finish the remainder)."""
         response = self.request({"op": "cancel", "job": job_id})
         if not response.get("ok"):
             raise ServeError(response.get("error", "cancel failed"))
         return response["job"]
 
     def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (queued jobs are cancelled,
+        running jobs checkpoint; the daemon process then stops)."""
         self.request({"op": "shutdown"})

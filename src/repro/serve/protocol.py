@@ -15,18 +15,56 @@ from typing import Any, Dict, Optional
 
 #: Cap on one message line (a submit carries a target path and an
 #: overrides dict, never bulk data — payloads stay server-side).
+#: Documented in DESIGN.md §8; the server answers an over-long line with
+#: a structured ``code="line_too_long"`` error rather than hanging up.
 MAX_LINE = 1 << 20
+
+#: How much of an over-long line the receiver is willing to discard
+#: while looking for its terminating newline, so the sender gets the
+#: structured error reply instead of a broken pipe.  Beyond this the
+#: peer is not speaking the protocol at all; stop reading.
+DRAIN_LIMIT = 8 * MAX_LINE
 
 
 class ProtocolError(Exception):
-    """Malformed frame on the wire (not JSON, too long, truncated)."""
+    """Malformed frame on the wire (not JSON, too long, truncated).
+
+    ``code`` is the stable machine-readable discriminator clients can
+    branch on (the human-readable message may change):
+
+    * ``"line_too_long"`` — the line exceeded :data:`MAX_LINE`;
+    * ``"truncated"`` — the connection closed mid-line;
+    * ``"bad_json"`` — the line was not one JSON object.
+    """
+
+    def __init__(self, message: str, code: str = "bad_json"):
+        super().__init__(message)
+        self.code = code
 
 
 def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
     data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
     if len(data) > MAX_LINE:
-        raise ProtocolError(f"message too large ({len(data)} bytes)")
+        raise ProtocolError(
+            f"message too large ({len(data)} bytes, cap {MAX_LINE})",
+            code="line_too_long",
+        )
     sock.sendall(data)
+
+
+def _drain_line(sock: socket.socket) -> None:
+    """Discard the rest of an over-long line (bounded by DRAIN_LIMIT).
+
+    Reading to the newline lets the sender finish its ``sendall`` and
+    collect the structured error reply; closing with the line half-read
+    would instead kill the sender with a broken pipe mid-send.
+    """
+    discarded = 0
+    while discarded < DRAIN_LIMIT:
+        data = sock.recv(4096)
+        if not data or b"\n" in data:
+            return
+        discarded += len(data)
 
 
 def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
@@ -38,13 +76,19 @@ def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
         if not byte:
             if not chunks:
                 return None
-            raise ProtocolError("connection closed mid-message")
+            raise ProtocolError(
+                "connection closed mid-message", code="truncated"
+            )
         if byte == b"\n":
             break
         chunks.append(byte)
         total += 1
         if total > MAX_LINE:
-            raise ProtocolError("message exceeds MAX_LINE")
+            _drain_line(sock)
+            raise ProtocolError(
+                f"message line exceeds MAX_LINE ({MAX_LINE} bytes)",
+                code="line_too_long",
+            )
     try:
         message = json.loads(b"".join(chunks).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:

@@ -55,7 +55,7 @@ from ..runtime.checkpoint import save_run_target
 from ..runtime.config import RunConfig
 from ..runtime.estimates import FinishingTimeEstimator
 from .jobs import Job, JobQueue, JobState
-from .protocol import ProtocolError, recv_message, send_message
+from .protocol import MAX_LINE, ProtocolError, recv_message, send_message
 
 #: Config fields a submission may not override (they are properties of
 #: the shared pool, not of one job).
@@ -611,7 +611,14 @@ class JobServer:
             try:
                 request = recv_message(conn)
             except ProtocolError as error:
-                send_message(conn, {"ok": False, "error": str(error)})
+                reply = {
+                    "ok": False,
+                    "error": str(error),
+                    "code": error.code,
+                }
+                if error.code == "line_too_long":
+                    reply["max_line"] = MAX_LINE
+                send_message(conn, reply)
                 return
             if request is None:
                 return

@@ -1,0 +1,104 @@
+"""The README "Resumable runs" example, executed verbatim.
+
+Parses the section's first fenced block out of README.md and runs its
+command sequence exactly as a reader would: start the checkpointed run,
+Ctrl-C it (exit 130), `--resume` it (exit 0), and check the resumed
+total equals the closed-form expected sum — so the walkthrough can
+never rot ahead of the code.
+"""
+
+import re
+import shlex
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SIGINT_EXIT = 130
+
+
+def readme_resume_commands():
+    """The (run_argv, resume_argv) pair from the README's fenced block.
+
+    The block is two shell commands separated by a literal ``^C`` line;
+    backslash continuations are joined, comments dropped.
+    """
+    readme = (REPO_ROOT / "README.md").read_text()
+    section = readme.split("## Resumable runs", 1)[1]
+    block = re.search(r"```bash\n(.*?)```", section, re.S).group(1)
+    commands, interrupts, pending = [], [], ""
+    for line in block.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped == "^C":
+            interrupts.append(len(commands))
+            continue
+        pending += stripped
+        if pending.endswith("\\"):
+            pending = pending[:-1] + " "
+            continue
+        commands.append(shlex.split(pending))
+        pending = ""
+    assert not pending, "unterminated continuation in README block"
+    return commands, interrupts
+
+
+def test_readme_resume_sequence(tmp_path):
+    commands, interrupts = readme_resume_commands()
+    assert len(commands) == 2, "README block should be run + resume"
+    assert interrupts == [1], "README block should Ctrl-C the first run"
+    run_cmd, resume_cmd = commands
+    assert "--checkpoint" in run_cmd and "--resume" in resume_cmd
+
+    ckpt = run_cmd[run_cmd.index("--checkpoint") + 1]
+    records = int(run_cmd[run_cmd.index("--stream-records") + 1])
+
+    def prepared(argv):
+        argv = [sys.executable if arg == "python" else arg for arg in argv]
+        return [str(tmp_path / "ckpt") if arg == ckpt else arg
+                for arg in argv]
+
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    proc = subprocess.Popen(
+        prepared(run_cmd), cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        # Ctrl-C once some chunks are durably journalled, as a reader
+        # interrupting a long run would.
+        journal = tmp_path / "ckpt" / "journal.jsonl"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and proc.poll() is None:
+            if journal.exists() and len(journal.read_bytes().splitlines()) >= 5:
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if proc.returncode == 0:  # pragma: no cover - very fast machine
+        pytest.skip("run finished before SIGINT landed")
+    assert proc.returncode == SIGINT_EXIT, out
+    assert "resume with" in out
+
+    resumed = subprocess.run(
+        prepared(resume_cmd), cwd=REPO_ROOT, env=env,
+        capture_output=True, text=True, timeout=120,
+    )
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    assert "resumed:" in resumed.stdout
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.apps.streams import synthetic_total
+    finally:
+        sys.path.pop(0)
+    expected = synthetic_total(records)
+    assert f"value_total={expected:.0f}" in resumed.stdout

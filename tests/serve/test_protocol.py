@@ -1,0 +1,123 @@
+"""Wire-protocol limits: the 1 MiB line cap and its structured error.
+
+The serve protocol is newline-delimited JSON with a hard per-line cap
+(:data:`repro.serve.protocol.MAX_LINE`, documented in DESIGN.md §8).  An
+over-long line must produce a *structured* ``code="line_too_long"``
+reply — the sender gets told what it did wrong and what the cap is —
+rather than a dropped connection, and the daemon must keep serving
+afterwards.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_LINE,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.serve.server import JobServer
+
+POOL = 2
+
+
+# -- recv_message framing errors (socketpair, small patched cap) -------------
+
+
+@pytest.fixture
+def small_cap(monkeypatch):
+    from repro.serve import server as server_module
+
+    monkeypatch.setattr(protocol, "MAX_LINE", 4096)
+    monkeypatch.setattr(protocol, "DRAIN_LIMIT", 8 * 4096)
+    # server.py holds its own imported binding for the reply field.
+    monkeypatch.setattr(server_module, "MAX_LINE", 4096)
+
+
+def _feed(data: bytes):
+    """A reader socket whose peer is fed ``data`` from a thread (the
+    payload can exceed the socketpair buffer)."""
+    reader, writer = socket.socketpair()
+
+    def pump():
+        try:
+            writer.sendall(data)
+        finally:
+            writer.close()
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    return reader, thread
+
+
+def test_recv_rejects_oversized_line_with_code(small_cap):
+    reader, thread = _feed(b"x" * (3 * 4096) + b"\n")
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_message(reader)
+    assert excinfo.value.code == "line_too_long"
+    thread.join(timeout=5)
+    reader.close()
+
+
+def test_recv_reports_truncation_code():
+    reader, thread = _feed(b'{"op": "ping"')  # EOF before the newline
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_message(reader)
+    assert excinfo.value.code == "truncated"
+    thread.join(timeout=5)
+    reader.close()
+
+
+def test_recv_reports_bad_json_code():
+    reader, thread = _feed(b"not json\n")
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_message(reader)
+    assert excinfo.value.code == "bad_json"
+    thread.join(timeout=5)
+    reader.close()
+
+
+def test_send_refuses_oversized_message():
+    with pytest.raises(ProtocolError) as excinfo:
+        send_message(None, {"blob": "x" * MAX_LINE})
+    assert excinfo.value.code == "line_too_long"
+
+
+# -- the daemon answers instead of hanging up --------------------------------
+
+
+def test_server_replies_structured_line_too_long(tmp_path, small_cap):
+    server = JobServer(
+        processors=POOL,
+        socket_path=str(tmp_path / "serve.sock"),
+        state_dir=str(tmp_path / "state"),
+    )
+    try:
+        # An over-long line: the server must drain it, reply with the
+        # structured error, and stay up for the next connection.
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.connect(server.socket_path)
+        client.sendall(b"x" * (3 * 4096) + b"\n")
+        reply = recv_message(client)
+        client.close()
+        assert reply == {
+            "ok": False,
+            "error": reply["error"],
+            "code": "line_too_long",
+            "max_line": 4096,
+        }
+        assert "4096" in reply["error"]
+
+        # The daemon still serves: a well-formed ping succeeds.
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.connect(server.socket_path)
+        send_message(client, {"op": "ping"})
+        pong = recv_message(client)
+        client.close()
+        assert pong["ok"] is True
+    finally:
+        server.drain("test teardown")

@@ -21,6 +21,12 @@ FIG1_TOTAL = None  # lazily computed sequential baseline
 SLOW_TARGET = os.path.join("examples", "fig1.f")
 SLOW_OVERRIDES = {"tasks": 192, "elements": 3000}
 
+#: The drain test needs jobs slow enough that the gap between "both
+#: have a completed chunk" and "both finished" comfortably exceeds the
+#: drain call — otherwise a fast box finishes the jobs before the
+#: SIGTERM-equivalent lands and the interruption assertions race.
+DRAIN_OVERRIDES = {"tasks": 384, "elements": 40000}
+
 
 def fig1_baseline():
     global FIG1_TOTAL
@@ -189,7 +195,7 @@ def test_drain_mid_flight_cancels_and_resumes_cleanly(tmp_path):
     baseline = api.run(
         SLOW_TARGET,
         api.RunConfig(backend="mp", processors=POOL),
-        **SLOW_OVERRIDES,
+        **DRAIN_OVERRIDES,
     )
     server = JobServer(
         processors=POOL,
@@ -197,8 +203,8 @@ def test_drain_mid_flight_cancels_and_resumes_cleanly(tmp_path):
         queue_limit=4,
         max_running=2,
     )
-    ok1, job1 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
-    ok2, job2 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+    ok1, job1 = server.submit(SLOW_TARGET, overrides=DRAIN_OVERRIDES)
+    ok2, job2 = server.submit(SLOW_TARGET, overrides=DRAIN_OVERRIDES)
     assert ok1 and ok2
     # Let both sessions genuinely start executing chunks.
     deadline = time.monotonic() + 30
