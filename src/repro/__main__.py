@@ -344,10 +344,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from .runtime.config import PoolConfig
     from .serve.server import JobServer
 
     socket_path = args.socket or _default_socket(args.state_dir)
     try:
+        pool_config = PoolConfig(
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            respawn_backoff=args.respawn_backoff,
+            max_respawns=args.max_respawns,
+            idle_timeout=args.idle_timeout,
+        )
         server = JobServer(
             processors=args.procs,
             socket_path=socket_path,
@@ -355,6 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             max_running=args.max_running,
             start_method=args.start_method,
+            pool_config=pool_config,
         )
     except (OSError, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -408,6 +417,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         overrides["tasks"] = args.tasks
     if args.policy is not None:
         overrides["policy"] = args.policy
+    if args.inject_fault:
+        overrides["inject_fault"] = list(args.inject_fault)
     client = ServeClient(args.socket)
     try:
         job = client.submit(
@@ -461,6 +472,19 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f"{response['queued']} queued"
                 + (" (draining)" if response.get("draining") else "")
             )
+            pool = response.get("pool")
+            if pool and (
+                pool["respawns"]
+                or pool["grows"]
+                or pool["shrinks"]
+                or pool["quarantined"]
+            ):
+                print(
+                    f"pool:  {pool['respawns']} respawned, "
+                    f"{pool['grows']} grown, {pool['shrinks']} shrunk, "
+                    f"quarantined slots: "
+                    f"{pool['quarantined'] or 'none'}"
+                )
             for job in response["jobs"]:
                 print(_job_line(job))
     except ServeError as error:
@@ -802,6 +826,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for the pool",
     )
+    serve_parser.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help=(
+            "idle-shrink floor: the pool never shrinks below N live "
+            "workers (default: --procs, i.e. no shrink below base width)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help=(
+            "elastic ceiling: grow up to N workers when the load is "
+            "compute-bound (default: --procs, i.e. no growth)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "cooperatively stop a worker idle this long, down to "
+            "--min-workers (default: never shrink)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-respawns", type=int, default=3, metavar="N",
+        help=(
+            "crash-loop breaker: quarantine a pool slot that dies more "
+            "than N times within the rolling respawn window"
+        ),
+    )
+    serve_parser.add_argument(
+        "--respawn-backoff", type=float, default=0.1, metavar="SECONDS",
+        help=(
+            "base delay before respawning a dead worker (doubles per "
+            "death in the rolling window)"
+        ),
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = commands.add_parser(
@@ -842,6 +901,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "static"),
         default=None,
         help="chunk self-scheduling policy for this job",
+    )
+    submit_parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="KIND[:WORKER[:CHUNK[:ARG]]]",
+        help=(
+            "inject a deterministic fault into this job (repeatable; "
+            "same grammar as `run --inject-fault`): poolkill:*:2:1 "
+            "kills one pool worker at global dispatch 2 and the "
+            "elastic pool respawns it"
+        ),
     )
     submit_parser.set_defaults(func=_cmd_submit)
 

@@ -119,6 +119,19 @@ JOB_FAILED = "job.failed"
 #: The job was cancelled — client request or daemon drain — through the
 #: graceful cancel path (attrs: job, reason, resume_dir).
 JOB_CANCELLED = "job.cancelled"
+#: -- elastic pool lane (resident WorkerPool self-healing) -----------------
+#: A dead pool slot was respawned (attrs: slot, attempt = deaths in the
+#: rolling window, backoff = seconds waited before this attempt).
+POOL_RESPAWN = "pool.respawn"
+#: A dormant slot was started because the serve load is compute-bound
+#: (attrs: slot, width = live + pending workers after the grow).
+POOL_GROW = "pool.grow"
+#: An idle worker was stopped cooperatively after ``idle_timeout``
+#: (attrs: slot, idle = seconds it sat free, width).
+POOL_SHRINK = "pool.shrink"
+#: A crash-looping slot tripped the circuit breaker and will not be
+#: respawned (attrs: slot, deaths, window).
+POOL_QUARANTINE = "pool.quarantine"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -154,6 +167,10 @@ ALL_KINDS = (
     JOB_DONE,
     JOB_FAILED,
     JOB_CANCELLED,
+    POOL_RESPAWN,
+    POOL_GROW,
+    POOL_SHRINK,
+    POOL_QUARANTINE,
 )
 
 

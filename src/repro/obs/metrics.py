@@ -37,6 +37,10 @@ from .events import (
     FAULT_INJECTED,
     MSG_RECV,
     MSG_SEND,
+    POOL_GROW,
+    POOL_QUARANTINE,
+    POOL_RESPAWN,
+    POOL_SHRINK,
     RUN_CANCELLED,
     SHM_ATTACH,
     SHM_MAP,
@@ -150,6 +154,11 @@ class MetricsReport:
     stream_backpressure_events: int = 0
     #: p99 admission-to-settle page latency (0 when no pages settled).
     stream_page_latency_p99: float = 0.0
+    #: Elastic-pool accounting (resident WorkerPool self-healing).
+    pool_respawns: int = 0
+    pool_grows: int = 0
+    pool_shrinks: int = 0
+    pool_quarantines: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -250,6 +259,10 @@ class MetricsReport:
             "stream_backpressure_events": self.stream_backpressure_events,
             "stream_page_latency_p99": self.stream_page_latency_p99,
             "stream_tasks_per_second": self.stream_tasks_per_second,
+            "pool_respawns": self.pool_respawns,
+            "pool_grows": self.pool_grows,
+            "pool_shrinks": self.pool_shrinks,
+            "pool_quarantines": self.pool_quarantines,
             "chunks_per_processor": {
                 str(proc): count
                 for proc, count in sorted(self.chunks_histogram().items())
@@ -300,6 +313,10 @@ def aggregate(
     stream_pages_settled = 0
     stream_tasks = 0
     stream_backpressure_events = 0
+    pool_respawns = 0
+    pool_grows = 0
+    pool_shrinks = 0
+    pool_quarantines = 0
     stream_settle_latencies: List[float] = []
     # Makespan from processor-lane events when any exist (machine-level
     # instants like token rounds carry amortised durations that would
@@ -391,6 +408,14 @@ def aggregate(
         elif event.kind == STREAM_BACKPRESSURE:
             if event.attrs.get("state") == "pause":
                 stream_backpressure_events += 1
+        elif event.kind == POOL_RESPAWN:
+            pool_respawns += 1
+        elif event.kind == POOL_GROW:
+            pool_grows += 1
+        elif event.kind == POOL_SHRINK:
+            pool_shrinks += 1
+        elif event.kind == POOL_QUARANTINE:
+            pool_quarantines += 1
 
     p99 = 0.0
     if stream_settle_latencies:
@@ -426,4 +451,8 @@ def aggregate(
         stream_tasks=stream_tasks,
         stream_backpressure_events=stream_backpressure_events,
         stream_page_latency_p99=p99,
+        pool_respawns=pool_respawns,
+        pool_grows=pool_grows,
+        pool_shrinks=pool_shrinks,
+        pool_quarantines=pool_quarantines,
     )

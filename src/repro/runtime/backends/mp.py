@@ -115,6 +115,8 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
+    Any,
+    Callable,
     Deque,
     Dict,
     List,
@@ -137,6 +139,8 @@ from ...obs.events import (
     FAULT_INJECTED,
     OP_BEGIN,
     OP_END,
+    POOL_QUARANTINE,
+    POOL_RESPAWN,
     RUN_CANCELLED,
     RUN_RESUMED,
     SHM_ATTACH,
@@ -159,7 +163,7 @@ from ..checkpoint import (
     load_manifest,
     read_journal,
 )
-from ..config import RunConfig
+from ..config import PoolConfig, RunConfig
 from ..cost_model import CostFunction, OnlineStats
 from ..estimates import FinishingTimeEstimator, OpProfile, lag_term
 from ..faults import (
@@ -550,26 +554,63 @@ class WorkerPool:
     reads it directly.  A :class:`shm.SegmentCache` rides along so
     identical payloads reuse their shared-memory segments across runs.
 
-    Dead workers are not respawned: the pool degrades exactly like an
-    in-run worker death (the Eq. 1 ration re-runs over the survivors)
-    and :meth:`live_workers` reports what is left.
+    The pool is *elastic and self-healing* (:class:`PoolConfig`): a slot
+    whose worker dies is respawned under exponential backoff and handed
+    back through the ordinary grant path (the session or serve balancer
+    re-runs its Eq. 1 ration over the restored width); a slot that dies
+    more than ``max_respawns`` times within the rolling
+    ``respawn_window`` is quarantined (circuit breaker) and the pool
+    narrows durably.  In serve mode the pool can additionally *grow*
+    dormant slots up to ``max_workers`` under compute-bound load and
+    *shrink* idle workers after ``idle_timeout`` — shrink is a
+    cooperative stop of a free worker, so it never holds an in-flight
+    chunk.  The pool only ever *starts* processes; death detection and
+    the decision of *when* to respawn belong to its driver (the
+    exclusive session's heartbeat sweep, or the serve router's pool
+    sweep), which keeps all liveness accounting in one clock domain.
     """
 
     def __init__(
-        self, processors: int, start_method: Optional[str] = None
+        self,
+        processors: int,
+        start_method: Optional[str] = None,
+        pool_config: Optional[PoolConfig] = None,
     ):
         if processors < 1:
             raise ValueError("processors must be >= 1")
+        self.cfg = pool_config or PoolConfig()
+        if (
+            self.cfg.max_workers is not None
+            and self.cfg.max_workers < processors
+        ):
+            raise ValueError(
+                f"PoolConfig.max_workers ({self.cfg.max_workers}) is below "
+                f"the pool's base width ({processors})"
+            )
+        if (
+            self.cfg.min_workers is not None
+            and self.cfg.min_workers > processors
+        ):
+            raise ValueError(
+                f"PoolConfig.min_workers ({self.cfg.min_workers}) exceeds "
+                f"the pool's base width ({processors})"
+            )
+        #: Base width: what sessions size their Eq. 1 ration against and
+        #: what :meth:`start` spawns.
         self.p = processors
+        #: Total slot space (base width + growth headroom).
+        self.slots = max(processors, self.cfg.max_workers or processors)
+        #: Shrink floor for serve-mode idle shrink.
+        self.min_workers = self.cfg.min_workers or processors
         self.method = start_method or default_start_method()
         self.ctx = multiprocessing.get_context(self.method)
         self.request_q = self.ctx.Queue()
-        self.reply_qs = [self.ctx.SimpleQueue() for _ in range(processors)]
-        self.processes: List = []
-        self.alive: List[bool] = [False] * processors
+        self.reply_qs = [self.ctx.SimpleQueue() for _ in range(self.slots)]
+        self.processes: List = [None] * self.slots
+        self.alive: List[bool] = [False] * self.slots
         self.t0 = 0.0
         #: Worker processes ever started (a reuse metric: stays at ``p``
-        #: however many runs the pool serves).
+        #: across runs unless churn forces respawns or load forces grows).
         self.total_spawns = 0
         self.segment_cache = (
             shm.SegmentCache() if shm.shm_available() else None
@@ -577,6 +618,32 @@ class WorkerPool:
         self._next_key = 0
         self._key_lock = threading.Lock()
         self._use_lock = threading.Lock()
+        #: Guards the per-slot elasticity state below (driver thread vs.
+        #: session threads calling :meth:`mark_dead`).
+        self._slot_lock = threading.Lock()
+        #: Slots above the base width not currently running (grow pulls
+        #: from here; shrink returns slots here).
+        self.dormant: Set[int] = set(range(processors, self.slots))
+        #: Slots waiting on a respawn/grow ready handshake.
+        self.pending_ready: Set[int] = set()
+        #: Crash-looping slots the circuit breaker retired.
+        self.quarantined: Set[int] = set()
+        #: Structured ``{"slot", "deaths", "window", "reason"}`` records,
+        #: one per quarantined slot.
+        self.quarantine_records: List[Dict[str, Any]] = []
+        #: Rolling death timestamps per slot (crash-loop window).
+        self._deaths: List[Deque[float]] = [
+            deque() for _ in range(self.slots)
+        ]
+        #: Monotonic deadline before which a slot may not respawn.
+        self._next_respawn_at = [0.0] * self.slots
+        #: When the slot's pending handshake was started.
+        self._spawned_at = [0.0] * self.slots
+        #: Respawn attempts doomed to fail (``spawnfail`` injection).
+        self.fail_next_spawns = 0
+        self.respawns = 0
+        self.grows = 0
+        self.shrinks = 0
         self.started = False
         self.stopped = False
 
@@ -598,19 +665,17 @@ class WorkerPool:
         # this fork; the workers must inherit the coordinator's tracker.
         shm.ensure_tracker_running()
         self.t0 = time.perf_counter()
-        self.processes = [
-            self.ctx.Process(
+        for wid in range(self.p):
+            self.processes[wid] = self.ctx.Process(
                 target=_worker_main,
                 args=(wid, {}, self.request_q, self.reply_qs[wid], self.t0),
                 daemon=True,
             )
-            for wid in range(self.p)
-        ]
         launched: List = []
         try:
-            for process in self.processes:
-                process.start()
-                launched.append(process)
+            for wid in range(self.p):
+                self.processes[wid].start()
+                launched.append(self.processes[wid])
         except Exception as error:
             for process in launched:
                 process.terminate()
@@ -630,8 +695,27 @@ class WorkerPool:
                     f"resident pool: {pending} of {self.p} workers never "
                     f"reported ready within {ready_timeout:.0f}s"
                 )
+            # Fail fast when a worker dies before its handshake instead
+            # of burning the whole ready_timeout waiting for a message
+            # that can never come.
+            dead = [
+                wid
+                for wid in range(self.p)
+                if not self.alive[wid]
+                and not self.processes[wid].is_alive()
+            ]
+            if dead:
+                codes = [self.processes[wid].exitcode for wid in dead]
+                self.stop()
+                raise MpBackendError(
+                    f"resident pool: worker {dead[0]} died before its "
+                    f"ready handshake (dead wids {dead}, exit codes "
+                    f"{codes})"
+                )
             try:
-                kind, wid, _payload = self.request_q.get(timeout=remaining)
+                kind, wid, _payload = self.request_q.get(
+                    timeout=min(remaining, 0.1)
+                )
             except queue_module.Empty:
                 continue
             if kind == "ready":
@@ -649,12 +733,224 @@ class WorkerPool:
     def live_workers(self) -> List[int]:
         return [
             wid
-            for wid in range(self.p)
-            if self.alive[wid] and self.processes[wid].is_alive()
+            for wid in range(self.slots)
+            if self.alive[wid]
+            and self.processes[wid] is not None
+            and self.processes[wid].is_alive()
         ]
 
-    def mark_dead(self, wid: int) -> None:
-        self.alive[wid] = False
+    def mark_dead(self, wid: int) -> Optional[Dict[str, Any]]:
+        """Record one death of slot ``wid`` and start its backoff clock.
+
+        Returns the structured quarantine record when this death trips
+        the crash-loop breaker, else ``None``.  Callers (the session
+        heartbeat sweep, the serve pool sweep) emit the corresponding
+        ``pool.quarantine`` event — the pool itself never touches a
+        tracer, so event timestamps stay in the caller's clock domain.
+        """
+        with self._slot_lock:
+            self.alive[wid] = False
+            self.pending_ready.discard(wid)
+            if wid in self.quarantined:
+                return None
+            now = time.monotonic()
+            window = self.cfg.respawn_window
+            deaths = self._deaths[wid]
+            deaths.append(now)
+            while deaths and now - deaths[0] > window:
+                deaths.popleft()
+            if len(deaths) > self.cfg.max_respawns:
+                self.quarantined.add(wid)
+                record = {
+                    "slot": wid,
+                    "deaths": len(deaths),
+                    "window": window,
+                    "reason": (
+                        f"crash loop: slot {wid} died {len(deaths)} times "
+                        f"within {window:.0f}s (max_respawns="
+                        f"{self.cfg.max_respawns})"
+                    ),
+                }
+                self.quarantine_records.append(record)
+                return record
+            self._next_respawn_at[wid] = now + (
+                self.cfg.respawn_backoff * (2 ** (len(deaths) - 1))
+            )
+            return None
+
+    def _spawn_slot(self, wid: int) -> None:
+        """Start a fresh worker process in slot ``wid``.
+
+        The slot's reply queue is replaced first so messages queued for
+        the dead incarnation are never replayed into the new one
+        (sessions look the queue up per send, so the swap is
+        transparent).  Raises on spawn failure — including injected
+        ``spawnfail`` faults — which callers count as another death.
+        """
+        if self.fail_next_spawns > 0:
+            self.fail_next_spawns -= 1
+            raise MpBackendError(
+                f"injected spawn failure (spawnfail) for slot {wid}"
+            )
+        self.reply_qs[wid] = self.ctx.SimpleQueue()
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(wid, {}, self.request_q, self.reply_qs[wid], self.t0),
+            daemon=True,
+        )
+        process.start()
+        self.processes[wid] = process
+        self.total_spawns += 1
+
+    def maybe_respawn(
+        self, eligible: Optional[Callable[[int], bool]] = None
+    ) -> List[Dict[str, Any]]:
+        """One pass of the self-healing loop; returns what happened.
+
+        Respawns every dead, non-quarantined, non-dormant slot whose
+        backoff expired (and which ``eligible`` — e.g. "not currently
+        owned by a serve job" — admits), and times out pending ready
+        handshakes.  Each returned dict has ``kind`` ``"respawn"``,
+        ``"spawnfail"`` or ``"quarantine"`` plus slot details; the
+        caller emits the matching events and FaultReport entries.
+        """
+        if not self.running:
+            return []
+        happened: List[Dict[str, Any]] = []
+        now = time.monotonic()
+        for wid in range(self.slots):
+            with self._slot_lock:
+                if (
+                    wid in self.dormant
+                    or wid in self.quarantined
+                    or self.alive[wid]
+                ):
+                    continue
+                if wid in self.pending_ready:
+                    process = self.processes[wid]
+                    hung = (
+                        now - self._spawned_at[wid] > self.cfg.ready_timeout
+                    )
+                    if process is not None and process.is_alive() and hung:
+                        process.terminate()
+                        process.join(timeout=1.0)
+                    elif process is not None and process.is_alive():
+                        continue  # handshake still in flight
+                    # The respawn itself died (or hung) before ready.
+                else:
+                    process = self.processes[wid]
+                    if process is not None and process.is_alive():
+                        # Dead per the session's books but the process
+                        # is up — a stale ready is still queued; leave
+                        # it to the driver's message loop.
+                        continue
+                if (
+                    wid not in self.pending_ready
+                    and now < self._next_respawn_at[wid]
+                ):
+                    continue
+                if eligible is not None and not eligible(wid):
+                    continue
+                retry_pending = wid in self.pending_ready
+                self.pending_ready.discard(wid)
+            if retry_pending:
+                # Count the failed handshake as another death (outside
+                # the slot lock: mark_dead re-acquires it).
+                record = self.mark_dead(wid)
+                if record is not None:
+                    happened.append(dict(record, kind="quarantine"))
+                continue
+            attempt = len(self._deaths[wid])
+            backoff = max(0.0, self._next_respawn_at[wid] -
+                          (self._deaths[wid][-1] if self._deaths[wid]
+                           else now))
+            try:
+                self._spawn_slot(wid)
+            except Exception as error:
+                happened.append(
+                    {"kind": "spawnfail", "slot": wid, "error": str(error)}
+                )
+                record = self.mark_dead(wid)
+                if record is not None:
+                    happened.append(dict(record, kind="quarantine"))
+                continue
+            with self._slot_lock:
+                self.pending_ready.add(wid)
+                self._spawned_at[wid] = now
+                self.respawns += 1
+            happened.append(
+                {
+                    "kind": "respawn",
+                    "slot": wid,
+                    "attempt": attempt,
+                    "backoff": backoff,
+                }
+            )
+        return happened
+
+    def confirm_ready(self, wid: int) -> None:
+        """A respawned/grown slot completed its ready handshake."""
+        with self._slot_lock:
+            self.pending_ready.discard(wid)
+            self.alive[wid] = True
+
+    def can_recover(self) -> bool:
+        """Whether any dead slot may still come back (pending handshake
+        or respawnable) — the "don't declare the pool lost yet" test."""
+        if not self.running:
+            return False
+        with self._slot_lock:
+            if self.pending_ready:
+                return True
+            return any(
+                not self.alive[wid]
+                and wid not in self.quarantined
+                and wid not in self.dormant
+                for wid in range(self.slots)
+            )
+
+    def grow(self) -> Optional[int]:
+        """Start one dormant slot; returns its wid (or ``None``)."""
+        with self._slot_lock:
+            candidates = sorted(
+                wid for wid in self.dormant if wid not in self.quarantined
+            )
+        for wid in candidates:
+            try:
+                self._spawn_slot(wid)
+            except Exception:
+                continue
+            with self._slot_lock:
+                self.dormant.discard(wid)
+                self.pending_ready.add(wid)
+                self._spawned_at[wid] = time.monotonic()
+                self.grows += 1
+            return wid
+        return None
+
+    def shrink(self, wid: int) -> bool:
+        """Cooperatively stop one live worker; its slot goes dormant.
+
+        Only called on *free* (ungranted) workers, so there is never an
+        in-flight chunk to reclaim — the revoke path already returned
+        the worker at a chunk boundary with its results journaled.
+        """
+        with self._slot_lock:
+            if not self.alive[wid] or wid in self.pending_ready:
+                return False
+            self.alive[wid] = False
+            self.dormant.add(wid)
+            self._deaths[wid].clear()
+            process = self.processes[wid]
+        try:
+            self.reply_qs[wid].put(("stop",))
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        if process is not None:
+            process.join(timeout=1.0)
+        with self._slot_lock:
+            self.shrinks += 1
+        return True
 
     def try_acquire(self) -> bool:
         """Claim exclusive direct use of ``request_q`` (a warm
@@ -671,22 +967,28 @@ class WorkerPool:
             return
         self.stopped = True
         for wid, reply_q in enumerate(self.reply_qs):
-            if not self.alive[wid] or not self.processes[wid].is_alive():
+            process = self.processes[wid]
+            if (
+                not self.alive[wid]
+                or process is None
+                or not process.is_alive()
+            ):
                 continue
             try:
                 reply_q.put(("stop",))
             except Exception:
                 pass
-        for process in self.processes:
+        live = [p for p in self.processes if p is not None]
+        for process in live:
             try:
                 process.join(timeout=2.0)
             except Exception:  # pragma: no cover - teardown best effort
                 pass
-        for process in self.processes:
+        for process in live:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
-        for process in self.processes:
+        for process in live:
             if process.is_alive():  # pragma: no cover - defensive
                 process.kill()
                 process.join(timeout=1.0)
@@ -694,7 +996,7 @@ class WorkerPool:
         self.request_q.cancel_join_thread()
         if self.segment_cache is not None:
             self.segment_cache.close()
-        self.alive = [False] * self.p
+        self.alive = [False] * self.slots
 
 
 # ---------------------------------------------------------------------------
@@ -1025,9 +1327,17 @@ class _MpSession:
             self.key_base = pool.allocate_keys(len(self.ops))
             # Membership is grant-driven: nobody is ours until granted
             # (exclusive warm runs self-grant every live worker at
-            # startup).
+            # startup).  Per-wid arrays span the pool's full slot space
+            # so grown/respawned slots index cleanly; the Eq. 1 ration
+            # only ever sees the granted subset.
+            self.p = pool.slots
+            self.assignment = [-1] * self.p
             self.alive = [False] * self.p
             self.live_count = 0
+            # Arm injected spawn failures on the shared pool so elastic
+            # recovery is deterministically testable end to end.
+            if self.injector is not None:
+                pool.fail_next_spawns += self.injector.spawn_failures()
 
     # -- helpers -------------------------------------------------------------
 
@@ -1147,6 +1457,18 @@ class _MpSession:
                 self.revoked.add(wid)
             return False
         if kind == "ready":
+            if self.pool is not None:
+                # A respawned slot rejoining an exclusive warm run: the
+                # handshake confirms the fresh process, the grant path
+                # re-runs the Eq. 1 ration over the restored width.
+                # (Serve tenants never see this — the router consumes
+                # pool-level handshakes.)  Returning False matters:
+                # _grant already dispatched, a second dispatch would
+                # clobber the new flight.
+                if self.inbox is None:
+                    self.pool.confirm_ready(wid)
+                    self._grant(wid)
+                return False
             return True
         if kind == "attached":
             # One-shot shm attach notification — not a scheduling event:
@@ -2139,7 +2461,25 @@ class _MpSession:
             self.idle.discard(wid)
             self.revoked.discard(wid)
             if self.pool is not None:
-                self.pool.mark_dead(wid)
+                quarantine = self.pool.mark_dead(wid)
+                if quarantine is not None:
+                    self.fault_report.pool_quarantined.append(quarantine)
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            POOL_QUARANTINE,
+                            now,
+                            proc=wid,
+                            deaths=quarantine["deaths"],
+                            window=quarantine["window"],
+                        )
+                # A respawned incarnation of this slot starts with an
+                # empty op table and no stream pages: forget everything
+                # we shipped so a re-grant reloads from scratch.
+                self._loaded = {
+                    (w, o) for (w, o) in self._loaded if w != wid
+                }
+                for feed in self.streams:
+                    feed.shipped.pop(wid, None)
                 if self.released_cb is not None:
                     self.released_cb(wid, "dead")
             flight = self.in_flight.pop(wid, None)
@@ -2198,11 +2538,16 @@ class _MpSession:
                 # (its speculative duplicate won); the op may be done.
                 self._maybe_complete(self.ops[flight.op_index])
             if self.live_count == 0 and (
-                self.pool is None or not self.pool.live_workers()
+                self.pool is None
+                or (
+                    not self.pool.live_workers()
+                    and not self.pool.can_recover()
+                )
             ):
                 # A serve tenant with zero granted-but-live workers just
                 # waits for the balancer's next grant — only a pool with
-                # nobody left alive is unrecoverable.
+                # nobody left alive *and* nobody respawnable is
+                # unrecoverable.
                 raise MpBackendError(
                     "every worker process died; nothing left to run on"
                 )
@@ -2210,6 +2555,51 @@ class _MpSession:
             # to work on the reclaimed chunks.
             self._reallocate()
             self._wake_idle()
+        self._respawn_pool_slots()
+
+    def _respawn_pool_slots(self) -> None:
+        """Drive the pool's self-healing loop (exclusive warm runs only).
+
+        Serve mode runs the equivalent sweep in the server's router
+        thread, which also excludes slots owned by other jobs; here the
+        session is the pool's only tenant, so every dead slot is ours to
+        heal.  Fresh workers announce themselves with a ready handshake
+        that :meth:`_on_message` turns into a grant, at which point the
+        Eq. 1 ration re-runs over the restored width.
+        """
+        if self.pool is None or self.inbox is not None or self.detaching:
+            return
+        for info in self.pool.maybe_respawn():
+            if info["kind"] == "respawn":
+                self.fault_report.workers_respawned += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        POOL_RESPAWN,
+                        self._now(),
+                        proc=info["slot"],
+                        attempt=info["attempt"],
+                        backoff=info["backoff"],
+                    )
+            elif info["kind"] == "spawnfail":
+                self.fault_report.injected.append(
+                    {
+                        "fault": "spawnfail",
+                        "worker": info["slot"],
+                        "error": info["error"],
+                    }
+                )
+            elif info["kind"] == "quarantine":
+                self.fault_report.pool_quarantined.append(
+                    {k: v for k, v in info.items() if k != "kind"}
+                )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        POOL_QUARANTINE,
+                        self._now(),
+                        proc=info["slot"],
+                        deaths=info["deaths"],
+                        window=info["window"],
+                    )
 
     # -- durability ----------------------------------------------------------
 
@@ -2533,7 +2923,11 @@ class _MpSession:
         """
         self.detaching = True
         for wid, op_index in sorted(self._loaded):
-            if not self.pool.alive[wid] or not self.workers[wid].is_alive():
+            if (
+                not self.pool.alive[wid]
+                or self.workers[wid] is None
+                or not self.workers[wid].is_alive()
+            ):
                 continue
             try:
                 self._send(wid, ("unload", self.key_base + op_index))
@@ -2932,7 +3326,9 @@ class MultiprocessingBackend:
         """Spawn the resident pool once; subsequent runs reuse it."""
         if self._pool is None or not self._pool.running:
             pool = WorkerPool(
-                cfg.processors, start_method=cfg.mp_start_method
+                cfg.processors,
+                start_method=cfg.mp_start_method,
+                pool_config=cfg.pool,
             )
             pool.start()
             self._pool = pool

@@ -36,6 +36,72 @@ BATCHINGS = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
+class PoolConfig:
+    """Elasticity and self-healing knobs for a resident ``WorkerPool``.
+
+    The pool's *base width* is the ``processors`` it was built with;
+    these knobs govern how the width may move around that point:
+
+    * dead workers are respawned under exponential backoff
+      (``respawn_backoff * 2**(deaths_in_window - 1)`` seconds);
+    * a slot that dies more than ``max_respawns`` times within a rolling
+      ``respawn_window`` is quarantined (circuit breaker) and the pool
+      narrows durably;
+    * with ``idle_timeout`` set, serve-mode pools shrink workers that sat
+      idle that long (down to ``min_workers``) and grow dormant slots up
+      to ``max_workers`` when queued demand and TAPER cost samples say
+      the load is compute-bound.
+    """
+
+    #: Shrink floor (serve mode); ``None`` = the pool's base width, i.e.
+    #: idle shrink only ever releases *grown* workers.
+    min_workers: Optional[int] = None
+    #: Growth ceiling; ``None`` = the base width (no growth).
+    max_workers: Optional[int] = None
+    #: Base of the respawn backoff (seconds); the n-th death within the
+    #: rolling window waits ``respawn_backoff * 2**(n-1)``.
+    respawn_backoff: float = 0.1
+    #: Deaths tolerated per slot within ``respawn_window`` before the
+    #: slot is quarantined instead of respawned.
+    max_respawns: int = 3
+    #: Rolling window (seconds) for the crash-loop death count.
+    respawn_window: float = 30.0
+    #: Seconds a serve-mode worker may sit idle before the pool shrinks
+    #: it (``None`` disables idle shrink).
+    idle_timeout: Optional[float] = None
+    #: Seconds a respawned/grown worker gets to complete its ready
+    #: handshake before the attempt is counted as another death.
+    ready_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers is not None and self.min_workers < 1:
+            raise ValueError("PoolConfig.min_workers must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("PoolConfig.max_workers must be >= 1")
+        if (
+            self.min_workers is not None
+            and self.max_workers is not None
+            and self.min_workers > self.max_workers
+        ):
+            raise ValueError(
+                "PoolConfig.min_workers must not exceed max_workers"
+            )
+        if self.respawn_backoff < 0:
+            raise ValueError("PoolConfig.respawn_backoff must be >= 0")
+        if self.max_respawns < 0:
+            raise ValueError("PoolConfig.max_respawns must be >= 0")
+        if self.respawn_window <= 0:
+            raise ValueError("PoolConfig.respawn_window must be > 0")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ValueError(
+                "PoolConfig.idle_timeout must be > 0 (or None to disable "
+                "idle shrink)"
+            )
+        if self.ready_timeout <= 0:
+            raise ValueError("PoolConfig.ready_timeout must be > 0")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything a backend needs to execute parallel operations.
 
@@ -189,6 +255,11 @@ class RunConfig:
     #: stream instead of averaging over its whole history.  ``1.0``
     #: would weight every sample equally (plain online moments).
     stream_decay: float = 0.05
+    #: Elasticity/self-healing knobs for the resident worker pool the mp
+    #: backend builds in :meth:`MultiprocessingBackend.prepare` (``None``
+    #: = a static pool: dead workers degrade the run, nothing respawns).
+    #: Ignored by the simulator and by private (non-pooled) mp runs.
+    pool: Optional[PoolConfig] = None
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -296,6 +367,11 @@ class RunConfig:
         if not 0 < self.stream_decay <= 1:
             raise ValueError(
                 "RunConfig.stream_decay must be in (0, 1]"
+            )
+        if self.pool is not None and not isinstance(self.pool, PoolConfig):
+            raise ValueError(
+                "RunConfig.pool must be a PoolConfig (or None for a "
+                "static pool)"
             )
         if (
             self.machine is not None

@@ -45,8 +45,16 @@ from typing import Any, Dict, List, Optional, Tuple
 #:   checkpoint/resume path.  The journal keeps only chunks completed
 #:   before the kill.  **Never inject this in-process in a test** — it
 #:   kills the whole interpreter; run the coordinator in a subprocess
-#:   and assert on :data:`COORDINATOR_KILL_EXIT`.
-FAULT_KINDS = ("kill", "raise", "delay", "slow", "coordkill")
+#:   and assert on :data:`COORDINATOR_KILL_EXIT`;
+#: * ``poolkill`` — kill ``times`` *distinct* workers starting at the
+#:   ``at_chunk``-th global dispatch (one per victim's next dispatch).
+#:   The deterministic way to say "N/2 of the pool dies mid-run" and
+#:   exercise elastic respawn without naming worker ids;
+#: * ``spawnfail`` — the pool's next ``times`` *respawn attempts* fail
+#:   at spawn time (each counts as another death toward the crash-loop
+#:   breaker).  Coordinator-side only; never dispatched to a worker.
+FAULT_KINDS = ("kill", "raise", "delay", "slow", "coordkill", "poolkill",
+               "spawnfail")
 
 #: Exit status of a coordinator killed by a ``coordkill`` fault.
 COORDINATOR_KILL_EXIT = 23
@@ -68,6 +76,12 @@ class FaultSpec:
     ``times`` larger than the retry budget exhaust it and force
     quarantine).  ``delay`` is the reply delay in seconds for ``delay``
     faults.
+
+    ``poolkill`` reinterprets ``times`` as the number of *distinct*
+    workers to kill (each victim dies on its first dispatch at or after
+    the ``at_chunk``-th global one); ``worker`` is ignored.
+    ``spawnfail`` reinterprets ``times`` as the number of respawn
+    attempts to fail; ``worker``/``at_chunk`` are ignored.
     """
 
     kind: str
@@ -91,10 +105,13 @@ class FaultSpec:
             )
 
     def directive(self) -> Tuple:
-        """The wire form a worker obeys (``coordkill`` never reaches a
-        worker — the coordinator intercepts it at dispatch)."""
+        """The wire form a worker obeys (``coordkill``/``spawnfail``
+        never reach a worker — the coordinator intercepts them; a
+        ``poolkill`` victim just sees an ordinary ``kill``)."""
         if self.kind in ("delay", "slow"):
             return (self.kind, self.delay)
+        if self.kind == "poolkill":
+            return ("kill",)
         return (self.kind,)
 
 
@@ -178,6 +195,21 @@ class FaultPlan:
         )
 
     @classmethod
+    def pool_kill(cls, workers: int = 1, at_chunk: int = 0) -> "FaultPlan":
+        """Kill ``workers`` distinct pool workers starting at the
+        ``at_chunk``-th global dispatch (each victim dies on its next
+        dispatch).  The canonical elastic-pool chaos plan: "half the
+        pool dies mid-run"."""
+        return cls((FaultSpec("poolkill", at_chunk=at_chunk, times=workers),))
+
+    @classmethod
+    def spawn_failures(cls, attempts: int = 1) -> "FaultPlan":
+        """Fail the pool's next ``attempts`` respawn attempts, driving
+        the exponential backoff (and, past ``max_respawns``, the
+        crash-loop quarantine) deterministically."""
+        return cls((FaultSpec("spawnfail", times=attempts),))
+
+    @classmethod
     def random(
         cls,
         seed: int,
@@ -205,13 +237,18 @@ class FaultPlan:
 def parse_fault_spec(text: str) -> FaultSpec:
     """Parse the CLI form ``kind[:worker[:chunk[:arg]]]``.
 
-    ``worker`` is an id or ``*`` (any); ``arg`` is ``times`` for
-    ``raise`` faults and ``seconds`` for ``delay``/``slow`` faults.
+    ``worker`` is an id or ``*`` (any); ``arg`` is ``seconds`` for
+    ``delay``/``slow`` faults and ``times`` otherwise (for ``poolkill``
+    that is the number of distinct workers to kill; for ``spawnfail``
+    the number of respawn attempts to fail).
     Examples: ``kill:1:2`` (kill worker 1 at its 2nd chunk),
     ``raise:*:3:2`` (raise on global dispatches 3 and 4),
     ``delay:0:1:0.25``, ``slow:*:2:0.5`` (stall the 2nd global chunk
     half a second before computing), ``coordkill:*:4`` (the coordinator
-    dies at its 4th dispatch — exercise ``--resume``).
+    dies at its 4th dispatch — exercise ``--resume``),
+    ``poolkill:*:2:2`` (from the 2nd global dispatch, kill 2 distinct
+    workers — elastic respawn brings them back), ``spawnfail:*:0:3``
+    (the next 3 respawn attempts fail at spawn).
     """
     parts = text.split(":")
     kind = parts[0]
@@ -250,6 +287,17 @@ class FaultInjector:
         self._global = 0
         self._per_worker: Dict[int, int] = {}
         self._fired = [0] * len(plan.specs)
+        #: Per-``poolkill``-spec set of wids already handed a kill, so
+        #: ``times`` counts *distinct* victims.
+        self._victims: Dict[int, set] = {}
+
+    def spawn_failures(self) -> int:
+        """Total respawn attempts the plan's ``spawnfail`` specs doom
+        (consumed by the pool at session setup, not per dispatch)."""
+        return sum(
+            spec.times for spec in self.plan.specs
+            if spec.kind == "spawnfail"
+        )
 
     def on_dispatch(self, wid: int) -> Optional[Tuple]:
         """The directive for this dispatch, or ``None``.
@@ -262,6 +310,19 @@ class FaultInjector:
         worker_index = self._per_worker.get(wid, 0)
         self._per_worker[wid] = worker_index + 1
         for spec_index, spec in enumerate(self.plan.specs):
+            if spec.kind == "spawnfail":
+                continue  # consumed at pool setup, never per dispatch
+            if spec.kind == "poolkill":
+                victims = self._victims.setdefault(spec_index, set())
+                if (
+                    global_index < spec.at_chunk
+                    or wid in victims
+                    or len(victims) >= spec.times
+                ):
+                    continue
+                victims.add(wid)
+                self._fired[spec_index] += 1
+                return spec.directive()
             if spec.worker >= 0 and spec.worker != wid:
                 continue
             index = worker_index if spec.worker >= 0 else global_index
@@ -303,6 +364,11 @@ class FaultReport:
     #: (speculation first-result-wins, or a late report from a worker
     #: whose chunk had already been reclaimed).
     duplicate_results_dropped: int = 0
+    #: Dead pool workers respawned during the run (elastic pool only).
+    workers_respawned: int = 0
+    #: Pool slots quarantined by the crash-loop breaker: structured
+    #: ``{"slot", "deaths", "window", "reason"}`` dicts.
+    pool_quarantined: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -319,6 +385,8 @@ class FaultReport:
             or self.injected
             or self.chunks_speculated
             or self.duplicate_results_dropped
+            or self.workers_respawned
+            or self.pool_quarantined
         )
 
     def merge(self, other: "FaultReport") -> None:
@@ -332,6 +400,8 @@ class FaultReport:
         self.worker_last_seen.update(other.worker_last_seen)
         self.chunks_speculated += other.chunks_speculated
         self.duplicate_results_dropped += other.duplicate_results_dropped
+        self.workers_respawned += other.workers_respawned
+        self.pool_quarantined.extend(other.pool_quarantined)
 
     def summary(self) -> str:
         """One line per fault category ("no faults" on a clean run)."""
@@ -364,6 +434,11 @@ class FaultReport:
                 f"duplicate results dropped: "
                 f"{self.duplicate_results_dropped}"
             )
+        if self.workers_respawned:
+            parts.append(f"workers respawned: {self.workers_respawned}")
+        if self.pool_quarantined:
+            slots = [entry["slot"] for entry in self.pool_quarantined]
+            parts.append(f"pool slots quarantined: {slots}")
         return "; ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -379,4 +454,8 @@ class FaultReport:
             "worker_last_seen": dict(self.worker_last_seen),
             "chunks_speculated": self.chunks_speculated,
             "duplicate_results_dropped": self.duplicate_results_dropped,
+            "workers_respawned": self.workers_respawned,
+            "pool_quarantined": [
+                dict(entry) for entry in self.pool_quarantined
+            ],
         }

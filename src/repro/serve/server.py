@@ -42,6 +42,10 @@ from ..obs.events import (
     JOB_FAILED,
     JOB_STARTED,
     JOB_SUBMITTED,
+    POOL_GROW,
+    POOL_QUARANTINE,
+    POOL_RESPAWN,
+    POOL_SHRINK,
     Tracer,
     events_to_jsonl,
 )
@@ -52,8 +56,9 @@ from ..runtime.backends.mp import (
     real_machine_config,
 )
 from ..runtime.checkpoint import save_run_target
-from ..runtime.config import RunConfig
+from ..runtime.config import PoolConfig, RunConfig
 from ..runtime.estimates import FinishingTimeEstimator
+from ..runtime.faults import FaultPlan, parse_fault_spec
 from .jobs import Job, JobQueue, JobState
 from .protocol import MAX_LINE, ProtocolError, recv_message, send_message
 
@@ -62,6 +67,8 @@ from .protocol import MAX_LINE, ProtocolError, recv_message, send_message
 _POOL_FIELDS = ("backend", "processors", "mp_start_method", "tracer")
 #: Target-shaping overrides routed to op construction, not RunConfig.
 _WORKLOAD_FIELDS = ("tasks", "elements")
+#: Cadence of the router's pool sweep (respawn / grow / shrink checks).
+_SWEEP_INTERVAL = 0.2
 
 
 class JobServer:
@@ -76,6 +83,7 @@ class JobServer:
         max_running: int = 4,
         start_method: Optional[str] = None,
         base_config: Optional[RunConfig] = None,
+        pool_config: Optional[PoolConfig] = None,
     ):
         if max_running < 1:
             raise ValueError("JobServer.max_running must be >= 1")
@@ -107,15 +115,25 @@ class JobServer:
         self.owner: Dict[int, str] = {}
         #: Workers not granted to any job.
         self.free: set = set()
+        #: wid -> monotonic time it entered the free set (idle-shrink
+        #: bookkeeping).
+        self.free_since: Dict[int, float] = {}
         #: Resolved (ops, deps) per admitted job, consumed at start.
         self._work: Dict[str, Tuple[list, list]] = {}
         self._configs: Dict[str, RunConfig] = {}
         # The pool forks its workers *before* any server thread starts
-        # (the classic fork+threads hazard); sessions borrowing the pool
-        # never fork.
-        self.pool = WorkerPool(processors, start_method=start_method)
+        # (the classic fork+threads hazard applies to the *initial*
+        # cohort; respawned/grown workers immediately enter the worker
+        # loop and touch only their own fresh reply queue, which keeps
+        # the later forks safe too); sessions borrowing the pool never
+        # fork.
+        self.pool = WorkerPool(
+            processors, start_method=start_method, pool_config=pool_config
+        )
         self.pool.start()
         self.free = set(self.pool.live_workers())
+        now = time.monotonic()
+        self.free_since = {wid: now for wid in self.free}
         self._router = threading.Thread(
             target=self._route, name="serve-router", daemon=True
         )
@@ -204,11 +222,23 @@ class JobServer:
             for key in _WORKLOAD_FIELDS
             if key in overrides
         }
+        # Fault plans arrive as CLI spec strings (FaultPlan itself is not
+        # JSON); parse them here so churn chaos is seed-reproducible
+        # through the socket.
+        inject = overrides.get("inject_fault")
+        fault_plan = None
+        if inject:
+            specs = [inject] if isinstance(inject, str) else list(inject)
+            fault_plan = FaultPlan(
+                tuple(parse_fault_spec(str(spec)) for spec in specs)
+            )
         cfg_overrides = {
             key: value
             for key, value in overrides.items()
-            if key not in _WORKLOAD_FIELDS
+            if key not in _WORKLOAD_FIELDS and key != "inject_fault"
         }
+        if fault_plan is not None:
+            cfg_overrides["fault_plan"] = fault_plan
         cfg = self.base_config.with_(tracer=Tracer(), **cfg_overrides)
         if self.state_dir and cfg.checkpoint_dir is None:
             cfg = cfg.with_(
@@ -314,6 +344,7 @@ class JobServer:
             current = len(job.granted) - len(job.pending_revoke)
             while current < share and self.free:
                 wid = self.free.pop()
+                self.free_since.pop(wid, None)
                 if not self.pool.alive[wid]:
                     continue
                 self.owner[wid] = job.id
@@ -336,6 +367,7 @@ class JobServer:
                 del self.owner[wid]
             if status == "free":
                 self.free.add(wid)
+                self.free_since[wid] = time.monotonic()
         if status == "free":
             self._schedule()
 
@@ -347,29 +379,178 @@ class JobServer:
         A report from an unowned worker means the worker was released
         ``"busy"`` and has now finished that chunk: only ``done``/
         ``error`` free it (``attached`` notifications are progress, not
-        completion, and are dropped).
+        completion, and are dropped).  ``ready`` handshakes are
+        pool-level, never session-level: a respawned or grown worker
+        announces itself here, joins the free set, and the next
+        rebalance grants it to the most under-granted job.  The router
+        also hosts the pool sweep (death detection for free workers,
+        respawn, grow, idle shrink) on a heartbeat-ish cadence.
         """
+        next_sweep = time.monotonic() + _SWEEP_INTERVAL
         while not self._stop.is_set():
             try:
                 kind, wid, payload = self.pool.request_q.get(timeout=0.2)
             except queue_module.Empty:
+                self._pool_sweep()
+                next_sweep = time.monotonic() + _SWEEP_INTERVAL
                 continue
             except (EOFError, OSError):  # pool torn down under us
                 break
             freed = False
             with self._lock:
-                job = self.jobs.get(self.owner.get(wid, ""))
-                if job is not None and job.session is not None:
-                    job.inbox.put((kind, wid, payload))
-                elif kind in ("done", "error"):
-                    if (
-                        self.pool.alive[wid]
-                        and self.pool.processes[wid].is_alive()
-                    ):
-                        self.free.add(wid)
-                        freed = True
+                if kind == "ready":
+                    # Never forwarded: the server completes the
+                    # handshake and re-rations over the restored width.
+                    self.pool.confirm_ready(wid)
+                    self.free.add(wid)
+                    self.free_since[wid] = time.monotonic()
+                    freed = True
+                else:
+                    job = self.jobs.get(self.owner.get(wid, ""))
+                    if job is not None and job.session is not None:
+                        job.inbox.put((kind, wid, payload))
+                    elif kind in ("done", "error"):
+                        if (
+                            self.pool.alive[wid]
+                            and self.pool.processes[wid].is_alive()
+                        ):
+                            self.free.add(wid)
+                            self.free_since[wid] = time.monotonic()
+                            freed = True
             if freed:
                 self._schedule()
+            if time.monotonic() >= next_sweep:
+                self._pool_sweep()
+                next_sweep = time.monotonic() + _SWEEP_INTERVAL
+
+    def _pool_sweep(self) -> None:
+        """The serve-side self-healing and elasticity loop.
+
+        Order matters: detect dead *free* workers first (owned deaths
+        are the owning session's to detect — its heartbeat sweep
+        reclaims the in-flight chunk and releases the slot ``"dead"``
+        before the slot becomes respawnable here), then respawn, then
+        grow under demand, then shrink the idle.
+        """
+        events: List[Dict[str, Any]] = []
+        with self._lock:
+            if self.draining or not self.pool.running:
+                return
+            now = time.monotonic()
+            # 1. Free workers have no session watching them: sweep here.
+            for wid in list(self.free):
+                process = self.pool.processes[wid]
+                if process is not None and process.is_alive():
+                    continue
+                self.free.discard(wid)
+                self.free_since.pop(wid, None)
+                if self.pool.alive[wid]:
+                    record = self.pool.mark_dead(wid)
+                    if record is not None:
+                        events.append(dict(record, kind="quarantine"))
+            # 2. Respawn dead slots nobody owns (replacing an owned
+            # slot's process would desync the owning session's liveness
+            # books — it sweeps the same process list).
+            events.extend(
+                self.pool.maybe_respawn(
+                    eligible=lambda wid: wid not in self.owner
+                )
+            )
+            # 3. Grow a dormant slot when the load is compute-bound.
+            if self._grow_wanted():
+                grown = self.pool.grow()
+                if grown is not None:
+                    events.append(
+                        {
+                            "kind": "grow",
+                            "slot": grown,
+                            "width": len(self.pool.live_workers())
+                            + len(self.pool.pending_ready),
+                        }
+                    )
+            # 4. Shrink one idle worker per sweep past idle_timeout.
+            idle_timeout = self.pool.cfg.idle_timeout
+            if idle_timeout is not None:
+                width = len(self.pool.live_workers())
+                for wid in sorted(self.free, reverse=True):
+                    if width <= self.pool.min_workers:
+                        break
+                    since = self.free_since.setdefault(wid, now)
+                    if now - since < idle_timeout:
+                        continue
+                    if self.pool.shrink(wid):
+                        self.free.discard(wid)
+                        self.free_since.pop(wid, None)
+                        events.append(
+                            {
+                                "kind": "shrink",
+                                "slot": wid,
+                                "idle": now - since,
+                                "width": width - 1,
+                            }
+                        )
+                        break
+        for info in events:
+            kind = info["kind"]
+            if kind == "respawn":
+                self.tracer.emit(
+                    POOL_RESPAWN,
+                    self._now(),
+                    proc=info["slot"],
+                    attempt=info["attempt"],
+                    backoff=info["backoff"],
+                )
+            elif kind == "quarantine":
+                self.tracer.emit(
+                    POOL_QUARANTINE,
+                    self._now(),
+                    proc=info["slot"],
+                    deaths=info["deaths"],
+                    window=info["window"],
+                )
+            elif kind == "grow":
+                self.tracer.emit(
+                    POOL_GROW,
+                    self._now(),
+                    proc=info["slot"],
+                    width=info["width"],
+                )
+            elif kind == "shrink":
+                self.tracer.emit(
+                    POOL_SHRINK,
+                    self._now(),
+                    proc=info["slot"],
+                    idle=info["idle"],
+                    width=info["width"],
+                )
+
+    def _grow_wanted(self) -> bool:
+        """Whether demand justifies starting a dormant slot (lock held).
+
+        Compute-bound means: no spare capacity (nothing free, nothing
+        mid-handshake), work genuinely waiting (queued jobs, or the
+        running jobs' aggregate remaining tasks exceed twice the
+        current width), and at least one running job's TAPER cost
+        samples show real per-task cost — a fleet blocked on a stream
+        source should not grow.
+        """
+        if self.free or self.pool.pending_ready:
+            return False
+        running = [
+            job
+            for job in self.running.values()
+            if job.session is not None and not job.done.is_set()
+        ]
+        if not running:
+            return False
+        width = len(self.pool.live_workers())
+        if width >= self.pool.slots - len(self.pool.quarantined):
+            return False
+        profiles = [job.session.job_profile() for job in running]
+        if not any(profile.mean > 0 for profile in profiles):
+            return False
+        remaining = sum(profile.tasks for profile in profiles)
+        return len(self.queue) > 0 or remaining > 2 * width
 
     # -- job execution -------------------------------------------------------
 
@@ -437,6 +618,7 @@ class JobServer:
                     and self.pool.processes[wid].is_alive()
                 ):
                     self.free.add(wid)
+                    self.free_since[wid] = time.monotonic()
 
     # -- queries / control ---------------------------------------------------
 
@@ -454,6 +636,20 @@ class JobServer:
                 "live_workers": len(self.pool.live_workers()),
                 "queued": len(self.queue),
                 "running": len(self.running),
+                "pool": {
+                    "base": self.pool.p,
+                    "slots": self.pool.slots,
+                    "min_workers": self.pool.min_workers,
+                    "max_workers": self.pool.cfg.max_workers
+                    or self.pool.p,
+                    "live": len(self.pool.live_workers()),
+                    "pending": len(self.pool.pending_ready),
+                    "dormant": len(self.pool.dormant),
+                    "quarantined": sorted(self.pool.quarantined),
+                    "respawns": self.pool.respawns,
+                    "grows": self.pool.grows,
+                    "shrinks": self.pool.shrinks,
+                },
                 "jobs": [
                     job.info()
                     for job in sorted(

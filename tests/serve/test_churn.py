@@ -1,0 +1,201 @@
+"""Pool churn under the serve daemon: respawn, quarantine, grow/shrink.
+
+The chaos acceptance for the elastic-pool PR, serve side: kill half the
+pool mid-job and the job still reports totals identical to an
+undisturbed run while the router's pool sweep respawns the dead slot
+and re-grants it through the normal ready -> free -> rebalance path; a
+crash-looping slot is quarantined durably; compute-bound load grows the
+pool up to ``max_workers`` and idleness shrinks it back down.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime.config import PoolConfig
+from repro.serve.server import JobServer
+
+POOL = 2
+
+#: A multi-second graph job, same scaling as test_server.py: long
+#: enough that a worker killed at global dispatch 2 is detected,
+#: respawned, and re-granted with most of the job still ahead.
+SLOW_TARGET = os.path.join("examples", "fig1.f")
+SLOW_OVERRIDES = {"tasks": 192, "elements": 3000}
+
+FIG1F_TOTAL = None  # lazily computed undisturbed baseline
+
+
+def fig1f_baseline():
+    """Totals of an undisturbed serve run of the slow job."""
+    global FIG1F_TOTAL
+    if FIG1F_TOTAL is None:
+        server = JobServer(processors=POOL)
+        try:
+            ok, job = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+            assert ok, job
+            done = server.wait(job.id, timeout=120)
+            assert done["job"]["state"] == "done"
+            FIG1F_TOTAL = (
+                done["job"]["result"]["value_total"],
+                done["job"]["result"]["tasks"],
+            )
+        finally:
+            server.drain("baseline teardown")
+    return FIG1F_TOTAL
+
+
+def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_poolkill_mid_job_heals_and_totals_match():
+    """Kill half the pool mid-job: exact totals, full width restored."""
+    value, tasks = fig1f_baseline()
+    server = JobServer(
+        processors=POOL,
+        pool_config=PoolConfig(respawn_backoff=0.05),
+    )
+    try:
+        ok, job = server.submit(
+            SLOW_TARGET,
+            overrides=dict(
+                SLOW_OVERRIDES,
+                inject_fault=["poolkill:*:2:1"],
+                heartbeat_interval=0.05,
+            ),
+        )
+        assert ok, job
+        done = server.wait(job.id, timeout=120)
+        assert done["job"]["state"] == "done"
+        assert done["job"]["result"]["value_total"] == value
+        assert done["job"]["result"]["tasks"] == tasks
+        # The sweep respawned the victim and the router re-granted it:
+        # full width within a few heartbeats of job end.
+        assert wait_for(
+            lambda: len(server.pool.live_workers()) == POOL
+        )
+        assert server.pool.respawns >= 1
+        pool_status = server.status()["pool"]
+        assert pool_status["live"] == POOL
+        assert pool_status["respawns"] >= 1
+        assert not pool_status["quarantined"]
+
+        # The healed pool serves a fresh job exactly.
+        ok2, job2 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+        assert ok2
+        done2 = server.wait(job2.id, timeout=120)
+        assert done2["job"]["state"] == "done"
+        assert done2["job"]["result"]["value_total"] == value
+    finally:
+        server.drain("test teardown")
+
+
+def test_crash_looping_slot_quarantined_under_serve():
+    """A slot that dies at every grant trips the breaker durably."""
+    value, tasks = fig1f_baseline()
+    server = JobServer(
+        processors=POOL,
+        pool_config=PoolConfig(respawn_backoff=0.02, max_respawns=1),
+    )
+    try:
+        ok, job = server.submit(
+            SLOW_TARGET,
+            overrides=dict(
+                SLOW_OVERRIDES,
+                inject_fault=["kill:0:0:10"],
+                heartbeat_interval=0.05,
+            ),
+        )
+        assert ok, job
+        done = server.wait(job.id, timeout=120)
+        assert done["job"]["state"] == "done"
+        assert done["job"]["result"]["value_total"] == value
+        assert done["job"]["result"]["tasks"] == tasks
+        # One job may finish before slot 0's replacement is granted and
+        # killed a second time; keep feeding it victims until the
+        # breaker trips (deaths accumulate on the pool across jobs).
+        for _ in range(6):
+            if wait_for(lambda: 0 in server.pool.quarantined, timeout=3.0):
+                break
+            ok, job = server.submit(
+                SLOW_TARGET,
+                overrides=dict(
+                    SLOW_OVERRIDES,
+                    inject_fault=["kill:0:0:10"],
+                    heartbeat_interval=0.05,
+                ),
+            )
+            assert ok, job
+            done = server.wait(job.id, timeout=120)
+            assert done["job"]["state"] == "done"
+            assert done["job"]["result"]["value_total"] == value
+        assert 0 in server.pool.quarantined
+        record = server.pool.quarantine_records[0]
+        assert record["slot"] == 0
+        assert "crash loop" in record["reason"]
+        pool_status = server.status()["pool"]
+        assert pool_status["quarantined"] == [0]
+        # Quarantine is durable: the slot stays out across later jobs.
+        ok2, job2 = server.submit(SLOW_TARGET, overrides=SLOW_OVERRIDES)
+        assert ok2
+        done2 = server.wait(job2.id, timeout=120)
+        assert done2["job"]["state"] == "done"
+        assert done2["job"]["result"]["value_total"] == value
+        assert server.pool.quarantined == {0}
+    finally:
+        server.drain("test teardown")
+
+
+def test_compute_bound_load_grows_then_idle_shrinks():
+    """Two jobs on a 1-wide pool grow it to 2; idleness shrinks it."""
+    server = JobServer(
+        processors=1,
+        max_running=2,
+        pool_config=PoolConfig(max_workers=2, idle_timeout=0.3),
+    )
+    try:
+        overrides = {"tasks": 256, "elements": 3000}
+        ok1, job1 = server.submit(SLOW_TARGET, overrides=overrides)
+        ok2, job2 = server.submit(SLOW_TARGET, overrides=overrides)
+        assert ok1 and ok2
+        assert wait_for(
+            lambda: len(server.pool.live_workers()) == 2, timeout=30.0
+        )
+        assert server.pool.grows >= 1
+        done1 = server.wait(job1.id, timeout=120)
+        done2 = server.wait(job2.id, timeout=120)
+        assert done1["job"]["state"] == "done"
+        assert done2["job"]["state"] == "done"
+        # Both workers idle past idle_timeout: shrink to min_workers=1.
+        # Poll the counter together with the width — shrink() drops the
+        # worker from the live set before it finishes joining the
+        # process and bumping the counter.
+        assert wait_for(
+            lambda: len(server.pool.live_workers()) == 1
+            and server.pool.shrinks >= 1
+        )
+        pool_status = server.status()["pool"]
+        assert pool_status["live"] == 1
+        assert pool_status["grows"] >= 1
+        assert pool_status["shrinks"] >= 1
+    finally:
+        server.drain("test teardown")
+
+
+def test_rejected_inject_fault_spec_fails_at_admission():
+    server = JobServer(processors=POOL)
+    try:
+        ok, reason = server.submit(
+            "fig1", overrides={"inject_fault": ["meteor:0"]}
+        )
+        assert not ok
+        assert "unknown fault kind" in reason
+    finally:
+        server.drain("test teardown")
