@@ -1,0 +1,120 @@
+"""Multi-host scaling: one agent vs two on the same workload.
+
+The dist PR's acceptance number: doubling the agent fleet (2 workers
+per agent, loopback TCP) must cut the workload's makespan by at least
+1.5x, because the coordinator's TAPER chunk self-scheduling and Eq. 1
+rationing treat the union of remote workers as one fleet and the wire
+adds only per-chunk framing, not per-task chatter.
+
+Tasks are fixed-cost sleeps rather than CPU burns: CI runners (and
+this container) may expose a single core, where no amount of process
+parallelism can speed up real compute.  A sleep releases the GIL and
+the core, so the makespan measures exactly what the dist backend is
+responsible for — keeping a wider fleet of remote workers busy
+concurrently — not how many cores the host happens to have.
+
+Agents run in-process (cooperative ``die_hard=False`` mode) but their
+workers are real child processes, so the concurrency — and the
+speedup — is genuine.  Wall-clock and noisy like the other backend
+benches; the JSON artifact ``BENCH_dist_scaling.json`` carries the
+exact numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.runtime.backends import get_backend
+from repro.runtime.backends.dist import HostAgent
+from repro.runtime.config import RunConfig
+from repro.runtime.kernel import Kernel
+from repro.runtime.task import RealOp
+
+from conftest import print_table
+
+WORKERS_PER_AGENT = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+REPEATS = 3
+#: Enough tasks that TAPER's tapering chunks still balance the fleet,
+#: at a per-task cost that dwarfs per-chunk wire framing.
+TASKS = 96
+DELAY_S = 0.02
+
+
+def _sleepy(payload):
+    time.sleep(DELAY_S)
+    return float(payload)
+
+
+def build_ops():
+    return [
+        RealOp(
+            name="sleep",
+            kernel=Kernel(fn=_sleepy),
+            payloads=[float(i) for i in range(TASKS)],
+        )
+    ]
+
+
+def start_agents(count):
+    agents = []
+    for _ in range(count):
+        agent = HostAgent(WORKERS_PER_AGENT, die_hard=False)
+        agent.start()
+        threading.Thread(target=agent.serve_forever, daemon=True).start()
+        agents.append(agent)
+    hosts = ",".join(f"127.0.0.1:{agent.port}" for agent in agents)
+    return agents, hosts
+
+
+def best_makespan(hosts):
+    cfg = RunConfig(
+        backend="dist", processors=1, hosts=hosts, mp_timeout=120.0
+    )
+    backend = get_backend("dist")
+    best = None
+    total = None
+    for _ in range(REPEATS):
+        result = backend.run_ops(build_ops(), cfg)
+        best = result.makespan if best is None else min(best, result.makespan)
+        total = result.value_total
+    return best, total
+
+
+def test_two_agents_beat_one():
+    agents, hosts_one = start_agents(1)
+    try:
+        one_agent, total_one = best_makespan(hosts_one)
+    finally:
+        for agent in agents:
+            agent.stop()
+    agents, hosts_two = start_agents(2)
+    try:
+        two_agents, total_two = best_makespan(hosts_two)
+    finally:
+        for agent in agents:
+            agent.stop()
+
+    assert total_one == total_two  # same exact totals at any width
+    speedup = one_agent / two_agents
+    rows = [
+        [1, WORKERS_PER_AGENT, f"{one_agent:.3f}", "1.00"],
+        [
+            2,
+            2 * WORKERS_PER_AGENT,
+            f"{two_agents:.3f}",
+            f"{speedup:.2f}",
+        ],
+    ]
+    print_table(
+        f"dist scaling: {TASKS} x {DELAY_S}s tasks, "
+        f"{WORKERS_PER_AGENT} workers/agent, best of {REPEATS}",
+        ["agents", "workers", "makespan_s", "speedup"],
+        rows,
+        name="dist_scaling",
+    )
+    assert speedup >= 1.5, (
+        f"two agents only {speedup:.2f}x faster than one "
+        f"({one_agent:.3f}s -> {two_agents:.3f}s)"
+    )

@@ -30,7 +30,12 @@ Commands:
   "Resumable runs").  ``run stream --backend mp`` ingests a paginated
   record stream under a bounded in-flight window with watermark
   backpressure (``--window``, ``--high-watermark``; see README
-  "Streaming ingestion");
+  "Streaming ingestion").  ``--backend dist --hosts h1:p,h2:p`` runs
+  the same coordinator loop over remote ``repro hostagent`` fleets
+  (see README "Multi-host runs");
+* ``hostagent``          — expose this host's workers to a remote
+  ``run --backend dist`` coordinator over TCP (``--workers``,
+  ``--port``, ``--bind``, ``--shm-cache-bytes``);
 * ``serve``              — run the resident job daemon: one warm mp
   worker pool on a Unix socket, multiplexing submitted jobs with Eq. 1
   cross-job worker rationing (see README "Running as a service");
@@ -265,6 +270,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = api.RunConfig(
             processors=args.procs,
             backend=args.backend,
+            hosts=args.hosts,
             policy=args.policy,
             cost_source=args.cost_source,
             mp_timeout=args.timeout,
@@ -334,6 +340,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hostagent(args: argparse.Namespace) -> int:
+    from .runtime.backends import MpBackendError, run_hostagent
+
+    try:
+        run_hostagent(
+            args.workers,
+            port=args.port,
+            bind=args.bind,
+            start_method=args.start_method,
+            shm_cache_bytes=args.shm_cache_bytes,
+        )
+    except (MpBackendError, OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _default_socket(state_dir: str) -> str:
     import os
 
@@ -355,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             respawn_backoff=args.respawn_backoff,
             max_respawns=args.max_respawns,
             idle_timeout=args.idle_timeout,
+            shm_cache_bytes=args.shm_cache_bytes,
         )
         server = JobServer(
             processors=args.procs,
@@ -450,6 +474,8 @@ def _job_line(job: dict) -> str:
         )
     if job.get("error"):
         line += f" error={job['error']}"
+    if job.get("error_file"):
+        line += f" error_file={job['error_file']}"
     if job.get("resume_dir"):
         line += f" resume_dir={job['resume_dir']}"
     return line
@@ -585,7 +611,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help=(
             "execute a source file or workload on a backend "
-            "(sim = simulator, mp = real multiprocessing workers)"
+            "(sim = simulator, mp = real multiprocessing workers, "
+            "dist = remote `repro hostagent` fleets via --hosts)"
         ),
     )
     run_parser.add_argument(
@@ -601,11 +628,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
-        "--backend", choices=("sim", "mp"), default="sim"
+        "--backend", choices=("sim", "mp", "dist"), default="sim"
     )
     run_parser.add_argument(
         "--procs", "-p", type=int, default=4,
-        help="processors (sim) / worker processes (mp)",
+        help=(
+            "processors (sim) / worker processes (mp); ignored by dist, "
+            "whose width is the union of what the host agents expose"
+        ),
+    )
+    run_parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help=(
+            "dist backend: comma-separated `repro hostagent` addresses; "
+            "the run executes on the union of their workers"
+        ),
     )
     run_parser.add_argument(
         "--policy",
@@ -787,6 +826,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.set_defaults(func=_cmd_run)
 
+    hostagent_parser = commands.add_parser(
+        "hostagent",
+        help=(
+            "expose this host's workers to a remote `run --backend "
+            "dist` coordinator over TCP"
+        ),
+    )
+    hostagent_parser.add_argument(
+        "--workers", "-w", type=int, default=4,
+        help="local worker processes this agent exposes",
+    )
+    hostagent_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default: an ephemeral port, "
+        "printed on the ready line)",
+    )
+    hostagent_parser.add_argument(
+        "--bind", default="127.0.0.1",
+        help="interface to bind (default loopback; 0.0.0.0 for LAN)",
+    )
+    hostagent_parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the workers",
+    )
+    hostagent_parser.add_argument(
+        "--shm-cache-bytes", type=int, default=None, metavar="BYTES",
+        help=(
+            "byte budget of the agent's shared-memory payload segment "
+            "cache (LRU-evicted; default 256 MiB, 0 = unbounded)"
+        ),
+    )
+    hostagent_parser.set_defaults(func=_cmd_hostagent)
+
     serve_parser = commands.add_parser(
         "serve",
         help=(
@@ -859,6 +933,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "base delay before respawning a dead worker (doubles per "
             "death in the rolling window)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shm-cache-bytes", type=int, default=None, metavar="BYTES",
+        help=(
+            "byte budget of the pool's shared-memory payload segment "
+            "cache (LRU-evicted; default 256 MiB, 0 = unbounded)"
         ),
     )
     serve_parser.set_defaults(func=_cmd_serve)

@@ -132,6 +132,18 @@ POOL_SHRINK = "pool.shrink"
 #: A crash-looping slot tripped the circuit breaker and will not be
 #: respawned (attrs: slot, deaths, window).
 POOL_QUARANTINE = "pool.quarantine"
+#: A cached shm payload segment was evicted past the cache byte budget
+#: (attrs: fingerprint = key prefix, bytes, cache_bytes = total after).
+SHM_EVICT = "shm.evict"
+#: -- multi-host lane (the `dist` backend) ---------------------------------
+#: A host agent completed its handshake and joined the run
+#: (attrs: host = --hosts index, addr, workers, width = global workers
+#: after the join; ``proc`` is the host's first global worker id).
+HOST_JOIN = "host.join"
+#: A host agent was lost mid-run — connection dropped or heartbeat
+#: expired (attrs: host, addr, workers = workers it took down,
+#: reclaimed = in-flight tasks requeued, width = surviving workers).
+HOST_LOST = "host.lost"
 
 ALL_KINDS = (
     CHUNK_ACQUIRE,
@@ -171,6 +183,9 @@ ALL_KINDS = (
     POOL_GROW,
     POOL_SHRINK,
     POOL_QUARANTINE,
+    SHM_EVICT,
+    HOST_JOIN,
+    HOST_LOST,
 )
 
 

@@ -6,6 +6,8 @@
   a ``multiprocessing`` worker pool with TAPER chunk self-scheduling,
   Eq. 1 worker-subset rationing, and pipelined stage overlap
   (wall-clock seconds, actually parallel).
+* :class:`DistBackend` — the same coordinator loop over TCP
+  ``repro hostagent`` daemons on multiple hosts (``--hosts``).
 
 Pick one with :func:`get_backend` / ``RunConfig.backend`` — or, higher
 up, through :func:`repro.api.run`.
@@ -24,6 +26,7 @@ from .base import (
     register_backend,
 )
 from ..faults import FaultPlan, FaultReport, FaultSpec
+from .dist import DistBackend, HostAgent, run_hostagent
 from .mp import (
     MpBackendError,
     MultiprocessingBackend,
@@ -44,6 +47,9 @@ __all__ = [
     "OpOutcome",
     "SimBackend",
     "MultiprocessingBackend",
+    "DistBackend",
+    "HostAgent",
+    "run_hostagent",
     "MpBackendError",
     "check_graph_attachment",
     "default_start_method",

@@ -98,6 +98,32 @@ OP_BEGIN / OP_END / ALLOC_DECIDE / TAPER_DECISION events, plus the fault
 lane (WORKER_DIED / CHUNK_REASSIGN / CHUNK_RETRIED / FAULT_INJECTED) —
 with wall-clock timestamps (seconds since run start) on per-worker
 lanes, so Chrome traces and metrics reports show recovery in place.
+
+**Clock domains.**  One rule, enforced per subsystem, so no timestamp is
+ever compared across domains:
+
+* *Scheduling, tracing, heartbeats* — ``time.perf_counter()`` relative
+  to the session's ``t0`` (:meth:`_MpSession._now`).  Workers stamp
+  task records against the same epoch (``perf_counter`` is system-wide
+  on every platform we target); resident-pool workers stamp against the
+  *pool's* epoch and the session de-skews with ``_skew``.  Every event
+  time, ``last_seen`` heartbeat, backoff deadline (``delayed``) and
+  speculation estimate lives here.
+* *Pool elasticity* — ``time.monotonic()``, used exclusively inside
+  :class:`WorkerPool` (``mark_dead`` death windows, ``maybe_respawn``
+  backoff and ready-handshake deadlines, ``_spawned_at``).  Pool state
+  outlives any one session, so session-relative times would go stale
+  between runs; monotonic values never leave the pool and are never
+  compared against session timestamps.
+* *Absolute loop deadlines* — raw ``time.perf_counter()`` for the
+  watchdog/drain/ready deadlines that are computed and compared within
+  one function scope only.
+
+The ``dist`` backend (:mod:`.dist`) adds per-*host* clocks on top: each
+host agent's workers stamp records against the agent's own epoch, and
+the coordinator rebases record *start* times into its session domain
+with a half-RTT skew estimate captured at handshake.  Durations are
+never rebased — they are domain-free intervals.
 """
 
 from __future__ import annotations
@@ -144,6 +170,7 @@ from ...obs.events import (
     RUN_CANCELLED,
     RUN_RESUMED,
     SHM_ATTACH,
+    SHM_EVICT,
     SHM_MAP,
     STREAM_BACKPRESSURE,
     STREAM_PAGE,
@@ -612,8 +639,13 @@ class WorkerPool:
         #: Worker processes ever started (a reuse metric: stays at ``p``
         #: across runs unless churn forces respawns or load forces grows).
         self.total_spawns = 0
+        cache_budget = (
+            shm.DEFAULT_CACHE_BYTES
+            if self.cfg.shm_cache_bytes is None
+            else self.cfg.shm_cache_bytes
+        )
         self.segment_cache = (
-            shm.SegmentCache() if shm.shm_available() else None
+            shm.SegmentCache(cache_budget) if shm.shm_available() else None
         )
         self._next_key = 0
         self._key_lock = threading.Lock()
@@ -1195,6 +1227,10 @@ class _MpSession:
       (``load``/``unload``) under pool-unique keys, and report
       timestamps are de-skewed from the pool's epoch to the session's.
     """
+
+    #: What :meth:`_result` stamps on the BackendRunResult; subclasses
+    #: (the dist coordinator) override it.
+    backend_name = "mp"
 
     def __init__(
         self,
@@ -2196,6 +2232,33 @@ class _MpSession:
             self.plane = plane
         else:
             plane.close(unlink=True)
+        self._drain_cache_evictions()
+
+    def _drain_cache_evictions(self) -> None:
+        """Surface segment-cache LRU evictions as ``shm.evict`` events.
+
+        Evictions happen inside :meth:`shm.SegmentCache.put` when a new
+        segment pushes the cache past its byte budget; the cache logs
+        them (it has no tracer) and the session emits them here so a
+        long-lived serve daemon's /dev/shm pressure is visible in the
+        same stream as the segments' ``shm.map`` events.
+        """
+        cache = self.pool.segment_cache if self.pool is not None else None
+        if cache is None:
+            return
+        evicted = cache.take_evicted()
+        if not evicted:
+            return
+        if self.tracer is not None:
+            cache_bytes = cache.stats()["bytes"]
+            for fingerprint, nbytes in evicted:
+                self.tracer.emit(
+                    SHM_EVICT,
+                    self._now() if self.t0 else 0.0,
+                    fingerprint=fingerprint[:16],
+                    bytes=nbytes,
+                    cache_bytes=cache_bytes,
+                )
 
     def _worker_ops_payload(self) -> List[tuple]:
         """Per-op worker entries, and the startup bytes-shipped estimate."""
@@ -3077,8 +3140,6 @@ class _MpSession:
                     raise MpBackendError(
                         "no live workers left in the resident pool"
                     )
-        deadline = time.perf_counter() + cfg.mp_timeout
-        next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         self._reallocate()
         # Prime the stream windows before anyone asks for work.
         self._advance_streams()
@@ -3087,6 +3148,58 @@ class _MpSession:
             # at start); put the adopted workers to work immediately.
             for wid in self._live_workers():
                 self._dispatch(wid)
+        try:
+            self._coordinate()
+        finally:
+            if pool is not None:
+                self._leave_pool()
+            else:
+                for wid, reply_q in enumerate(self.reply_qs):
+                    # A crashed worker has no reader on its reply queue;
+                    # skip the stop message so shutdown can't wedge.
+                    if not self.alive[wid] or not self.workers[wid].is_alive():
+                        continue
+                    try:
+                        reply_q.put(("stop",))
+                    except Exception:
+                        pass
+                for process in self.workers:
+                    try:
+                        process.join(timeout=2.0)
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                for process in self.workers:
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=1.0)
+                for process in self.workers:
+                    # Last resort: a worker that survived terminate()
+                    # (e.g. wedged in uninterruptible state) must not
+                    # outlive the coordinator as an orphan.
+                    if process.is_alive():  # pragma: no cover - defensive
+                        process.kill()
+                        process.join(timeout=1.0)
+                self.request_q.close()
+                self.request_q.cancel_join_thread()
+            if self.journal is not None:
+                self.journal.close()
+        makespan = max(
+            (state.last_time for state in self.ops if state.size), default=0.0
+        )
+        return self._result(makespan)
+
+    def _coordinate(self) -> None:
+        """The scheduling loop proper, transport-agnostic.
+
+        Everything here flows through :meth:`_recv` / :meth:`_send` /
+        ``self.workers[wid].is_alive()``, so the dist coordinator reuses
+        it verbatim over TCP host links.  Owns the watchdog deadline,
+        heartbeat cadence, signal-driven cancellation and the drain path;
+        worker/pool teardown stays with the caller.
+        """
+        cfg = self.cfg
+        deadline = time.perf_counter() + cfg.mp_timeout
+        next_heartbeat = time.perf_counter() + cfg.heartbeat_interval
         # Graceful cancellation: flip a flag from the signal handler and
         # let the main loop notice at its next iteration — only when
         # this is the process's main thread (signal.signal requires it).
@@ -3179,47 +3292,11 @@ class _MpSession:
                 self.cancel_reason = "signal:SIGINT"
             self._drain()
         finally:
-            if pool is not None:
-                self._leave_pool()
-            else:
-                for wid, reply_q in enumerate(self.reply_qs):
-                    # A crashed worker has no reader on its reply queue;
-                    # skip the stop message so shutdown can't wedge.
-                    if not self.alive[wid] or not self.workers[wid].is_alive():
-                        continue
-                    try:
-                        reply_q.put(("stop",))
-                    except Exception:
-                        pass
-                for process in self.workers:
-                    try:
-                        process.join(timeout=2.0)
-                    except Exception:  # pragma: no cover - best effort
-                        pass
-                for process in self.workers:
-                    if process.is_alive():
-                        process.terminate()
-                        process.join(timeout=1.0)
-                for process in self.workers:
-                    # Last resort: a worker that survived terminate()
-                    # (e.g. wedged in uninterruptible state) must not
-                    # outlive the coordinator as an orphan.
-                    if process.is_alive():  # pragma: no cover - defensive
-                        process.kill()
-                        process.join(timeout=1.0)
-                self.request_q.close()
-                self.request_q.cancel_join_thread()
-            if self.journal is not None:
-                self.journal.close()
             for signum, handler in installed.items():
                 try:
                     signal.signal(signum, handler)
                 except (ValueError, OSError):  # pragma: no cover
                     pass
-        makespan = max(
-            (state.last_time for state in self.ops if state.size), default=0.0
-        )
-        return self._result(makespan)
 
     @staticmethod
     def _latency_percentile(values: List[float], q: float) -> float:
@@ -3267,7 +3344,7 @@ class _MpSession:
             else:
                 data_plane[state.label] = self.plane_of[state.index]
         return BackendRunResult(
-            backend="mp",
+            backend=self.backend_name,
             makespan=makespan,
             total_work=sum(s.measured_work for s in self.ops),
             processors=self.p,

@@ -60,6 +60,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,13 @@ SEGMENT_PREFIX = "repro"
 #: attaches are not worth it for a few kilobytes.  ``data_plane="shm"``
 #: maps every eligible op regardless.
 AUTO_MIN_BYTES = 64 * 1024
+
+#: Default :class:`SegmentCache` byte budget.  A long-lived daemon
+#: seeing many distinct payload sets must not grow its cache without
+#: bound — ``/dev/shm`` is finite — so the cache evicts least-recently
+#: used unpinned segments past this ceiling (override per daemon with
+#: ``--shm-cache-bytes``; 0 means unbounded).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
 
 def shm_available() -> bool:
@@ -263,13 +271,30 @@ class SegmentCache:
 
     Thread-safe: serve-mode jobs set up their planes on concurrent
     server threads.
+
+    Bounded: the cache holds at most ``budget_bytes`` of payload
+    segments (:data:`DEFAULT_CACHE_BYTES` unless overridden; ``0`` or
+    ``None`` disables the bound).  Insertions past the budget evict the
+    least-recently-used *unpinned* entries — a segment is pinned while
+    any live :class:`ShmDataPlane` borrows it, because workers attach
+    by name and an unlinked name would strand a late attach.  Evictions
+    are counted (``evictions``/``evicted_bytes``) and logged for
+    tracing via :meth:`take_evicted`.
     """
 
-    def __init__(self) -> None:
-        self._segments: Dict[str, Tuple[Any, int]] = {}
+    def __init__(
+        self, budget_bytes: Optional[int] = DEFAULT_CACHE_BYTES
+    ) -> None:
+        self._segments: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
         self._lock = threading.Lock()
+        self.budget_bytes = budget_bytes if budget_bytes else None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.total_bytes = 0
+        self._evicted_log: List[Tuple[str, int]] = []
         self.closed = False
 
     @staticmethod
@@ -282,37 +307,87 @@ class SegmentCache:
         return digest.hexdigest()
 
     def get(self, key: str) -> Optional[Tuple[Any, int]]:
-        """The cached ``(segment, nbytes)`` for ``key``, or ``None``."""
+        """The cached ``(segment, nbytes)`` for ``key``, or ``None``.
+
+        A hit freshens the entry's recency *and pins it*: the borrower
+        must :meth:`unpin` when its run no longer needs the segment
+        attachable (``ShmDataPlane.close`` does this for every key it
+        borrowed or adopted).
+        """
         with self._lock:
             if self.closed:
                 return None
             entry = self._segments.get(key)
             if entry is not None:
                 self.hits += 1
+                self._segments.move_to_end(key)
+                self._pins[key] = self._pins.get(key, 0) + 1
             return entry
 
     def put(self, key: str, segment, nbytes: int) -> bool:
         """Adopt a freshly laid-out segment under ``key``.
 
         On ``True`` the cache now owns the segment (and will unlink it
-        at :meth:`close`); on ``False`` (cache closed, or the key raced
-        in from another thread) ownership stays with the caller.
+        at :meth:`close` or on LRU eviction) and the entry is pinned
+        for the caller exactly as a :meth:`get` hit would be; on
+        ``False`` (cache closed, or the key raced in from another
+        thread) ownership stays with the caller.  Adoptions past the
+        byte budget evict least-recently-used unpinned entries.
         """
         with self._lock:
             if self.closed or key in self._segments:
                 return False
             self.misses += 1
             self._segments[key] = (segment, nbytes)
-            return True
+            self._pins[key] = self._pins.get(key, 0) + 1
+            self.total_bytes += nbytes
+            victims = self._evict_locked()
+        self._unlink_all(victims)
+        return True
 
-    def close(self) -> None:
-        """Unlink every cached segment.  Idempotent."""
+    def unpin(self, key: str) -> None:
+        """Release one :meth:`get`/:meth:`put` pin; idempotent past 0.
+
+        The entry stays cached (that is the point — the next run's hit)
+        but becomes evictable once its pin count reaches zero.
+        """
+        victims: List[Tuple[Any, int]] = []
         with self._lock:
-            if self.closed:
-                return
-            self.closed = True
-            entries = list(self._segments.values())
-            self._segments = {}
+            count = self._pins.get(key, 0)
+            if count <= 1:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count - 1
+            if not self.closed:
+                victims = self._evict_locked()
+        self._unlink_all(victims)
+
+    def _evict_locked(self) -> List[Tuple[Any, int]]:
+        """Pop LRU unpinned entries until the budget holds (lock held).
+
+        Returns the popped ``(segment, nbytes)`` pairs for the caller
+        to unlink *outside* the lock.  Pinned entries are skipped: a
+        fully-pinned cache may temporarily exceed the budget rather
+        than unlink a segment a live run still attaches by name.
+        """
+        if self.budget_bytes is None or self.total_bytes <= self.budget_bytes:
+            return []
+        victims: List[Tuple[Any, int]] = []
+        for key in list(self._segments):
+            if self.total_bytes <= self.budget_bytes:
+                break
+            if self._pins.get(key, 0) > 0:
+                continue
+            segment, nbytes = self._segments.pop(key)
+            self.total_bytes -= nbytes
+            self.evictions += 1
+            self.evicted_bytes += nbytes
+            self._evicted_log.append((key, nbytes))
+            victims.append((segment, nbytes))
+        return victims
+
+    @staticmethod
+    def _unlink_all(entries: List[Tuple[Any, int]]) -> None:
         for segment, _nbytes in entries:
             try:
                 segment.close()
@@ -322,6 +397,37 @@ class SegmentCache:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+
+    def take_evicted(self) -> List[Tuple[str, int]]:
+        """Drain the ``(fingerprint, nbytes)`` eviction log (for tracing)."""
+        with self._lock:
+            log, self._evicted_log = self._evicted_log, []
+            return log
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for status surfaces (serve ``status``, agent logs)."""
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "bytes": self.total_bytes,
+                "budget_bytes": self.budget_bytes or 0,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes,
+            }
+
+    def close(self) -> None:
+        """Unlink every cached segment.  Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            entries = list(self._segments.values())
+            self._segments = OrderedDict()
+            self._pins = {}
+            self.total_bytes = 0
+        self._unlink_all(entries)
 
 
 class ShmDataPlane:
@@ -343,6 +449,10 @@ class ShmDataPlane:
         #: dropped eagerly as pages settle, swept by :meth:`close`.
         self._page_segments: Dict[Tuple[int, int], Any] = {}
         self._cache = cache
+        #: Cache fingerprints this plane pinned (borrowed hits and
+        #: adopted misses); unpinned at :meth:`close` so the entries
+        #: become evictable once no live run can attach them by name.
+        self._cache_keys: List[str] = []
         #: Stacked payload bytes laid out, across ops (shipped once,
         #: however many workers attach).
         self.payload_bytes = 0
@@ -387,6 +497,7 @@ class ShmDataPlane:
             if cached is not None:
                 payload_seg = cached[0]
                 borrowed = True
+                self._cache_keys.append(key)
                 self.reused_bytes += int(stacked.nbytes)
         if payload_seg is None:
             payload_seg = self._new_segment(f"{op_index}p", stacked.nbytes)
@@ -408,7 +519,9 @@ class ShmDataPlane:
             if key is not None and self._cache.put(
                 key, payload_seg, int(stacked.nbytes)
             ):
-                pass  # the cache owns it now; it outlives this run
+                # The cache owns it now; it outlives this run (pinned
+                # until this plane closes, then LRU-evictable).
+                self._cache_keys.append(key)
             else:
                 self._segments.append(payload_seg)
         result_view = _np.ndarray(
@@ -506,6 +619,10 @@ class ShmDataPlane:
                 except FileNotFoundError:  # pragma: no cover
                     pass
         self._segments = []
+        if self._cache is not None:
+            for key in self._cache_keys:
+                self._cache.unpin(key)
+            self._cache_keys = []
 
 
 # ---------------------------------------------------------------------------

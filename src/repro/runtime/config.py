@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Names accepted by :func:`repro.runtime.schedulers.make_policy`.
 POLICIES = ("taper", "taper-nocost", "self", "gss", "factoring", "static")
 ALLOCATORS = ("balance", "even", "proportional")
-BACKENDS = ("sim", "mp")
+BACKENDS = ("sim", "mp", "dist")
 SIM_MODELS = ("distributed", "central")
 COST_SOURCES = ("measured", "declared")
 MP_START_METHODS = (None, "fork", "spawn", "forkserver")
@@ -72,6 +72,12 @@ class PoolConfig:
     #: Seconds a respawned/grown worker gets to complete its ready
     #: handshake before the attempt is counted as another death.
     ready_timeout: float = 30.0
+    #: Byte budget of the pool's shared-memory segment cache
+    #: (:class:`repro.runtime.backends.shm.SegmentCache`): least-recently
+    #: used unpinned payload segments are evicted past this many bytes.
+    #: ``0`` disables the bound (the pre-PR-10 unbounded behaviour);
+    #: ``None`` uses :data:`~repro.runtime.backends.shm.DEFAULT_CACHE_BYTES`.
+    shm_cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.min_workers is not None and self.min_workers < 1:
@@ -99,6 +105,11 @@ class PoolConfig:
             )
         if self.ready_timeout <= 0:
             raise ValueError("PoolConfig.ready_timeout must be > 0")
+        if self.shm_cache_bytes is not None and self.shm_cache_bytes < 0:
+            raise ValueError(
+                "PoolConfig.shm_cache_bytes must be >= 0 (0 = unbounded) "
+                "or None for the default budget"
+            )
 
 
 @dataclass(frozen=True)
@@ -260,6 +271,12 @@ class RunConfig:
     #: = a static pool: dead workers degrade the run, nothing respawns).
     #: Ignored by the simulator and by private (non-pooled) mp runs.
     pool: Optional[PoolConfig] = None
+    #: Host agents for the ``dist`` backend, as a comma-separated
+    #: ``host:port[,host:port...]`` list (each entry one running
+    #: ``repro hostagent``).  Required by — and only meaningful to —
+    #: ``backend="dist"``; the coordinator schedules over the union of
+    #: every agent's workers, so ``processors`` is ignored there.
+    hosts: Optional[str] = None
     #: Observability sink shared by both backends (``None`` = no tracing).
     tracer: Optional["Tracer"] = field(default=None, compare=False)
     #: Seed for synthetic-cost generation in drivers that need one.
@@ -368,6 +385,19 @@ class RunConfig:
             raise ValueError(
                 "RunConfig.stream_decay must be in (0, 1]"
             )
+        if self.hosts is not None:
+            entries = [h.strip() for h in self.hosts.split(",") if h.strip()]
+            if not entries:
+                raise ValueError(
+                    "RunConfig.hosts must name at least one host:port "
+                    "agent (or be None)"
+                )
+            for entry in entries:
+                host, _, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ValueError(
+                        f"RunConfig.hosts entry {entry!r} is not host:port"
+                    )
         if self.pool is not None and not isinstance(self.pool, PoolConfig):
             raise ValueError(
                 "RunConfig.pool must be a PoolConfig (or None for a "

@@ -52,9 +52,16 @@ from typing import Any, Dict, List, Optional, Tuple
 #:   exercise elastic respawn without naming worker ids;
 #: * ``spawnfail`` — the pool's next ``times`` *respawn attempts* fail
 #:   at spawn time (each counts as another death toward the crash-loop
-#:   breaker).  Coordinator-side only; never dispatched to a worker.
+#:   breaker).  Coordinator-side only; never dispatched to a worker;
+#: * ``hostloss`` — the ``dist`` coordinator kills the whole host agent
+#:   (every worker on it at once) after the ``at_chunk``-th chunk it
+#:   dispatched *to that host*; ``worker`` names the host index in the
+#:   ``--hosts`` list (``*`` = the first host to reach the count).  The
+#:   multi-host analogue of ``poolkill``: heartbeat reclaim + Eq. 1
+#:   re-rationing over the surviving hosts.  Dist-only; the mp injector
+#:   never fires it.
 FAULT_KINDS = ("kill", "raise", "delay", "slow", "coordkill", "poolkill",
-               "spawnfail")
+               "spawnfail", "hostloss")
 
 #: Exit status of a coordinator killed by a ``coordkill`` fault.
 COORDINATOR_KILL_EXIT = 23
@@ -203,6 +210,22 @@ class FaultPlan:
         return cls((FaultSpec("poolkill", at_chunk=at_chunk, times=workers),))
 
     @classmethod
+    def host_loss(
+        cls, host: int = -1, at_chunk: int = 0, hosts: int = 1
+    ) -> "FaultPlan":
+        """Kill ``hosts`` distinct host agents, each after the
+        ``at_chunk``-th chunk the dist coordinator dispatched to it
+        (``host`` pins one agent by its ``--hosts`` index).  The
+        multi-host "a machine was withdrawn mid-run" chaos plan."""
+        return cls(
+            (
+                FaultSpec(
+                    "hostloss", worker=host, at_chunk=at_chunk, times=hosts
+                ),
+            )
+        )
+
+    @classmethod
     def spawn_failures(cls, attempts: int = 1) -> "FaultPlan":
         """Fail the pool's next ``attempts`` respawn attempts, driving
         the exponential backoff (and, past ``max_respawns``, the
@@ -248,7 +271,9 @@ def parse_fault_spec(text: str) -> FaultSpec:
     dies at its 4th dispatch — exercise ``--resume``),
     ``poolkill:*:2:2`` (from the 2nd global dispatch, kill 2 distinct
     workers — elastic respawn brings them back), ``spawnfail:*:0:3``
-    (the next 3 respawn attempts fail at spawn).
+    (the next 3 respawn attempts fail at spawn), ``hostloss:1:2``
+    (kill the second ``--hosts`` agent after the 2nd chunk dispatched
+    to it — dist backend only).
     """
     parts = text.split(":")
     kind = parts[0]
@@ -290,6 +315,10 @@ class FaultInjector:
         #: Per-``poolkill``-spec set of wids already handed a kill, so
         #: ``times`` counts *distinct* victims.
         self._victims: Dict[int, set] = {}
+        #: Chunks dispatched per host (``hostloss`` accounting, dist only).
+        self._per_host: Dict[int, int] = {}
+        #: Per-``hostloss``-spec set of hosts already killed.
+        self._host_victims: Dict[int, set] = {}
 
     def spawn_failures(self) -> int:
         """Total respawn attempts the plan's ``spawnfail`` specs doom
@@ -310,8 +339,10 @@ class FaultInjector:
         worker_index = self._per_worker.get(wid, 0)
         self._per_worker[wid] = worker_index + 1
         for spec_index, spec in enumerate(self.plan.specs):
-            if spec.kind == "spawnfail":
-                continue  # consumed at pool setup, never per dispatch
+            if spec.kind in ("spawnfail", "hostloss"):
+                # spawnfail is consumed at pool setup; hostloss fires
+                # through on_host_dispatch — neither reaches a worker.
+                continue
             if spec.kind == "poolkill":
                 victims = self._victims.setdefault(spec_index, set())
                 if (
@@ -333,6 +364,32 @@ class FaultInjector:
             self._fired[spec_index] += 1
             return spec.directive()
         return None
+
+    def on_host_dispatch(self, host: int) -> bool:
+        """Advance the per-host chunk count; ``True`` = kill this host.
+
+        The dist coordinator calls this once per chunk dispatched to
+        ``host`` (a ``--hosts`` index).  A ``hostloss`` spec fires when
+        the named host (or, with ``worker=-1``, any host) reaches its
+        ``at_chunk``-th dispatch, at most ``times`` *distinct* hosts
+        per spec.
+        """
+        count = self._per_host.get(host, 0)
+        self._per_host[host] = count + 1
+        for spec_index, spec in enumerate(self.plan.specs):
+            if spec.kind != "hostloss":
+                continue
+            victims = self._host_victims.setdefault(spec_index, set())
+            if host in victims or len(victims) >= spec.times:
+                continue
+            if spec.worker >= 0 and spec.worker != host:
+                continue
+            if count < spec.at_chunk:
+                continue
+            victims.add(host)
+            self._fired[spec_index] += 1
+            return True
+        return False
 
 
 @dataclass
@@ -369,6 +426,9 @@ class FaultReport:
     #: Pool slots quarantined by the crash-loop breaker: structured
     #: ``{"slot", "deaths", "window", "reason"}`` dicts.
     pool_quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    #: Host agents lost mid-run (dist backend): ``--hosts`` indices in
+    #: detection order (their workers also appear in ``workers_died``).
+    hosts_lost: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -387,6 +447,7 @@ class FaultReport:
             or self.duplicate_results_dropped
             or self.workers_respawned
             or self.pool_quarantined
+            or self.hosts_lost
         )
 
     def merge(self, other: "FaultReport") -> None:
@@ -402,6 +463,7 @@ class FaultReport:
         self.duplicate_results_dropped += other.duplicate_results_dropped
         self.workers_respawned += other.workers_respawned
         self.pool_quarantined.extend(other.pool_quarantined)
+        self.hosts_lost.extend(other.hosts_lost)
 
     def summary(self) -> str:
         """One line per fault category ("no faults" on a clean run)."""
@@ -439,6 +501,8 @@ class FaultReport:
         if self.pool_quarantined:
             slots = [entry["slot"] for entry in self.pool_quarantined]
             parts.append(f"pool slots quarantined: {slots}")
+        if self.hosts_lost:
+            parts.append(f"hosts lost: {self.hosts_lost}")
         return "; ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -458,4 +522,5 @@ class FaultReport:
             "pool_quarantined": [
                 dict(entry) for entry in self.pool_quarantined
             ],
+            "hosts_lost": list(self.hosts_lost),
         }

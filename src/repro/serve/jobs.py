@@ -72,7 +72,12 @@ class Job:
     finished_at: Optional[float] = None
     #: Summary of the finished run (value_total, makespan, ...).
     result: Optional[Dict[str, Any]] = None
+    #: Last line of the failure (the concise status-field summary).
     error: Optional[str] = None
+    #: Where the *full* traceback was persisted
+    #: (``STATE_DIR/jobs/<id>/error.txt``); ``None`` when the daemon
+    #: runs without a state dir or the write failed.
+    error_file: Optional[str] = None
     #: Checkpoint/journal directory (set at submit; doubles as the
     #: resume handle after a cancel).
     checkpoint_dir: Optional[str] = None
@@ -117,6 +122,8 @@ class Job:
             out["result"] = self.result
         if self.error is not None:
             out["error"] = self.error
+        if self.error_file is not None:
+            out["error_file"] = self.error_file
         if self.resume_dir is not None:
             out["resume_dir"] = self.resume_dir
         return out

@@ -281,6 +281,7 @@ class JobServer:
             )
         except Exception as error:
             job.error = str(error)
+            self._persist_error(job, traceback.format_exc())
             job.advance(JobState.RUNNING)
             job.advance(JobState.FAILED)
             self._emit(JOB_FAILED, job, error=job.error)
@@ -562,7 +563,11 @@ class JobServer:
             error = traceback.format_exc()
             with self._lock:
                 self._reclaim_inbox(job)
+                # The status field keeps the one-line summary; the full
+                # traceback goes to disk — losing the stack behind
+                # `splitlines()[-1]` made remote failures undebuggable.
                 job.error = error.strip().splitlines()[-1]
+                self._persist_error(job, error)
                 job.advance(JobState.FAILED)
                 self.running.pop(job.id, None)
                 self._emit(JOB_FAILED, job, error=job.error)
@@ -596,6 +601,25 @@ class JobServer:
                         makespan=raw.makespan,
                     )
         self._schedule()
+
+    def _persist_error(self, job: Job, formatted_traceback: str) -> None:
+        """Write a failed job's full traceback to
+        ``STATE_DIR/jobs/<id>/error.txt`` and remember the path.
+
+        Best effort: a daemon running without ``state_dir`` (or on a
+        full disk) still fails the job normally, just without the file.
+        """
+        if not self.state_dir:
+            return
+        directory = os.path.join(self.state_dir, "jobs", job.id)
+        path = os.path.join(directory, "error.txt")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(formatted_traceback)
+        except OSError:
+            return
+        job.error_file = path
 
     def _reclaim_inbox(self, job: Job) -> None:
         """Recover workers referenced by messages the session never

@@ -1,0 +1,245 @@
+"""The dist backend: TCP host agents under the mp coordinator loop.
+
+Agents run in-process (``die_hard=False``) with real worker child
+processes, on ephemeral loopback ports — the full wire protocol is
+exercised, only the ``os._exit`` host-kill is replaced by a cooperative
+self-destruct so an injected host loss cannot take the test runner down.
+
+Covered here:
+
+* **handshake** — worker discovery, HOST_JOIN events, protocol refusal;
+* **equivalence** — fig1/reduction value totals exactly match the
+  simulator, across one and two agents, twice back-to-back on the same
+  resident agents (segment-cache reuse path);
+* **host loss** — an injected ``hostloss`` mid-run still produces exact
+  totals, reports the victim, emits HOST_LOST with the healed width,
+  and a journalled run that loses its *last* host resumes on a fresh
+  (differently-sized) fleet;
+* **guard rails** — streams rejected, missing --hosts rejected, a dead
+  address fails with a useful error.
+
+The directory-wide SIGALRM guard in ``conftest.py`` bounds every run.
+"""
+
+import threading
+
+import pytest
+
+from repro import api
+from repro.apps.kernels import REAL_WORKLOADS
+from repro.obs import Tracer
+from repro.obs.events import HOST_JOIN, HOST_LOST
+from repro.runtime.backends import MpBackendError, get_backend
+from repro.runtime.backends.dist import HostAgent, parse_hosts
+from repro.runtime.config import RunConfig
+from repro.runtime.faults import FaultPlan
+from repro.runtime.kernel import Kernel
+from repro.runtime.task import RealOp
+
+pytest.importorskip("numpy")
+
+
+def _start_agents(counts):
+    """In-process agents (one per entry, entry = worker count)."""
+    agents = []
+    for workers in counts:
+        agent = HostAgent(workers, die_hard=False)
+        agent.start()
+        threading.Thread(target=agent.serve_forever, daemon=True).start()
+        agents.append(agent)
+    hosts = ",".join(f"127.0.0.1:{agent.port}" for agent in agents)
+    return agents, hosts
+
+
+@pytest.fixture
+def two_agents():
+    agents, hosts = _start_agents([2, 2])
+    try:
+        yield agents, hosts
+    finally:
+        for agent in agents:
+            agent.stop()
+
+
+def _dist_cfg(hosts, **overrides):
+    overrides.setdefault("mp_timeout", 60.0)
+    overrides.setdefault("heartbeat_interval", 0.05)
+    return RunConfig(
+        backend="dist", processors=1, hosts=hosts, **overrides
+    )
+
+
+def _sim_totals(workload):
+    result = get_backend("sim").run_ops(
+        REAL_WORKLOADS[workload](), RunConfig(backend="sim", processors=4)
+    )
+    return {k: v.value_total for k, v in result.per_op.items()}
+
+
+def _totals(result):
+    return {k: v.value_total for k, v in result.per_op.items()}
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+# ---------------------------------------------------------------------------
+
+
+def test_handshake_discovers_workers_and_emits_host_join(two_agents):
+    _agents, hosts = two_agents
+    tracer = Tracer()
+    result = get_backend("dist").run_ops(
+        REAL_WORKLOADS["fig1"](), _dist_cfg(hosts, tracer=tracer)
+    )
+    assert result.backend == "dist"
+    assert result.processors == 4  # union of the two agents' workers
+    joins = tracer.by_kind(HOST_JOIN)
+    assert [event.attrs["host"] for event in joins] == [0, 1]
+    assert [event.attrs["workers"] for event in joins] == [2, 2]
+    assert joins[-1].attrs["width"] == 4
+    # Worker lanes partition by host: host 0 owns wids 0-1, host 1 2-3.
+    assert joins[0].proc == 0 and joins[1].proc == 2
+
+
+def test_parse_hosts():
+    assert parse_hosts("a:1, b:2 ,") == [("a", 1), ("b", 2)]
+    with pytest.raises(MpBackendError):
+        parse_hosts("  ,  ")
+
+
+def test_missing_hosts_rejected():
+    with pytest.raises(MpBackendError, match="--hosts"):
+        get_backend("dist").run_ops(
+            REAL_WORKLOADS["fig1"](),
+            RunConfig(backend="dist", processors=1),
+        )
+
+
+def test_unreachable_agent_fails_with_address():
+    with pytest.raises(MpBackendError, match="127.0.0.1:9"):
+        get_backend("dist").run_ops(
+            REAL_WORKLOADS["fig1"](), _dist_cfg("127.0.0.1:9")
+        )
+
+
+def test_streams_rejected():
+    _agents, hosts = _start_agents([1])
+    try:
+        with pytest.raises(MpBackendError, match="stream"):
+            api.run("stream", _dist_cfg(hosts))
+    finally:
+        for agent in _agents:
+            agent.stop()
+
+
+# ---------------------------------------------------------------------------
+# Equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ["fig1", "reduction"])
+def test_totals_match_sim_exactly(two_agents, workload):
+    _agents, hosts = two_agents
+    result = get_backend("dist").run_ops(
+        REAL_WORKLOADS[workload](), _dist_cfg(hosts)
+    )
+    assert _totals(result) == _sim_totals(workload)
+
+
+def test_single_agent_and_repeat_runs(two_agents):
+    agents, _ = two_agents
+    hosts = f"127.0.0.1:{agents[0].port}"
+    expected = _sim_totals("fig1")
+    backend = get_backend("dist")
+    first = backend.run_ops(REAL_WORKLOADS["fig1"](), _dist_cfg(hosts))
+    second = backend.run_ops(REAL_WORKLOADS["fig1"](), _dist_cfg(hosts))
+    assert _totals(first) == expected
+    assert _totals(second) == expected
+    assert first.processors == 2
+
+
+def test_cli_workload_through_api(two_agents):
+    _agents, hosts = two_agents
+    result = api.run("fig1", _dist_cfg(hosts))
+    assert result.backend == "dist"
+    assert _totals(result) == _sim_totals("fig1")
+
+
+# ---------------------------------------------------------------------------
+# Host loss
+# ---------------------------------------------------------------------------
+
+
+def test_host_loss_midrun_exact_totals_and_healed_width(two_agents):
+    _agents, hosts = two_agents
+    tracer = Tracer()
+    plan = FaultPlan.host_loss(host=1, at_chunk=2)
+    result = get_backend("dist").run_ops(
+        REAL_WORKLOADS["fig1"](),
+        _dist_cfg(hosts, fault_plan=plan, tracer=tracer),
+    )
+    assert _totals(result) == _sim_totals("fig1")
+    assert result.fault_report.hosts_lost == [1]
+    assert any(
+        f.get("fault") == "hostloss" for f in result.fault_report.injected
+    )
+    lost = tracer.by_kind(HOST_LOST)
+    assert len(lost) == 1
+    assert lost[0].attrs["host"] == 1
+    assert lost[0].attrs["workers"] == 2
+    assert lost[0].attrs["width"] == 2  # the survivor's two workers
+    # The victim's in-flight chunks were reclaimed and re-run.
+    assert result.fault_report.tasks_reassigned > 0
+
+
+def test_journalled_run_resumes_on_a_smaller_fleet(tmp_path):
+    """Kill the *only* host mid-run; resume the journal on a fresh,
+    smaller agent — the width-free manifest fingerprint allows it."""
+    checkpoint = str(tmp_path / "journal")
+
+    payloads = [(i, i + 40) for i in range(64)]
+
+    def payload_ops():
+        return [
+            RealOp(
+                name="sum",
+                kernel=Kernel(fn=_range_sum),
+                payloads=list(payloads),
+            )
+        ]
+
+    expected = {"sum": float(sum(sum(range(lo, hi)) for lo, hi in payloads))}
+
+    agents, hosts = _start_agents([2])
+    try:
+        plan = FaultPlan.host_loss(host=0, at_chunk=2)
+        with pytest.raises(MpBackendError):
+            get_backend("dist").run_ops(
+                payload_ops(),
+                _dist_cfg(
+                    hosts,
+                    fault_plan=plan,
+                    checkpoint_dir=checkpoint,
+                    mp_timeout=10.0,
+                ),
+            )
+    finally:
+        for agent in agents:
+            agent.stop()
+
+    agents, hosts = _start_agents([1])  # narrower fleet than the first
+    try:
+        result = get_backend("dist").run_ops(
+            payload_ops(),
+            _dist_cfg(hosts, checkpoint_dir=checkpoint, resume=True),
+        )
+    finally:
+        for agent in agents:
+            agent.stop()
+    assert _totals(result) == expected
+    assert result.tasks_resumed > 0  # the journal genuinely replayed
+
+
+def _range_sum(payload):
+    lo, hi = payload
+    return float(sum(range(lo, hi)))

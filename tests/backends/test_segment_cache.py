@@ -1,0 +1,148 @@
+"""SegmentCache byte-budget LRU eviction (``--shm-cache-bytes``).
+
+Unit layer drives the cache with stub segments (no ``/dev/shm``
+involvement, so it runs anywhere); the end-to-end layer checks a warm
+pool with a tiny budget actually evicts between runs and traces
+``shm.evict`` events on the next session.
+"""
+
+import pytest
+
+from repro.runtime.backends import get_backend
+from repro.runtime.backends.shm import (
+    DEFAULT_CACHE_BYTES,
+    SegmentCache,
+    shm_available,
+)
+from repro.runtime.config import PoolConfig, RunConfig
+from repro.runtime.kernel import Kernel
+from repro.runtime.task import RealOp
+from repro.obs import Tracer
+from repro.obs.events import SHM_EVICT
+
+
+class _StubSegment:
+    """Counts the unlink the cache owes every evicted segment."""
+
+    def __init__(self):
+        self.closed = False
+        self.unlinked = False
+
+    def close(self):
+        self.closed = True
+
+    def unlink(self):
+        self.unlinked = True
+
+
+def test_default_budget_is_capped_not_unbounded():
+    cache = SegmentCache()
+    assert cache.budget_bytes == DEFAULT_CACHE_BYTES
+    cache.close()
+
+
+def test_zero_budget_disables_the_bound():
+    cache = SegmentCache(0)
+    assert cache.budget_bytes is None
+    segments = [_StubSegment() for _ in range(8)]
+    for i, segment in enumerate(segments):
+        assert cache.put(f"k{i}", segment, 10**9)
+        cache.unpin(f"k{i}")
+    assert cache.stats()["evictions"] == 0
+    cache.close()
+    assert all(segment.unlinked for segment in segments)
+
+
+def test_lru_eviction_past_the_budget():
+    cache = SegmentCache(100)
+    a, b, c = _StubSegment(), _StubSegment(), _StubSegment()
+    cache.put("a", a, 40)
+    cache.unpin("a")
+    cache.put("b", b, 40)
+    cache.unpin("b")
+    # Freshen "a": "b" becomes the least recently used.
+    assert cache.get("a") is not None
+    cache.unpin("a")
+    cache.put("c", c, 40)  # 120 > 100: one eviction owed
+    cache.unpin("c")
+    assert b.unlinked and not a.unlinked and not c.unlinked
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["evicted_bytes"] == 40
+    assert stats["bytes"] == 80
+    assert cache.take_evicted() == [("b", 40)]
+    assert cache.take_evicted() == []  # the log drains
+    cache.close()
+
+
+def test_pinned_entries_survive_over_budget():
+    cache = SegmentCache(50)
+    a, b = _StubSegment(), _StubSegment()
+    cache.put("a", a, 40)  # pinned by put
+    cache.put("b", b, 40)  # 80 > 50, but "a" is still pinned
+    assert not a.unlinked
+    assert cache.stats()["bytes"] == 80  # temporarily over budget
+    cache.unpin("a")  # pin released -> eviction owed now
+    assert a.unlinked
+    assert cache.stats()["bytes"] == 40
+    cache.unpin("b")
+    cache.close()
+
+
+def test_double_pin_needs_double_unpin():
+    cache = SegmentCache(10)
+    a = _StubSegment()
+    cache.put("a", a, 40)
+    assert cache.get("a") is not None  # second pin
+    cache.unpin("a")
+    assert not a.unlinked  # one pin still held
+    cache.unpin("a")
+    assert a.unlinked
+    cache.close()
+
+
+def test_negative_budget_rejected_by_config():
+    with pytest.raises(ValueError, match="shm_cache_bytes"):
+        PoolConfig(shm_cache_bytes=-1)
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared_memory")
+def test_warm_pool_evicts_and_traces_between_runs():
+    """Two differently-keyed payload sets through a 1-byte budget: the
+    second run's layout evicts the first's segment, and the third
+    session drains the eviction log into ``shm.evict`` events."""
+    np = pytest.importorskip("numpy")
+
+    def ops(seed):
+        values = np.arange(seed, seed + 32768, dtype=np.float64)
+        return [
+            RealOp(
+                name=f"sum{seed}",
+                kernel=Kernel(fn=float),
+                payloads=[float(v) for v in values],
+            )
+        ]
+
+    cfg = RunConfig(
+        processors=2,
+        backend="mp",
+        mp_timeout=60.0,
+        pool=PoolConfig(shm_cache_bytes=1),
+        data_plane="shm",
+    )
+    backend = get_backend("mp")
+    backend.prepare(cfg)
+    try:
+        cache = backend.pool.segment_cache
+        assert cache is not None
+        assert cache.budget_bytes == 1
+        backend.run_ops(ops(0), cfg)
+        backend.run_ops(ops(1), cfg)  # evicts run 0's payload segment
+        assert cache.stats()["evictions"] >= 1
+        tracer = Tracer()
+        backend.run_ops(ops(2), cfg.with_(tracer=tracer))
+        evicts = tracer.by_kind(SHM_EVICT)
+        assert evicts, "third session should drain the eviction log"
+        assert all(event.attrs["bytes"] > 0 for event in evicts)
+    finally:
+        backend.release()

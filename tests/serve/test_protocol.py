@@ -121,3 +121,81 @@ def test_server_replies_structured_line_too_long(tmp_path, small_cap):
         assert pong["ok"] is True
     finally:
         server.drain("test teardown")
+
+
+# -- MessageStream framing (the persistent dist-link layer) ------------------
+
+
+def _stream_pair():
+    left, right = socket.socketpair()
+    return protocol.MessageStream(left), protocol.MessageStream(right)
+
+
+def test_stream_roundtrips_header_only_frames():
+    a, b = _stream_pair()
+    try:
+        a.send({"op": "ping"})
+        a.send({"op": "run", "indices": [1, 2, 3]})
+        assert b.recv() == ({"op": "ping"}, None)
+        assert b.recv() == ({"op": "run", "indices": [1, 2, 3]}, None)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_stream_roundtrips_binary_blobs():
+    a, b = _stream_pair()
+    payload = bytes(range(256)) * 512  # 128 KiB, crosses recv buffers
+    try:
+        a.send({"op": "load", "key": 7}, blob=payload)
+        a.send({"op": "bye"})
+        header, blob = b.recv()
+        assert header == {"op": "load", "key": 7}  # "blob" count stripped
+        assert blob == payload
+        assert b.recv() == ({"op": "bye"}, None)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_stream_clean_eof_between_frames_returns_none():
+    a, b = _stream_pair()
+    a.send({"op": "ping"})
+    a.close()
+    try:
+        assert b.recv() == ({"op": "ping"}, None)
+        assert b.recv() is None
+    finally:
+        b.close()
+
+
+def test_stream_truncated_blob_raises():
+    left, right = socket.socketpair()
+    stream = protocol.MessageStream(right)
+    left.sendall(b'{"blob": 100, "op": "load"}\n' + b"x" * 10)
+    left.close()
+    with pytest.raises(ProtocolError) as excinfo:
+        stream.recv()
+    assert excinfo.value.code == "truncated"
+    stream.close()
+
+
+def test_stream_oversized_header_raises():
+    left, right = socket.socketpair()
+    stream = protocol.MessageStream(right, max_line=64)
+    left.sendall(b"x" * 200 + b"\n")
+    with pytest.raises(ProtocolError) as excinfo:
+        stream.recv()
+    assert excinfo.value.code == "line_too_long"
+    left.close()
+    stream.close()
+
+
+def test_stream_bad_blob_length_rejected():
+    left, right = socket.socketpair()
+    stream = protocol.MessageStream(right)
+    left.sendall(b'{"blob": -5, "op": "load"}\n')
+    with pytest.raises(ProtocolError):
+        stream.recv()
+    left.close()
+    stream.close()

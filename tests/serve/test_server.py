@@ -241,3 +241,25 @@ def test_submit_rejected_while_draining(server):
     ok, reason = server.submit("fig1")
     assert not ok
     assert reason == "draining"
+
+
+def test_failed_job_persists_full_traceback(server, tmp_path):
+    """The status field keeps a one-line summary, but the *full* stack
+    lands in STATE_DIR/jobs/<id>/error.txt and status points at it —
+    truncating to ``splitlines()[-1]`` used to lose the stack entirely."""
+    ok, job = server.submit(
+        "fig1",
+        overrides={"on_fault": "fail", "inject_fault": ["kill:0:1"]},
+    )
+    assert ok
+    done = server.wait(job.id, timeout=60)
+    info = done["job"]
+    assert info["state"] == "failed"
+    assert "\n" not in info["error"]  # the one-liner stays a one-liner
+    path = info["error_file"]
+    assert path and os.path.exists(path)
+    assert os.path.join("jobs", job.id) in path
+    with open(path) as handle:
+        text = handle.read()
+    assert "Traceback (most recent call last)" in text
+    assert info["error"] in text  # summary is the traceback's last line
